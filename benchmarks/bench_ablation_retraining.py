@@ -1,0 +1,61 @@
+"""Ablation (extension): rolling retraining at workload velocity.
+
+Section 2.3's deployment argument: BYOM models can retrain on the
+workload's own schedule.  This benchmark compares a static model
+(trained once on week 1) against a rolling-retrained model over the
+test week, under the drifting I/O-density regimes of the generator.
+"""
+
+import pytest
+
+from repro.analysis import EXPERIMENT_MODEL, render_table, standard_suite
+from repro.core import RetrainingPolicy, RollingTrainer
+from repro.storage import simulate
+from repro.units import DAY
+from repro.workloads import extract_features
+
+from conftest import emit
+
+QUOTA = 0.05
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rolling_retraining(benchmark):
+    def run():
+        suite = standard_suite(0)
+        cluster = suite.cluster
+        cap = QUOTA * cluster.peak_ssd_usage
+
+        static = suite.run("Adaptive Ranking", QUOTA)
+
+        # Rolling: the policy sees the full two-week trace; the trainer
+        # only ever fits on jobs already completed by decision time.
+        full = cluster.full
+        features = extract_features(full, suite.rates)
+        trainer = RollingTrainer(
+            EXPERIMENT_MODEL, window=7 * DAY, interval=2 * DAY, min_jobs=300,
+            rates=suite.rates,
+        )
+        policy = RetrainingPolicy(trainer, features, suite.adaptive_params)
+        rolling_full = simulate(full, policy, cap, suite.rates)
+        return static, rolling_full, trainer
+
+    static, rolling, trainer = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit(
+        "ablation_retraining",
+        render_table(
+            ["variant", "TCO savings %", "model refits"],
+            [
+                ["static (week-1 model)", static.tco_savings_pct, 0],
+                ["rolling retraining", rolling.tco_savings_pct, len(trainer.events)],
+            ],
+            title=f"Ablation: rolling retraining @ {QUOTA:.0%} quota",
+        ),
+    )
+
+    # The trainer must actually have retrained during the run.
+    assert len(trainer.events) >= 2
+    # Rolling retraining must produce positive savings; exact ordering
+    # vs the static model depends on drift strength, so assert sanity.
+    assert rolling.tco_savings_pct > 0

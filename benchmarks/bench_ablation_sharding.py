@@ -1,0 +1,60 @@
+"""Ablation (extension): capacity fragmentation across caching servers.
+
+Section 2.4 / Appendix A: SSD tiering runs on a set of caching servers,
+so aggregate free space is fragmented and a global free-space counter
+is not what any one admission point observes.  This ablation splits the
+same total capacity across 1/4/16 shards and compares FirstFit (which
+*reads the local free-space counter*) against Adaptive Ranking (which
+senses utilization behaviourally via spillover).
+"""
+
+import pytest
+
+from repro.analysis import render_table, standard_suite
+from repro.baselines import FirstFitPolicy
+from repro.storage import simulate_sharded
+
+from conftest import emit
+
+QUOTA = 0.02
+SHARDS = (1, 4, 16)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_capacity_sharding(benchmark):
+    def run():
+        suite = standard_suite(0)
+        cluster = suite.cluster
+        cap = QUOTA * cluster.peak_ssd_usage
+        out = {}
+        for n_shards in SHARDS:
+            ours = suite.pipeline.make_policy(cluster.test, cluster.features_test)
+            r_ours = simulate_sharded(cluster.test, ours, cap, n_shards, suite.rates)
+            r_ff = simulate_sharded(
+                cluster.test, FirstFitPolicy(), cap, n_shards, suite.rates
+            )
+            out[n_shards] = (r_ours.tco_savings_pct, r_ff.tco_savings_pct)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [n, ours, ff, ours / ff if ff > 0 else float("inf")]
+        for n, (ours, ff) in results.items()
+    ]
+    emit(
+        "ablation_sharding",
+        render_table(
+            ["caching servers", "Adaptive Ranking TCO %", "FirstFit TCO %", "ratio"],
+            rows,
+            title=f"Ablation: capacity fragmentation @ {QUOTA:.0%} total quota",
+        ),
+    )
+
+    # Ours stays ahead of FirstFit at every fragmentation level.
+    for n, (ours, ff) in results.items():
+        assert ours > ff, f"{n} shards"
+    # Fragmentation costs real savings (pipelines are pinned to 1/16 of
+    # the capacity), but ours keeps a meaningful share of the unsharded
+    # savings and its advantage over FirstFit at every level.
+    assert results[16][0] > 0.3 * results[1][0]

@@ -1,0 +1,66 @@
+"""Ablation (beyond the paper): the two ACT smoothing mechanisms.
+
+Section 4.3 introduces a tolerance band and a minimum decision interval
+to stop the admission threshold from thrashing.  This ablation disables
+each mechanism and measures both the savings impact and the threshold
+churn (number of ACT changes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table, standard_suite
+from repro.config import AdaptiveParams
+from repro.core import AdaptiveCategoryPolicy
+from repro.storage import simulate
+
+from conftest import emit
+
+QUOTA = 0.01
+
+VARIANTS = {
+    "full smoothing (default)": AdaptiveParams(),
+    "no tolerance band": AdaptiveParams(spillover_low=0.049999, spillover_high=0.05),
+    "no decision interval": AdaptiveParams(decision_interval=0.0),
+    "neither": AdaptiveParams(
+        spillover_low=0.049999, spillover_high=0.05, decision_interval=0.0
+    ),
+}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_smoothing_mechanisms(benchmark):
+    def run():
+        suite = standard_suite(0)
+        cluster = suite.cluster
+        categories = suite.pipeline.model.predict(cluster.features_test)
+        out = {}
+        for name, params in VARIANTS.items():
+            policy = AdaptiveCategoryPolicy(
+                categories, suite.model_params.n_categories, params
+            )
+            res = simulate(
+                cluster.test, policy, QUOTA * cluster.peak_ssd_usage, suite.rates
+            )
+            acts = np.array([e.act for e in policy.trajectory])
+            churn = int(np.abs(np.diff(acts)).sum()) if len(acts) > 1 else 0
+            out[name] = (res.tco_savings_pct, len(policy.trajectory), churn)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[k, v[0], v[1], v[2]] for k, v in results.items()]
+    emit(
+        "ablation_smoothing",
+        render_table(
+            ["variant", "TCO savings %", "threshold updates", "ACT churn"],
+            rows,
+            title=f"Ablation: ACT smoothing mechanisms @ {QUOTA:.0%} quota",
+        ),
+    )
+
+    # Removing the decision interval must increase update frequency.
+    assert results["no decision interval"][1] > results["full smoothing (default)"][1]
+    # Smoothing keeps savings competitive: default within 30% of the best.
+    best = max(v[0] for v in results.values())
+    assert results["full smoothing (default)"][0] >= best - max(0.3 * best, 1.0)

@@ -1,0 +1,46 @@
+"""Figure 1: workloads show vastly different storage patterns.
+
+Paper claim: space usage and lifetime of different workloads differ by
+orders of magnitude, motivating per-workload models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig1_workload_diversity, render_table
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_workload_diversity(benchmark):
+    result = benchmark.pedantic(fig1_workload_diversity, rounds=1, iterations=1)
+
+    rows = []
+    for name, series in result.items():
+        rows.append(
+            [
+                name,
+                float(series["space_bytes"].max()),
+                float(series["space_bytes"].mean()),
+                float(series["mean_lifetime_s"].max()),
+            ]
+        )
+    emit(
+        "fig01_workload_diversity",
+        render_table(
+            ["workload", "peak space (B)", "mean space (B)", "max lifetime (s)"],
+            rows,
+            title="Figure 1: workload diversity",
+        ),
+    )
+
+    w0 = result["Workload 0"]
+    w1 = result["Workload 1"]
+    # Paper shape: orders-of-magnitude gap between workloads.
+    space_ratio = w0["space_bytes"].max() / max(w1["space_bytes"].max(), 1.0)
+    life_ratio = (
+        w0["mean_lifetime_s"].max() / max(w1["mean_lifetime_s"].max(), 1.0)
+    )
+    assert space_ratio > 10 or space_ratio < 0.1
+    assert life_ratio > 10 or life_ratio < 0.1

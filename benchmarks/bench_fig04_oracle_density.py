@@ -1,0 +1,52 @@
+"""Figure 4: oracle placement vs I/O density and TCO savings.
+
+Paper claims: the oracle never selects negative-TCO-savings jobs; as the
+SSD quota grows, jobs with lower I/O density are admitted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig4_oracle_density, render_table
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_oracle_density(benchmark):
+    quotas = (0.01, 0.05, 0.2)
+    result = benchmark.pedantic(
+        fig4_oracle_density, kwargs={"quotas": quotas}, rounds=1, iterations=1
+    )
+
+    density = result["io_density"]
+    savings = result["tco_savings"]
+    rows = []
+    for q in quotas:
+        mask = result["admitted"][q]
+        n = int(mask.sum())
+        med_density = float(np.median(density[mask])) if n else float("nan")
+        rows.append([f"{q:.0%}", n, med_density, float(savings[mask].min()) if n else 0.0])
+    emit(
+        "fig04_oracle_density",
+        render_table(
+            ["quota", "admitted jobs", "median density of admitted", "min savings of admitted"],
+            rows,
+            title="Figure 4: oracle admission vs I/O density",
+        ),
+    )
+
+    # Negative-savings jobs are never admitted at any quota.
+    for q in quotas:
+        assert not result["admitted"][q][savings < 0].any()
+    # Larger quota admits at least as many jobs...
+    counts = [result["admitted"][q].sum() for q in quotas]
+    assert counts[0] <= counts[1] <= counts[2]
+    # ...and reaches into lower densities.
+    med = [
+        np.median(density[result["admitted"][q]])
+        for q in quotas
+        if result["admitted"][q].any()
+    ]
+    if len(med) == 3:
+        assert med[2] <= med[0]

@@ -1,0 +1,51 @@
+"""Figure 5: prototype results — Adaptive Ranking vs FirstFit.
+
+Paper claim: in the 16-pipeline / ~1024-job test deployment, Adaptive
+Ranking achieves 4.38x (1% quota) and 1.77x (20% quota) the TCO savings
+of FirstFit; TCIO improvements are 3.90x and 1.69x.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.prototype import build_prototype_workload, run_prototype
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_prototype(benchmark):
+    def run():
+        workload = build_prototype_workload()
+        return {q: run_prototype(workload, q) for q in (0.01, 0.20)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for q, r in results.items():
+        rows.append(
+            [
+                f"{q:.0%}",
+                r.adaptive.tco_savings_pct,
+                r.firstfit.tco_savings_pct,
+                r.tco_improvement,
+                r.adaptive.tcio_savings_pct,
+                r.firstfit.tcio_savings_pct,
+                r.tcio_improvement,
+            ]
+        )
+    emit(
+        "fig05_prototype",
+        render_table(
+            ["quota", "AR TCO %", "FF TCO %", "TCO ratio", "AR TCIO %", "FF TCIO %", "TCIO ratio"],
+            rows,
+            title="Figure 5: prototype savings (paper TCO ratios: 4.38x @1%, 1.77x @20%)",
+        ),
+    )
+
+    # Paper shape: ours beats FirstFit clearly at both quotas.  (The
+    # paper's ratios are 4.38x @1% vs 1.77x @20%; with synthetic traces
+    # which quota shows the larger ratio varies, so we assert the
+    # advantage itself, not its ordering across quotas.)
+    assert results[0.01].tco_improvement > 1.3
+    assert results[0.20].tco_improvement > 1.3

@@ -1,0 +1,72 @@
+"""Figure 6: TCO/TCIO savings across 10 clusters at a fixed 1% quota.
+
+Paper claim: Adaptive Ranking saves up to 3.47x (2.59x on average) over
+the best baseline per cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIG6_METHODS,
+    compare_methods_fleetwide,
+    fig6_cluster_savings,
+    render_table,
+)
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_cluster_savings(benchmark):
+    results = benchmark.pedantic(
+        fig6_cluster_savings, kwargs={"n_clusters": 10, "quota": 0.01},
+        rounds=1, iterations=1,
+    )
+
+    headers = ["cluster"] + [m for m in FIG6_METHODS] + ["ours/best-baseline"]
+    tco_rows, tcio_rows, ratios = [], [], []
+    for cname, per_method in results.items():
+        tco = {m: per_method[m].tco_savings_pct for m in FIG6_METHODS}
+        baselines = [v for m, v in tco.items() if m != "Adaptive Ranking"]
+        best = max(baselines)
+        ratio = tco["Adaptive Ranking"] / best if best > 0 else float("inf")
+        ratios.append(ratio)
+        tco_rows.append([cname] + [tco[m] for m in FIG6_METHODS] + [ratio])
+        tcio_rows.append(
+            [cname]
+            + [per_method[m].tcio_savings_pct for m in FIG6_METHODS]
+            + [float("nan")]
+        )
+    emit(
+        "fig06_tco",
+        render_table(headers, tco_rows,
+                     title="Figure 6 (top): TCO savings % per cluster @ 1% quota"),
+    )
+    emit(
+        "fig06_tcio",
+        render_table(headers, tcio_rows,
+                     title="Figure 6 (bottom): TCIO savings % per cluster @ 1% quota"),
+    )
+
+    fleet = compare_methods_fleetwide(results)
+    emit(
+        "fig06_fleet",
+        render_table(
+            ["method", "fleet TCO savings %", "fleet TCIO savings %"],
+            [[m, f.tco_savings_pct, f.tcio_savings_pct] for m, f in fleet.items()],
+            title="Fleet-level aggregation over the 10 clusters @ 1% quota",
+        ),
+    )
+
+    finite = [r for r in ratios if np.isfinite(r)]
+    # Paper shape: ours wins on most clusters and the best cluster
+    # shows a clear advantage.  (The paper's 3.47x max reflects weaker
+    # production baselines; our synthetic baselines are closer, see
+    # EXPERIMENTS.md.)
+    assert np.mean([r > 1.0 for r in finite]) >= 0.6
+    assert max(finite) > 1.25
+    assert np.mean(finite) > 1.0
+    # Fleet-wide, ours is the best non-oracle method.
+    best_fleet = max(fleet, key=lambda m: fleet[m].tco_savings_pct)
+    assert best_fleet == "Adaptive Ranking"

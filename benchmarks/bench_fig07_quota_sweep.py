@@ -1,0 +1,48 @@
+"""Figure 7: TCO savings vs SSD quota for all seven methods.
+
+Paper claims: Adaptive Ranking consistently beats baselines, especially
+at limited quota; the gap to Adaptive Hash shows the category model's
+value; the oracle gap shows remaining headroom; FirstFit's savings
+collapse at large quotas.
+"""
+
+import pytest
+
+from repro.analysis import DEFAULT_QUOTAS, FIG7_METHODS, fig7_quota_sweep, render_series
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_quota_sweep(benchmark):
+    results = benchmark.pedantic(fig7_quota_sweep, rounds=1, iterations=1)
+
+    quotas = list(DEFAULT_QUOTAS)
+    series = {
+        m: [results[m][q].tco_savings_pct for q in quotas] for m in FIG7_METHODS
+    }
+    emit(
+        "fig07_quota_sweep",
+        render_series(
+            [f"{q:.0%}" for q in quotas],
+            series,
+            x_name="quota",
+            title="Figure 7: TCO savings % vs SSD quota",
+        ),
+    )
+
+    ours = series["Adaptive Ranking"]
+    oracle = series["Oracle TCO"]
+    hash_ = series["Adaptive Hash"]
+    firstfit = series["FirstFit"]
+
+    # Ours beats every baseline at the tightest quota.
+    for m in ("Adaptive Hash", "ML Baseline", "FirstFit", "Heuristic"):
+        assert ours[0] > series[m][0], m
+    # The oracle upper-bounds ours everywhere (small tolerance).
+    for o, u in zip(oracle, ours):
+        assert o >= u - 0.5
+    # Category model >> hash ablation across the sweep.
+    assert all(u > h for u, h in zip(ours, hash_))
+    # FirstFit degrades at large quotas (admits negative-savings jobs).
+    assert firstfit[-1] < max(firstfit)

@@ -1,0 +1,40 @@
+"""Figure 8: workload generalization across clusters.
+
+Paper claim: a category model trained on another cluster still works on
+C0 (except the outlier cluster C3, which only runs workloads rare
+elsewhere), and beats the best baseline.
+"""
+
+import pytest
+
+from repro.analysis import DEFAULT_QUOTAS, fig8_generalization, render_series
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_generalization(benchmark):
+    results = benchmark.pedantic(fig8_generalization, rounds=1, iterations=1)
+
+    quotas = list(DEFAULT_QUOTAS)
+    series = {name: [vals[q] for q in quotas] for name, vals in results.items()}
+    emit(
+        "fig08_generalization",
+        render_series(
+            [f"{q:.0%}" for q in quotas],
+            series,
+            x_name="quota",
+            title="Figure 8: cross-cluster generalization (TCO savings % on C0)",
+        ),
+    )
+
+    native = series["Train C0, test C0"]
+    # Non-outlier foreign models land in the same ballpark as the native
+    # model at moderate quotas (within a factor of ~2 at the 10% point).
+    for src in ("Train C1, test C0", "Train C2, test C0"):
+        assert series[src][2] > 0.3 * native[2], src
+    # The outlier cluster's model transfers worst among the foreign models.
+    foreign_final = {
+        src: series[src][2] for src in results if src.startswith("Train C") and src != "Train C0, test C0"
+    }
+    assert foreign_final["Train C3, test C0"] == min(foreign_final.values())

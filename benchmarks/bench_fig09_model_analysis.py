@@ -1,0 +1,62 @@
+"""Figure 9: model practicality — latency, accuracy vs data, importance.
+
+Paper claims: (a) inference is ~4 ms/job (vs 99 ms for a Transformer);
+(b) top-1 accuracy ~0.36 at 15 classes with no strong dependence on
+training size; (c) historical system metrics drive density-rank
+prediction while metadata/start-time matter most for the negative-TCO
+class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig9_model_analysis, render_table
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_model_analysis(benchmark):
+    result = benchmark.pedantic(fig9_model_analysis, rounds=1, iterations=1)
+
+    timing = result["timing"]
+    rows_a = [["mean per-job inference (ms)", timing.mean_seconds * 1e3],
+              ["cumulative over 50 jobs (ms)", timing.cumulative_seconds[-1] * 1e3]]
+    emit("fig09a_timing", render_table(["metric", "value"], rows_a,
+                                       title="Figure 9a: inference latency"))
+
+    rows_b = [[size, acc] for size, acc in sorted(result["accuracy_by_size"].items())]
+    rows_b.append(["full", result["full_accuracy"]])
+    emit("fig09b_accuracy", render_table(
+        ["train size", "top-1 accuracy"], rows_b,
+        title="Figure 9b: accuracy vs training size (paper avg: 0.36 @ 15 classes)"))
+
+    imp = result["importance"]
+    headers = ["group"] + [f"cat{c}" for c in imp.categories]
+    rows_c = [
+        [g] + list(np.round(imp.scores[i], 3)) for i, g in enumerate(imp.groups)
+    ]
+    emit("fig09c_importance", render_table(
+        headers, rows_c,
+        title="Figure 9c: feature-group importance (AUC decrease, normalized)"))
+
+    # (a) inference well under the Transformer's 99 ms.
+    assert timing.mean_seconds < 0.05
+    # (b) accuracy beats 15-class chance and stays in a plausible band.
+    assert 1.0 / 15 < result["full_accuracy"] < 0.95
+    # (b) no strong training-size dependence: the largest subsample is
+    # within 0.15 of the full model.
+    sizes = sorted(result["accuracy_by_size"])
+    assert abs(result["accuracy_by_size"][sizes[-1]] - result["full_accuracy"]) < 0.15
+    # (c) Feature-group structure.  The paper's exact pattern (history
+    # dominating every density rank) reflects production feature
+    # redundancy we cannot fully replicate; the claims that survive the
+    # substitution: the timestamp group matters more for the
+    # negative-savings class (category 0) than for high-density ranks,
+    # and the historical metrics contribute to density ranking.
+    t_idx = imp.groups.index("T")
+    a_idx = imp.groups.index("A")
+    cat0_col = int(np.flatnonzero(imp.categories == 0)[0])
+    density_cols = [i for i, c in enumerate(imp.categories) if c != 0]
+    assert imp.scores[t_idx, cat0_col] >= imp.scores[t_idx, density_cols].mean()
+    assert imp.scores[a_idx, density_cols].sum() > 0

@@ -1,0 +1,63 @@
+"""Figure 10: generalization to new users and new pipelines.
+
+Paper claim: training with vs without a high-TCO user (or pipeline)
+yields similar online TCO savings — the model generalizes to unseen
+users/pipelines through shared feature structure.
+"""
+
+import pytest
+
+from repro.analysis import fig10_holdout_generalization, render_table
+
+from conftest import emit
+
+QUOTAS = (0.01, 0.1, 0.5, 1.0)
+
+
+def _check_and_render(results, label):
+    rows = []
+    for cname, series in results.items():
+        for q in QUOTAS:
+            rows.append([cname, f"{q:.0%}", series["with"][q], series["without"][q]])
+    table = render_table(
+        ["cluster", "quota", f"train with {label}", f"train without {label}"],
+        rows,
+        title=f"Figure 10: hold-out generalization ({label})",
+    )
+    # "Similar savings": the without-curve tracks the with-curve.  Allow
+    # slack at the tightest quota where absolute numbers are small.
+    close = 0
+    total = 0
+    for series in results.values():
+        for q in QUOTAS[1:]:
+            total += 1
+            w, wo = series["with"][q], series["without"][q]
+            if abs(w - wo) <= max(0.5 * abs(w), 2.0):
+                close += 1
+    return table, close / max(total, 1)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_new_users(benchmark):
+    results = benchmark.pedantic(
+        fig10_holdout_generalization,
+        kwargs={"kind": "user", "quotas": QUOTAS, "cluster_indices": (0, 1, 2, 4, 5)},
+        rounds=1,
+        iterations=1,
+    )
+    table, frac_close = _check_and_render(results, "user")
+    emit("fig10_users", table)
+    assert frac_close >= 0.7
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_new_pipelines(benchmark):
+    results = benchmark.pedantic(
+        fig10_holdout_generalization,
+        kwargs={"kind": "pipeline", "quotas": QUOTAS, "cluster_indices": (0, 1, 2, 4, 5)},
+        rounds=1,
+        iterations=1,
+    )
+    table, frac_close = _check_and_render(results, "pipeline")
+    emit("fig10_pipelines", table)
+    assert frac_close >= 0.7

@@ -1,0 +1,40 @@
+"""Figure 11: predicted vs ground-truth categories.
+
+Paper claim: replacing model predictions with 100%-accurate categories
+yields only modestly better end-to-end savings — model accuracy has
+diminishing returns; category design and the adaptive algorithm matter
+more.
+"""
+
+import pytest
+
+from repro.analysis import DEFAULT_QUOTAS, fig11_true_category, render_series
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_true_category(benchmark):
+    results = benchmark.pedantic(fig11_true_category, rounds=1, iterations=1)
+
+    quotas = list(DEFAULT_QUOTAS)
+    series = {name: [vals[q] for q in quotas] for name, vals in results.items()}
+    emit(
+        "fig11_true_category",
+        render_series(
+            [f"{q:.0%}" for q in quotas],
+            series,
+            x_name="quota",
+            title="Figure 11: predicted vs true category (TCO savings %)",
+        ),
+    )
+
+    pred = series["Predicted category"]
+    true = series["True category"]
+    # True categories help somewhere but the predicted curve stays close:
+    # within 40% relative (or 2 points absolute) at every quota.
+    for p, t in zip(pred, true):
+        assert p >= t - max(0.4 * abs(t), 2.0)
+    # And predictions never dramatically exceed the truth-driven policy.
+    for p, t in zip(pred, true):
+        assert p <= t + max(0.4 * abs(t), 2.0)

@@ -1,0 +1,57 @@
+"""Figure 13: mixed framework / non-framework workload savings.
+
+Paper claim: significant TCO and TCIO savings over FirstFit for both
+framework and non-framework workloads — the approach is not limited to
+the data processing framework.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import prepare_cluster
+from repro.prototype import build_mixed_workload, run_prototype
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_mixed_workloads(benchmark):
+    def run():
+        workload = build_mixed_workload()
+        results = {q: run_prototype(workload, q) for q in (0.01, 0.20)}
+        return workload, results
+
+    workload, results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cluster = prepare_cluster(workload.trace)
+    is_fw_test = np.array([j.cluster == "mixed-fw" for j in cluster.test])
+    costs = cluster.test.costs()
+
+    rows = []
+    for q, r in results.items():
+        for kind, mask in (("framework", is_fw_test), ("non-framework", ~is_fw_test)):
+            for res, label in ((r.adaptive, "Adaptive Ranking"), (r.firstfit, "FirstFit")):
+                hdd = costs.c_hdd[mask].sum()
+                realized = (
+                    res.ssd_fraction[mask] * costs.c_ssd[mask]
+                    + (1 - res.ssd_fraction[mask]) * costs.c_hdd[mask]
+                ).sum()
+                pct = 100 * (hdd - realized) / hdd if hdd > 0 else 0.0
+                rows.append([f"{q:.0%}", kind, label, pct])
+    emit(
+        "fig13_mixed",
+        render_table(
+            ["quota", "workload kind", "method", "TCO savings %"],
+            rows,
+            title="Figure 13: mixed-workload savings by kind",
+        ),
+    )
+
+    # Overall: ours beats FirstFit at both quotas.
+    for q, r in results.items():
+        assert r.adaptive.tco_savings_pct > r.firstfit.tco_savings_pct, q
+    # Both workload kinds see positive savings from ours at 20% quota.
+    by_key = {(r[0], r[1], r[2]): r[3] for r in rows}
+    assert by_key[("20%", "framework", "Adaptive Ranking")] > 0
+    assert by_key[("20%", "non-framework", "Adaptive Ranking")] > 0

@@ -1,0 +1,62 @@
+"""Figure 14: application-level run-time savings on the mixed workload.
+
+Paper claim: application performance improves on top of the storage
+savings, and — critically — no workload shows any regression (jobs are
+written against HDD performance, so SSD time is opportunistic upside).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import prepare_cluster
+from repro.prototype import (
+    application_runtime_savings,
+    build_mixed_workload,
+    run_prototype,
+)
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_runtime_savings(benchmark):
+    def run():
+        workload = build_mixed_workload()
+        results = {q: run_prototype(workload, q) for q in (0.01, 0.20)}
+        return workload, results
+
+    workload, results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cluster = prepare_cluster(workload.trace)
+    is_fw_test = np.array([j.cluster == "mixed-fw" for j in cluster.test])
+
+    rows = []
+    all_savings = []
+    for q, r in results.items():
+        for res, label in ((r.adaptive, "Adaptive Ranking"), (r.firstfit, "FirstFit")):
+            savings = application_runtime_savings(cluster.test, res.ssd_fraction)
+            all_savings.append(savings)
+            rows.append([
+                f"{q:.0%}",
+                label,
+                savings[is_fw_test].mean(),
+                savings[~is_fw_test].mean(),
+                savings.min(),
+            ])
+    emit(
+        "fig14_runtime",
+        render_table(
+            ["quota", "method", "framework rt savings %", "non-framework rt savings %", "min (regression check)"],
+            rows,
+            title="Figure 14: application run-time savings",
+        ),
+    )
+
+    # No regressions anywhere.
+    for savings in all_savings:
+        assert (savings >= 0.0).all()
+    # More SSD -> more run-time savings for ours.
+    ar_1 = rows[0][2] + rows[0][3]
+    ar_20 = rows[2][2] + rows[2][3]
+    assert ar_20 > ar_1

@@ -1,0 +1,41 @@
+"""Figure 15 / Appendix C.2: adaptive-algorithm parameter sensitivity.
+
+Paper claim: across 27 combinations of tolerance range x look-back
+window x decision interval, the TCO-savings band stays narrow — the
+solution is not sensitive to adaptive-algorithm hyper-parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig15_sensitivity, render_table
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_sensitivity(benchmark):
+    result = benchmark.pedantic(fig15_sensitivity, rounds=1, iterations=1)
+
+    quotas = result["quotas"]
+    rows = [
+        [f"{q:.0%}", lo, hi, hi - lo]
+        for q, lo, hi in zip(quotas, result["lower"], result["upper"])
+    ]
+    emit(
+        "fig15_sensitivity",
+        render_table(
+            ["quota", "min savings %", "max savings %", "band width"],
+            rows,
+            title=f"Figure 15: sensitivity band over {len(result['combos'])} parameter combos",
+        ),
+    )
+
+    assert len(result["combos"]) == 27
+    # The band is narrow relative to the savings level at non-trivial quotas.
+    for i, q in enumerate(quotas):
+        if q >= 0.1:
+            width = result["upper"][i] - result["lower"][i]
+            assert width <= max(0.5 * result["upper"][i], 2.0)
+    # Every combination still produces positive savings at moderate quota.
+    assert (result["curves"][:, 1:] > 0).all()

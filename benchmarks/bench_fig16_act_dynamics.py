@@ -1,0 +1,50 @@
+"""Figure 16 / Appendix C.3: adaptive category selection dynamics.
+
+Paper claim: the algorithm holds the admission threshold in a higher
+range when SSD quota is scarce and allows more category admissions when
+space is plentiful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig16_act_dynamics, render_table
+
+from conftest import emit
+
+QUOTAS = (0.0001, 0.01, 0.1, 0.5)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_act_dynamics(benchmark):
+    result = benchmark.pedantic(
+        fig16_act_dynamics, kwargs={"quotas": QUOTAS}, rounds=1, iterations=1
+    )
+
+    rows = []
+    mean_act = {}
+    for q in QUOTAS:
+        traj = result[q]
+        acts = np.array([e.act for e in traj])
+        spill = np.array([e.spillover for e in traj])
+        mean_act[q] = acts.mean() if len(acts) else float("nan")
+        rows.append([
+            f"{q:.2%}",
+            len(traj),
+            mean_act[q],
+            int(acts.max(initial=0)),
+            float(spill.mean()) if len(spill) else 0.0,
+        ])
+    emit(
+        "fig16_act_dynamics",
+        render_table(
+            ["quota", "updates", "mean ACT", "max ACT", "mean spillover"],
+            rows,
+            title="Figure 16: admission-threshold dynamics over the test week",
+        ),
+    )
+
+    # Scarce SSD holds the threshold strictly higher than plentiful SSD.
+    assert mean_act[QUOTAS[0]] > mean_act[QUOTAS[-1]]
+    # With huge quota the threshold should sit at/near its floor.
+    assert mean_act[QUOTAS[-1]] < 3.0

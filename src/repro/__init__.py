@@ -1,0 +1,35 @@
+"""repro: reproduction of "A Bring-Your-Own-Model Approach for ML-Driven
+Storage Placement in Warehouse-Scale Computers" (MLSys 2025).
+
+Public API overview
+-------------------
+
+- :mod:`repro.workloads` -- shuffle-job traces (synthetic substitute for
+  the paper's production traces), Table-2 feature extraction.
+- :mod:`repro.cost` -- TCIO and TCO models (Section 3).
+- :mod:`repro.ml` -- from-scratch histogram GBDT (the YDF substitute).
+- :mod:`repro.storage` -- event-driven SSD/HDD placement simulator.
+- :mod:`repro.baselines` -- FirstFit, Heuristic, ML lifetime baseline.
+- :mod:`repro.core` -- the BYOM contribution: category labels, category
+  model, Adaptive Category Selection (Algorithm 1), Adaptive Hash.
+- :mod:`repro.oracle` -- clairvoyant ILP oracle and headroom analysis.
+- :mod:`repro.prototype` -- test-deployment emulation (Figures 5/13/14).
+- :mod:`repro.analysis` -- experiment runners for every table/figure.
+
+Quickstart::
+
+    from repro.core import ByomPipeline, prepare_cluster
+    from repro.workloads import ClusterSpec, generate_cluster_trace
+
+    trace = generate_cluster_trace(ClusterSpec("C0", {"dbquery": 2, "logproc": 1}))
+    cluster = prepare_cluster(trace)
+    pipe = ByomPipeline().train(cluster.train, cluster.features_train)
+    result = pipe.deploy(cluster.test, cluster.features_test, quota_fraction=0.01)
+    print(result.tco_savings_pct)
+"""
+
+from .config import AdaptiveParams, ModelParams, SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["AdaptiveParams", "ModelParams", "SimConfig", "__version__"]

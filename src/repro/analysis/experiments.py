@@ -1,0 +1,576 @@
+"""Experiment runners: one function per paper figure/table.
+
+Each runner builds its workload, executes every compared method through
+the placement simulator, and returns plain data structures that the
+benchmark harness renders with :mod:`repro.analysis.report`.  See
+DESIGN.md's experiment index for the figure-to-function mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..baselines import (
+    CategoryAdmissionPolicy,
+    FirstFitPolicy,
+    LifetimeModel,
+    LifetimePolicy,
+)
+from ..config import AdaptiveParams, ModelParams
+from ..core import (
+    AdaptiveCategoryPolicy,
+    ByomPipeline,
+    PreparedCluster,
+    hash_categories,
+    prepare_cluster,
+)
+from ..cost import CostRates, DEFAULT_RATES
+from ..oracle import oracle_placement
+from ..storage import SimResult, analytic_result, simulate
+from ..units import HOUR, WEEK
+from ..workloads import (
+    ClusterSpec,
+    Trace,
+    default_cluster_specs,
+    generate_cluster_trace,
+)
+
+__all__ = [
+    "MethodSuite",
+    "standard_cluster",
+    "standard_suite",
+    "run_method_suite",
+    "fig1_workload_diversity",
+    "fig4_oracle_density",
+    "fig6_cluster_savings",
+    "fig7_quota_sweep",
+    "fig8_generalization",
+    "fig9_model_analysis",
+    "fig10_holdout_generalization",
+    "fig11_true_category",
+    "fig15_sensitivity",
+    "fig16_act_dynamics",
+    "table4_category_count",
+]
+
+#: Default model size used by experiment runners: the paper's 15
+#: categories with a reduced tree budget (see ModelParams docs).
+EXPERIMENT_MODEL = ModelParams(n_rounds=10)
+
+#: Quota grid for savings-vs-quota sweeps (Figure 7 and friends).
+DEFAULT_QUOTAS = (0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+@dataclass
+class MethodSuite:
+    """A trained bundle of all methods for one prepared cluster.
+
+    Training happens once; :meth:`run` then evaluates any method at any
+    SSD quota.  ``peak`` is the test week's infinite-SSD peak usage, the
+    quota denominator (Section 5.1).
+    """
+
+    cluster: PreparedCluster
+    model_params: ModelParams = field(default_factory=lambda: EXPERIMENT_MODEL)
+    adaptive_params: AdaptiveParams = field(default_factory=AdaptiveParams)
+    rates: CostRates = DEFAULT_RATES
+    pipeline: ByomPipeline | None = None
+    lifetime_model: LifetimeModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.pipeline is None:
+            self.pipeline = ByomPipeline(
+                self.model_params, self.adaptive_params, self.rates
+            ).train(self.cluster.train, self.cluster.features_train)
+        if self.lifetime_model is None:
+            self.lifetime_model = LifetimeModel().fit(
+                self.cluster.features_train, self.cluster.train.durations
+            )
+
+    @property
+    def peak(self) -> float:
+        return self.cluster.peak_ssd_usage
+
+    def capacity(self, quota: float) -> float:
+        return quota * self.peak
+
+    def run(self, method: str, quota: float, **kw) -> SimResult:
+        """Evaluate one method at one quota on the test week."""
+        test = self.cluster.test
+        cap = self.capacity(quota)
+        if method == "Adaptive Ranking":
+            policy = self.pipeline.make_policy(test, self.cluster.features_test)
+        elif method == "Adaptive Hash":
+            policy = AdaptiveCategoryPolicy(
+                hash_categories(test, self.model_params.n_categories),
+                self.model_params.n_categories,
+                self.adaptive_params,
+                name="Adaptive Hash",
+            )
+        elif method == "ML Baseline":
+            policy = LifetimePolicy(self.lifetime_model, self.cluster.features_test)
+        elif method == "FirstFit":
+            policy = FirstFitPolicy()
+        elif method == "Heuristic":
+            policy = CategoryAdmissionPolicy(self.cluster.train, self.rates)
+        elif method == "True category":
+            policy = self.pipeline.true_category_policy(test)
+        elif method in ("Oracle TCO", "Oracle TCIO"):
+            # LP-relaxed oracle: fractional placement matches the
+            # simulator's partial-fit semantics, so this is a true upper
+            # bound on every policy (see repro.oracle.ilp).
+            objective = "tco" if method == "Oracle TCO" else "tcio"
+            result = oracle_placement(
+                test, cap, objective, self.rates, integrality=False, **kw
+            )
+            return analytic_result(
+                test, result.ssd_fraction(), cap, self.rates, name=method
+            )
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        return simulate(test, policy, cap, self.rates)
+
+
+@lru_cache(maxsize=16)
+def standard_cluster(
+    index: int = 0, n_clusters: int = 10, rates: CostRates = DEFAULT_RATES
+) -> PreparedCluster:
+    """Generate + prepare one of the default 10 clusters (cached)."""
+    spec = default_cluster_specs(n_clusters)[index]
+    trace = generate_cluster_trace(spec, duration=2 * WEEK)
+    return prepare_cluster(trace, rates)
+
+
+@lru_cache(maxsize=16)
+def standard_suite(index: int = 0, n_clusters: int = 10) -> MethodSuite:
+    """A trained MethodSuite for one default cluster (cached, so multiple
+    experiments in one process share the same trained models)."""
+    return MethodSuite(standard_cluster(index, n_clusters))
+
+
+def run_method_suite(
+    cluster: PreparedCluster,
+    methods: tuple[str, ...],
+    quotas: tuple[float, ...],
+    model_params: ModelParams | None = None,
+    adaptive_params: AdaptiveParams | None = None,
+    rates: CostRates = DEFAULT_RATES,
+    oracle_kw: dict | None = None,
+) -> dict[str, dict[float, SimResult]]:
+    """Evaluate ``methods x quotas`` on one cluster."""
+    suite = MethodSuite(
+        cluster,
+        model_params=model_params or EXPERIMENT_MODEL,
+        adaptive_params=adaptive_params or AdaptiveParams(),
+        rates=rates,
+    )
+    out: dict[str, dict[float, SimResult]] = {}
+    for method in methods:
+        kw = oracle_kw or {}
+        out[method] = {
+            q: suite.run(method, q, **(kw if method.startswith("Oracle") else {}))
+            for q in quotas
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: workload diversity
+# ---------------------------------------------------------------------------
+
+
+def fig1_workload_diversity(
+    hours: int = 12, seed: int = 11
+) -> dict[str, dict[str, np.ndarray]]:
+    """Hourly space-usage and lifetime series for two contrasting workloads.
+
+    Reproduces the *contrast* of Figure 1: two workloads whose space
+    usage and lifetimes differ by orders of magnitude.
+    """
+    specs = {
+        "Workload 0": ClusterSpec(
+            "W0", {"video": 1}, n_pipelines=3, n_users=2, seed=seed
+        ),
+        "Workload 1": ClusterSpec(
+            "W1", {"streaming": 1}, n_pipelines=3, n_users=2, seed=seed + 1
+        ),
+    }
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for name, spec in specs.items():
+        trace = generate_cluster_trace(spec, duration=hours * HOUR)
+        space = np.zeros(hours)
+        lifetime = np.zeros(hours)
+        counts = np.zeros(hours)
+        for job in trace:
+            h = int(job.arrival // HOUR)
+            if h >= hours:
+                continue
+            space[h] += job.size
+            lifetime[h] += job.duration
+            counts[h] += 1
+        mean_lifetime = np.divide(
+            lifetime, counts, out=np.zeros(hours), where=counts > 0
+        )
+        out[name] = {
+            "hour": np.arange(hours, dtype=float),
+            "space_bytes": space,
+            "mean_lifetime_s": mean_lifetime,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: oracle decisions vs (I/O density, TCO savings)
+# ---------------------------------------------------------------------------
+
+
+def fig4_oracle_density(
+    cluster: PreparedCluster | None = None,
+    quotas: tuple[float, ...] = (0.01, 0.05, 0.2),
+    rates: CostRates = DEFAULT_RATES,
+    max_milp_jobs: int = 3000,
+) -> dict:
+    """Oracle admissions under growing SSD quota, with job structure.
+
+    Returns per-job density/savings plus one admission mask per quota.
+    The paper's takeaway: as quota grows, the oracle reaches into ever
+    lower I/O densities, and never admits negative-savings jobs.
+    """
+    cluster = cluster or standard_cluster(0)
+    test = cluster.test
+    peak = cluster.peak_ssd_usage
+    density = test.io_density(rates)
+    savings = test.costs(rates).savings
+    admitted = {}
+    for q in quotas:
+        res = oracle_placement(
+            test, q * peak, "tco", rates, max_milp_jobs=max_milp_jobs, time_limit=30.0
+        )
+        admitted[q] = res.decisions
+    return {"io_density": density, "tco_savings": savings, "admitted": admitted}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: per-cluster savings at fixed quota
+# ---------------------------------------------------------------------------
+
+FIG6_METHODS = ("Adaptive Ranking", "Adaptive Hash", "ML Baseline", "FirstFit", "Heuristic")
+
+
+def fig6_cluster_savings(
+    n_clusters: int = 10,
+    quota: float = 0.01,
+    methods: tuple[str, ...] = FIG6_METHODS,
+) -> dict[str, dict[str, SimResult]]:
+    """TCO/TCIO savings per cluster at a fixed 1% SSD quota."""
+    out: dict[str, dict[str, SimResult]] = {}
+    for i in range(n_clusters):
+        suite = standard_suite(i, n_clusters)
+        out[f"C{i}"] = {m: suite.run(m, quota) for m in methods}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: savings vs quota sweep, all methods incl. oracles
+# ---------------------------------------------------------------------------
+
+FIG7_METHODS = FIG6_METHODS + ("Oracle TCO", "Oracle TCIO")
+
+
+def fig7_quota_sweep(
+    cluster: PreparedCluster | None = None,
+    quotas: tuple[float, ...] = DEFAULT_QUOTAS,
+    methods: tuple[str, ...] = FIG7_METHODS,
+) -> dict[str, dict[float, SimResult]]:
+    """TCO savings percentage vs SSD quota for the seven methods."""
+    if cluster is None:
+        suite = standard_suite(0)
+    else:
+        suite = MethodSuite(cluster)
+    oracle_kw = {"time_limit": 30.0}
+    out: dict[str, dict[float, SimResult]] = {}
+    for method in methods:
+        kw = oracle_kw if method.startswith("Oracle") else {}
+        out[method] = {q: suite.run(method, q, **kw) for q in quotas}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: cross-cluster generalization
+# ---------------------------------------------------------------------------
+
+
+def fig8_generalization(
+    train_clusters: tuple[int, ...] = (0, 1, 2, 3),
+    test_cluster: int = 0,
+    quotas: tuple[float, ...] = DEFAULT_QUOTAS,
+) -> dict[str, dict[float, float]]:
+    """Train the category model on C_i, evaluate placement on C0.
+
+    C3 is the outlier cluster running workloads rare elsewhere; its
+    model is the one expected to transfer poorly.
+    """
+    target = standard_cluster(test_cluster)
+    out: dict[str, dict[float, float]] = {}
+
+    best_baseline: dict[float, float] = {}
+    target_suite = standard_suite(test_cluster)
+    for q in quotas:
+        candidates = [
+            target_suite.run(m, q).tco_savings_pct
+            for m in ("FirstFit", "Heuristic", "ML Baseline")
+        ]
+        best_baseline[q] = max(candidates)
+    out[f"Best baseline C{test_cluster}"] = best_baseline
+
+    for i in train_clusters:
+        source = standard_cluster(i)
+        pipe = ByomPipeline(EXPERIMENT_MODEL).train(
+            source.train, source.features_train
+        )
+        series: dict[float, float] = {}
+        for q in quotas:
+            result = pipe.deploy(
+                target.test, target.features_test, q, target.peak_ssd_usage
+            )
+            series[q] = result.tco_savings_pct
+        out[f"Train C{i}, test C{test_cluster}"] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: model analysis (timing, accuracy vs data size, importance)
+# ---------------------------------------------------------------------------
+
+
+def fig9_model_analysis(
+    cluster: PreparedCluster | None = None,
+    n_timing_jobs: int = 50,
+    train_sizes: tuple[int, ...] = (250, 500, 1000, 2000, 4000),
+    importance_categories: tuple[int, ...] = (0, 1, 4, 8, 14),
+) -> dict:
+    """Inference latency, accuracy vs training size, group importance."""
+    from ..core.category_model import CategoryModel
+    from ..ml.importance import feature_group_importance
+
+    cluster = cluster or standard_cluster(0)
+    model = CategoryModel(EXPERIMENT_MODEL)
+    model.fit(cluster.train, cluster.features_train)
+
+    # (a) per-job inference latency on the first n jobs of the test week.
+    subset = cluster.features_test.take(np.arange(min(n_timing_jobs, len(cluster.test))))
+    _, timing = model.predict_timed(subset)
+
+    # (b) accuracy as a function of training-set size.
+    acc_by_size: dict[int, float] = {}
+    rng = np.random.default_rng(0)
+    n_train = len(cluster.train)
+    for size in train_sizes:
+        if size > n_train:
+            continue
+        idx = np.sort(rng.choice(n_train, size=size, replace=False))
+        sub_trace = Trace([cluster.train[i] for i in idx], name="sub")
+        sub_features = cluster.features_train.take(idx)
+        m = CategoryModel(EXPERIMENT_MODEL).fit(sub_trace, sub_features)
+        acc_by_size[size] = m.top1_accuracy(cluster.test, cluster.features_test)
+    full_acc = model.top1_accuracy(cluster.test, cluster.features_test)
+
+    # (c) feature-group importance per category (AUC decrease).
+    labels_train = model.labels_for(cluster.train)
+    labels_test = model.labels_for(cluster.test)
+    categories = np.array(
+        [c for c in importance_categories if c < model.n_categories]
+    )
+    importance = feature_group_importance(
+        cluster.features_train,
+        labels_train,
+        cluster.features_test,
+        labels_test,
+        categories=categories,
+    )
+    return {
+        "timing": timing,
+        "accuracy_by_size": acc_by_size,
+        "full_accuracy": full_acc,
+        "importance": importance,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: generalization to held-out users / pipelines
+# ---------------------------------------------------------------------------
+
+
+def _holdout_series(
+    cluster: PreparedCluster,
+    holdout_mask_train: np.ndarray,
+    quotas: tuple[float, ...],
+) -> dict[str, dict[float, float]]:
+    """Train with vs without the masked training jobs; deploy on test."""
+    out: dict[str, dict[float, float]] = {"with": {}, "without": {}}
+    pipe_with = ByomPipeline(EXPERIMENT_MODEL).train(
+        cluster.train, cluster.features_train
+    )
+    keep = ~holdout_mask_train
+    reduced_trace = cluster.train.subset(keep, name="holdout-train")
+    reduced_features = cluster.features_train.take(np.flatnonzero(keep))
+    pipe_without = ByomPipeline(EXPERIMENT_MODEL).train(reduced_trace, reduced_features)
+    for q in quotas:
+        out["with"][q] = pipe_with.deploy(
+            cluster.test, cluster.features_test, q, cluster.peak_ssd_usage
+        ).tco_savings_pct
+        out["without"][q] = pipe_without.deploy(
+            cluster.test, cluster.features_test, q, cluster.peak_ssd_usage
+        ).tco_savings_pct
+    return out
+
+
+def _second_largest(keys: list[str], weights: np.ndarray) -> str:
+    """The second-largest key by accumulated weight (paper holds out the
+    second-largest TCO consumer)."""
+    totals: dict[str, float] = {}
+    for k, w in zip(keys, weights):
+        totals[k] = totals.get(k, 0.0) + w
+    ranked = sorted(totals, key=totals.get, reverse=True)
+    return ranked[1] if len(ranked) > 1 else ranked[0]
+
+
+def fig10_holdout_generalization(
+    cluster_indices: tuple[int, ...] = (0, 1, 2, 4, 5),
+    quotas: tuple[float, ...] = (0.01, 0.1, 0.5, 1.0),
+    kind: str = "user",
+    rates: CostRates = DEFAULT_RATES,
+) -> dict[str, dict[str, dict[float, float]]]:
+    """Per-cluster train-with vs train-without a high-TCO user/pipeline."""
+    if kind not in ("user", "pipeline"):
+        raise ValueError("kind must be 'user' or 'pipeline'")
+    out: dict[str, dict[str, dict[float, float]]] = {}
+    for idx in cluster_indices:
+        cluster = standard_cluster(idx)
+        train = cluster.train
+        tco = train.costs(rates).c_hdd
+        keys = train.users if kind == "user" else train.pipelines
+        target = _second_largest(list(keys), tco)
+        mask = np.array([k == target for k in keys])
+        out[f"C{idx}"] = _holdout_series(cluster, mask, quotas)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: predicted vs true categories
+# ---------------------------------------------------------------------------
+
+
+def fig11_true_category(
+    cluster: PreparedCluster | None = None,
+    quotas: tuple[float, ...] = DEFAULT_QUOTAS,
+) -> dict[str, dict[float, float]]:
+    """End-to-end savings with model predictions vs ground-truth labels."""
+    suite = standard_suite(0) if cluster is None else MethodSuite(cluster)
+    out: dict[str, dict[float, float]] = {"Predicted category": {}, "True category": {}}
+    for q in quotas:
+        out["Predicted category"][q] = suite.run("Adaptive Ranking", q).tco_savings_pct
+        out["True category"][q] = suite.run("True category", q).tco_savings_pct
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: adaptive-parameter sensitivity
+# ---------------------------------------------------------------------------
+
+SENSITIVITY_TOLERANCES = ((0.005, 0.03), (0.01, 0.15), (0.05, 0.25))
+SENSITIVITY_WINDOWS = (600.0, 900.0, 1800.0)
+SENSITIVITY_INTERVALS = (600.0, 900.0, 1800.0)
+
+
+def fig15_sensitivity(
+    cluster: PreparedCluster | None = None,
+    quotas: tuple[float, ...] = (0.01, 0.1, 0.5, 1.0),
+    tolerances: tuple[tuple[float, float], ...] = SENSITIVITY_TOLERANCES,
+    windows: tuple[float, ...] = SENSITIVITY_WINDOWS,
+    intervals: tuple[float, ...] = SENSITIVITY_INTERVALS,
+) -> dict:
+    """TCO-savings band across the 27 hyper-parameter combinations."""
+    cluster = cluster or standard_cluster(0)
+    pipe = ByomPipeline(EXPERIMENT_MODEL).train(cluster.train, cluster.features_train)
+    categories = pipe.model.predict(cluster.features_test)
+    curves: list[list[float]] = []
+    combos: list[AdaptiveParams] = []
+    for tol in tolerances:
+        for tw in windows:
+            for tl in intervals:
+                combos.append(
+                    AdaptiveParams(
+                        spillover_low=tol[0],
+                        spillover_high=tol[1],
+                        lookback_window=tw,
+                        decision_interval=tl,
+                    )
+                )
+    for params in combos:
+        row = []
+        for q in quotas:
+            policy = AdaptiveCategoryPolicy(
+                categories, pipe.model_params.n_categories, params
+            )
+            res = simulate(
+                cluster.test, policy, q * cluster.peak_ssd_usage, DEFAULT_RATES
+            )
+            row.append(res.tco_savings_pct)
+        curves.append(row)
+    arr = np.asarray(curves)
+    return {
+        "quotas": np.asarray(quotas),
+        "lower": arr.min(axis=0),
+        "upper": arr.max(axis=0),
+        "curves": arr,
+        "combos": combos,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: ACT dynamics
+# ---------------------------------------------------------------------------
+
+
+def fig16_act_dynamics(
+    cluster: PreparedCluster | None = None,
+    quotas: tuple[float, ...] = (0.0001, 0.01, 0.1, 0.5),
+) -> dict[float, list]:
+    """Category-admission-threshold trajectories at several quotas."""
+    cluster = cluster or standard_cluster(0)
+    pipe = ByomPipeline(EXPERIMENT_MODEL).train(cluster.train, cluster.features_train)
+    categories = pipe.model.predict(cluster.features_test)
+    out: dict[float, list] = {}
+    for q in quotas:
+        policy = AdaptiveCategoryPolicy(categories, pipe.model_params.n_categories)
+        simulate(cluster.test, policy, q * cluster.peak_ssd_usage, DEFAULT_RATES)
+        out[q] = policy.trajectory
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 4: sensitivity to the number of categories
+# ---------------------------------------------------------------------------
+
+
+def table4_category_count(
+    cluster: PreparedCluster | None = None,
+    category_counts: tuple[int, ...] = (2, 5, 15, 25, 35),
+    quota: float = 0.1,
+) -> dict[int, dict[str, float]]:
+    """TCO savings and top-1 accuracy as N varies (paper peak: N=15)."""
+    cluster = cluster or standard_cluster(0)
+    out: dict[int, dict[str, float]] = {}
+    for n in category_counts:
+        params = ModelParams(n_categories=n, n_rounds=EXPERIMENT_MODEL.n_rounds)
+        pipe = ByomPipeline(params).train(cluster.train, cluster.features_train)
+        acc = pipe.model.top1_accuracy(cluster.test, cluster.features_test)
+        res = pipe.deploy(
+            cluster.test, cluster.features_test, quota, cluster.peak_ssd_usage
+        )
+        out[n] = {"tco_savings_pct": res.tco_savings_pct, "top1_accuracy": acc}
+    return out

@@ -1,0 +1,83 @@
+"""Fleet-level aggregation of per-cluster simulation results.
+
+The paper motivates the problem at fleet scale: "Improvement as low as
+1% represents a large amount in the context of hyperscale data centers".
+This module rolls per-cluster :class:`~repro.storage.SimResult` outcomes
+up into fleet totals — savings percentages weighted by each cluster's
+all-HDD baseline TCO — and compares methods at the fleet level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.simulator import SimResult
+
+__all__ = ["FleetSummary", "aggregate_fleet", "compare_methods_fleetwide"]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate savings of one method across many clusters."""
+
+    method: str
+    n_clusters: int
+    baseline_tco: float
+    realized_tco: float
+    baseline_tcio: float
+    realized_hdd_tcio: float
+
+    @property
+    def tco_savings_pct(self) -> float:
+        if self.baseline_tco <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_tco - self.realized_tco) / self.baseline_tco
+
+    @property
+    def tcio_savings_pct(self) -> float:
+        if self.baseline_tcio <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_tcio - self.realized_hdd_tcio) / self.baseline_tcio
+
+
+def aggregate_fleet(results: dict[str, SimResult], method: str = "") -> FleetSummary:
+    """Combine per-cluster results of one method into fleet totals.
+
+    Percentages are recomputed from summed absolute costs, so large
+    clusters weigh more — a fleet average, not a mean of percentages.
+    """
+    if not results:
+        raise ValueError("no cluster results")
+    names = {r.policy_name for r in results.values()}
+    if not method:
+        if len(names) != 1:
+            raise ValueError(f"mixed methods in results: {sorted(names)}")
+        method = next(iter(names))
+    return FleetSummary(
+        method=method,
+        n_clusters=len(results),
+        baseline_tco=sum(r.baseline_tco for r in results.values()),
+        realized_tco=sum(r.realized_tco for r in results.values()),
+        baseline_tcio=sum(r.baseline_tcio for r in results.values()),
+        realized_hdd_tcio=sum(r.realized_hdd_tcio for r in results.values()),
+    )
+
+
+def compare_methods_fleetwide(
+    per_cluster: dict[str, dict[str, SimResult]]
+) -> dict[str, FleetSummary]:
+    """Fleet summaries per method from ``{cluster: {method: result}}``.
+
+    The input shape matches :func:`repro.analysis.fig6_cluster_savings`.
+    """
+    if not per_cluster:
+        raise ValueError("no clusters")
+    methods = set.intersection(*(set(m) for m in per_cluster.values()))
+    if not methods:
+        raise ValueError("no method present in every cluster")
+    out: dict[str, FleetSummary] = {}
+    for method in sorted(methods):
+        out[method] = aggregate_fleet(
+            {c: per_cluster[c][method] for c in per_cluster}, method=method
+        )
+    return out

@@ -1,0 +1,106 @@
+"""ASCII table / series rendering and CSV export for experiment output.
+
+Benchmarks print their reproduced tables and figure series through
+these helpers so that ``pytest benchmarks/ --benchmark-only`` output is
+directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series", "render_sparkline", "write_csv"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a monospace table with column alignment."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    x_name: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render named series against a shared x axis as a table."""
+    headers = [x_name] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [vals[i] for vals in series.values()])
+    return render_table(headers, rows, title=title)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def render_sparkline(values, width: int = 60, label: str = "") -> str:
+    """Render a numeric series as a one-line character sparkline.
+
+    Values are min-max normalized onto a 10-level character ramp; the
+    series is resampled to ``width`` columns.  Offline-friendly stand-in
+    for the paper's line plots.
+    """
+    import numpy as np
+
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{label} (empty)"
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    lo, hi = float(np.nanmin(arr)), float(np.nanmax(arr))
+    if hi - lo < 1e-12:
+        levels = np.zeros(arr.size, dtype=int)
+    else:
+        levels = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    line = "".join(_SPARK_CHARS[k] for k in levels)
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{line}] min={lo:.3g} max={hi:.3g}"
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    """Write rows to a CSV file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    path.write_text(buf.getvalue())

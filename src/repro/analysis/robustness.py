@@ -1,0 +1,91 @@
+"""Multi-seed robustness: do the headline comparisons survive reseeding?
+
+Benchmarks evaluate on fixed seeds; this harness regenerates a cluster
+under several seeds, reruns a set of methods at one quota, and
+summarizes each method's savings across seeds.  It answers the referee
+question a single-trace reproduction invites: "is the ordering luck?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelParams
+from ..core.pipeline import prepare_cluster
+from ..cost import CostRates, DEFAULT_RATES
+from ..units import WEEK
+from ..workloads.generator import ClusterSpec, generate_cluster_trace
+from .experiments import EXPERIMENT_MODEL, MethodSuite
+from .stats import summarize_across_seeds
+
+__all__ = ["RobustnessReport", "multi_seed_comparison"]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Per-method savings across seeds plus win statistics.
+
+    Attributes
+    ----------
+    per_seed:
+        ``{method: {seed: tco_savings_pct}}``.
+    summary:
+        ``{method: {mean, std, min, max, n}}``.
+    win_fraction:
+        Fraction of seeds where the focal method strictly beats every
+        other method.
+    focal_method:
+        The method whose win rate is reported.
+    """
+
+    per_seed: dict[str, dict[int, float]]
+    summary: dict[str, dict[str, float]]
+    win_fraction: float
+    focal_method: str
+
+
+def multi_seed_comparison(
+    base_spec: ClusterSpec,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    methods: tuple[str, ...] = (
+        "Adaptive Ranking",
+        "ML Baseline",
+        "FirstFit",
+        "Heuristic",
+    ),
+    quota: float = 0.01,
+    focal_method: str = "Adaptive Ranking",
+    model_params: ModelParams | None = None,
+    rates: CostRates = DEFAULT_RATES,
+) -> RobustnessReport:
+    """Rerun a method comparison across reseeded traces.
+
+    Each seed regenerates the cluster (same spec, different randomness),
+    retrains all models, and evaluates every method at ``quota``.
+    """
+    if focal_method not in methods:
+        raise ValueError("focal_method must be among methods")
+    per_seed: dict[str, dict[int, float]] = {m: {} for m in methods}
+    wins = 0
+    for seed in seeds:
+        trace = generate_cluster_trace(base_spec, duration=2 * WEEK, seed=seed)
+        cluster = prepare_cluster(trace, rates)
+        suite = MethodSuite(
+            cluster, model_params=model_params or EXPERIMENT_MODEL, rates=rates
+        )
+        scores = {m: suite.run(m, quota).tco_savings_pct for m in methods}
+        for m, v in scores.items():
+            per_seed[m][seed] = v
+        if all(
+            scores[focal_method] > v
+            for m, v in scores.items()
+            if m != focal_method
+        ):
+            wins += 1
+    summary = {m: summarize_across_seeds(vals) for m, vals in per_seed.items()}
+    return RobustnessReport(
+        per_seed=per_seed,
+        summary=summary,
+        win_fraction=wins / len(seeds),
+        focal_method=focal_method,
+    )

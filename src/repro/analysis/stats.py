@@ -1,0 +1,87 @@
+"""Statistical helpers for experiment reporting.
+
+Benchmarks report point estimates from one simulated trace; these
+helpers quantify how stable those estimates are across random seeds
+(bootstrap confidence intervals over per-job savings, and multi-seed
+summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import rng_from
+
+__all__ = ["BootstrapCI", "bootstrap_savings_ci", "summarize_across_seeds"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval for a savings percentage."""
+
+    point: float
+    lower: float
+    upper: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_savings_ci(
+    c_hdd: np.ndarray,
+    realized: np.ndarray,
+    n_boot: int = 1000,
+    level: float = 0.95,
+    seed: int | np.random.Generator | None = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for TCO-savings percentage.
+
+    Resamples jobs with replacement; each replicate recomputes
+    ``100 * (sum(c_hdd) - sum(realized)) / sum(c_hdd)``.
+
+    Parameters
+    ----------
+    c_hdd:
+        Per-job all-HDD baseline cost.
+    realized:
+        Per-job realized cost under the evaluated placement.
+    """
+    c_hdd = np.asarray(c_hdd, dtype=float)
+    realized = np.asarray(realized, dtype=float)
+    if c_hdd.shape != realized.shape or c_hdd.ndim != 1:
+        raise ValueError("c_hdd and realized must be aligned 1-D arrays")
+    if c_hdd.size == 0:
+        raise ValueError("need at least one job")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    rng = rng_from(seed)
+    n = c_hdd.size
+    point = 100.0 * (c_hdd.sum() - realized.sum()) / c_hdd.sum()
+    idx = rng.integers(0, n, size=(n_boot, n))
+    base = c_hdd[idx].sum(axis=1)
+    real = realized[idx].sum(axis=1)
+    reps = 100.0 * (base - real) / np.maximum(base, 1e-300)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.quantile(reps, [alpha, 1.0 - alpha])
+    return BootstrapCI(point=float(point), lower=float(lo), upper=float(hi), level=level)
+
+
+def summarize_across_seeds(values: dict[int, float]) -> dict[str, float]:
+    """Mean / std / min / max of a metric measured over several seeds."""
+    if not values:
+        raise ValueError("no values")
+    arr = np.array(list(values.values()), dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "n": float(arr.size),
+    }

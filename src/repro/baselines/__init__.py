@@ -1,0 +1,15 @@
+"""Baseline placement methods from Section 3 of the paper."""
+
+from .firstfit import FirstFitPolicy
+from .heuristic import CategoryAdmissionPolicy
+from .imitation import ImitationModel, ImitationPolicy
+from .ml_baseline import LifetimeModel, LifetimePolicy
+
+__all__ = [
+    "FirstFitPolicy",
+    "CategoryAdmissionPolicy",
+    "LifetimeModel",
+    "LifetimePolicy",
+    "ImitationModel",
+    "ImitationPolicy",
+]

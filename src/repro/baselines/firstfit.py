@@ -1,0 +1,29 @@
+"""FirstFit: static placement (Section 3.2).
+
+"We try to place jobs on SSD in the order of their start times, checking
+jobs' peak space usage and only placing jobs on SSD that fit in the
+available SSD capacity."  The representative production heuristic: great
+when SSD is plentiful, indiscriminate when it is scarce.
+"""
+
+from __future__ import annotations
+
+from ..storage.policy import Decision, PlacementContext, PlacementPolicy
+
+__all__ = ["FirstFitPolicy"]
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Admit any job whose full footprint fits in the free SSD space."""
+
+    name = "FirstFit"
+
+    def __init__(self) -> None:
+        self._trace = None
+
+    def on_simulation_start(self, trace, capacity, rates) -> None:
+        self._trace = trace
+
+    def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
+        size = self._trace.sizes[job_index]
+        return Decision(want_ssd=bool(size <= ctx.free_ssd))

@@ -1,0 +1,164 @@
+"""Command-line interface for the reproduction.
+
+Subcommands:
+
+- ``generate``  — synthesize a cluster trace and save it to disk
+- ``stats``     — structural statistics of a saved or generated trace
+- ``sweep``     — quota sweep of all methods on one cluster (Figure 7)
+- ``headroom``  — oracle-vs-heuristic headroom analysis (Section 3.1)
+- ``deploy``    — train BYOM on week 1, deploy on week 2, report savings
+
+Examples::
+
+    python -m repro.cli generate --cluster 0 --out /tmp/c0
+    python -m repro.cli stats --trace /tmp/c0
+    python -m repro.cli sweep --cluster 0 --quotas 0.01 0.1 0.5
+    python -m repro.cli headroom --cluster 0 --quota 0.01
+    python -m repro.cli deploy --cluster 0 --quota 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .units import WEEK, fmt_bytes, fmt_duration
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BYOM storage placement reproduction (MLSys 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a cluster trace")
+    gen.add_argument("--cluster", type=int, default=0, help="default-cluster index (0-9)")
+    gen.add_argument("--weeks", type=float, default=2.0, help="trace span in weeks")
+    gen.add_argument("--seed", type=int, default=None, help="override the cluster seed")
+    gen.add_argument("--out", required=True, help="output path prefix (.npz/.json)")
+
+    stats = sub.add_parser("stats", help="trace statistics")
+    group = stats.add_mutually_exclusive_group(required=True)
+    group.add_argument("--trace", help="path prefix of a saved trace")
+    group.add_argument("--cluster", type=int, help="default-cluster index")
+
+    sweep = sub.add_parser("sweep", help="method x quota sweep (Figure 7)")
+    sweep.add_argument("--cluster", type=int, default=0)
+    sweep.add_argument(
+        "--quotas", type=float, nargs="+", default=[0.01, 0.05, 0.2, 1.0]
+    )
+
+    head = sub.add_parser("headroom", help="oracle vs heuristic (Section 3.1)")
+    head.add_argument("--cluster", type=int, default=0)
+    head.add_argument("--quota", type=float, default=0.01)
+
+    deploy = sub.add_parser("deploy", help="train + deploy BYOM on one cluster")
+    deploy.add_argument("--cluster", type=int, default=0)
+    deploy.add_argument("--quota", type=float, default=0.01)
+    deploy.add_argument("--categories", type=int, default=15)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .workloads import default_cluster_specs, generate_cluster_trace, save_trace
+
+    spec = default_cluster_specs(10)[args.cluster]
+    trace = generate_cluster_trace(spec, duration=args.weeks * WEEK, seed=args.seed)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} jobs ({trace.name}) to {args.out}.npz/.json")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .workloads import load_trace
+    from .workloads.validation import trace_statistics
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        from .workloads import default_cluster_specs, generate_cluster_trace
+
+        spec = default_cluster_specs(10)[args.cluster]
+        trace = generate_cluster_trace(spec, duration=2 * WEEK)
+    s = trace_statistics(trace)
+    print(f"trace {trace.name}: {s.n_jobs} jobs / {s.n_pipelines} pipelines / "
+          f"{s.n_users} users over {fmt_duration(s.span)}")
+    print(f"  size p50/p99:       {fmt_bytes(s.size_p50)} / {fmt_bytes(s.size_p99)}")
+    print(f"  lifetime p50/p99:   {fmt_duration(s.lifetime_p50)} / {fmt_duration(s.lifetime_p99)}")
+    print(f"  positive savings:   {s.positive_savings_fraction:.1%} of jobs")
+    print(f"  density range:      {s.density_dynamic_range:.1f} orders of magnitude")
+    print(f"  pipeline churn:     {s.churn_fraction:.1%}")
+    print(f"  peak SSD usage:     {fmt_bytes(s.peak_ssd_usage)}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import FIG7_METHODS, render_series, run_method_suite, standard_cluster
+
+    cluster = standard_cluster(args.cluster)
+    quotas = tuple(args.quotas)
+    results = run_method_suite(
+        cluster, FIG7_METHODS, quotas, oracle_kw={"time_limit": 30.0}
+    )
+    series = {
+        m: [results[m][q].tco_savings_pct for q in quotas] for m in FIG7_METHODS
+    }
+    print(render_series(
+        [f"{q:.0%}" for q in quotas], series, x_name="quota",
+        title=f"TCO savings (%) vs SSD quota, cluster C{args.cluster}",
+    ))
+    return 0
+
+
+def _cmd_headroom(args) -> int:
+    from .analysis import standard_cluster
+    from .oracle import headroom_analysis
+
+    cluster = standard_cluster(args.cluster)
+    result = headroom_analysis(cluster.train, cluster.test, args.quota)
+    print(f"capacity: {fmt_bytes(result.capacity)} ({args.quota:.1%} of peak)")
+    print(f"oracle:    {result.oracle.tco_savings_pct:.2f}% TCO savings")
+    print(f"heuristic: {result.heuristic.tco_savings_pct:.2f}% TCO savings")
+    print(f"headroom:  {result.savings_ratio:.2f}x (paper: 5.06x)")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from .analysis import standard_cluster
+    from .config import ModelParams
+    from .core import ByomPipeline
+
+    cluster = standard_cluster(args.cluster)
+    pipe = ByomPipeline(ModelParams(n_categories=args.categories, n_rounds=10))
+    pipe.train(cluster.train, cluster.features_train)
+    acc = pipe.model.top1_accuracy(cluster.test, cluster.features_test)
+    res = pipe.deploy(
+        cluster.test, cluster.features_test, args.quota, cluster.peak_ssd_usage
+    )
+    print(f"cluster C{args.cluster}: trained on {len(cluster.train)} jobs, "
+          f"deployed on {len(cluster.test)}")
+    print(f"  top-1 accuracy: {acc:.2f} ({args.categories} categories)")
+    print(f"  TCO savings:    {res.tco_savings_pct:.2f}%")
+    print(f"  TCIO savings:   {res.tcio_savings_pct:.2f}%")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "sweep": _cmd_sweep,
+    "headroom": _cmd_headroom,
+    "deploy": _cmd_deploy,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

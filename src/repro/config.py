@@ -1,0 +1,105 @@
+"""Configuration dataclasses and RNG helpers.
+
+Every stochastic component of the library takes either an explicit
+:class:`numpy.random.Generator` or an integer seed, so all experiments
+are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class AdaptiveParams:
+    """Hyper-parameters of the Adaptive Category Selection algorithm.
+
+    Defaults follow the middle point of the sensitivity grid in
+    Appendix C.2 of the paper.
+
+    Attributes
+    ----------
+    spillover_low:
+        Lower bound ``T_l`` of the spillover tolerance range.  If the
+        observed spillover-TCIO percentage falls below it, the admission
+        category threshold is lowered (more categories admitted).
+    spillover_high:
+        Upper bound ``T_u``; exceeding it raises the threshold.
+    lookback_window:
+        ``t_w`` — length (seconds) of the observation window; only jobs
+        *starting* inside the window count (Section 4.3).
+    decision_interval:
+        ``t_l`` — minimum time between threshold updates (seconds).
+    initial_act:
+        Starting admission category threshold.
+    """
+
+    spillover_low: float = 0.01
+    spillover_high: float = 0.15
+    lookback_window: float = 900.0
+    decision_interval: float = 900.0
+    initial_act: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spillover_low <= self.spillover_high:
+            raise ValueError(
+                f"require 0 <= spillover_low <= spillover_high, got "
+                f"[{self.spillover_low}, {self.spillover_high}]"
+            )
+        if self.lookback_window <= 0 or self.decision_interval < 0:
+            raise ValueError("lookback_window must be > 0 and decision_interval >= 0")
+        if self.initial_act < 1:
+            raise ValueError("initial_act must be >= 1 (category 0 is never admitted)")
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Gradient-boosted-trees hyper-parameters for the category model.
+
+    The paper uses 15 classes, <=300 trees, max depth 6.  Our from-scratch
+    GBDT is pure NumPy, so the default tree budget is smaller; experiments
+    show the end-to-end savings are insensitive to it (Figure 11's point:
+    accuracy beyond a threshold does not buy savings).
+    """
+
+    n_categories: int = 15
+    n_rounds: int = 20
+    max_depth: int = 6
+    learning_rate: float = 0.3
+    min_samples_leaf: int = 20
+    n_bins: int = 64
+    l2_reg: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_categories < 2:
+            raise ValueError("need at least 2 categories (one is the negative-savings class)")
+        if self.n_rounds < 1 or self.max_depth < 1:
+            raise ValueError("n_rounds and max_depth must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration.
+
+    ``ssd_quota_fraction`` expresses the SSD capacity as a fraction of the
+    trace's peak SSD usage measured under infinite capacity, matching the
+    paper's experimental setup (Section 5.1).
+    """
+
+    ssd_quota_fraction: float = 0.01
+    adaptive: AdaptiveParams = field(default_factory=AdaptiveParams)
+
+    def __post_init__(self) -> None:
+        if self.ssd_quota_fraction < 0:
+            raise ValueError("ssd_quota_fraction must be >= 0")

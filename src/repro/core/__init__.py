@@ -1,0 +1,35 @@
+"""BYOM core: category labels, category model, adaptive selection.
+
+The paper's primary contribution — the cross-layer "bring your own
+model" design (Section 4).
+"""
+
+from .adaptive import AdaptiveCategoryPolicy, ThresholdEvent
+from .category_model import CategoryModel, InferenceTiming
+from .diagnostics import ModelDiagnostics, diagnose_model, spearman_rank_correlation
+from .hashing import hash_categories
+from .labels import CategoryLabeler
+from .pipeline import ByomPipeline, PreparedCluster, prepare_cluster
+from .retraining import RetrainEvent, RetrainingPolicy, RollingTrainer
+from .spillover import ObservedJob, spillover_percentage, spillover_tcio
+
+__all__ = [
+    "CategoryLabeler",
+    "CategoryModel",
+    "InferenceTiming",
+    "ObservedJob",
+    "spillover_tcio",
+    "spillover_percentage",
+    "AdaptiveCategoryPolicy",
+    "ThresholdEvent",
+    "hash_categories",
+    "ByomPipeline",
+    "PreparedCluster",
+    "prepare_cluster",
+    "RollingTrainer",
+    "RetrainingPolicy",
+    "RetrainEvent",
+    "ModelDiagnostics",
+    "diagnose_model",
+    "spearman_rank_correlation",
+]

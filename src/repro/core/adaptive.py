@@ -1,0 +1,130 @@
+"""Adaptive Category Selection (Algorithm 1 of the paper).
+
+The storage-layer half of the cross-layer design: given each job's
+predicted importance category, slide an **admission category threshold
+(ACT)** based on the observed spillover-TCIO percentage over a look-back
+window.  High spillover -> SSDs nearly full -> raise ACT (admit only the
+most important categories); low spillover -> lower ACT (broaden the
+admission set with less important but still cost-saving jobs).  A job is
+placed on SSD iff ``category >= ACT``; category 0 (negative savings) is
+never admitted since ACT >= 1.
+
+Two smoothing mechanisms limit threshold churn (Section 4.3): a
+tolerance band ``[T_l, T_u]`` inside which ACT is unchanged, and a
+minimum decision interval ``t_l`` between updates.
+
+Note on the paper's pseudocode: Algorithm 1 prints the clamp directions
+swapped (``ACT = max(N-1, ACT+1)`` on *low* spillover).  The prose is
+unambiguous — "if P falls below the range lower bound, we decrease the
+threshold by 1; if P exceeds the upper bound, we increase the ACT by 1"
+— so we implement ``low: ACT = max(1, ACT-1)``, ``high: ACT = min(N-1,
+ACT+1)`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AdaptiveParams
+from ..cost import CostRates
+from ..storage.policy import Decision, PlacementContext, PlacementOutcome, PlacementPolicy
+from ..workloads.job import Trace
+from .spillover import ObservedJob, spillover_percentage
+
+__all__ = ["ThresholdEvent", "AdaptiveCategoryPolicy"]
+
+
+@dataclass(frozen=True)
+class ThresholdEvent:
+    """One ACT update, recorded for the Figure-16 dynamics plots."""
+
+    time: float
+    act: int
+    spillover: float
+
+
+class AdaptiveCategoryPolicy(PlacementPolicy):
+    """Algorithm 1: threshold adaptation over predicted categories.
+
+    Parameters
+    ----------
+    categories:
+        Predicted importance category per job of the simulated trace
+        (from the category model, a hash, or ground truth).
+    n_categories:
+        ``N``; ACT stays within ``[1, N-1]``.
+    params:
+        Tolerance band, look-back window and decision interval.
+    name:
+        Report label ("Adaptive Ranking" / "Adaptive Hash" / ...).
+    """
+
+    def __init__(
+        self,
+        categories: np.ndarray,
+        n_categories: int,
+        params: AdaptiveParams | None = None,
+        name: str = "Adaptive Ranking",
+    ):
+        self.categories = np.asarray(categories, dtype=int)
+        if self.categories.min(initial=0) < 0 or self.categories.max(initial=0) >= n_categories:
+            raise ValueError("categories out of range [0, n_categories)")
+        self.n_categories = n_categories
+        self.params = params or AdaptiveParams()
+        self.name = name
+        self._trace: Trace | None = None
+        self._tcio: np.ndarray | None = None
+        self.act = min(max(self.params.initial_act, 1), n_categories - 1)
+        self._td = -np.inf
+        self._history: list[ObservedJob] = []
+        self.trajectory: list[ThresholdEvent] = []
+
+    def on_simulation_start(self, trace: Trace, capacity: float, rates: CostRates) -> None:
+        if len(trace) != len(self.categories):
+            raise ValueError(
+                f"categories cover {len(self.categories)} jobs, trace has {len(trace)}"
+            )
+        self._trace = trace
+        self._tcio = trace.tcio(rates)
+        self.act = min(max(self.params.initial_act, 1), self.n_categories - 1)
+        self._td = -np.inf
+        self._history = []
+        self.trajectory = []
+
+    def _update_threshold(self, t: float) -> None:
+        p = self.params
+        # Keep only jobs *starting* within the look-back window — using
+        # jobs overlapping the window lets long-lived jobs dominate the
+        # estimate (Section 4.3's design note).
+        ws = t - p.lookback_window
+        self._history = [j for j in self._history if j.arrival > ws]
+        h = spillover_percentage(self._history, t)
+        if h < p.spillover_low:
+            self.act = max(1, self.act - 1)
+        elif h > p.spillover_high:
+            self.act = min(self.n_categories - 1, self.act + 1)
+        self._td = t
+        self.trajectory.append(ThresholdEvent(time=t, act=self.act, spillover=h))
+
+    def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
+        t = ctx.time
+        if t >= self._td + self.params.decision_interval:
+            self._update_threshold(t)
+        return Decision(want_ssd=bool(self.categories[job_index] >= self.act))
+
+    def observe(self, outcome: PlacementOutcome) -> None:
+        i = outcome.job_index
+        self._history.append(
+            ObservedJob(
+                arrival=float(self._trace.arrivals[i]),
+                end=float(self._trace.ends[i]),
+                tcio_rate=float(self._tcio[i]),
+                scheduled_ssd=outcome.requested_ssd,
+                spill_time=outcome.spill_time,
+                spilled_fraction=1.0 - outcome.ssd_space_fraction
+                if outcome.requested_ssd
+                else 0.0,
+            )
+        )

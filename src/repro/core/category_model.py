@@ -1,0 +1,117 @@
+"""The application-layer category model (Sections 4.1-4.2).
+
+A per-cluster gradient-boosted-trees classifier that maps Table-2
+features to importance categories.  Workloads "bring" this model: it is
+small, interpretable, trained at the application layer on the
+workload's own history, and its categorical prediction is the only
+thing crossing into the storage layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ModelParams
+from ..cost import CostRates, DEFAULT_RATES
+from ..ml.gbdt import GBTClassifier
+from ..ml.metrics import accuracy
+from ..workloads.features import FeatureMatrix
+from ..workloads.job import Trace
+from .labels import CategoryLabeler
+
+__all__ = ["CategoryModel", "InferenceTiming"]
+
+
+@dataclass(frozen=True)
+class InferenceTiming:
+    """Per-job inference latency measurements (Figure 9a)."""
+
+    per_job_seconds: np.ndarray
+
+    @property
+    def cumulative_seconds(self) -> np.ndarray:
+        return np.cumsum(self.per_job_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(self.per_job_seconds.mean()) if self.per_job_seconds.size else 0.0
+
+
+class CategoryModel:
+    """Labeler + GBT classifier bundle for one cluster (or workload).
+
+    Parameters
+    ----------
+    params:
+        Category count and GBT hyper-parameters (paper default: 15
+        classes, depth 6).
+    rates:
+        Cost model used to derive training labels.
+    """
+
+    def __init__(self, params: ModelParams | None = None, rates: CostRates = DEFAULT_RATES):
+        self.params = params or ModelParams()
+        self.rates = rates
+        self.labeler = CategoryLabeler(self.params.n_categories)
+        self.model = GBTClassifier(
+            n_rounds=self.params.n_rounds,
+            max_depth=self.params.max_depth,
+            learning_rate=self.params.learning_rate,
+            min_samples_leaf=self.params.min_samples_leaf,
+            l2_reg=self.params.l2_reg,
+            n_bins=self.params.n_bins,
+        )
+        self._fitted = False
+
+    @property
+    def n_categories(self) -> int:
+        return self.params.n_categories
+
+    def labels_for(self, trace: Trace) -> np.ndarray:
+        """Ground-truth categories of a trace under the fitted labeler."""
+        savings = trace.costs(self.rates).savings
+        density = trace.io_density(self.rates)
+        return self.labeler.transform(savings, density)
+
+    def fit(self, trace: Trace, features: FeatureMatrix) -> "CategoryModel":
+        """Fit the labeler on the training trace, then the classifier."""
+        if len(trace) != len(features):
+            raise ValueError("trace and features must align")
+        if len(trace) == 0:
+            raise ValueError("cannot fit on an empty trace")
+        savings = trace.costs(self.rates).savings
+        density = trace.io_density(self.rates)
+        labels = self.labeler.fit_transform(savings, density)
+        self.model.fit(features.X, labels)
+        self._fitted = True
+        return self
+
+    def predict(self, features: FeatureMatrix) -> np.ndarray:
+        """Predicted importance category per job."""
+        if not self._fitted:
+            raise RuntimeError("model not fitted")
+        return self.model.predict(features.X).astype(int)
+
+    def predict_timed(self, features: FeatureMatrix) -> tuple[np.ndarray, InferenceTiming]:
+        """Predict one job at a time, recording per-job latency.
+
+        Mirrors the paper's online setting where each job process runs
+        its own inference before opening files for writing (Figure 9a).
+        """
+        if not self._fitted:
+            raise RuntimeError("model not fitted")
+        n = len(features)
+        out = np.zeros(n, dtype=int)
+        latency = np.zeros(n)
+        for i in range(n):
+            start = time.perf_counter()
+            out[i] = int(self.model.predict(features.X[i : i + 1])[0])
+            latency[i] = time.perf_counter() - start
+        return out, InferenceTiming(per_job_seconds=latency)
+
+    def top1_accuracy(self, trace: Trace, features: FeatureMatrix) -> float:
+        """Top-1 accuracy against ground-truth categories (Figure 9b)."""
+        return accuracy(self.labels_for(trace), self.predict(features))

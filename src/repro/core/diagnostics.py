@@ -1,0 +1,116 @@
+"""Category-model diagnostics: interpretability reports.
+
+The paper argues small per-workload models are "cheaper and more
+interpretable" (Section 2.3).  This module provides the reports an
+operator would actually read before trusting a model with placement:
+
+- the confusion matrix over importance categories,
+- rank correlation between predicted and true importance (the quantity
+  the adaptive threshold actually depends on),
+- per-category admission quality at a given threshold (what fraction of
+  jobs admitted at ``ACT=k`` truly belong at or above ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.metrics import confusion_matrix
+from ..workloads.features import FeatureMatrix
+from ..workloads.job import Trace
+from .category_model import CategoryModel
+
+__all__ = ["ModelDiagnostics", "diagnose_model", "spearman_rank_correlation"]
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (midranks for ties), NaN-safe.
+
+    Implemented directly (scipy.stats is avoided to keep the ML substrate
+    self-contained and this usable on plain arrays).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be aligned 1-D arrays")
+    if a.size < 2:
+        return float("nan")
+
+    def midranks(x: np.ndarray) -> np.ndarray:
+        order = np.argsort(x, kind="mergesort")
+        ranks = np.empty(len(x))
+        sx = x[order]
+        i = 0
+        while i < len(sx):
+            j = i
+            while j + 1 < len(sx) and sx[j + 1] == sx[i]:
+                j += 1
+            ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+            i = j + 1
+        return ranks
+
+    ra, rb = midranks(a), midranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return float("nan")
+    return float((ra * rb).sum() / denom)
+
+
+@dataclass(frozen=True)
+class ModelDiagnostics:
+    """Interpretability bundle for one fitted category model.
+
+    Attributes
+    ----------
+    confusion:
+        (N, N) matrix, rows = true category, columns = predicted.
+    top1_accuracy, within_one_accuracy:
+        Exact and off-by-one category agreement.
+    rank_correlation:
+        Spearman correlation between predicted and true categories —
+        high rank correlation with modest top-1 accuracy is the regime
+        the paper's Figure 11 explains (ranking is what matters).
+    admission_precision:
+        ``admission_precision[k]`` = among jobs with predicted category
+        >= k, the fraction whose *true* category is >= k (k = 1..N-1).
+    """
+
+    confusion: np.ndarray
+    top1_accuracy: float
+    within_one_accuracy: float
+    rank_correlation: float
+    admission_precision: np.ndarray
+
+    @property
+    def n_categories(self) -> int:
+        return self.confusion.shape[0]
+
+
+def diagnose_model(
+    model: CategoryModel, trace: Trace, features: FeatureMatrix
+) -> ModelDiagnostics:
+    """Compute the diagnostics bundle on an evaluation trace."""
+    true = model.labels_for(trace)
+    pred = model.predict(features)
+    n = model.n_categories
+    cm = confusion_matrix(true, pred, n)
+    top1 = float((true == pred).mean()) if len(true) else float("nan")
+    within1 = float((np.abs(true - pred) <= 1).mean()) if len(true) else float("nan")
+    rho = spearman_rank_correlation(true, pred)
+
+    precision = np.full(n, np.nan)
+    for k in range(1, n):
+        admitted = pred >= k
+        if admitted.any():
+            precision[k] = float((true[admitted] >= k).mean())
+    return ModelDiagnostics(
+        confusion=cm,
+        top1_accuracy=top1,
+        within_one_accuracy=within1,
+        rank_correlation=rho,
+        admission_precision=precision,
+    )

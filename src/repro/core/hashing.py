@@ -1,0 +1,33 @@
+"""Adaptive Hash: the non-ML ablation of the BYOM design (Section 5.1).
+
+Identical storage-layer algorithm, but the "category" of a job is a
+stable hash of its pipeline identity instead of a learned importance
+rank.  The hash spreads workloads uniformly over categories 1..N-1, so
+the adaptive threshold still modulates *how much* is admitted — but
+which jobs get priority is arbitrary.  The gap between Adaptive Ranking
+and Adaptive Hash isolates the value of the ML model (Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.job import Trace
+from ..workloads.metadata import stable_hash
+
+__all__ = ["hash_categories"]
+
+
+def hash_categories(trace: Trace, n_categories: int, seed: int = 0) -> np.ndarray:
+    """Assign category ``1 + hash(pipeline) % (N-1)`` per job.
+
+    Category 0 is never produced: the hash variant has no notion of
+    negative-savings jobs, so everything is at least potentially
+    admissible.
+    """
+    if n_categories < 2:
+        raise ValueError("need >= 2 categories")
+    return np.array(
+        [1 + stable_hash(p, seed=seed) % (n_categories - 1) for p in trace.pipelines],
+        dtype=int,
+    )

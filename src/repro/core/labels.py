@@ -1,0 +1,69 @@
+"""Importance-category label design (Section 4.2 of the paper).
+
+The category model is a *categorical pointwise ranking* model: instead
+of regressing TCO savings or I/O density (hard to predict precisely),
+jobs are grouped into N importance-ranking classes:
+
+- category 0: jobs with **negative TCO savings** — placing them on SSD
+  costs money, so they rank lowest regardless of density;
+- categories 1..N-1: equal-mass quantile buckets of **I/O density**
+  among non-negative-savings jobs, highest density = category N-1.
+
+Quantile edges are fitted on the training week and frozen, so the same
+labeler produces ground-truth categories for the test week (used by the
+"True category" comparison, Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CategoryLabeler"]
+
+
+class CategoryLabeler:
+    """Maps (TCO savings, I/O density) to importance categories."""
+
+    def __init__(self, n_categories: int = 15):
+        if n_categories < 2:
+            raise ValueError("need >= 2 categories")
+        self.n_categories = n_categories
+        self.density_edges_: np.ndarray | None = None
+
+    def fit(self, savings: np.ndarray, io_density: np.ndarray) -> "CategoryLabeler":
+        """Fit density quantile edges on the positive-savings jobs.
+
+        The paper chooses categories "so that they evenly divide the
+        training set by I/O density" because linear or logarithmic
+        spacing produces heavily imbalanced classes.
+        """
+        savings = np.asarray(savings, dtype=float)
+        io_density = np.asarray(io_density, dtype=float)
+        if savings.shape != io_density.shape:
+            raise ValueError("savings and io_density must align")
+        positive = io_density[savings >= 0]
+        n_pos_cats = self.n_categories - 1
+        if positive.size == 0:
+            # Degenerate trace: every job loses money on SSD.  All
+            # positive-savings categories collapse onto one edge.
+            self.density_edges_ = np.zeros(n_pos_cats - 1)
+            return self
+        qs = np.linspace(0.0, 1.0, n_pos_cats + 1)[1:-1]
+        self.density_edges_ = np.quantile(positive, qs)
+        return self
+
+    def transform(self, savings: np.ndarray, io_density: np.ndarray) -> np.ndarray:
+        """Assign categories; 0 for negative savings, else density rank."""
+        if self.density_edges_ is None:
+            raise RuntimeError("labeler not fitted")
+        savings = np.asarray(savings, dtype=float)
+        io_density = np.asarray(io_density, dtype=float)
+        if savings.shape != io_density.shape:
+            raise ValueError("savings and io_density must align")
+        rank = np.searchsorted(self.density_edges_, io_density, side="right")
+        labels = 1 + rank  # 1..N-1
+        labels = np.where(savings < 0, 0, labels)
+        return labels.astype(int)
+
+    def fit_transform(self, savings: np.ndarray, io_density: np.ndarray) -> np.ndarray:
+        return self.fit(savings, io_density).transform(savings, io_density)

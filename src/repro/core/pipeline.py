@@ -1,0 +1,110 @@
+"""End-to-end BYOM pipeline: offline training + online deployment.
+
+Ties the cross-layer pieces together the way Figure 3 (right) shows:
+analyse the production workload offline, train the category model,
+then deploy — each job queries its model at the application layer and
+the storage layer runs adaptive category selection over the hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AdaptiveParams, ModelParams, SimConfig
+from ..cost import CostRates, DEFAULT_RATES
+from ..storage.simulator import SimResult, simulate
+from ..workloads.features import FeatureMatrix, extract_features
+from ..workloads.job import Trace
+from ..workloads.traces import week_split
+from .adaptive import AdaptiveCategoryPolicy
+from .category_model import CategoryModel
+
+__all__ = ["ByomPipeline", "PreparedCluster", "prepare_cluster"]
+
+
+@dataclass(frozen=True)
+class PreparedCluster:
+    """A two-week cluster trace with aligned features and split indices.
+
+    Features are extracted once over the full trace (so test-week jobs
+    see training-week pipeline history, as in production) and sliced.
+    """
+
+    full: Trace
+    train: Trace
+    test: Trace
+    features_train: FeatureMatrix
+    features_test: FeatureMatrix
+    peak_ssd_usage: float
+
+
+def prepare_cluster(trace: Trace, rates: CostRates = DEFAULT_RATES) -> PreparedCluster:
+    """Split a two-week trace into train/test weeks with features."""
+    features = extract_features(trace, rates)
+    train, train_idx, test, test_idx = week_split(trace)
+    return PreparedCluster(
+        full=trace,
+        train=train,
+        test=test,
+        features_train=features.take(train_idx),
+        features_test=features.take(test_idx),
+        peak_ssd_usage=test.peak_ssd_usage(),
+    )
+
+
+class ByomPipeline:
+    """Train a category model offline, deploy Adaptive Ranking online."""
+
+    def __init__(
+        self,
+        model_params: ModelParams | None = None,
+        adaptive_params: AdaptiveParams | None = None,
+        rates: CostRates = DEFAULT_RATES,
+    ):
+        self.model_params = model_params or ModelParams()
+        self.adaptive_params = adaptive_params or AdaptiveParams()
+        self.rates = rates
+        self.model = CategoryModel(self.model_params, rates)
+
+    def train(self, train_trace: Trace, features_train: FeatureMatrix) -> "ByomPipeline":
+        """Offline phase: fit the per-cluster category model."""
+        self.model.fit(train_trace, features_train)
+        return self
+
+    def make_policy(
+        self, test_trace: Trace, features_test: FeatureMatrix, name: str = "Adaptive Ranking"
+    ) -> AdaptiveCategoryPolicy:
+        """Build the online policy from model predictions for a trace."""
+        categories = self.model.predict(features_test)
+        return AdaptiveCategoryPolicy(
+            categories=categories,
+            n_categories=self.model_params.n_categories,
+            params=self.adaptive_params,
+            name=name,
+        )
+
+    def deploy(
+        self,
+        test_trace: Trace,
+        features_test: FeatureMatrix,
+        quota_fraction: float,
+        peak_usage: float | None = None,
+    ) -> SimResult:
+        """Online phase: simulate placement at an SSD quota fraction."""
+        cfg = SimConfig(ssd_quota_fraction=quota_fraction, adaptive=self.adaptive_params)
+        peak = peak_usage if peak_usage is not None else test_trace.peak_ssd_usage()
+        capacity = cfg.ssd_quota_fraction * peak
+        policy = self.make_policy(test_trace, features_test)
+        return simulate(test_trace, policy, capacity, self.rates)
+
+    def true_category_policy(
+        self, test_trace: Trace, name: str = "True category"
+    ) -> AdaptiveCategoryPolicy:
+        """Policy fed ground-truth categories (Figure 11's upper bound)."""
+        categories = self.model.labels_for(test_trace)
+        return AdaptiveCategoryPolicy(
+            categories=categories,
+            n_categories=self.model_params.n_categories,
+            params=self.adaptive_params,
+            name=name,
+        )

@@ -1,0 +1,85 @@
+"""Spillover-TCIO: the storage-layer utilization signal (Section 4.3).
+
+SSD capacity varies across clusters and is hard to observe directly, so
+the paper unifies utilization measurement through job behaviour: the
+**spillover TCIO percentage** is the share of intended-SSD TCIO that
+ended up on HDD because the SSD was full::
+
+    P(X, t) = sum_i SPILLOVER_TCIO(x_i, t)
+              ------------------------------------
+              sum_i x_i.DEV * x_i.TCIO_HDD(t)
+
+where ``SPILLOVER_TCIO(x, t) = frac_spilled * (t - ts)/(t - ta) *
+TCIO_HDD(t)`` once spillover started at ``ts``.  A large value means
+many jobs failed to land on SSD, i.e. the SSDs are nearly full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObservedJob", "spillover_tcio", "spillover_percentage"]
+
+
+@dataclass(frozen=True)
+class ObservedJob:
+    """One entry of the adaptive algorithm's observation history ``Xh``.
+
+    Attributes
+    ----------
+    arrival, end:
+        Job interval endpoints.
+    tcio_rate:
+        The job's HDD TCIO rate (HDD-equivalents).
+    scheduled_ssd:
+        ``x.DEV``: whether the placement algorithm sent the job to SSD.
+    spill_time:
+        When spillover began, or ``None`` if fully placed.
+    spilled_fraction:
+        Fraction of the job's footprint that did not fit (0..1).
+    """
+
+    arrival: float
+    end: float
+    tcio_rate: float
+    scheduled_ssd: bool
+    spill_time: float | None
+    spilled_fraction: float
+
+
+def _tcio_hdd(job: ObservedJob, t: float) -> float:
+    """Cumulative TCIO the job would have exerted on HDD by time ``t``."""
+    elapsed = max(min(t, job.end) - job.arrival, 0.0)
+    return job.tcio_rate * elapsed
+
+
+def spillover_tcio(job: ObservedJob, t: float) -> float:
+    """``SPILLOVER_TCIO(x, t)``: unrealized intended-SSD TCIO at ``t``."""
+    if job.spill_time is None or not job.scheduled_ssd:
+        return 0.0
+    ts = job.spill_time
+    if not (job.arrival <= ts <= t):
+        return 0.0
+    span = t - job.arrival
+    if span <= 0:
+        return 0.0
+    weight = (t - ts) / span
+    return job.spilled_fraction * weight * _tcio_hdd(job, t)
+
+
+def spillover_percentage(history: list[ObservedJob], t: float) -> float:
+    """``P_SPILLOVER_TCIO(X, t)`` over an observation history.
+
+    Returns 0 when no TCIO was scheduled onto SSD (an empty or all-HDD
+    window is indistinguishable from an idle SSD, so the algorithm reads
+    it as "room available").
+    """
+    num = 0.0
+    den = 0.0
+    for job in history:
+        if job.scheduled_ssd:
+            den += _tcio_hdd(job, t)
+            num += spillover_tcio(job, t)
+    if den <= 0.0:
+        return 0.0
+    return num / den

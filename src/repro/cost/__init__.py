@@ -1,0 +1,21 @@
+"""Cost model: TCIO (I/O pressure on HDDs) and TCO (dollar cost) per job.
+
+See Section 3 of the paper for the formula definitions.
+"""
+
+from .rates import DEFAULT_RATES, CostRates
+from .tcio import cumulative_tcio, effective_disk_ops, tcio_rate
+from .tco import JobCost, JobCostVector, hdd_cost, ssd_cost, tco_savings
+
+__all__ = [
+    "CostRates",
+    "DEFAULT_RATES",
+    "effective_disk_ops",
+    "tcio_rate",
+    "cumulative_tcio",
+    "JobCost",
+    "JobCostVector",
+    "hdd_cost",
+    "ssd_cost",
+    "tco_savings",
+]

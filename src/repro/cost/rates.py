@@ -1,0 +1,93 @@
+"""Cost-rate constants of the TCO model (Section 3 of the paper).
+
+The paper expresses storage total cost of ownership (TCO) as the sum of
+four components per device class::
+
+    TCO_DEV = cost_byte + cost_network + cost_server + cost_specific
+
+with conversion rates turning physical quantities (byte-seconds, bytes
+transmitted, HDD-equivalents of I/O pressure, bytes written) into dollar
+cost.  Google does not publish its rates, so we pick values with the
+publicly known *relative* properties:
+
+- SSD capacity costs roughly an order of magnitude more per byte than
+  HDD capacity;
+- HDD cost is dominated by I/O pressure (TCIO) for I/O-dense jobs and by
+  capacity for cold data;
+- SSD cost is dominated by capacity and wearout (P/E-cycle consumption);
+- network cost is device-independent and included only so other
+  components are not overestimated (Section 3).
+
+The absolute scale cancels out of every reported metric (savings are
+percentages of the all-HDD TCO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GIB, TIB
+
+
+@dataclass(frozen=True)
+class CostRates:
+    """Conversion rates of the TCO model.
+
+    Attributes
+    ----------
+    hdd_byte_rate:
+        Cost of storing one byte on HDD for one second.
+    ssd_byte_rate:
+        Cost of storing one byte on SSD for one second.
+    network_rate:
+        Cost per byte transmitted (device-independent).
+    hdd_server_rate:
+        Cost per (TCIO x second): one unit of sustained HDD I/O pressure
+        for one second, server component.
+    hdd_device_rate:
+        Same unit as ``hdd_server_rate``; the HDD-device component.
+    ssd_server_rate:
+        Cost per byte transmitted from/to SSD (the paper observed SSD
+        server cost correlates with bytes transmitted).
+    ssd_wearout_rate:
+        Cost per byte *written* to SSD, derived from the drive's total
+        bytes written (TBW) rating.
+    hdd_ops_per_second:
+        Sustainable I/O operations per second of one standard HDD; the
+        normalization constant defining TCIO = 1.0.
+    dram_cache_hit_fraction:
+        Fraction of read operations served by the DRAM cache that sits
+        alongside the HDDs in each server; cached reads never reach the
+        disks and contribute no TCIO.
+    """
+
+    hdd_byte_rate: float = 1.0 / (TIB * 30 * 86400)  # ~1 unit per TiB-month
+    ssd_byte_rate: float = 8.0 / (TIB * 30 * 86400)
+    network_rate: float = 0.02 / TIB
+    hdd_server_rate: float = 3.0 / (30 * 86400)  # per HDD-equivalent-month
+    hdd_device_rate: float = 1.5 / (30 * 86400)
+    ssd_server_rate: float = 0.01 / TIB
+    ssd_wearout_rate: float = 0.01 / TIB
+    hdd_ops_per_second: float = 150.0
+    dram_cache_hit_fraction: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in (
+            "hdd_byte_rate",
+            "ssd_byte_rate",
+            "network_rate",
+            "hdd_server_rate",
+            "hdd_device_rate",
+            "ssd_server_rate",
+            "ssd_wearout_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.hdd_ops_per_second <= 0:
+            raise ValueError("hdd_ops_per_second must be > 0")
+        if not 0.0 <= self.dram_cache_hit_fraction < 1.0:
+            raise ValueError("dram_cache_hit_fraction must be in [0, 1)")
+
+
+#: Default rates used throughout the experiments.
+DEFAULT_RATES = CostRates()

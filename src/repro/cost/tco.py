@@ -1,0 +1,144 @@
+"""Storage Total Cost of Ownership (TCO) model (Section 3 of the paper).
+
+For each device class the TCO of one job decomposes into::
+
+    TCO_DEV = cost_byte + cost_network + cost_server + cost_specific
+
+with:
+
+- ``cost_byte``      = byte_rate_DEV * size * duration
+- ``cost_network``   = network_rate * bytes_transmitted  (device-independent)
+- ``cost_server``    = HDD: server_rate_HDD * TCIO * duration
+                       SSD: server_rate_SSD * bytes_transmitted
+- ``cost_specific``  = HDD: device_rate_HDD * TCIO * duration
+                       SSD: wearout_rate * bytes_written
+
+All functions are vectorized over NumPy arrays so a whole trace can be
+costed in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rates import DEFAULT_RATES, CostRates
+
+__all__ = ["JobCost", "hdd_cost", "ssd_cost", "tco_savings", "JobCostVector"]
+
+
+@dataclass(frozen=True)
+class JobCost:
+    """Cost breakdown of one job on one device class."""
+
+    byte: float
+    network: float
+    server: float
+    specific: float
+
+    @property
+    def total(self) -> float:
+        return self.byte + self.network + self.server + self.specific
+
+
+def hdd_cost(
+    size: np.ndarray | float,
+    duration: np.ndarray | float,
+    total_bytes: np.ndarray | float,
+    tcio: np.ndarray | float,
+    rates: CostRates = DEFAULT_RATES,
+) -> np.ndarray | float:
+    """TCO of placing job(s) on HDD.
+
+    Parameters
+    ----------
+    size:
+        Peak storage footprint in bytes.
+    duration:
+        Job lifetime in seconds.
+    total_bytes:
+        Bytes transmitted (reads + writes) over the lifetime.
+    tcio:
+        The job's TCIO rate if placed on HDD (HDD-equivalents).
+    """
+    size = np.asarray(size, dtype=float)
+    duration = np.asarray(duration, dtype=float)
+    total_bytes = np.asarray(total_bytes, dtype=float)
+    tcio = np.asarray(tcio, dtype=float)
+    out = (
+        rates.hdd_byte_rate * size * duration
+        + rates.network_rate * total_bytes
+        + (rates.hdd_server_rate + rates.hdd_device_rate) * tcio * duration
+    )
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def ssd_cost(
+    size: np.ndarray | float,
+    duration: np.ndarray | float,
+    total_bytes: np.ndarray | float,
+    write_bytes: np.ndarray | float,
+    rates: CostRates = DEFAULT_RATES,
+) -> np.ndarray | float:
+    """TCO of placing job(s) on SSD.
+
+    SSD server cost scales with bytes transmitted and the
+    device-specific component covers flash wearout (bytes written).
+    """
+    size = np.asarray(size, dtype=float)
+    duration = np.asarray(duration, dtype=float)
+    total_bytes = np.asarray(total_bytes, dtype=float)
+    write_bytes = np.asarray(write_bytes, dtype=float)
+    out = (
+        rates.ssd_byte_rate * size * duration
+        + rates.network_rate * total_bytes
+        + rates.ssd_server_rate * total_bytes
+        + rates.ssd_wearout_rate * write_bytes
+    )
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def tco_savings(
+    size: np.ndarray | float,
+    duration: np.ndarray | float,
+    total_bytes: np.ndarray | float,
+    write_bytes: np.ndarray | float,
+    tcio: np.ndarray | float,
+    rates: CostRates = DEFAULT_RATES,
+) -> np.ndarray | float:
+    """``c_HDD - c_SSD``: the TCO saved by moving job(s) to SSD.
+
+    Positive for I/O-dense jobs whose HDD pressure outweighs the SSD
+    capacity/wearout premium; negative for large, cold jobs.
+    """
+    h = hdd_cost(size, duration, total_bytes, tcio, rates)
+    s = ssd_cost(size, duration, total_bytes, write_bytes, rates)
+    out = np.asarray(h, dtype=float) - np.asarray(s, dtype=float)
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+@dataclass(frozen=True)
+class JobCostVector:
+    """Per-trace arrays of HDD cost, SSD cost and savings.
+
+    A convenience bundle produced once per trace and consumed by the
+    simulator, the oracle and the label designer.
+    """
+
+    c_hdd: np.ndarray
+    c_ssd: np.ndarray
+
+    @property
+    def savings(self) -> np.ndarray:
+        return self.c_hdd - self.c_ssd
+
+    def __post_init__(self) -> None:
+        if self.c_hdd.shape != self.c_ssd.shape:
+            raise ValueError("c_hdd and c_ssd must have the same shape")

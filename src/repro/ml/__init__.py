@@ -1,0 +1,27 @@
+"""From-scratch ML substrate: histogram GBDT, binning, metrics, importance.
+
+Substitutes the Yggdrasil Decision Forests dependency of the paper with
+a pure-NumPy implementation of the same model family.
+"""
+
+from .encoding import QuantileBinner
+from .gain_importance import model_split_importance, split_count_importance
+from .gbdt import GBTClassifier, GBTRegressor
+from .importance import GroupImportance, feature_group_importance
+from .metrics import accuracy, confusion_matrix, roc_auc, top_k_accuracy
+from .tree import HistogramTree
+
+__all__ = [
+    "QuantileBinner",
+    "HistogramTree",
+    "GBTClassifier",
+    "GBTRegressor",
+    "accuracy",
+    "top_k_accuracy",
+    "roc_auc",
+    "confusion_matrix",
+    "GroupImportance",
+    "feature_group_importance",
+    "split_count_importance",
+    "model_split_importance",
+]

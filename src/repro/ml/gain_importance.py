@@ -1,0 +1,53 @@
+"""Split-gain feature importance for fitted GBDT models.
+
+Complements the AUC-decrease group importance (Figure 9c) with the
+classic per-feature importance: total gain contributed by every split
+on a feature, summed over all trees.  Useful for inspecting what an
+individual category model learned — one of the interpretability
+benefits the paper attributes to small per-workload models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gbdt import GBTClassifier, GBTRegressor
+from .tree import HistogramTree
+
+__all__ = ["split_count_importance", "model_split_importance"]
+
+
+def split_count_importance(tree: HistogramTree, n_features: int) -> np.ndarray:
+    """Number of internal splits per feature in one tree."""
+    counts = np.zeros(n_features)
+    internal = (~tree.is_leaf) & (tree.feature >= 0)
+    for f in tree.feature[internal]:
+        counts[f] += 1.0
+    return counts
+
+
+def model_split_importance(
+    model: GBTClassifier | GBTRegressor, normalize: bool = True
+) -> np.ndarray:
+    """Aggregate split counts over all trees of a fitted GBDT.
+
+    Returns a length-``n_features`` vector; with ``normalize`` the
+    entries sum to 1 (or all zeros if the model has no splits at all).
+    """
+    if isinstance(model, GBTClassifier):
+        if model.binner_ is None:
+            raise RuntimeError("model not fitted")
+        trees = [t for round_trees in model.trees_ for t in round_trees]
+    elif isinstance(model, GBTRegressor):
+        if model.binner_ is None:
+            raise RuntimeError("model not fitted")
+        trees = list(model.trees_)
+    else:
+        raise TypeError(f"unsupported model type {type(model).__name__}")
+    n_features = len(model.binner_.edges_)
+    total = np.zeros(n_features)
+    for tree in trees:
+        total += split_count_importance(tree, n_features)
+    if normalize and total.sum() > 0:
+        total = total / total.sum()
+    return total

@@ -1,0 +1,78 @@
+"""Classification metrics: accuracy, top-k accuracy, ROC AUC, confusion.
+
+Self-contained NumPy implementations (no sklearn available offline);
+``roc_auc`` uses the rank-statistic formulation with midrank tie
+handling, matching the standard definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "roc_auc", "confusion_matrix"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    if y_true.size == 0:
+        return float("nan")
+    return float((y_true == y_pred).mean())
+
+
+def top_k_accuracy(y_true: np.ndarray, proba: np.ndarray, classes: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true class is among the k highest-probability classes."""
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba)
+    if proba.ndim != 2 or proba.shape[0] != y_true.shape[0]:
+        raise ValueError("proba must be (n, n_classes)")
+    k = min(k, proba.shape[1])
+    top = np.argsort(-proba, axis=1)[:, :k]
+    hits = np.zeros(len(y_true), dtype=bool)
+    for j in range(k):
+        hits |= classes[top[:, j]] == y_true
+    return float(hits.mean()) if len(y_true) else float("nan")
+
+
+def roc_auc(y_true: np.ndarray, score: np.ndarray) -> float:
+    """Binary ROC AUC via the Mann-Whitney U statistic (midranks for ties).
+
+    Returns NaN when only one class is present.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    score = np.asarray(score, dtype=float)
+    if y_true.shape != score.shape:
+        raise ValueError("shape mismatch")
+    n_pos = int(y_true.sum())
+    n_neg = int((~y_true).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(score, kind="mergesort")
+    ranks = np.empty(len(score), dtype=float)
+    sorted_scores = score[order]
+    # Midranks: average rank within each tie group.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    sum_pos_ranks = ranks[y_true].sum()
+    u = sum_pos_ranks - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """(n_classes, n_classes) count matrix; rows = true, cols = predicted."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    if ((y_true < 0) | (y_true >= n_classes) | (y_pred < 0) | (y_pred >= n_classes)).any():
+        raise ValueError("labels out of range")
+    flat = y_true * n_classes + y_pred
+    return np.bincount(flat, minlength=n_classes * n_classes).reshape(n_classes, n_classes)

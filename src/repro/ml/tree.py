@@ -1,0 +1,181 @@
+"""Histogram-based regression tree (the GBDT base learner).
+
+One tree fits the second-order boosting objective on pre-binned
+features: each leaf value is ``-G / (H + l2)`` for the leaf's gradient
+and hessian sums.  Training is fully vectorized: per depth level, one
+``np.bincount`` accumulates (gradient, hessian, count) histograms for
+all active nodes x features x bins simultaneously, and split search
+runs as cumulative sums over the histogram tensor.
+
+Trees are stored as flat arrays with heap indexing (root 0, children of
+``i`` at ``2i+1`` / ``2i+2``), which keeps prediction a tight per-level
+gather loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HistogramTree"]
+
+_EPS_GAIN = 1e-12
+
+
+@dataclass
+class HistogramTree:
+    """A fitted regression tree over binned features.
+
+    Attributes (all length ``2**(max_depth+1) - 1``, heap-indexed):
+
+    - ``feature``: split feature per internal node (-1 for leaves)
+    - ``split_bin``: go left iff ``X_binned[:, feature] <= split_bin``
+    - ``value``: leaf value (Newton step) per node
+    - ``is_leaf``: node type mask
+    """
+
+    feature: np.ndarray
+    split_bin: np.ndarray
+    value: np.ndarray
+    is_leaf: np.ndarray
+    max_depth: int
+
+    @classmethod
+    def fit(
+        cls,
+        X_binned: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        max_depth: int = 6,
+        min_samples_leaf: int = 20,
+        l2_reg: float = 1.0,
+        n_bins: int = 64,
+    ) -> "HistogramTree":
+        """Grow a tree greedily, level by level.
+
+        Parameters
+        ----------
+        X_binned:
+            (n, p) uint8 bin codes (from :class:`QuantileBinner`).
+        grad, hess:
+            First/second-order loss derivatives at the current model.
+        """
+        n, p = X_binned.shape
+        if grad.shape != (n,) or hess.shape != (n,):
+            raise ValueError("grad/hess must be 1-D with one entry per row of X_binned")
+        n_nodes = 2 ** (max_depth + 1) - 1
+        feature = np.full(n_nodes, -1, dtype=np.int32)
+        split_bin = np.zeros(n_nodes, dtype=np.int32)
+        value = np.zeros(n_nodes, dtype=float)
+        is_leaf = np.zeros(n_nodes, dtype=bool)
+
+        node = np.zeros(n, dtype=np.int64)  # current node per sample
+        active = ~np.zeros(n, dtype=bool)  # samples still being routed
+        feat_idx = np.arange(p, dtype=np.int64)
+
+        for depth in range(max_depth + 1):
+            offset = 2**depth - 1
+            n_level = 2**depth
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            local = node[rows] - offset
+            # Histogram accumulation: one bincount per statistic over the
+            # flattened (node-local, feature, bin) index space.
+            flat = (local[:, None] * p + feat_idx[None, :]) * n_bins + X_binned[rows]
+            flat = flat.ravel()
+            size = n_level * p * n_bins
+            hist_g = np.bincount(flat, weights=np.repeat(grad[rows], p), minlength=size)
+            hist_h = np.bincount(flat, weights=np.repeat(hess[rows], p), minlength=size)
+            hist_c = np.bincount(flat, minlength=size)
+            hist_g = hist_g.reshape(n_level, p, n_bins)
+            hist_h = hist_h.reshape(n_level, p, n_bins)
+            hist_c = hist_c.reshape(n_level, p, n_bins)
+
+            # Totals per node (independent of feature; use feature 0).
+            G = hist_g[:, 0, :].sum(axis=1)
+            H = hist_h[:, 0, :].sum(axis=1)
+            C = hist_c[:, 0, :].sum(axis=1)
+
+            node_ids = offset + np.arange(n_level)
+            leaf_val = -G / (H + l2_reg)
+
+            if depth == max_depth:
+                for k, nid in enumerate(node_ids):
+                    if C[k] > 0:
+                        is_leaf[nid] = True
+                        value[nid] = leaf_val[k]
+                break
+
+            # Split search: cumulative left statistics over bins.
+            GL = np.cumsum(hist_g, axis=2)
+            HL = np.cumsum(hist_h, axis=2)
+            CL = np.cumsum(hist_c, axis=2)
+            GR = G[:, None, None] - GL
+            HR = H[:, None, None] - HL
+            CR = C[:, None, None] - CL
+            parent_score = (G**2) / (H + l2_reg)
+            gain = (
+                GL**2 / (HL + l2_reg)
+                + GR**2 / (HR + l2_reg)
+                - parent_score[:, None, None]
+            )
+            valid = (CL >= min_samples_leaf) & (CR >= min_samples_leaf)
+            gain = np.where(valid, gain, -np.inf)
+            flat_gain = gain.reshape(n_level, -1)
+            best = np.argmax(flat_gain, axis=1)
+            best_gain = flat_gain[np.arange(n_level), best]
+            best_feat = best // n_bins
+            best_bin = best % n_bins
+
+            made_split = np.zeros(n_level, dtype=bool)
+            for k, nid in enumerate(node_ids):
+                if C[k] == 0:
+                    continue
+                if best_gain[k] > _EPS_GAIN and np.isfinite(best_gain[k]):
+                    feature[nid] = best_feat[k]
+                    split_bin[nid] = best_bin[k]
+                    made_split[k] = True
+                else:
+                    is_leaf[nid] = True
+                    value[nid] = leaf_val[k]
+
+            # Route samples of split nodes to children; freeze leaf samples.
+            split_mask = made_split[local]
+            stay = rows[~split_mask]
+            active[stay] = False
+            go_rows = rows[split_mask]
+            if go_rows.size == 0:
+                break
+            nid = node[go_rows]
+            f = feature[nid]
+            goes_left = X_binned[go_rows, f] <= split_bin[nid]
+            node[go_rows] = np.where(goes_left, 2 * nid + 1, 2 * nid + 2)
+
+        return cls(
+            feature=feature,
+            split_bin=split_bin,
+            value=value,
+            is_leaf=is_leaf,
+            max_depth=max_depth,
+        )
+
+    def predict(self, X_binned: np.ndarray) -> np.ndarray:
+        """Leaf values for binned inputs (vectorized per-level routing)."""
+        n = X_binned.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        for _ in range(self.max_depth):
+            routable = ~self.is_leaf[node] & (self.feature[node] >= 0)
+            if not routable.any():
+                break
+            idx = np.flatnonzero(routable)
+            nid = node[idx]
+            f = self.feature[nid]
+            goes_left = X_binned[idx, f] <= self.split_bin[nid]
+            node[idx] = np.where(goes_left, 2 * nid + 1, 2 * nid + 2)
+        return self.value[node]
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.is_leaf.sum())

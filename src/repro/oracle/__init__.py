@@ -1,0 +1,14 @@
+"""Clairvoyant oracle: ILP-optimal placement and headroom analysis."""
+
+from .greedy import greedy_placement
+from .headroom import HeadroomResult, headroom_analysis
+from .ilp import OracleResult, oracle_objective, oracle_placement
+
+__all__ = [
+    "OracleResult",
+    "oracle_objective",
+    "oracle_placement",
+    "greedy_placement",
+    "HeadroomResult",
+    "headroom_analysis",
+]

@@ -1,0 +1,74 @@
+"""Density-greedy approximation of the oracle for large instances.
+
+Interval knapsack: admit jobs in decreasing order of objective value per
+byte-second of SSD occupancy, subject to the capacity profile staying
+under the limit for the job's whole lifetime.  Occupancy is tracked on
+the grid of candidate arrival times (occupancy only rises at arrivals,
+so checking grid points inside the job's interval is exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["greedy_placement"]
+
+
+def greedy_placement(
+    arrivals: np.ndarray,
+    ends: np.ndarray,
+    sizes: np.ndarray,
+    values: np.ndarray,
+    capacity: float,
+) -> tuple[np.ndarray, float]:
+    """Greedy interval-packing by value density.
+
+    Parameters
+    ----------
+    arrivals, ends, sizes, values:
+        Candidate job attributes (values must be > 0).
+    capacity:
+        SSD byte limit.
+
+    Returns
+    -------
+    (picked, total_value):
+        ``picked`` — indices (into the candidate arrays) admitted to
+        SSD; ``total_value`` — sum of their values.
+    """
+    m = len(arrivals)
+    if m == 0:
+        return np.array([], dtype=int), 0.0
+    arrivals = np.asarray(arrivals, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    sizes = np.asarray(sizes, dtype=float)
+    values = np.asarray(values, dtype=float)
+
+    grid = np.unique(arrivals)
+    usage = np.zeros(len(grid))
+
+    # Occupancy cost of a job ~ size * duration; density = value per
+    # byte-second, with a floor to avoid division blowups on instant jobs.
+    occupancy = sizes * np.maximum(ends - arrivals, 1.0)
+    density = values / np.maximum(occupancy, 1e-9)
+    order = np.argsort(-density, kind="stable")
+
+    picked: list[int] = []
+    total = 0.0
+    for i in order:
+        if sizes[i] > capacity:
+            continue
+        lo = np.searchsorted(grid, arrivals[i], side="left")
+        hi = np.searchsorted(grid, ends[i], side="left")
+        window = usage[lo:hi]
+        if window.size == 0:
+            # No other arrival inside the interval: only the job's own
+            # start point matters and it is included for every candidate
+            # (grid is built from candidate arrivals), so this cannot
+            # happen for in-range jobs; guard anyway.
+            continue
+        if window.max() + sizes[i] <= capacity:
+            usage[lo:hi] += sizes[i]
+            picked.append(i)
+            total += values[i]
+    return np.asarray(picked, dtype=int), float(total)

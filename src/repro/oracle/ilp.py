@@ -1,0 +1,200 @@
+"""Clairvoyant oracle placement via Integer Linear Programming.
+
+The paper's headroom analysis (Section 3.1) formulates placement as::
+
+    max   sum_i x_i * (c_HDD_i - c_SSD_i)
+    s.t.  x_i in {0, 1}
+          sum_{i active at t} x_i * s_i <= M   for all t
+
+The oracle knows the future (arrival/end/cost of every job) and a fixed
+SSD capacity, making it an upper bound that is impossible to implement.
+
+Capacity constraints only need to be imposed at job *arrival* epochs:
+occupancy of a union of right-open intervals is piecewise constant and
+only increases at arrivals, so its peak over any window is attained at
+an arrival.  This keeps the ILP row count at one per candidate job.
+
+Solved with ``scipy.optimize.milp`` (HiGHS).  For instances beyond
+``max_milp_jobs`` candidates the density-greedy approximation from
+:mod:`repro.oracle.greedy` is used instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import os
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..cost import CostRates, DEFAULT_RATES
+from ..workloads.job import Trace
+from .greedy import greedy_placement
+
+
+@contextlib.contextmanager
+def _silence_stdout():
+    """Suppress HiGHS's C-level debug prints during milp solves."""
+    fd = os.dup(1)
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        os.dup2(devnull, 1)
+        yield
+    finally:
+        os.dup2(fd, 1)
+        os.close(fd)
+        os.close(devnull)
+
+__all__ = ["OracleResult", "oracle_objective", "oracle_placement"]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Oracle decision vector plus solver bookkeeping.
+
+    ``fractions`` holds the per-job SSD share in [0, 1]: exactly 0/1 for
+    the binary ILP, possibly fractional for the LP relaxation.
+    ``decisions`` is the boolean "any SSD share" view.
+    """
+
+    decisions: np.ndarray  # bool per job
+    objective_value: float
+    method: str  # "milp" | "lp" | "greedy" | "trivial"
+    n_candidates: int
+    fractions: np.ndarray | None = None
+
+    def ssd_fraction(self) -> np.ndarray:
+        """Per-job SSD share (falls back to 0/1 decisions)."""
+        if self.fractions is not None:
+            return self.fractions
+        return self.decisions.astype(float)
+
+
+def oracle_objective(trace: Trace, objective: str, rates: CostRates) -> np.ndarray:
+    """Per-job objective coefficient: what placing job i on SSD gains.
+
+    ``"tco"`` uses TCO savings (can be negative); ``"tcio"`` uses the
+    job's total TCIO relief (always non-negative).
+    """
+    if objective == "tco":
+        return trace.costs(rates).savings
+    if objective == "tcio":
+        return trace.tcio(rates) * np.maximum(trace.durations, 1.0)
+    raise ValueError(f"objective must be 'tco' or 'tcio', got {objective!r}")
+
+
+def _active_matrix(
+    arrivals: np.ndarray, ends: np.ndarray, sizes: np.ndarray
+) -> sparse.csr_matrix:
+    """Sparse (n_constraints, n_jobs) matrix: row k has s_i for every job
+    i active at job k's arrival (a_i <= a_k < e_i)."""
+    n = len(arrivals)
+    order = np.argsort(arrivals, kind="stable")
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    # Sweep line over arrivals; maintain active set as (end, job) heap.
+    active: list[tuple[float, int]] = []
+    for k_pos, k in enumerate(order):
+        t = arrivals[k]
+        while active and active[0][0] <= t:
+            heapq.heappop(active)
+        heapq.heappush(active, (ends[k], k))
+        for _, i in active:
+            rows.append(k_pos)
+            cols.append(i)
+            vals.append(sizes[i])
+    return sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(n, n), dtype=float
+    )
+
+
+def oracle_placement(
+    trace: Trace,
+    capacity: float,
+    objective: str = "tco",
+    rates: CostRates = DEFAULT_RATES,
+    integrality: bool = True,
+    max_milp_jobs: int = 4000,
+    time_limit: float = 120.0,
+    mip_rel_gap: float = 0.005,
+) -> OracleResult:
+    """Optimal (or near-optimal) clairvoyant placement.
+
+    Jobs with non-positive objective coefficients are pre-fixed to HDD —
+    the optimal solution never admits them since they consume capacity
+    without gain.
+
+    ``integrality=True`` is the paper's binary ILP.  ``integrality=False``
+    solves the LP relaxation: jobs may be placed fractionally, which
+    matches the simulator's partial-fit (spillover) semantics and makes
+    the oracle a true upper bound on *every* simulated policy, including
+    ones that split jobs across tiers.  The relaxation is also much
+    faster, so it has no candidate-count limit.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0")
+    n = len(trace)
+    coef = np.asarray(oracle_objective(trace, objective, rates), dtype=float)
+    decisions = np.zeros(n, dtype=bool)
+    empty = OracleResult(decisions, 0.0, "trivial", 0, fractions=np.zeros(n))
+    candidates = np.flatnonzero(coef > 0)
+    if candidates.size == 0 or capacity == 0:
+        return empty
+
+    arrivals = trace.arrivals[candidates]
+    ends = trace.ends[candidates]
+    sizes = trace.sizes[candidates]
+    c = coef[candidates]
+
+    if integrality:
+        # Jobs that individually exceed capacity can never fully fit;
+        # the 0/1 model forbids partial admission, so drop them.
+        feasible = sizes <= capacity
+        arrivals, ends = arrivals[feasible], ends[feasible]
+        sizes, c = sizes[feasible], c[feasible]
+        candidates = candidates[feasible]
+    m = candidates.size
+    if m == 0:
+        return empty
+
+    if integrality and m > max_milp_jobs:
+        picked, value = greedy_placement(arrivals, ends, sizes, c, capacity)
+        decisions[candidates[picked]] = True
+        fractions = np.zeros(n)
+        fractions[candidates[picked]] = 1.0
+        return OracleResult(decisions, float(value), "greedy", m, fractions=fractions)
+
+    A = _active_matrix(arrivals, ends, sizes)
+    constraint = LinearConstraint(A, -np.inf, capacity)
+    with _silence_stdout():
+        res = milp(
+            c=-c,  # milp minimizes
+            constraints=[constraint],
+            integrality=np.ones(m) if integrality else np.zeros(m),
+            bounds=Bounds(0, 1),
+            options={"time_limit": time_limit, "mip_rel_gap": mip_rel_gap},
+        )
+    if res.x is None:
+        picked, value = greedy_placement(arrivals, ends, sizes, c, capacity)
+        decisions[candidates[picked]] = True
+        fractions = np.zeros(n)
+        fractions[candidates[picked]] = 1.0
+        return OracleResult(decisions, float(value), "greedy", m, fractions=fractions)
+    fractions = np.zeros(n)
+    if integrality:
+        x = res.x > 0.5
+        fractions[candidates] = x.astype(float)
+        decisions[candidates[x]] = True
+        return OracleResult(
+            decisions, float(c[x].sum()), "milp", m, fractions=fractions
+        )
+    x = np.clip(res.x, 0.0, 1.0)
+    fractions[candidates] = x
+    decisions[candidates] = x > 1e-9
+    return OracleResult(
+        decisions, float(c @ x), "lp", m, fractions=fractions
+    )

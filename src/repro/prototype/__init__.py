@@ -1,0 +1,19 @@
+"""Test-deployment emulation for the prototype experiments."""
+
+from .deployment import (
+    PrototypeResult,
+    PrototypeWorkload,
+    application_runtime_savings,
+    build_mixed_workload,
+    build_prototype_workload,
+    run_prototype,
+)
+
+__all__ = [
+    "PrototypeWorkload",
+    "PrototypeResult",
+    "build_prototype_workload",
+    "build_mixed_workload",
+    "run_prototype",
+    "application_runtime_savings",
+]

@@ -1,0 +1,209 @@
+"""Test-deployment emulation (Sections 5.2 and Appendix C.1).
+
+The paper's prototype runs a curated pipeline mix in a production
+cluster with a dedicated SSD cache: 16 pipelines / 1024 shuffle jobs /
+3.6 TiB peak for the framework-only study (Figure 5), and a 1:1
+framework : non-framework mix at 3.8 TiB for the Appendix-C study
+(Figures 13-14).  One category of pipelines is more cost-effective on
+HDD, the other on SSD.
+
+This module builds matching workloads from the archetype library,
+replays them through the placement simulator for FirstFit and Adaptive
+Ranking, and models application-level run time (Figure 14) as a
+compute phase plus an I/O phase that accelerates on SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AdaptiveParams, ModelParams, rng_from
+from ..cost import CostRates, DEFAULT_RATES
+from ..baselines.firstfit import FirstFitPolicy
+from ..core.pipeline import ByomPipeline, prepare_cluster
+from ..storage.simulator import SimResult, simulate
+from ..units import WEEK
+from ..workloads.generator import ClusterSpec, generate_cluster_trace
+from ..workloads.job import Trace
+
+__all__ = [
+    "PrototypeWorkload",
+    "PrototypeResult",
+    "build_prototype_workload",
+    "build_mixed_workload",
+    "run_prototype",
+    "application_runtime_savings",
+]
+
+#: SSD accelerates a job's I/O phase by this factor in the run-time model.
+SSD_IO_SPEEDUP = 2.5
+
+#: Fraction of a job's wall time spent in I/O, by archetype orientation.
+IO_TIME_FRACTION_SSD_SUITED = 0.45
+IO_TIME_FRACTION_HDD_SUITED = 0.15
+
+
+@dataclass(frozen=True)
+class PrototypeWorkload:
+    """A deployment-shaped trace with its framework/non-framework tags."""
+
+    trace: Trace
+    is_framework: np.ndarray  # bool per job
+
+    def __post_init__(self) -> None:
+        if len(self.trace) != len(self.is_framework):
+            raise ValueError("tags must align with the trace")
+
+
+@dataclass(frozen=True)
+class PrototypeResult:
+    """FirstFit vs Adaptive Ranking at one SSD quota."""
+
+    quota_fraction: float
+    firstfit: SimResult
+    adaptive: SimResult
+
+    @property
+    def tco_improvement(self) -> float:
+        """Adaptive-over-FirstFit TCO savings ratio (paper: 4.38x @ 1%)."""
+        ff = self.firstfit.tco_savings_pct
+        return self.adaptive.tco_savings_pct / ff if ff > 0 else float("inf")
+
+    @property
+    def tcio_improvement(self) -> float:
+        ff = self.firstfit.tcio_savings_pct
+        return self.adaptive.tcio_savings_pct / ff if ff > 0 else float("inf")
+
+
+def build_prototype_workload(seed: int = 7) -> PrototypeWorkload:
+    """The Figure-5 deployment: 16 framework pipelines, ~1024 jobs.
+
+    Half of the pipelines are HDD-suited data processing workloads
+    (few shuffles), half SSD-suited query workloads (heavy shuffles).
+    """
+    spec = ClusterSpec(
+        name="prototype",
+        archetype_weights={"logproc": 2, "mltrain": 1, "staging": 1,
+                           "dbquery": 2, "streaming": 1, "reporting": 1},
+        n_pipelines=16,
+        n_users=4,
+        seed=seed,
+    )
+    trace = generate_cluster_trace(spec, duration=2 * WEEK)
+    return PrototypeWorkload(
+        trace=trace, is_framework=np.ones(len(trace), dtype=bool)
+    )
+
+
+def build_mixed_workload(seed: int = 43) -> PrototypeWorkload:
+    """The Appendix-C mix: framework + non-framework at ~1:1 footprint.
+
+    4 HDD-suitable + 4 SSD-suitable framework pipelines, 10 + 10
+    non-framework workloads (ML checkpointing and compress/upload).
+    """
+    framework = ClusterSpec(
+        name="mixed-fw",
+        archetype_weights={"logproc": 2, "mltrain": 2, "dbquery": 2, "reporting": 2},
+        n_pipelines=8,
+        n_users=4,
+        seed=seed,
+    )
+    non_framework = ClusterSpec(
+        name="mixed-nfw",
+        archetype_weights={"mlcheckpoint": 1, "compressupload": 1},
+        n_pipelines=20,
+        n_users=6,
+        seed=seed + 1,
+    )
+    fw_trace = generate_cluster_trace(framework, duration=2 * WEEK)
+    nfw_trace = generate_cluster_trace(non_framework, duration=2 * WEEK)
+
+    # Rescale non-framework sizes toward a 1:1 byte-footprint ratio.
+    fw_bytes = float(fw_trace.sizes.sum())
+    nfw_bytes = float(nfw_trace.sizes.sum())
+    scale = fw_bytes / nfw_bytes if nfw_bytes > 0 else 1.0
+    rescaled = [
+        _scale_job(job, scale) for job in nfw_trace
+    ]
+    jobs = list(fw_trace.jobs) + rescaled
+    # Re-number ids to keep them unique after the merge.
+    jobs = [_with_id(j, i) for i, j in enumerate(sorted(jobs, key=lambda j: j.arrival))]
+    trace = Trace(jobs, name="mixed")
+    is_framework = np.array([j.cluster == "mixed-fw" for j in trace])
+    return PrototypeWorkload(trace=trace, is_framework=is_framework)
+
+
+def _scale_job(job, scale: float):
+    from dataclasses import replace
+
+    return replace(
+        job,
+        size=job.size * scale,
+        read_bytes=job.read_bytes * scale,
+        write_bytes=job.write_bytes * scale,
+        read_ops=job.read_ops * scale,
+    )
+
+
+def _with_id(job, new_id: int):
+    from dataclasses import replace
+
+    return replace(job, job_id=new_id)
+
+
+def run_prototype(
+    workload: PrototypeWorkload,
+    quota_fraction: float,
+    rates: CostRates = DEFAULT_RATES,
+    model_params: ModelParams | None = None,
+    adaptive_params: AdaptiveParams | None = None,
+) -> PrototypeResult:
+    """Run FirstFit and Adaptive Ranking on a deployment workload.
+
+    The first trace week trains the category model; the second is the
+    measured deployment window, exactly as in the simulation studies.
+    """
+    cluster = prepare_cluster(workload.trace, rates)
+    pipe = ByomPipeline(model_params, adaptive_params, rates)
+    pipe.train(cluster.train, cluster.features_train)
+    capacity = quota_fraction * cluster.peak_ssd_usage
+    adaptive = pipe.deploy(
+        cluster.test, cluster.features_test, quota_fraction, cluster.peak_ssd_usage
+    )
+    firstfit = simulate(cluster.test, FirstFitPolicy(), capacity, rates)
+    return PrototypeResult(
+        quota_fraction=quota_fraction, firstfit=firstfit, adaptive=adaptive
+    )
+
+
+def application_runtime_savings(
+    trace: Trace,
+    ssd_fraction: np.ndarray,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Per-job run-time saving percentage under a placement outcome.
+
+    Run time = compute phase + I/O phase; the I/O share depends on the
+    workload's orientation and the SSD-resident share of its I/O runs
+    ``SSD_IO_SPEEDUP`` times faster.  Savings are relative to all-HDD
+    run time.  These savings are *opportunistic* (Section 3): jobs are
+    written against HDD performance, so any improvement is a bonus and
+    no job regresses.
+    """
+    if len(trace) != len(ssd_fraction):
+        raise ValueError("ssd_fraction must align with the trace")
+    rng = rng_from(seed)
+    from ..workloads.archetypes import ARCHETYPES
+
+    savings = np.zeros(len(trace))
+    for i, job in enumerate(trace):
+        suited = ARCHETYPES[job.archetype].ssd_suited
+        io_frac = IO_TIME_FRACTION_SSD_SUITED if suited else IO_TIME_FRACTION_HDD_SUITED
+        io_frac *= rng.uniform(0.8, 1.2)
+        f = float(np.clip(ssd_fraction[i], 0.0, 1.0))
+        # Fraction f of the I/O phase runs SSD_IO_SPEEDUP times faster.
+        new_io = io_frac * (f / SSD_IO_SPEEDUP + (1.0 - f))
+        savings[i] = 100.0 * (io_frac - new_io)
+    return savings

@@ -1,0 +1,29 @@
+"""Storage-layer substrate: placement simulator and policy interface."""
+
+from .policy import (
+    Decision,
+    FixedPolicy,
+    PlacementContext,
+    PlacementOutcome,
+    PlacementPolicy,
+)
+from .devices import HddFleet, SsdFleet, SsdSpec, wearout_rate_from_spec
+from .sharded import assign_shards, simulate_sharded
+from .simulator import SimResult, analytic_result, simulate
+
+__all__ = [
+    "PlacementContext",
+    "Decision",
+    "PlacementOutcome",
+    "PlacementPolicy",
+    "FixedPolicy",
+    "SimResult",
+    "simulate",
+    "analytic_result",
+    "SsdSpec",
+    "SsdFleet",
+    "HddFleet",
+    "wearout_rate_from_spec",
+    "assign_shards",
+    "simulate_sharded",
+]

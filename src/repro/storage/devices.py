@@ -1,0 +1,123 @@
+"""Device models: SSD endurance and HDD I/O capability accounting.
+
+The TCO formulas (Section 3) price SSD wearout per byte written, derived
+from "the specific SSD drive model's total bytes written rating".  This
+module makes that concrete: a :class:`SsdFleet` tracks cumulative writes
+against a TBW (terabytes-written) endurance budget, and an
+:class:`HddFleet` converts TCIO into a drive count.  They are accounting
+layers over simulation outcomes — useful for capacity planning reports
+and for validating that the wearout cost rate is consistent with a
+device's endurance spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES
+from ..units import TIB
+
+__all__ = ["SsdSpec", "SsdFleet", "HddFleet", "wearout_rate_from_spec"]
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Endurance-relevant specification of one SSD model.
+
+    Attributes
+    ----------
+    capacity:
+        Usable bytes per drive.
+    tbw:
+        Total-bytes-written endurance rating (bytes) — the write volume
+        the drive is warranted for.
+    unit_cost:
+        Acquisition cost of one drive (cost units).
+    """
+
+    capacity: float = 2 * TIB
+    tbw: float = 1200 * TIB
+    unit_cost: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.tbw <= 0 or self.unit_cost < 0:
+            raise ValueError("capacity and tbw must be > 0, unit_cost >= 0")
+
+
+def wearout_rate_from_spec(spec: SsdSpec) -> float:
+    """Wearout cost per byte written implied by a drive spec.
+
+    Each byte written consumes ``1 / tbw`` of a drive's endurance, hence
+    ``unit_cost / tbw`` of monetary value — the paper's
+    ``wearout_cost_rate_SSD``.
+    """
+    return spec.unit_cost / spec.tbw
+
+
+@dataclass
+class SsdFleet:
+    """Tracks endurance consumption of an SSD tier.
+
+    ``record_writes`` accumulates bytes written; properties report the
+    endurance consumed and the implied amortized cost.
+    """
+
+    spec: SsdSpec = field(default_factory=SsdSpec)
+    provisioned_bytes: float = 2 * TIB
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.provisioned_bytes < 0:
+            raise ValueError("provisioned_bytes must be >= 0")
+
+    @property
+    def n_drives(self) -> int:
+        """Drives needed to provision the capacity."""
+        return int(np.ceil(self.provisioned_bytes / self.spec.capacity)) if self.provisioned_bytes else 0
+
+    def record_writes(self, n_bytes: float) -> None:
+        if n_bytes < 0:
+            raise ValueError("cannot write negative bytes")
+        self.bytes_written += n_bytes
+
+    @property
+    def endurance_consumed_fraction(self) -> float:
+        """Fleet endurance used, as a fraction of total TBW budget."""
+        budget = self.n_drives * self.spec.tbw
+        if budget <= 0:
+            return 0.0
+        return self.bytes_written / budget
+
+    @property
+    def wearout_cost(self) -> float:
+        """Monetary endurance consumed so far."""
+        return wearout_rate_from_spec(self.spec) * self.bytes_written
+
+    def drive_replacements_over(self, horizon_writes: float) -> float:
+        """Expected drive replacements if ``horizon_writes`` more bytes land."""
+        if self.spec.tbw <= 0:
+            return 0.0
+        return horizon_writes / self.spec.tbw
+
+
+@dataclass(frozen=True)
+class HddFleet:
+    """Converts sustained TCIO into an HDD drive count.
+
+    TCIO is defined in units of one standard HDD's sustainable op rate,
+    so a sustained TCIO of ``x`` needs ``ceil(x)`` drives for I/O alone;
+    capacity may require more.
+    """
+
+    rates: CostRates = DEFAULT_RATES
+    drive_capacity: float = 16 * TIB
+
+    def drives_for(self, sustained_tcio: float, stored_bytes: float) -> int:
+        """Drives needed to serve an I/O load plus a capacity footprint."""
+        if sustained_tcio < 0 or stored_bytes < 0:
+            raise ValueError("loads must be >= 0")
+        io_drives = int(np.ceil(sustained_tcio))
+        cap_drives = int(np.ceil(stored_bytes / self.drive_capacity))
+        return max(io_drives, cap_drives)

@@ -1,0 +1,100 @@
+"""Placement policy interface for the storage simulator.
+
+A policy sees each job at its arrival (with current SSD occupancy) and
+answers SSD-or-HDD; after the simulator applies the decision the policy
+receives the outcome (how much actually fit), which is the real-time
+feedback channel the paper's adaptive algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import CostRates
+from ..workloads.job import Trace
+
+__all__ = ["PlacementContext", "Decision", "PlacementOutcome", "PlacementPolicy", "FixedPolicy"]
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """What a policy may observe at decision time."""
+
+    time: float
+    free_ssd: float
+    capacity: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Policy verdict for one job.
+
+    ``ssd_ttl`` optionally bounds the job's SSD residency: the space is
+    released (and remaining I/O falls back to HDD) after this many
+    seconds, implementing the ML baseline's mu+sigma eviction.
+    """
+
+    want_ssd: bool
+    ssd_ttl: float | None = None
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Feedback after the simulator applies a decision.
+
+    Attributes
+    ----------
+    job_index:
+        Index into the simulated trace.
+    time:
+        Arrival time at which the decision was applied.
+    requested_ssd:
+        Whether the policy asked for SSD (``x.DEV`` in the paper).
+    ssd_space_fraction:
+        Fraction of the job's footprint that fit on SSD (1.0 = fully
+        placed, 0.0 = fully spilled or HDD-placed).
+    spill_time:
+        Time at which spillover began (arrival time in this simulator's
+        admit-at-arrival model), or ``None`` if nothing spilled.
+    """
+
+    job_index: int
+    time: float
+    requested_ssd: bool
+    ssd_space_fraction: float
+    spill_time: float | None
+
+
+class PlacementPolicy(ABC):
+    """Base class for all placement methods (baselines and BYOM)."""
+
+    #: Human-readable method name used in reports.
+    name: str = "policy"
+
+    def on_simulation_start(
+        self, trace: Trace, capacity: float, rates: CostRates
+    ) -> None:
+        """Called once before the event loop; default is stateless."""
+
+    @abstractmethod
+    def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
+        """Place job ``job_index`` arriving under context ``ctx``."""
+
+    def observe(self, outcome: PlacementOutcome) -> None:
+        """Receive the applied outcome (default: ignore feedback)."""
+
+
+class FixedPolicy(PlacementPolicy):
+    """Replays a precomputed 0/1 placement vector (oracle output)."""
+
+    name = "fixed"
+
+    def __init__(self, decisions: np.ndarray, name: str = "fixed"):
+        self.decisions = np.asarray(decisions).astype(bool)
+        self.name = name
+
+    def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
+        return Decision(want_ssd=bool(self.decisions[job_index]))

@@ -1,0 +1,44 @@
+"""Unit constants and helpers shared across the library.
+
+All sizes are in bytes, all times in seconds, unless a name says
+otherwise.  Cost quantities are in abstract "cost units" (the paper
+reports savings as percentages, so the absolute scale cancels out).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+PIB = 1024 * TIB
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: Write-grouping chunk size used by the TCIO model: small writes are
+#: batched into chunks of this size before they reach the disks
+#: (Section 3 of the paper).
+WRITE_GROUP_BYTES = 1 * MIB
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``1.50 GiB``."""
+    for unit, scale in (("PiB", PIB), ("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration compactly, e.g. ``2.0h`` or ``35s``."""
+    if seconds >= DAY:
+        return f"{seconds / DAY:.1f}d"
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f}h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.1f}m"
+    return f"{seconds:.0f}s"

@@ -1,0 +1,59 @@
+"""Workload substrate: shuffle jobs, archetypes, trace generation, features.
+
+Substitutes Google's production traces with a parameterized synthetic
+generator reproducing the statistical structure the paper's method
+depends on (see DESIGN.md, "Substitutions").
+"""
+
+from .archetypes import ARCHETYPES, FRAMEWORK_ARCHETYPES, NON_FRAMEWORK_ARCHETYPES, Archetype
+from .features import (
+    FEATURE_GROUPS,
+    RESOURCE_FEATURES,
+    TIME_FEATURES,
+    FeatureMatrix,
+    extract_features,
+)
+from .generator import ClusterSpec, default_cluster_specs, generate_cluster_trace
+from .history import HISTORY_FEATURES, HistoricalMetrics, compute_history
+from .job import ShuffleJob, Trace
+from .metadata import METADATA_FIELDS, MetadataSynthesizer, stable_hash, tokenize
+from .phases import Phase, PhaseProfile, decompose_phases
+from .external import REQUIRED_COLUMNS, load_csv_trace, save_csv_trace
+from .traces import load_trace, save_trace, week_split
+from .validation import TraceStatistics, trace_statistics, validate_trace
+
+__all__ = [
+    "Archetype",
+    "ARCHETYPES",
+    "FRAMEWORK_ARCHETYPES",
+    "NON_FRAMEWORK_ARCHETYPES",
+    "ShuffleJob",
+    "Trace",
+    "ClusterSpec",
+    "generate_cluster_trace",
+    "default_cluster_specs",
+    "MetadataSynthesizer",
+    "METADATA_FIELDS",
+    "tokenize",
+    "stable_hash",
+    "HistoricalMetrics",
+    "HISTORY_FEATURES",
+    "compute_history",
+    "FeatureMatrix",
+    "extract_features",
+    "FEATURE_GROUPS",
+    "RESOURCE_FEATURES",
+    "TIME_FEATURES",
+    "save_trace",
+    "load_trace",
+    "week_split",
+    "TraceStatistics",
+    "trace_statistics",
+    "validate_trace",
+    "REQUIRED_COLUMNS",
+    "load_csv_trace",
+    "save_csv_trace",
+    "Phase",
+    "PhaseProfile",
+    "decompose_phases",
+]

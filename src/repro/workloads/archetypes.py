@@ -1,0 +1,213 @@
+"""Workload archetype library.
+
+Data centers "run a wide range of workloads with vastly different
+characteristics" (Figure 1 of the paper shows five-orders-of-magnitude
+differences in space usage and lifetime).  Each archetype here is a
+parameterized statistical family describing one class of pipelines the
+paper's introduction motivates: log processing, simulations, streaming,
+ML workloads, database query shuffles, and video processing, plus the
+non-framework workloads of Appendix C (ML checkpointing and
+compress-and-upload flows).
+
+Archetypes are the *generating* truth of the synthetic traces.  The
+placement algorithms never see archetype identity directly — only the
+Table-2 features derived from the jobs — so any learnability is earned
+through feature structure, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import GIB, HOUR, MIB, MINUTE
+
+__all__ = ["Archetype", "ARCHETYPES", "FRAMEWORK_ARCHETYPES", "NON_FRAMEWORK_ARCHETYPES"]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Statistical family for one workload class.
+
+    Log-normal parameters are given as ``(median, sigma_of_log)``
+    pairs; per-pipeline medians are themselves drawn log-normally around
+    the archetype median so that pipelines within an archetype differ.
+
+    Attributes
+    ----------
+    name:
+        Archetype identifier (used in metadata synthesis only).
+    size_median, size_sigma:
+        Per-job peak footprint distribution (bytes).
+    lifetime_median, lifetime_sigma:
+        Per-job lifetime distribution (seconds).
+    read_ops_per_gib:
+        Read operations issued per GiB of footprint — the main driver of
+        I/O density.  High values (random small reads) make jobs
+        SSD-suited; low values (long sequential scans) make them
+        HDD-suited.
+    write_amplification:
+        Bytes written per byte of footprint (sort steps rewrite data).
+    read_amplification:
+        Bytes read per byte of footprint.
+    period:
+        Inter-execution period of a periodic pipeline (seconds), or
+        ``None`` for Poisson arrivals.
+    arrival_rate:
+        Mean executions/hour for Poisson pipelines (ignored if periodic).
+    steps_range:
+        Min/max shuffle steps per execution.
+    workers_median:
+        Median worker count (drives the allocated-resource features).
+    diurnal_amplitude:
+        0..1 modulation of activity by hour-of-day.
+    ssd_suited:
+        Ground-truth orientation used only by the prototype experiments
+        that need an HDD-suited vs SSD-suited pipeline mix (Fig. 5/13).
+    """
+
+    name: str
+    size_median: float
+    size_sigma: float
+    lifetime_median: float
+    lifetime_sigma: float
+    read_ops_per_gib: float
+    write_amplification: float
+    read_amplification: float
+    period: float | None
+    arrival_rate: float
+    steps_range: tuple[int, int]
+    workers_median: float
+    diurnal_amplitude: float
+    ssd_suited: bool
+
+    def sample_pipeline_scale(self, rng: np.random.Generator) -> dict[str, float]:
+        """Draw per-pipeline latent medians around the archetype medians."""
+        return {
+            "size_median": self.size_median * rng.lognormal(0.0, 0.9),
+            "lifetime_median": self.lifetime_median * rng.lognormal(0.0, 0.5),
+            "read_ops_per_gib": self.read_ops_per_gib * rng.lognormal(0.0, 0.5),
+            "workers_median": max(1.0, self.workers_median * rng.lognormal(0.0, 0.4)),
+        }
+
+
+ARCHETYPES: dict[str, Archetype] = {
+    "logproc": Archetype(
+        name="logproc",
+        size_median=60 * GIB, size_sigma=1.2,
+        lifetime_median=1.5 * HOUR, lifetime_sigma=0.7,
+        read_ops_per_gib=40.0,  # long sequential scans
+        write_amplification=1.3, read_amplification=1.1,
+        period=1 * HOUR, arrival_rate=0.0,
+        steps_range=(1, 4), workers_median=200,
+        diurnal_amplitude=0.3, ssd_suited=False,
+    ),
+    "mltrain": Archetype(
+        name="mltrain",
+        size_median=15 * GIB, size_sigma=1.0,
+        lifetime_median=6 * HOUR, lifetime_sigma=0.8,
+        read_ops_per_gib=25.0,  # checkpoints: written once, rarely read
+        write_amplification=1.1, read_amplification=0.3,
+        period=2 * HOUR, arrival_rate=0.0,
+        steps_range=(1, 3), workers_median=64,
+        diurnal_amplitude=0.1, ssd_suited=False,
+    ),
+    "video": Archetype(
+        name="video",
+        size_median=120 * GIB, size_sigma=1.1,
+        lifetime_median=3 * HOUR, lifetime_sigma=0.6,
+        read_ops_per_gib=120.0,
+        write_amplification=1.5, read_amplification=1.4,
+        period=None, arrival_rate=0.3,
+        steps_range=(2, 5), workers_median=400,
+        diurnal_amplitude=0.2, ssd_suited=False,
+    ),
+    "dbquery": Archetype(
+        name="dbquery",
+        size_median=8 * GIB, size_sigma=1.4,
+        lifetime_median=25 * MINUTE, lifetime_sigma=0.9,
+        read_ops_per_gib=30000.0,  # random point reads from sorted runs
+        write_amplification=2.0, read_amplification=2.5,
+        period=None, arrival_rate=1.5,
+        steps_range=(1, 6), workers_median=80,
+        diurnal_amplitude=0.6, ssd_suited=True,
+    ),
+    "streaming": Archetype(
+        name="streaming",
+        size_median=800 * MIB, size_sigma=1.2,
+        lifetime_median=3 * MINUTE, lifetime_sigma=0.8,
+        read_ops_per_gib=80000.0,
+        write_amplification=1.8, read_amplification=2.0,
+        period=30 * MINUTE, arrival_rate=0.0,
+        steps_range=(1, 3), workers_median=32,
+        diurnal_amplitude=0.5, ssd_suited=True,
+    ),
+    "simulation": Archetype(
+        name="simulation",
+        size_median=10 * GIB, size_sigma=1.3,
+        lifetime_median=45 * MINUTE, lifetime_sigma=0.9,
+        read_ops_per_gib=2500.0,
+        write_amplification=1.4, read_amplification=1.2,
+        period=None, arrival_rate=0.6,
+        steps_range=(2, 4), workers_median=128,
+        diurnal_amplitude=0.15, ssd_suited=True,
+    ),
+    "staging": Archetype(
+        # Short-lived but *cold* staging files: written once, read once
+        # sequentially, gone in minutes.  Breaks lifetime-only admission
+        # (ML Baseline admits them; wearout makes them money-losers).
+        name="staging",
+        size_median=15 * GIB, size_sigma=0.9,
+        lifetime_median=10 * MINUTE, lifetime_sigma=0.6,
+        read_ops_per_gib=15.0,
+        write_amplification=1.2, read_amplification=1.0,
+        period=None, arrival_rate=1.2,
+        steps_range=(1, 2), workers_median=48,
+        diurnal_amplitude=0.3, ssd_suited=False,
+    ),
+    "reporting": Archetype(
+        # Long-lived interactive reporting runs: hours of random point
+        # reads over a modest footprint.  High value on SSD despite a
+        # long lifetime (lifetime-TTL baselines reject them).
+        name="reporting",
+        size_median=6 * GIB, size_sigma=1.0,
+        lifetime_median=4 * HOUR, lifetime_sigma=0.5,
+        read_ops_per_gib=60000.0,
+        write_amplification=1.3, read_amplification=3.0,
+        period=None, arrival_rate=0.5,
+        steps_range=(1, 3), workers_median=64,
+        diurnal_amplitude=0.5, ssd_suited=True,
+    ),
+    # Non-framework archetypes (Appendix C.1): arbitrary workloads on the
+    # same distributed storage system, not shuffle-structured.
+    "mlcheckpoint": Archetype(
+        name="mlcheckpoint",
+        size_median=40 * GIB, size_sigma=0.8,
+        lifetime_median=10 * HOUR, lifetime_sigma=0.5,
+        read_ops_per_gib=8.0,  # kept for hours, almost never read back
+        write_amplification=1.0, read_amplification=0.05,
+        period=2 * HOUR, arrival_rate=0.0,
+        steps_range=(1, 1), workers_median=16,
+        diurnal_amplitude=0.0, ssd_suited=False,
+    ),
+    "compressupload": Archetype(
+        name="compressupload",
+        size_median=2 * GIB, size_sigma=1.0,
+        lifetime_median=5 * MINUTE, lifetime_sigma=0.6,
+        read_ops_per_gib=50000.0,  # hot, short-lived temporaries
+        write_amplification=2.2, read_amplification=2.2,
+        period=None, arrival_rate=2.5,
+        steps_range=(1, 2), workers_median=8,
+        diurnal_amplitude=0.4, ssd_suited=True,
+    ),
+}
+
+#: Archetypes representing the shared data processing framework.
+FRAMEWORK_ARCHETYPES = (
+    "logproc", "mltrain", "video", "dbquery", "streaming", "simulation",
+    "staging", "reporting",
+)
+
+#: Appendix-C non-framework workloads.
+NON_FRAMEWORK_ARCHETYPES = ("mlcheckpoint", "compressupload")

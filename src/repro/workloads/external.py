@@ -1,0 +1,137 @@
+"""External trace ingestion: replay any workload from CSV.
+
+The BYOM design is not tied to our synthetic generator — any system that
+can log per-job ``(arrival, duration, size, read/write volumes)`` plus
+optional identity/metadata columns can be replayed through the
+simulator and, with features, through the full pipeline.  This loader
+accepts a documented CSV schema so public traces (or a user's own
+production logs) can stand in for the generator.
+
+CSV schema (header required; ``*`` columns mandatory)::
+
+    job_id*, arrival*, duration*, size*, read_bytes*, write_bytes*,
+    read_ops*, pipeline, user, cluster, archetype,
+    meta.<field>...,   resource.<name>...
+
+``meta.`` columns feed the execution-metadata features (group B);
+``resource.`` columns feed the allocated-resource features (group C).
+Missing optional columns fall back to sensible defaults.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .job import ShuffleJob, Trace
+
+__all__ = ["REQUIRED_COLUMNS", "load_csv_trace", "save_csv_trace"]
+
+REQUIRED_COLUMNS = (
+    "job_id",
+    "arrival",
+    "duration",
+    "size",
+    "read_bytes",
+    "write_bytes",
+    "read_ops",
+)
+
+_OPTIONAL_DEFAULTS = {
+    "pipeline": "pipeline0",
+    "user": "user0",
+    "cluster": "external",
+    "archetype": "external",
+}
+
+
+def load_csv_trace(path: str | Path, name: str | None = None) -> Trace:
+    """Load a trace from the documented CSV schema.
+
+    Raises ``ValueError`` with the offending row index on malformed
+    numeric fields or missing required columns.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file")
+        missing = [c for c in REQUIRED_COLUMNS if c not in reader.fieldnames]
+        if missing:
+            raise ValueError(f"{path}: missing required columns {missing}")
+        meta_cols = [c for c in reader.fieldnames if c.startswith("meta.")]
+        resource_cols = [c for c in reader.fieldnames if c.startswith("resource.")]
+
+        jobs: list[ShuffleJob] = []
+        for row_idx, row in enumerate(reader):
+            try:
+                numeric = {c: float(row[c]) for c in REQUIRED_COLUMNS if c != "job_id"}
+                job_id = int(float(row["job_id"]))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}: bad numeric value in row {row_idx}: {exc}") from exc
+            optional = {
+                key: (row.get(key) or default)
+                for key, default in _OPTIONAL_DEFAULTS.items()
+            }
+            metadata = {c[len("meta."):]: row[c] for c in meta_cols if row.get(c)}
+            resources = {}
+            for c in resource_cols:
+                if row.get(c):
+                    try:
+                        resources[c[len("resource."):]] = float(row[c])
+                    except ValueError as exc:
+                        raise ValueError(
+                            f"{path}: bad resource value in row {row_idx}: {exc}"
+                        ) from exc
+            jobs.append(
+                ShuffleJob(
+                    job_id=job_id,
+                    cluster=optional["cluster"],
+                    user=optional["user"],
+                    pipeline=optional["pipeline"],
+                    archetype=optional["archetype"],
+                    arrival=numeric["arrival"],
+                    duration=numeric["duration"],
+                    size=numeric["size"],
+                    read_bytes=numeric["read_bytes"],
+                    write_bytes=numeric["write_bytes"],
+                    read_ops=numeric["read_ops"],
+                    metadata=metadata,
+                    resources=resources,
+                )
+            )
+    return Trace(jobs, name=name or path.stem)
+
+
+def save_csv_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace in the same CSV schema ``load_csv_trace`` reads."""
+    path = Path(path)
+    meta_fields = sorted({k for j in trace for k in j.metadata})
+    resource_fields = sorted({k for j in trace for k in j.resources})
+    header = (
+        list(REQUIRED_COLUMNS)
+        + ["pipeline", "user", "cluster", "archetype"]
+        + [f"meta.{k}" for k in meta_fields]
+        + [f"resource.{k}" for k in resource_fields]
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for j in trace:
+            writer.writerow(
+                [
+                    j.job_id,
+                    j.arrival,
+                    j.duration,
+                    j.size,
+                    j.read_bytes,
+                    j.write_bytes,
+                    j.read_ops,
+                    j.pipeline,
+                    j.user,
+                    j.cluster,
+                    j.archetype,
+                ]
+                + [j.metadata.get(k, "") for k in meta_fields]
+                + [j.resources.get(k, "") for k in resource_fields]
+            )

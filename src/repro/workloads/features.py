@@ -1,0 +1,174 @@
+"""Feature extraction: Table 2 of the paper.
+
+Turns a :class:`~repro.workloads.job.Trace` into a numeric feature
+matrix for the gradient-boosted-trees models.  Features span four
+groups, mirroring Figure 9c's analysis:
+
+- **A — historical system metrics** (4 columns): per-pipeline running
+  averages of TCIO / size / lifetime / I/O density over previously
+  completed executions.
+- **B — execution metadata** (hashed token indicators): the five string
+  fields are tokenized on non-alphanumeric separators and feature-hashed
+  into a fixed number of binary columns per field.
+- **C — allocated resources** (8 columns): bucket/shard/worker counts
+  and records written, known before execution.
+- **T — job timestamp** (3 columns): hour-of-day, second-of-day,
+  weekday of the job's start time.
+
+Hashing keeps the encoder stateless: a model trained on one cluster can
+score jobs of another cluster (Figure 8) and unseen users/pipelines
+(Figure 10) without vocabulary alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES
+from ..units import DAY, HOUR
+from .history import HISTORY_FEATURES, compute_history
+from .job import Trace
+from .metadata import METADATA_FIELDS, stable_hash, tokenize
+
+__all__ = [
+    "FEATURE_GROUPS",
+    "RESOURCE_FEATURES",
+    "TIME_FEATURES",
+    "FeatureMatrix",
+    "extract_features",
+]
+
+#: Allocated-resource columns (group C), Table 2 order.
+RESOURCE_FEATURES = (
+    "bucket_sizing_initial_num_stripes",
+    "bucket_sizing_num_shards",
+    "bucket_sizing_num_worker_threads",
+    "bucket_sizing_num_workers",
+    "initial_num_buckets",
+    "num_buckets",
+    "records_written",
+    "requested_num_shards",
+)
+
+#: Timestamp columns (group T).
+TIME_FEATURES = ("open_time_day_hour", "open_time_seconds", "open_time_weekday")
+
+#: Feature-group codes as used in Figure 9c.
+FEATURE_GROUPS = ("A", "B", "C", "T")
+
+#: Hash buckets per metadata field (group B width = 5 * this).
+DEFAULT_HASH_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """A dense feature matrix with column names and group labels.
+
+    Attributes
+    ----------
+    X:
+        (n_jobs, n_features) float64 matrix.
+    names:
+        Column names, length n_features.
+    groups:
+        Group code per column ("A", "B", "C" or "T").
+    """
+
+    X: np.ndarray
+    names: tuple[str, ...]
+    groups: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if self.X.shape[1] != len(self.names) or len(self.names) != len(self.groups):
+            raise ValueError("names/groups must match X's column count")
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def take(self, idx: np.ndarray) -> "FeatureMatrix":
+        """Row subset (e.g. train/test split aligned with a trace split)."""
+        return FeatureMatrix(X=self.X[idx], names=self.names, groups=self.groups)
+
+    def group_columns(self, group: str) -> np.ndarray:
+        """Column indices belonging to a feature group."""
+        return np.array([i for i, g in enumerate(self.groups) if g == group], dtype=int)
+
+    def drop_columns(self, cols: np.ndarray) -> "FeatureMatrix":
+        """Return a copy with the given columns removed (for importance)."""
+        keep = np.setdiff1d(np.arange(self.n_features), cols)
+        return FeatureMatrix(
+            X=self.X[:, keep],
+            names=tuple(self.names[i] for i in keep),
+            groups=tuple(self.groups[i] for i in keep),
+        )
+
+
+def _hash_metadata(trace: Trace, n_buckets: int) -> tuple[np.ndarray, list[str]]:
+    """Feature-hash the five metadata string fields into binary columns."""
+    n = len(trace)
+    X = np.zeros((n, len(METADATA_FIELDS) * n_buckets))
+    names: list[str] = []
+    for f_idx, field in enumerate(METADATA_FIELDS):
+        names.extend(f"{field}_h{b}" for b in range(n_buckets))
+    for i, job in enumerate(trace):
+        for f_idx, field in enumerate(METADATA_FIELDS):
+            value = job.metadata.get(field, "")
+            base = f_idx * n_buckets
+            for token in tokenize(value):
+                X[i, base + stable_hash(token, seed=f_idx) % n_buckets] = 1.0
+    return X, names
+
+
+def extract_features(
+    trace: Trace,
+    rates: CostRates = DEFAULT_RATES,
+    n_hash_buckets: int = DEFAULT_HASH_BUCKETS,
+) -> FeatureMatrix:
+    """Build the Table-2 feature matrix for a trace.
+
+    History (group A) is computed causally within ``trace``; to let test
+    jobs see training-week history, extract features on the combined
+    trace and :meth:`FeatureMatrix.take` the split indices.
+    """
+    n = len(trace)
+    history = compute_history(trace, rates).as_matrix()  # group A
+
+    resources = np.zeros((n, len(RESOURCE_FEATURES)))  # group C
+    for i, job in enumerate(trace):
+        for c, key in enumerate(RESOURCE_FEATURES):
+            resources[i, c] = job.resources.get(key, 0.0)
+
+    arrivals = trace.arrivals  # group T
+    seconds_of_day = arrivals % DAY
+    times = np.column_stack(
+        [
+            np.floor(seconds_of_day / HOUR),
+            seconds_of_day,
+            np.floor(arrivals / DAY) % 7,
+        ]
+    )
+
+    meta_X, meta_names = _hash_metadata(trace, n_hash_buckets)  # group B
+
+    X = np.hstack([history, meta_X, resources, times])
+    names = (
+        list(HISTORY_FEATURES)
+        + meta_names
+        + list(RESOURCE_FEATURES)
+        + list(TIME_FEATURES)
+    )
+    groups = (
+        ["A"] * len(HISTORY_FEATURES)
+        + ["B"] * len(meta_names)
+        + ["C"] * len(RESOURCE_FEATURES)
+        + ["T"] * len(TIME_FEATURES)
+    )
+    return FeatureMatrix(X=X, names=tuple(names), groups=tuple(groups))

@@ -1,0 +1,319 @@
+"""Cluster trace generation: clusters -> users -> pipelines -> jobs.
+
+Substitutes for Google's production traces (see DESIGN.md).  A cluster
+is a weighted mix of workload archetypes; each user owns a few
+pipelines; each pipeline executes periodically or via a (diurnally
+modulated) Poisson process, and each execution emits one shuffle job per
+step.  The paper's evaluation picks clusters with uneven application
+distributions (Section 5.3) and one outlier cluster that "only runs
+certain workloads that are rare in other clusters" (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import rng_from
+from ..units import DAY, GIB, HOUR, KIB, WEEK
+from .archetypes import ARCHETYPES, Archetype
+from .job import ShuffleJob, Trace
+from .metadata import MetadataSynthesizer
+
+__all__ = ["ClusterSpec", "generate_cluster_trace", "default_cluster_specs"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Specification of one synthetic cluster.
+
+    Attributes
+    ----------
+    name:
+        Cluster identifier (e.g. ``"C0"``).
+    archetype_weights:
+        Sampling weights over archetype names for pipeline assignment.
+        Uneven weights across clusters model the paper's observation
+        that "the distribution of applications is uneven among clusters".
+    n_pipelines:
+        Total pipelines in the cluster.
+    n_users:
+        Number of distinct users; pipelines are assigned to users with a
+        Zipf-like skew so that a few users dominate TCO (Section 5.4
+        holds out the second-largest user).
+    seed:
+        Base RNG seed for the cluster.
+    """
+
+    name: str
+    archetype_weights: dict[str, float]
+    n_pipelines: int = 20
+    n_users: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_pipelines < 1 or self.n_users < 1:
+            raise ValueError("need at least one pipeline and one user")
+        if not self.archetype_weights:
+            raise ValueError("archetype_weights must be non-empty")
+        unknown = set(self.archetype_weights) - set(ARCHETYPES)
+        if unknown:
+            raise ValueError(f"unknown archetypes: {sorted(unknown)}")
+        if any(w < 0 for w in self.archetype_weights.values()):
+            raise ValueError("archetype weights must be >= 0")
+        if sum(self.archetype_weights.values()) <= 0:
+            raise ValueError("archetype weights must sum to > 0")
+
+
+@dataclass
+class _PipelineState:
+    """Latent per-pipeline parameters drawn once per pipeline."""
+
+    idx: int
+    user: str
+    archetype: Archetype
+    scale: dict[str, float]
+    meta: MetadataSynthesizer
+    phase: float
+    weekend_factor: float
+    active_start: float = 0.0
+    active_end: float = float("inf")
+    n_steps: int = field(default=1)
+    # Slow multiplicative drift of the pipeline's I/O intensity: data
+    # access patterns are "highly dynamic" (Section 1), so a pipeline's
+    # density regime changes over days.  Recent-history features track
+    # the current regime; static identity features cannot.
+    drift_amplitude: float = 0.0
+    drift_period: float = 4 * DAY
+    drift_phase: float = 0.0
+
+
+def _diurnal_factor(t: float, amplitude: float, weekend_factor: float) -> float:
+    """Activity modulation by hour-of-day and weekday."""
+    hour_angle = 2.0 * np.pi * ((t % DAY) / DAY)
+    f = 1.0 + amplitude * np.sin(hour_angle - np.pi / 2.0)
+    weekday = int(t // DAY) % 7
+    if weekday >= 5:
+        f *= weekend_factor
+    return max(f, 0.05)
+
+
+def _execution_times(
+    pipe: _PipelineState, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival times of a pipeline's executions over [0, duration)."""
+    arch = pipe.archetype
+    lo = max(pipe.active_start, 0.0)
+    hi = min(pipe.active_end, duration)
+    if hi <= lo:
+        return np.array([])
+    if arch.period is not None:
+        ticks = np.arange(lo + pipe.phase % arch.period, hi, arch.period)
+        if ticks.size == 0:
+            return np.array([])
+        jitter = rng.normal(0.0, 0.03 * arch.period, size=ticks.shape)
+        times = np.clip(ticks + jitter, lo, hi - 1.0)
+        # Diurnal thinning: skip some off-peak executions.
+        keep = np.array(
+            [
+                rng.random()
+                < _diurnal_factor(t, arch.diurnal_amplitude, pipe.weekend_factor) / 1.5
+                for t in times
+            ]
+        )
+        if not keep.any():  # always keep at least one execution
+            keep[0] = True
+        return np.sort(times[keep])
+    # Poisson process with diurnal thinning at max rate.
+    rate_per_sec = arch.arrival_rate / HOUR
+    max_factor = (1.0 + arch.diurnal_amplitude) * 1.0
+    n_expected = rate_per_sec * max_factor * (hi - lo)
+    n = rng.poisson(n_expected)
+    if n == 0:
+        return np.array([])
+    candidates = np.sort(rng.uniform(lo, hi, size=n))
+    accept = np.array(
+        [
+            rng.random()
+            < _diurnal_factor(t, arch.diurnal_amplitude, pipe.weekend_factor) / (1.0 + arch.diurnal_amplitude)
+            for t in candidates
+        ],
+        dtype=bool,
+    )
+    return candidates[accept]
+
+
+def _make_job(
+    job_id: int,
+    cluster: str,
+    pipe: _PipelineState,
+    step_idx: int,
+    t: float,
+    rng: np.random.Generator,
+) -> ShuffleJob:
+    arch = pipe.archetype
+    scale = pipe.scale
+    size = scale["size_median"] * rng.lognormal(0.0, 0.5 * arch.size_sigma)
+    size = max(size, 1 * KIB)
+    lifetime = scale["lifetime_median"] * rng.lognormal(0.0, 0.5 * arch.lifetime_sigma)
+    lifetime = max(lifetime, 1.0)
+    gib = size / GIB
+    workers = max(1, int(round(scale["workers_median"] * rng.lognormal(0.0, 0.2))))
+    threads = int(rng.integers(1, 9))
+    initial_buckets = max(1, int(workers * rng.uniform(2.0, 8.0)))
+    # I/O intensity varies per job in ways the model can learn: more
+    # buckets per worker means more parallel small reads, and later
+    # shuffle steps of an execution are read-heavier (the step name
+    # exposes the step index to the model as a metadata token).
+    bucket_factor = (initial_buckets / (workers * 5.0)) ** 0.6
+    step_factor = 0.6 + 0.35 * step_idx
+    drift = np.exp(
+        pipe.drift_amplitude
+        * np.sin(2.0 * np.pi * t / pipe.drift_period + pipe.drift_phase)
+    )
+    read_ops = max(
+        1.0,
+        scale["read_ops_per_gib"] * gib * bucket_factor * step_factor * drift
+        * rng.lognormal(0.0, 0.3),
+    )
+    write_bytes = size * arch.write_amplification * rng.lognormal(0.0, 0.15)
+    read_bytes = size * arch.read_amplification * rng.lognormal(0.0, 0.15)
+    buckets = max(1, int(initial_buckets * rng.uniform(0.7, 1.3)))
+    requested_shards = max(1, int(buckets * rng.uniform(0.5, 2.0)))
+    shards = max(1, int(requested_shards * rng.uniform(0.8, 1.2)))
+    stripes = int(rng.integers(1, 17))
+    records = max(1.0, write_bytes / (1.0 * KIB) * rng.uniform(0.5, 2.0))
+
+    return ShuffleJob(
+        job_id=job_id,
+        cluster=cluster,
+        user=pipe.user,
+        pipeline=pipe.meta.pipeline_name,
+        archetype=arch.name,
+        arrival=float(t),
+        duration=float(lifetime),
+        size=float(size),
+        read_bytes=float(read_bytes),
+        write_bytes=float(write_bytes),
+        read_ops=float(read_ops),
+        metadata=pipe.meta.for_step(step_idx),
+        resources={
+            "bucket_sizing_initial_num_stripes": float(stripes),
+            "bucket_sizing_num_shards": float(shards),
+            "bucket_sizing_num_worker_threads": float(threads),
+            "bucket_sizing_num_workers": float(workers),
+            "initial_num_buckets": float(initial_buckets),
+            "num_buckets": float(buckets),
+            "records_written": float(records),
+            "requested_num_shards": float(requested_shards),
+        },
+    )
+
+
+def generate_cluster_trace(
+    spec: ClusterSpec,
+    duration: float = 2 * WEEK,
+    seed: int | np.random.Generator | None = None,
+) -> Trace:
+    """Generate the full shuffle-job trace of one cluster.
+
+    Parameters
+    ----------
+    spec:
+        Cluster definition (archetype mix, pipeline/user counts).
+    duration:
+        Trace span in seconds.  The paper uses a contiguous two-week
+        span split into train/test weeks.
+    seed:
+        Overrides ``spec.seed`` when given.
+    """
+    rng = rng_from(spec.seed if seed is None else seed)
+    names = sorted(spec.archetype_weights)
+    weights = np.array([spec.archetype_weights[n] for n in names], dtype=float)
+    weights = weights / weights.sum()
+
+    # Zipf-skewed user sizes: user u gets weight ~ 1/(u+1).
+    user_weights = 1.0 / np.arange(1, spec.n_users + 1)
+    user_weights /= user_weights.sum()
+
+    pipelines: list[_PipelineState] = []
+    for p in range(spec.n_pipelines):
+        arch = ARCHETYPES[names[int(rng.choice(len(names), p=weights))]]
+        user = f"{spec.name}-user{int(rng.choice(spec.n_users, p=user_weights))}"
+        meta_rng = rng_from(int(rng.integers(2**31)))
+        # Workload churn: some pipelines appear mid-trace (new workloads
+        # the training week never saw) and some retire early — "workloads
+        # arrive and evolve at a high rate" (Section 1).
+        roll = rng.random()
+        active_start, active_end = 0.0, float("inf")
+        if roll < 0.30:
+            active_start = float(rng.uniform(0.1, 0.7) * duration)
+        elif roll < 0.50:
+            active_end = float(rng.uniform(0.3, 0.9) * duration)
+        pipe = _PipelineState(
+            idx=p,
+            user=user,
+            archetype=arch,
+            scale=arch.sample_pipeline_scale(rng),
+            meta=MetadataSynthesizer(spec.name, user, p, arch.name, meta_rng),
+            phase=float(rng.uniform(0.0, arch.period if arch.period else HOUR)),
+            weekend_factor=float(rng.uniform(0.5, 1.0)),
+            active_start=active_start,
+            active_end=active_end,
+            drift_amplitude=float(rng.uniform(0.3, 1.0)),
+            drift_period=float(rng.uniform(2.0, 6.0) * DAY),
+            drift_phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+        )
+        lo, hi = arch.steps_range
+        pipe.n_steps = int(rng.integers(lo, hi + 1))
+        pipelines.append(pipe)
+
+    jobs: list[ShuffleJob] = []
+    job_id = 0
+    for pipe in pipelines:
+        for t in _execution_times(pipe, duration, rng):
+            for step in range(pipe.n_steps):
+                # Steps within an execution start staggered: each step
+                # begins partway through the previous one (Section 2.1:
+                # write/sort/read phases can overlap in time).
+                stagger = step * 0.3 * pipe.scale["lifetime_median"]
+                jobs.append(
+                    _make_job(job_id, spec.name, pipe, step, t + stagger, rng)
+                )
+                job_id += 1
+    return Trace(jobs, name=spec.name)
+
+
+def default_cluster_specs(n: int = 10, base_seed: int = 7) -> list[ClusterSpec]:
+    """The 10-cluster suite used by the overall-savings experiments.
+
+    Clusters differ in archetype mix (uneven application distribution).
+    Cluster index 3 ("C3") is the Section-5.4 outlier: it only runs
+    workloads that are rare elsewhere (checkpointing + compress/upload).
+    """
+    mixes: list[dict[str, float]] = [
+        {"logproc": 3, "dbquery": 3, "streaming": 2, "mltrain": 2, "staging": 2, "reporting": 1},
+        {"video": 3, "logproc": 2, "dbquery": 2, "streaming": 1, "staging": 2},
+        {"dbquery": 4, "streaming": 2, "simulation": 2, "logproc": 1, "staging": 2, "reporting": 1},
+        {"mlcheckpoint": 3, "compressupload": 3},  # outlier cluster C3
+        {"mltrain": 3, "simulation": 2, "dbquery": 2, "logproc": 2, "staging": 2, "reporting": 1},
+        {"logproc": 4, "video": 2, "streaming": 2, "dbquery": 1, "staging": 2},
+        {"streaming": 3, "dbquery": 2, "simulation": 1, "mltrain": 2, "staging": 2, "reporting": 1},
+        {"simulation": 3, "video": 2, "logproc": 2, "streaming": 1, "staging": 2},
+        {"dbquery": 3, "mltrain": 2, "video": 1, "streaming": 1, "logproc": 1, "staging": 2, "reporting": 1},
+        {"logproc": 2, "dbquery": 2, "streaming": 2, "simulation": 2, "video": 1, "staging": 2},
+    ]
+    specs = []
+    for i in range(n):
+        mix = mixes[i % len(mixes)]
+        specs.append(
+            ClusterSpec(
+                name=f"C{i}",
+                archetype_weights=dict(mix),
+                n_pipelines=20,
+                n_users=8,
+                seed=base_seed + 1000 * i,
+            )
+        )
+    return specs

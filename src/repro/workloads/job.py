@@ -1,0 +1,208 @@
+"""The shuffle-job data model and trace container.
+
+The paper's basic data placement unit is a *shuffle job* produced by a
+distributed data processing framework (Section 3): a job tracks
+``(start time, lifetime, job size, cost)`` plus the application-level
+features of Table 2.  :class:`Trace` stores a job sequence and exposes
+structure-of-arrays views so that cost computation, labelling and the
+oracle all run vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES, JobCostVector, hdd_cost, ssd_cost, tcio_rate
+from ..units import GIB
+
+__all__ = ["ShuffleJob", "Trace"]
+
+
+@dataclass(frozen=True)
+class ShuffleJob:
+    """One shuffle job: the unit of data placement.
+
+    Attributes
+    ----------
+    job_id:
+        Unique index within the trace.
+    cluster, user, pipeline:
+        Identity of the workload hierarchy the job belongs to.
+    archetype:
+        Name of the workload archetype that generated the job (generator
+        bookkeeping; never exposed to models as a feature).
+    arrival, duration:
+        Start time (seconds since trace epoch) and lifetime.
+    size:
+        Peak intermediate-file footprint in bytes.
+    read_bytes, write_bytes:
+        Total bytes read / written over the job's lifetime.
+    read_ops:
+        Raw application read-operation count (pre DRAM-cache filtering).
+    metadata:
+        Execution-metadata strings (Table 2 group B): build target,
+        execution name, pipeline name, step name, user name.
+    resources:
+        Allocated-resource features (Table 2 group C), known before the
+        job starts: bucket/shard/worker counts and records written.
+    """
+
+    job_id: int
+    cluster: str
+    user: str
+    pipeline: str
+    archetype: str
+    arrival: float
+    duration: float
+    size: float
+    read_bytes: float
+    write_bytes: float
+    read_ops: float
+    metadata: dict[str, str] = field(default_factory=dict)
+    resources: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.arrival + self.duration
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"job {self.job_id}: negative duration {self.duration}")
+        if self.size < 0 or self.read_bytes < 0 or self.write_bytes < 0 or self.read_ops < 0:
+            raise ValueError(f"job {self.job_id}: negative size or I/O volume")
+
+
+class Trace:
+    """An immutable, arrival-ordered sequence of shuffle jobs.
+
+    Array views (:attr:`arrivals`, :attr:`sizes`, ...) are cached on
+    first access; the job list must not be mutated after construction.
+    """
+
+    def __init__(self, jobs: Sequence[ShuffleJob], name: str = "trace"):
+        self.jobs: tuple[ShuffleJob, ...] = tuple(
+            sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        )
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[ShuffleJob]:
+        return iter(self.jobs)
+
+    def __getitem__(self, i: int) -> ShuffleJob:
+        return self.jobs[i]
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self.jobs)} jobs)"
+
+    # -- structure-of-arrays views ------------------------------------
+
+    @cached_property
+    def arrivals(self) -> np.ndarray:
+        return np.array([j.arrival for j in self.jobs], dtype=float)
+
+    @cached_property
+    def durations(self) -> np.ndarray:
+        return np.array([j.duration for j in self.jobs], dtype=float)
+
+    @cached_property
+    def ends(self) -> np.ndarray:
+        return self.arrivals + self.durations
+
+    @cached_property
+    def sizes(self) -> np.ndarray:
+        return np.array([j.size for j in self.jobs], dtype=float)
+
+    @cached_property
+    def read_bytes(self) -> np.ndarray:
+        return np.array([j.read_bytes for j in self.jobs], dtype=float)
+
+    @cached_property
+    def write_bytes(self) -> np.ndarray:
+        return np.array([j.write_bytes for j in self.jobs], dtype=float)
+
+    @cached_property
+    def read_ops(self) -> np.ndarray:
+        return np.array([j.read_ops for j in self.jobs], dtype=float)
+
+    @cached_property
+    def total_bytes(self) -> np.ndarray:
+        return self.read_bytes + self.write_bytes
+
+    @cached_property
+    def pipelines(self) -> list[str]:
+        return [j.pipeline for j in self.jobs]
+
+    @cached_property
+    def users(self) -> list[str]:
+        return [j.user for j in self.jobs]
+
+    # -- derived quantities --------------------------------------------
+
+    def tcio(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
+        """Per-job TCIO rate if placed on HDD (HDD-equivalents)."""
+        return np.asarray(tcio_rate(self.read_ops, self.write_bytes, self.durations, rates))
+
+    def io_density(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
+        """Total I/O over the lifetime divided by the peak footprint.
+
+        Measured as effective disk operations per GiB of footprint; this
+        is the quantity the paper clusters jobs by when designing
+        importance categories (Section 4.2 / Figure 4).
+        """
+        total_ops = (
+            self.tcio(rates) * np.maximum(self.durations, 1.0) * rates.hdd_ops_per_second
+        )
+        return total_ops / np.maximum(self.sizes / GIB, 1e-9)
+
+    def costs(self, rates: CostRates = DEFAULT_RATES) -> JobCostVector:
+        """HDD and SSD TCO for every job."""
+        tcio = self.tcio(rates)
+        c_hdd = hdd_cost(self.sizes, self.durations, self.total_bytes, tcio, rates)
+        c_ssd = ssd_cost(self.sizes, self.durations, self.total_bytes, self.write_bytes, rates)
+        return JobCostVector(c_hdd=np.asarray(c_hdd), c_ssd=np.asarray(c_ssd))
+
+    def peak_ssd_usage(self) -> float:
+        """Peak concurrent footprint if every job were placed on SSD.
+
+        Experiments express SSD quotas as fractions of this value
+        (Section 5.1: capacity is measured under infinite SSD first).
+        """
+        if not self.jobs:
+            return 0.0
+        events = np.concatenate([self.arrivals, self.ends])
+        deltas = np.concatenate([self.sizes, -self.sizes])
+        # Ends sort before arrivals at equal timestamps (right-open
+        # intervals): release space before allocating.
+        tie = np.concatenate([np.ones(len(self.jobs)), np.zeros(len(self.jobs))])
+        idx = np.lexsort((tie, events))
+        usage = np.cumsum(deltas[idx])
+        return float(usage.max(initial=0.0))
+
+    def split_at(self, t: float, names: tuple[str, str] | None = None) -> tuple["Trace", "Trace"]:
+        """Split into (jobs arriving before ``t``, jobs arriving at/after).
+
+        Used for train/test week splits (Section 5.1).
+        """
+        before = [j for j in self.jobs if j.arrival < t]
+        after = [j for j in self.jobs if j.arrival >= t]
+        n1, n2 = names or (f"{self.name}/train", f"{self.name}/test")
+        return Trace(before, n1), Trace(after, n2)
+
+    def subset(self, mask: np.ndarray, name: str | None = None) -> "Trace":
+        """Select jobs by boolean mask (order preserved)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self.jobs),):
+            raise ValueError(f"mask shape {mask.shape} != ({len(self.jobs)},)")
+        picked = [j for j, m in zip(self.jobs, mask) if m]
+        return Trace(picked, name or f"{self.name}/subset")

@@ -1,0 +1,82 @@
+"""Execution-metadata string synthesis and tokenization.
+
+The paper's group-B features are strings "formatted as ... execution-
+related names, paths and targets.  Key elements are separated by
+non-alphanumeric characters" and are treated as sequences of substring
+tokens (Section 4.1, Tables 2-3).  This module synthesizes realistic
+metadata for generated jobs and tokenizes any metadata string the same
+way the paper describes.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "METADATA_FIELDS",
+    "tokenize",
+    "stable_hash",
+    "MetadataSynthesizer",
+]
+
+#: The five execution-metadata fields of Table 2 (group B).
+METADATA_FIELDS = (
+    "build_target_name",
+    "execution_name",
+    "pipeline_name",
+    "step_name",
+    "user_name",
+)
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+_TEAMS = ("storage", "ads", "search", "maps", "photos", "logs", "research", "payments")
+_COMPONENTS = ("importer", "exporter", "aggregator", "joiner", "indexer", "ranker", "reducer")
+_OPS = ("GroupByKey", "CoGroupByKey", "Combine", "Flatten", "Partition", "Distinct")
+
+
+def tokenize(value: str) -> list[str]:
+    """Split a metadata string into its alphanumeric key elements.
+
+    ``//storage/logs/buildmanager:importer`` ->
+    ``['storage', 'logs', 'buildmanager', 'importer']``.
+    """
+    return _TOKEN_RE.findall(value)
+
+
+def stable_hash(token: str, seed: int = 0) -> int:
+    """Deterministic 32-bit hash of a token (stable across processes)."""
+    return zlib.crc32(f"{seed}:{token}".encode("utf-8")) & 0xFFFFFFFF
+
+
+class MetadataSynthesizer:
+    """Generates consistent metadata strings for a pipeline's jobs.
+
+    A pipeline keeps fixed build-target / execution / pipeline names,
+    while step and user names vary per shuffle step, mirroring the
+    examples in Table 3 of the paper.
+    """
+
+    def __init__(self, cluster: str, user: str, pipeline_idx: int, archetype: str,
+                 rng: np.random.Generator):
+        team = _TEAMS[int(rng.integers(len(_TEAMS)))]
+        component = _COMPONENTS[int(rng.integers(len(_COMPONENTS)))]
+        self.build_target_name = f"//{team}/{archetype}/buildmanager:{component}"
+        self.execution_name = f"com.{team}.{archetype}.{component}.launcher.Main"
+        self.pipeline_name = f"org_{team}.{archetype}-dims-prod.{component}{pipeline_idx}"
+        self._ops = _OPS
+        self._rng = rng
+
+    def for_step(self, step_idx: int) -> dict[str, str]:
+        """Metadata dict for one shuffle step of an execution."""
+        op = self._ops[step_idx % len(self._ops)]
+        return {
+            "build_target_name": self.build_target_name,
+            "execution_name": self.execution_name,
+            "pipeline_name": self.pipeline_name,
+            "step_name": f"s{step_idx}-open-shuffle{step_idx}",
+            "user_name": f"{op}-{step_idx}",
+        }

@@ -1,0 +1,148 @@
+"""Three-phase shuffle-job I/O structure (Section 4.1 / Appendix B).
+
+"Each shuffle job has three main steps: data writing, sorting, and data
+retrieval.  Workers first write raw intermediate files, which are then
+organized into sorted intermediate files by sorters.  Finally, workers
+retrieve the required data [...] These steps can overlap in time."
+
+This module decomposes a job's byte volumes into the three phases and
+exposes a time-resolved I/O profile.  The base cost model assumes
+uniform I/O over the lifetime; the phase model refines that for
+analyses that care about *when* a job exerts its pressure (e.g. the
+spillover estimate's accuracy, or bursty-arrival studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .job import ShuffleJob
+
+__all__ = ["Phase", "PhaseProfile", "decompose_phases"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a shuffle job, relative to the job's arrival.
+
+    Attributes
+    ----------
+    name:
+        ``"write"``, ``"sort"`` or ``"retrieve"``.
+    start_frac, end_frac:
+        Phase span as fractions of the job lifetime (phases overlap).
+    read_bytes, write_bytes, read_ops:
+        I/O attributed to the phase.
+    """
+
+    name: str
+    start_frac: float
+    end_frac: float
+    read_bytes: float
+    write_bytes: float
+    read_ops: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_frac < self.end_frac <= 1.0:
+            raise ValueError(f"invalid phase span [{self.start_frac}, {self.end_frac}]")
+
+    @property
+    def duration_frac(self) -> float:
+        return self.end_frac - self.start_frac
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """The three-phase decomposition of one job."""
+
+    phases: tuple[Phase, Phase, Phase]
+
+    @property
+    def write(self) -> Phase:
+        return self.phases[0]
+
+    @property
+    def sort(self) -> Phase:
+        return self.phases[1]
+
+    @property
+    def retrieve(self) -> Phase:
+        return self.phases[2]
+
+    def io_rate_at(self, frac: float) -> float:
+        """Instantaneous I/O rate (bytes per lifetime-fraction) at a
+        point in the job's normalized lifetime."""
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError("frac must be in [0, 1]")
+        total = 0.0
+        for p in self.phases:
+            if p.start_frac <= frac < p.end_frac:
+                total += (p.read_bytes + p.write_bytes) / p.duration_frac
+        return total
+
+    def cumulative_bytes(self, frac: float) -> float:
+        """Bytes moved by normalized lifetime-fraction ``frac``."""
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError("frac must be in [0, 1]")
+        total = 0.0
+        for p in self.phases:
+            if frac <= p.start_frac:
+                continue
+            covered = min(frac, p.end_frac) - p.start_frac
+            total += (p.read_bytes + p.write_bytes) * covered / p.duration_frac
+        return total
+
+
+def decompose_phases(job: ShuffleJob, overlap: float = 0.2) -> PhaseProfile:
+    """Split a job's I/O into write/sort/retrieve phases.
+
+    - **write**: workers write raw intermediate files — all original
+      bytes are written here (the footprint's worth of writes).
+    - **sort**: sorters read the raw files and write sorted ones — this
+      phase carries the write *amplification* beyond the footprint plus
+      an equal read volume.
+    - **retrieve**: workers read the sorted data back — the remaining
+      read bytes and the bulk of the (random) read operations.
+
+    ``overlap`` is the fraction of lifetime adjacent phases share
+    ("these steps can be executed concurrently, resulting in temporal
+    overlap").
+    """
+    if not 0.0 <= overlap < 0.5:
+        raise ValueError("overlap must be in [0, 0.5)")
+    size = job.size
+    raw_write = min(size, job.write_bytes)
+    sort_write = max(job.write_bytes - raw_write, 0.0)
+    sort_read = min(sort_write, job.read_bytes)
+    retrieve_read = max(job.read_bytes - sort_read, 0.0)
+    # Ops: sorting is sequential (few ops); retrieval does random reads.
+    sort_ops = job.read_ops * 0.15
+    retrieve_ops = job.read_ops * 0.85
+
+    third = 1.0 / 3.0
+    o = overlap * third
+    write = Phase(
+        name="write",
+        start_frac=0.0,
+        end_frac=third + o,
+        read_bytes=0.0,
+        write_bytes=raw_write,
+        read_ops=0.0,
+    )
+    sort = Phase(
+        name="sort",
+        start_frac=third - o,
+        end_frac=2 * third + o,
+        read_bytes=sort_read,
+        write_bytes=sort_write,
+        read_ops=sort_ops,
+    )
+    retrieve = Phase(
+        name="retrieve",
+        start_frac=2 * third - o,
+        end_frac=1.0,
+        read_bytes=retrieve_read,
+        write_bytes=0.0,
+        read_ops=retrieve_ops,
+    )
+    return PhaseProfile(phases=(write, sort, retrieve))

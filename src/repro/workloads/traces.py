@@ -1,0 +1,103 @@
+"""Trace persistence and train/test splitting utilities.
+
+Traces serialize to a compact ``.npz`` (arrays) + JSON sidecar (strings)
+pair so that large generated traces can be cached between benchmark
+runs without regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..units import WEEK
+from .job import ShuffleJob, Trace
+
+__all__ = ["save_trace", "load_trace", "week_split"]
+
+_RESOURCE_KEYS_ATTR = "resource_keys"
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to ``<path>.npz`` and ``<path>.json``."""
+    path = Path(path)
+    n = len(trace)
+    resource_keys = sorted({k for j in trace for k in j.resources})
+    resources = np.zeros((n, len(resource_keys)))
+    for i, job in enumerate(trace):
+        for c, k in enumerate(resource_keys):
+            resources[i, c] = job.resources.get(k, 0.0)
+    np.savez_compressed(
+        path.with_suffix(".npz"),
+        arrivals=trace.arrivals,
+        durations=trace.durations,
+        sizes=trace.sizes,
+        read_bytes=trace.read_bytes,
+        write_bytes=trace.write_bytes,
+        read_ops=trace.read_ops,
+        resources=resources,
+    )
+    sidecar = {
+        "name": trace.name,
+        _RESOURCE_KEYS_ATTR: resource_keys,
+        "jobs": [
+            {
+                "job_id": j.job_id,
+                "cluster": j.cluster,
+                "user": j.user,
+                "pipeline": j.pipeline,
+                "archetype": j.archetype,
+                "metadata": j.metadata,
+            }
+            for j in trace
+        ],
+    }
+    path.with_suffix(".json").write_text(json.dumps(sidecar))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    arrays = np.load(path.with_suffix(".npz"))
+    sidecar = json.loads(path.with_suffix(".json").read_text())
+    resource_keys = sidecar[_RESOURCE_KEYS_ATTR]
+    jobs = []
+    for i, meta in enumerate(sidecar["jobs"]):
+        jobs.append(
+            ShuffleJob(
+                job_id=meta["job_id"],
+                cluster=meta["cluster"],
+                user=meta["user"],
+                pipeline=meta["pipeline"],
+                archetype=meta["archetype"],
+                arrival=float(arrays["arrivals"][i]),
+                duration=float(arrays["durations"][i]),
+                size=float(arrays["sizes"][i]),
+                read_bytes=float(arrays["read_bytes"][i]),
+                write_bytes=float(arrays["write_bytes"][i]),
+                read_ops=float(arrays["read_ops"][i]),
+                metadata=dict(meta["metadata"]),
+                resources={
+                    k: float(arrays["resources"][i, c]) for c, k in enumerate(resource_keys)
+                },
+            )
+        )
+    return Trace(jobs, name=sidecar["name"])
+
+
+def week_split(trace: Trace) -> tuple[Trace, np.ndarray, Trace, np.ndarray]:
+    """Split a two-week trace into train/test weeks.
+
+    Returns ``(train_trace, train_idx, test_trace, test_idx)`` where the
+    index arrays map back into the original trace's job order (so that
+    features extracted on the full trace can be sliced consistently).
+    """
+    arrivals = trace.arrivals
+    train_mask = arrivals < WEEK
+    train_idx = np.flatnonzero(train_mask)
+    test_idx = np.flatnonzero(~train_mask)
+    train = trace.subset(train_mask, name=f"{trace.name}/train")
+    test = trace.subset(~train_mask, name=f"{trace.name}/test")
+    return train, train_idx, test, test_idx

@@ -1,0 +1,132 @@
+"""Trace statistics and validation.
+
+Generated traces substitute for production data, so we validate that
+they actually exhibit the structural properties the paper's method
+depends on (Figure 1 diversity, Figure 4 density/savings structure,
+workload churn).  ``trace_statistics`` computes the report;
+``validate_trace`` raises when a trace is degenerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES
+from .job import Trace
+
+__all__ = ["TraceStatistics", "trace_statistics", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Structural summary of a trace.
+
+    Attributes
+    ----------
+    n_jobs, n_pipelines, n_users:
+        Population counts.
+    span:
+        Time from first arrival to last end.
+    size_p50, size_p99, lifetime_p50, lifetime_p99:
+        Footprint / lifetime distribution markers.
+    positive_savings_fraction:
+        Share of jobs that save TCO on SSD.
+    density_dynamic_range:
+        log10 of the 99th/1st percentile I/O-density ratio — the
+        "orders of magnitude" diversity of Figure 1.
+    churn_fraction:
+        Share of pipelines whose first job arrives after 25% of the
+        span or whose last job arrives before 75% (workload churn).
+    peak_ssd_usage:
+        Infinite-capacity peak footprint (quota denominator).
+    """
+
+    n_jobs: int
+    n_pipelines: int
+    n_users: int
+    span: float
+    size_p50: float
+    size_p99: float
+    lifetime_p50: float
+    lifetime_p99: float
+    positive_savings_fraction: float
+    density_dynamic_range: float
+    churn_fraction: float
+    peak_ssd_usage: float
+
+
+def trace_statistics(trace: Trace, rates: CostRates = DEFAULT_RATES) -> TraceStatistics:
+    """Compute the structural summary of a trace."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    sizes = trace.sizes
+    durations = trace.durations
+    savings = trace.costs(rates).savings
+    density = trace.io_density(rates)
+    arrivals = trace.arrivals
+    span = float(trace.ends.max() - arrivals.min())
+
+    first: dict[str, float] = {}
+    last: dict[str, float] = {}
+    for a, p in zip(arrivals, trace.pipelines):
+        first.setdefault(p, a)
+        last[p] = a
+    t0 = arrivals.min()
+    churned = sum(
+        1
+        for p in first
+        if (first[p] - t0) > 0.25 * span or (last[p] - t0) < 0.75 * span
+    )
+
+    pos_density = density[density > 0]
+    if pos_density.size >= 2:
+        p1, p99 = np.percentile(pos_density, [1, 99])
+        dynamic_range = float(np.log10(max(p99, 1e-12) / max(p1, 1e-12)))
+    else:
+        dynamic_range = 0.0
+
+    return TraceStatistics(
+        n_jobs=len(trace),
+        n_pipelines=len(first),
+        n_users=len(set(trace.users)),
+        span=span,
+        size_p50=float(np.percentile(sizes, 50)),
+        size_p99=float(np.percentile(sizes, 99)),
+        lifetime_p50=float(np.percentile(durations, 50)),
+        lifetime_p99=float(np.percentile(durations, 99)),
+        positive_savings_fraction=float((savings > 0).mean()),
+        density_dynamic_range=dynamic_range,
+        churn_fraction=churned / max(len(first), 1),
+        peak_ssd_usage=trace.peak_ssd_usage(),
+    )
+
+
+def validate_trace(
+    trace: Trace,
+    rates: CostRates = DEFAULT_RATES,
+    min_positive_fraction: float = 0.05,
+    max_positive_fraction: float = 0.95,
+    min_density_range: float = 1.0,
+) -> TraceStatistics:
+    """Raise ``ValueError`` if a trace lacks the structure experiments need.
+
+    A valid trace must have a non-degenerate mix of SSD-worthy and
+    HDD-worthy jobs and a meaningful I/O-density spread; otherwise every
+    placement method collapses to the same trivial behaviour and the
+    experiments say nothing.
+    """
+    stats = trace_statistics(trace, rates)
+    if not min_positive_fraction <= stats.positive_savings_fraction <= max_positive_fraction:
+        raise ValueError(
+            f"degenerate savings mix: {stats.positive_savings_fraction:.1%} of "
+            f"jobs have positive savings (want {min_positive_fraction:.0%}.."
+            f"{max_positive_fraction:.0%})"
+        )
+    if stats.density_dynamic_range < min_density_range:
+        raise ValueError(
+            f"I/O density spans only {stats.density_dynamic_range:.2f} orders "
+            f"of magnitude (want >= {min_density_range})"
+        )
+    return stats

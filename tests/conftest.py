@@ -1,0 +1,100 @@
+"""Shared fixtures: small, fast traces reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.units import DAY, GIB, HOUR, MIB
+from repro.workloads import ClusterSpec, ShuffleJob, Trace, generate_cluster_trace
+
+
+def make_job(
+    job_id: int = 0,
+    arrival: float = 0.0,
+    duration: float = 600.0,
+    size: float = 1 * GIB,
+    read_ops: float = 10_000.0,
+    read_bytes: float = 2 * GIB,
+    write_bytes: float = 1 * GIB,
+    pipeline: str = "pipe0",
+    user: str = "user0",
+    cluster: str = "T",
+    archetype: str = "dbquery",
+    step: int = 0,
+) -> ShuffleJob:
+    """A hand-built job with sensible defaults for unit tests."""
+    return ShuffleJob(
+        job_id=job_id,
+        cluster=cluster,
+        user=user,
+        pipeline=pipeline,
+        archetype=archetype,
+        arrival=arrival,
+        duration=duration,
+        size=size,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        read_ops=read_ops,
+        metadata={
+            "build_target_name": f"//team/{archetype}/buildmanager:bin",
+            "execution_name": f"com.team.{archetype}.Main",
+            "pipeline_name": pipeline,
+            "step_name": f"s{step}-open-shuffle{step}",
+            "user_name": f"GroupByKey-{step}",
+        },
+        resources={
+            "bucket_sizing_initial_num_stripes": 4.0,
+            "bucket_sizing_num_shards": 32.0,
+            "bucket_sizing_num_worker_threads": 4.0,
+            "bucket_sizing_num_workers": 16.0,
+            "initial_num_buckets": 64.0,
+            "num_buckets": 64.0,
+            "records_written": 1e6,
+            "requested_num_shards": 32.0,
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """A generated ~2-day trace, small enough for fast tests."""
+    spec = ClusterSpec(
+        name="small",
+        archetype_weights={"dbquery": 2, "logproc": 2, "streaming": 1, "staging": 1},
+        n_pipelines=8,
+        n_users=4,
+        seed=123,
+    )
+    return generate_cluster_trace(spec, duration=2 * DAY)
+
+
+@pytest.fixture(scope="session")
+def two_week_trace() -> Trace:
+    """A small two-week trace for train/test-split integration tests."""
+    spec = ClusterSpec(
+        name="tw",
+        archetype_weights={"dbquery": 2, "logproc": 1, "streaming": 1,
+                           "staging": 1, "mltrain": 1},
+        n_pipelines=8,
+        n_users=4,
+        seed=7,
+    )
+    return generate_cluster_trace(spec, duration=14 * DAY)
+
+
+@pytest.fixture()
+def handmade_trace() -> Trace:
+    """Four deterministic jobs spanning known intervals."""
+    jobs = [
+        make_job(0, arrival=0.0, duration=100.0, size=10 * GIB, pipeline="a"),
+        make_job(1, arrival=50.0, duration=100.0, size=20 * GIB, pipeline="a"),
+        make_job(2, arrival=120.0, duration=50.0, size=5 * GIB, pipeline="b"),
+        make_job(3, arrival=200.0, duration=400.0, size=1 * GIB, pipeline="b"),
+    ]
+    return Trace(jobs, name="handmade")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,82 @@
+"""Golden-trace test: Algorithm 1 step-by-step on a hand-computed case.
+
+Pins the exact decision sequence of the adaptive policy on a tiny trace
+where every threshold update can be verified by hand — a regression
+anchor for the algorithm's arithmetic (window trimming, spillover
+computation, threshold moves, admission comparisons).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AdaptiveParams
+from repro.core import AdaptiveCategoryPolicy
+from repro.storage import simulate
+from repro.units import GIB
+from repro.workloads import Trace
+
+from conftest import make_job
+
+
+def build_setting():
+    """Five jobs, 100 s apart, each 10 GiB for 1000 s; capacity 10 GiB.
+
+    With categories [3, 3, 3, 1, 3] and N=4 (ACT range [1, 3]):
+
+    - t=0:   first update (td expired), empty history -> h=0 < T_l
+             -> ACT: 2 -> 1.  Job 0 (cat 3 >= 1) -> SSD, fits fully.
+    - t=100: update, history=[job0 fully placed] -> h=0 -> ACT stays 1
+             (already at floor).  Job 1 -> SSD, but job 0 still holds
+             all 10 GiB -> fully spilled.
+    - t=200: h > 0 (job 1 spilled) -> if h > T_u, ACT 1 -> 2.
+             Job 2 (cat 3 >= 2) -> SSD -> spills.
+    - t=300: more spillover -> ACT 2 -> 3.  Job 3 (cat 1 < 3) -> HDD.
+    - t=400: spillover persists -> ACT stays 3 (clamped).
+             Job 4 (cat 3 >= 3) -> SSD -> spills.
+    """
+    jobs = [
+        make_job(i, arrival=i * 100.0, duration=1000.0, size=10 * GIB)
+        for i in range(5)
+    ]
+    trace = Trace(jobs)
+    categories = np.array([3, 3, 3, 1, 3])
+    params = AdaptiveParams(
+        spillover_low=0.01,
+        spillover_high=0.05,
+        lookback_window=10_000.0,
+        decision_interval=0.0,
+        initial_act=2,
+    )
+    policy = AdaptiveCategoryPolicy(categories, n_categories=4, params=params)
+    return trace, policy
+
+
+class TestGoldenTrace:
+    @pytest.fixture()
+    def outcome(self):
+        trace, policy = build_setting()
+        result = simulate(trace, policy, capacity=10 * GIB)
+        return policy, result
+
+    def test_threshold_sequence(self, outcome):
+        policy, _ = outcome
+        acts = [e.act for e in policy.trajectory]
+        assert acts == [1, 1, 2, 3, 3]
+
+    def test_spillover_sequence_monotone_onset(self, outcome):
+        policy, _ = outcome
+        spills = [e.spillover for e in policy.trajectory]
+        assert spills[0] == 0.0
+        assert spills[1] == 0.0  # job 0 fully placed, nothing spilled yet
+        assert spills[2] > 0.0  # job 1's spill is now visible
+
+    def test_placements(self, outcome):
+        _, result = outcome
+        # Job 0 fits fully; jobs 1, 2, 4 spill entirely; job 3 -> HDD.
+        assert result.ssd_fraction[0] == pytest.approx(1.0)
+        assert result.ssd_fraction[1] == 0.0
+        assert result.ssd_fraction[2] == 0.0
+        assert result.ssd_fraction[3] == 0.0
+        assert result.ssd_fraction[4] == 0.0
+        assert result.n_ssd_requested == 4  # all but the cat-1 job
+        assert result.n_spilled == 3

@@ -1,0 +1,163 @@
+"""Baseline policies: FirstFit, Heuristic, ML lifetime baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CategoryAdmissionPolicy,
+    FirstFitPolicy,
+    LifetimeModel,
+    LifetimePolicy,
+)
+from repro.storage import simulate
+from repro.units import GIB, HOUR
+from repro.workloads import Trace, extract_features
+
+from conftest import make_job
+
+
+class TestFirstFit:
+    def test_admits_everything_with_space(self, handmade_trace):
+        res = simulate(handmade_trace, FirstFitPolicy(), capacity=1e18)
+        assert res.n_ssd_requested == len(handmade_trace)
+        assert res.n_spilled == 0
+
+    def test_skips_jobs_that_do_not_fit(self):
+        jobs = [
+            make_job(0, arrival=0.0, duration=100.0, size=8 * GIB),
+            make_job(1, arrival=10.0, duration=100.0, size=8 * GIB),
+            make_job(2, arrival=20.0, duration=100.0, size=1 * GIB),
+        ]
+        res = simulate(Trace(jobs), FirstFitPolicy(), capacity=10 * GIB)
+        # Job 1 does not fit (only 2 GiB free) -> HDD; job 2 fits.
+        assert res.ssd_fraction[0] == 1.0
+        assert res.ssd_fraction[1] == 0.0
+        assert res.ssd_fraction[2] == 1.0
+        assert res.n_spilled == 0
+
+    def test_no_spillover_ever(self, small_trace):
+        res = simulate(
+            small_trace, FirstFitPolicy(), capacity=0.01 * small_trace.peak_ssd_usage()
+        )
+        assert res.n_spilled == 0
+
+
+class TestHeuristic:
+    def test_seeded_admission_prefers_high_savings_pipeline(self):
+        # Training: pipeline "hot" saves money, "cold" loses it.
+        train_jobs = [
+            make_job(i, arrival=i * 10.0, duration=60.0, size=1 * GIB,
+                     read_ops=200_000.0, pipeline="hot")
+            for i in range(20)
+        ] + [
+            make_job(100 + i, arrival=i * 10.0, duration=40_000.0, size=50 * GIB,
+                     read_ops=10.0, write_bytes=60 * GIB, pipeline="cold")
+            for i in range(20)
+        ]
+        train = Trace(train_jobs)
+        test_jobs = [
+            make_job(0, arrival=0.0, read_ops=200_000.0, pipeline="hot"),
+            make_job(1, arrival=1.0, duration=40_000.0, size=50 * GIB,
+                     read_ops=10.0, write_bytes=60 * GIB, pipeline="cold"),
+        ]
+        test = Trace(test_jobs)
+        res = simulate(test, CategoryAdmissionPolicy(train), capacity=1e18)
+        assert res.ssd_fraction[0] > 0.0
+        assert res.ssd_fraction[1] == 0.0
+
+    def test_without_history_nothing_admitted_initially(self, handmade_trace):
+        policy = CategoryAdmissionPolicy(train_trace=None)
+        res = simulate(handmade_trace, policy, capacity=1e18)
+        # No seed and refresh interval longer than the trace: all HDD.
+        assert res.n_ssd_requested == 0
+
+    def test_online_refresh_adapts(self):
+        # No training seed, but a long run of profitable jobs: after the
+        # refresh interval the category must enter the admission set.
+        jobs = [
+            make_job(i, arrival=i * 100.0, duration=50.0, size=1 * GIB,
+                     read_ops=500_000.0, pipeline="p")
+            for i in range(200)
+        ]
+        trace = Trace(jobs)
+        policy = CategoryAdmissionPolicy(train_trace=None, refresh_interval=1000.0)
+        res = simulate(trace, policy, capacity=1e18)
+        assert res.ssd_fraction[:5].sum() == 0.0  # before first refresh
+        assert res.ssd_fraction[50:].mean() > 0.9  # after adaptation
+
+    def test_capacity_bounds_admission_set(self):
+        # Two profitable pipelines but capacity for only one: the
+        # higher-savings one wins.
+        train_jobs = []
+        for i in range(20):
+            train_jobs.append(
+                make_job(i, arrival=i * 50.0, duration=100.0, size=2 * GIB,
+                         read_ops=900_000.0, pipeline="big-saver")
+            )
+            train_jobs.append(
+                make_job(100 + i, arrival=i * 50.0, duration=100.0, size=2 * GIB,
+                         read_ops=100_000.0, pipeline="small-saver")
+            )
+        train = Trace(train_jobs)
+        test = Trace([
+            make_job(0, arrival=0.0, read_ops=900_000.0, pipeline="big-saver"),
+            make_job(1, arrival=1.0, read_ops=100_000.0, pipeline="small-saver"),
+        ])
+        # Average concurrent usage of one pipeline ~ 2 GiB * 100s * 20 / 1050s.
+        policy = CategoryAdmissionPolicy(train)
+        res = simulate(test, policy, capacity=2 * GIB)
+        assert res.ssd_fraction[0] > 0.0
+        assert res.ssd_fraction[1] == 0.0
+
+
+class TestLifetimeBaseline:
+    @pytest.fixture(scope="class")
+    def trained(self, two_week_trace):
+        from repro.workloads import week_split
+
+        features = extract_features(two_week_trace)
+        train, train_idx, test, test_idx = week_split(two_week_trace)
+        model = LifetimeModel(n_rounds=8).fit(
+            features.take(train_idx), train.durations
+        )
+        return model, test, features.take(test_idx)
+
+    def test_prediction_positive(self, trained):
+        model, test, features = trained
+        mu, sigma = model.predict(features)
+        assert (mu >= 0).all()
+        assert (sigma >= 0).all()
+
+    def test_predictions_correlate_with_truth(self, trained):
+        model, test, features = trained
+        mu, _ = model.predict(features)
+        corr = np.corrcoef(np.log1p(mu), np.log1p(test.durations))[0, 1]
+        assert corr > 0.5
+
+    def test_ttl_gates_admission(self, trained):
+        model, test, features = trained
+        policy = LifetimePolicy(model, features, ttl=1 * HOUR)
+        res = simulate(test, policy, capacity=1e18)
+        mu, sigma = model.predict(features)
+        expected = (mu + sigma) < 1 * HOUR
+        assert res.n_ssd_requested == int(expected.sum())
+
+    def test_eviction_bounds_residency(self, trained):
+        model, test, features = trained
+        policy = LifetimePolicy(model, features, ttl=1 * HOUR)
+        res = simulate(test, policy, capacity=1e18)
+        admitted = res.ssd_fraction > 0
+        if admitted.any():
+            # Evicted jobs have fraction < 1 when mu+sigma < duration.
+            assert (res.ssd_fraction[admitted] <= 1.0).all()
+
+    def test_rejects_bad_ttl(self, trained):
+        model, _, features = trained
+        with pytest.raises(ValueError):
+            LifetimePolicy(model, features, ttl=0.0)
+
+    def test_feature_trace_mismatch_raises(self, trained, handmade_trace):
+        model, _, features = trained
+        policy = LifetimePolicy(model, features, ttl=1 * HOUR)
+        with pytest.raises(ValueError):
+            simulate(handmade_trace, policy, capacity=1e18)

@@ -1,0 +1,71 @@
+"""CategoryModel: labeler + classifier bundle, timing, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelParams
+from repro.core import CategoryModel, prepare_cluster
+from repro.workloads import extract_features
+
+
+@pytest.fixture(scope="module")
+def cluster(two_week_trace):
+    return prepare_cluster(two_week_trace)
+
+
+@pytest.fixture(scope="module")
+def fitted(cluster):
+    model = CategoryModel(ModelParams(n_categories=8, n_rounds=6, max_depth=4))
+    model.fit(cluster.train, cluster.features_train)
+    return model
+
+
+class TestCategoryModel:
+    def test_predictions_in_range(self, fitted, cluster):
+        pred = fitted.predict(cluster.features_test)
+        assert pred.min() >= 0
+        assert pred.max() < 8
+
+    def test_accuracy_beats_chance(self, fitted, cluster):
+        acc = fitted.top1_accuracy(cluster.test, cluster.features_test)
+        labels = fitted.labels_for(cluster.test)
+        majority = np.bincount(labels).max() / len(labels)
+        assert acc > max(1.0 / 8, 0.5 * majority)
+
+    def test_labels_match_labeler(self, fitted, cluster):
+        labels = fitted.labels_for(cluster.train)
+        savings = cluster.train.costs().savings
+        assert (labels[savings < 0] == 0).all()
+
+    def test_fit_empty_raises(self, cluster):
+        from repro.workloads import Trace
+
+        model = CategoryModel(ModelParams(n_categories=4, n_rounds=2))
+        with pytest.raises(ValueError):
+            model.fit(Trace([]), cluster.features_train.take(np.array([], dtype=int)))
+
+    def test_fit_misaligned_raises(self, cluster):
+        model = CategoryModel(ModelParams(n_categories=4, n_rounds=2))
+        with pytest.raises(ValueError):
+            model.fit(cluster.train, cluster.features_test)
+
+    def test_predict_before_fit_raises(self, cluster):
+        with pytest.raises(RuntimeError):
+            CategoryModel().predict(cluster.features_test)
+
+    def test_predict_timed_agrees_with_batch(self, fitted, cluster):
+        subset = cluster.features_test.take(np.arange(20))
+        timed, timing = fitted.predict_timed(subset)
+        batch = fitted.predict(subset)
+        assert np.array_equal(timed, batch)
+        assert timing.per_job_seconds.shape == (20,)
+        assert (timing.per_job_seconds > 0).all()
+        assert timing.cumulative_seconds[-1] == pytest.approx(
+            timing.per_job_seconds.sum()
+        )
+
+    def test_inference_is_fast(self, fitted, cluster):
+        """Figure 9a's point: per-job inference is milliseconds-scale."""
+        subset = cluster.features_test.take(np.arange(50))
+        _, timing = fitted.predict_timed(subset)
+        assert timing.mean_seconds < 0.05  # well under 50 ms/job

@@ -1,0 +1,40 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--cluster", "2", "--out", "/tmp/x"]
+        )
+        assert args.command == "generate"
+        assert args.cluster == 2
+
+    def test_stats_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+
+    def test_sweep_quota_list(self):
+        args = build_parser().parse_args(["sweep", "--quotas", "0.01", "0.5"])
+        assert args.quotas == [0.01, 0.5]
+
+
+class TestCommands:
+    def test_generate_and_stats_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        assert main(["generate", "--cluster", "0", "--weeks", "0.3",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote" in captured
+
+        assert main(["stats", "--trace", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "positive savings" in captured
+        assert "peak SSD usage" in captured

@@ -1,0 +1,40 @@
+"""CLI subcommands exercised against a small monkeypatched cluster."""
+
+import pytest
+
+import repro.analysis as analysis
+from repro.cli import main
+from repro.core import prepare_cluster
+
+
+@pytest.fixture()
+def small_standard_cluster(two_week_trace, monkeypatch):
+    cluster = prepare_cluster(two_week_trace)
+    monkeypatch.setattr(analysis, "standard_cluster", lambda *a, **k: cluster)
+    return cluster
+
+
+class TestSweepCommand:
+    def test_sweep_prints_series(self, small_standard_cluster, capsys):
+        assert main(["sweep", "--cluster", "0", "--quotas", "0.05", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Adaptive Ranking" in out
+        assert "Oracle TCO" in out
+        assert "5%" in out and "50%" in out
+
+
+class TestHeadroomCommand:
+    def test_headroom_reports_ratio(self, small_standard_cluster, capsys):
+        assert main(["headroom", "--cluster", "0", "--quota", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle:" in out
+        assert "headroom:" in out
+
+
+class TestDeployCommand:
+    def test_deploy_reports_savings(self, small_standard_cluster, capsys):
+        assert main(["deploy", "--cluster", "0", "--quota", "0.05",
+                     "--categories", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "TCO savings" in out
+        assert "top-1 accuracy" in out

@@ -1,0 +1,73 @@
+"""Configuration dataclass validation and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import AdaptiveParams, ModelParams, SimConfig, rng_from
+
+
+class TestRngFrom:
+    def test_seed_reproducible(self):
+        a = rng_from(42).integers(0, 1000, 10)
+        b = rng_from(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert rng_from(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from(None), np.random.Generator)
+
+
+class TestAdaptiveParams:
+    def test_defaults_valid(self):
+        p = AdaptiveParams()
+        assert p.spillover_low <= p.spillover_high
+        assert p.initial_act >= 1
+
+    def test_rejects_inverted_tolerance(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(spillover_low=0.5, spillover_high=0.1)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(spillover_low=-0.1, spillover_high=0.1)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(lookback_window=0.0)
+
+    def test_rejects_act_zero(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(initial_act=0)
+
+
+class TestModelParams:
+    def test_defaults_are_paper_shape(self):
+        p = ModelParams()
+        assert p.n_categories == 15
+        assert p.max_depth == 6
+
+    def test_rejects_single_category(self):
+        with pytest.raises(ValueError):
+            ModelParams(n_categories=1)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            ModelParams(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ModelParams(learning_rate=1.5)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            ModelParams(n_rounds=0)
+
+
+class TestSimConfig:
+    def test_rejects_negative_quota(self):
+        with pytest.raises(ValueError):
+            SimConfig(ssd_quota_fraction=-0.1)
+
+    def test_default_has_adaptive_params(self):
+        assert isinstance(SimConfig().adaptive, AdaptiveParams)

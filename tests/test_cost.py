@@ -1,0 +1,147 @@
+"""Cost model: rates validation, TCIO computation, TCO formulas."""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    DEFAULT_RATES,
+    CostRates,
+    cumulative_tcio,
+    effective_disk_ops,
+    hdd_cost,
+    ssd_cost,
+    tcio_rate,
+    tco_savings,
+)
+from repro.units import GIB, HOUR, MIB, TIB
+
+
+class TestCostRates:
+    def test_default_ssd_byte_premium(self):
+        # SSD capacity must cost more per byte than HDD.
+        assert DEFAULT_RATES.ssd_byte_rate > DEFAULT_RATES.hdd_byte_rate
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            CostRates(network_rate=-1.0)
+
+    def test_rejects_bad_cache_fraction(self):
+        with pytest.raises(ValueError):
+            CostRates(dram_cache_hit_fraction=1.0)
+        with pytest.raises(ValueError):
+            CostRates(dram_cache_hit_fraction=-0.1)
+
+    def test_rejects_zero_hdd_ops(self):
+        with pytest.raises(ValueError):
+            CostRates(hdd_ops_per_second=0.0)
+
+
+class TestEffectiveDiskOps:
+    def test_dram_cache_filters_reads(self):
+        rates = CostRates(dram_cache_hit_fraction=0.5)
+        ops = effective_disk_ops(read_ops=1000.0, write_bytes=0.0, rates=rates)
+        assert ops == pytest.approx(500.0)
+
+    def test_writes_grouped_into_mib_chunks(self):
+        # 10 MiB of writes -> 10 chunk operations regardless of op count.
+        ops = effective_disk_ops(read_ops=0.0, write_bytes=10 * MIB)
+        assert ops == pytest.approx(10.0)
+
+    def test_partial_chunk_rounds_up(self):
+        ops = effective_disk_ops(read_ops=0.0, write_bytes=1.0)
+        assert ops == 1.0
+
+    def test_vectorized(self):
+        out = effective_disk_ops(np.array([100.0, 200.0]), np.array([0.0, 0.0]))
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(2 * out[0])
+
+
+class TestTcioRate:
+    def test_unit_definition(self):
+        # A job issuing exactly hdd_ops_per_second effective ops/s has TCIO 1.
+        rates = CostRates(dram_cache_hit_fraction=0.0)
+        rate = tcio_rate(
+            read_ops=rates.hdd_ops_per_second * 100,
+            write_bytes=0.0,
+            duration=100.0,
+            rates=rates,
+        )
+        assert rate == pytest.approx(1.0)
+
+    def test_zero_duration_clamped(self):
+        rate = tcio_rate(read_ops=150.0, write_bytes=0.0, duration=0.0)
+        assert np.isfinite(rate) and rate > 0
+
+    def test_ssd_like_job_has_high_tcio(self, handmade_trace):
+        tc = handmade_trace.tcio()
+        assert (tc > 0).all()
+
+
+class TestCumulativeTcio:
+    def test_grows_linearly_until_end(self):
+        assert cumulative_tcio(2.0, arrival=10.0, end=110.0, t=60.0) == pytest.approx(100.0)
+        assert cumulative_tcio(2.0, arrival=10.0, end=110.0, t=500.0) == pytest.approx(200.0)
+
+    def test_zero_before_arrival(self):
+        assert cumulative_tcio(2.0, arrival=10.0, end=110.0, t=5.0) == 0.0
+
+
+class TestTcoFormulas:
+    def test_hdd_cost_components(self):
+        rates = DEFAULT_RATES
+        size, dur, total, tcio = 1 * GIB, HOUR, 3 * GIB, 0.5
+        expected = (
+            rates.hdd_byte_rate * size * dur
+            + rates.network_rate * total
+            + (rates.hdd_server_rate + rates.hdd_device_rate) * tcio * dur
+        )
+        assert hdd_cost(size, dur, total, tcio) == pytest.approx(expected)
+
+    def test_ssd_cost_components(self):
+        rates = DEFAULT_RATES
+        size, dur, total, wr = 1 * GIB, HOUR, 3 * GIB, 2 * GIB
+        expected = (
+            rates.ssd_byte_rate * size * dur
+            + rates.network_rate * total
+            + rates.ssd_server_rate * total
+            + rates.ssd_wearout_rate * wr
+        )
+        assert ssd_cost(size, dur, total, wr) == pytest.approx(expected)
+
+    def test_savings_is_difference(self):
+        args = dict(size=1 * GIB, duration=HOUR, total_bytes=3 * GIB)
+        s = tco_savings(write_bytes=1 * GIB, tcio=2.0, **args)
+        assert s == pytest.approx(
+            hdd_cost(tcio=2.0, **args) - ssd_cost(write_bytes=1 * GIB, **args)
+        )
+
+    def test_io_dense_job_positive_savings(self):
+        # Small footprint, short life, huge I/O: SSD must win.
+        s = tco_savings(
+            size=1 * GIB,
+            duration=300.0,
+            total_bytes=4 * GIB,
+            write_bytes=2 * GIB,
+            tcio=5.0,
+        )
+        assert s > 0
+
+    def test_cold_job_negative_savings(self):
+        # Large, long-lived, almost no I/O: HDD must win.
+        s = tco_savings(
+            size=1 * TIB,
+            duration=24 * HOUR,
+            total_bytes=1 * GIB,
+            write_bytes=0.5 * GIB,
+            tcio=0.001,
+        )
+        assert s < 0
+
+    def test_network_cost_cancels_in_savings(self):
+        base = dict(
+            size=1 * GIB, duration=HOUR, total_bytes=5 * GIB, write_bytes=1 * GIB, tcio=1.0
+        )
+        r1 = CostRates(network_rate=0.0)
+        r2 = CostRates(network_rate=1.0 / TIB)
+        assert tco_savings(rates=r1, **base) == pytest.approx(tco_savings(rates=r2, **base))

@@ -1,0 +1,95 @@
+"""Cost-model edge cases and cross-module consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    DEFAULT_RATES,
+    CostRates,
+    cumulative_tcio,
+    tcio_rate,
+    tco_savings,
+)
+from repro.storage.devices import SsdSpec, wearout_rate_from_spec
+from repro.units import GIB, HOUR, TIB
+
+
+class TestRateConsistency:
+    def test_default_wearout_near_device_derived(self):
+        """DEFAULT_RATES.ssd_wearout_rate should be within an order of
+        magnitude of what a plausible drive spec implies."""
+        derived = wearout_rate_from_spec(SsdSpec())  # 200 cost / 1200 TiB
+        ratio = DEFAULT_RATES.ssd_wearout_rate / derived
+        assert 0.01 < ratio < 10.0
+
+    def test_tcio_invariant_to_op_batching(self):
+        """Grouped writes: op count depends on bytes, not on how the
+        application split them."""
+        a = tcio_rate(read_ops=0.0, write_bytes=100 * GIB, duration=HOUR)
+        b = tcio_rate(read_ops=0.0, write_bytes=100 * GIB, duration=HOUR)
+        assert a == b
+
+
+class TestSavingsEdges:
+    def test_zero_job_zero_savings_components(self):
+        s = tco_savings(size=0.0, duration=0.0, total_bytes=0.0, write_bytes=0.0, tcio=0.0)
+        assert s == 0.0
+
+    def test_savings_decreasing_in_size(self):
+        """Bigger footprint = more SSD capacity premium = less savings."""
+        common = dict(duration=HOUR, total_bytes=10 * GIB, write_bytes=5 * GIB, tcio=1.0)
+        small = tco_savings(size=1 * GIB, **common)
+        large = tco_savings(size=1 * TIB, **common)
+        assert small > large
+
+    def test_savings_decreasing_in_writes(self):
+        """More writes = more wearout = less savings (fixed TCIO)."""
+        common = dict(size=1 * GIB, duration=HOUR, total_bytes=10 * GIB, tcio=1.0)
+        light = tco_savings(write_bytes=1 * GIB, **common)
+        heavy = tco_savings(write_bytes=100 * GIB, **common)
+        assert light > heavy
+
+    def test_vectorized_matches_scalar(self):
+        sizes = np.array([1 * GIB, 2 * GIB])
+        out = tco_savings(
+            size=sizes,
+            duration=np.array([HOUR, HOUR]),
+            total_bytes=np.array([3 * GIB, 3 * GIB]),
+            write_bytes=np.array([1 * GIB, 1 * GIB]),
+            tcio=np.array([1.0, 1.0]),
+        )
+        scalar0 = tco_savings(1 * GIB, HOUR, 3 * GIB, 1 * GIB, 1.0)
+        assert out[0] == pytest.approx(scalar0)
+
+
+class TestCumulativeTcioEdges:
+    def test_vectorized(self):
+        rates = np.array([1.0, 2.0])
+        arrivals = np.array([0.0, 100.0])
+        ends = np.array([50.0, 200.0])
+        out = cumulative_tcio(rates, arrivals, ends, t=150.0)
+        assert out[0] == pytest.approx(50.0)  # clipped at end
+        assert out[1] == pytest.approx(100.0)  # 2.0 * 50s elapsed
+
+    def test_exactly_at_end(self):
+        assert cumulative_tcio(1.0, 0.0, 100.0, t=100.0) == pytest.approx(100.0)
+
+
+class TestCustomRates:
+    def test_free_ssd_always_wins_for_hot_jobs(self):
+        rates = CostRates(
+            ssd_byte_rate=0.0, ssd_server_rate=0.0, ssd_wearout_rate=0.0
+        )
+        s = tco_savings(
+            size=1 * TIB, duration=HOUR, total_bytes=1 * GIB,
+            write_bytes=0.5 * GIB, tcio=0.5, rates=rates,
+        )
+        assert s > 0
+
+    def test_infinitely_expensive_ssd_never_wins(self):
+        rates = CostRates(ssd_byte_rate=1.0)  # absurd per-byte-second rate
+        s = tco_savings(
+            size=1 * GIB, duration=HOUR, total_bytes=100 * GIB,
+            write_bytes=1 * GIB, tcio=100.0, rates=rates,
+        )
+        assert s < 0

@@ -1,0 +1,70 @@
+"""Device endurance and fleet-sizing accounting."""
+
+import pytest
+
+from repro.storage.devices import HddFleet, SsdFleet, SsdSpec, wearout_rate_from_spec
+from repro.units import TIB
+
+
+class TestSsdSpec:
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            SsdSpec(capacity=0)
+        with pytest.raises(ValueError):
+            SsdSpec(tbw=-1)
+
+    def test_wearout_rate_definition(self):
+        spec = SsdSpec(capacity=1 * TIB, tbw=600 * TIB, unit_cost=120.0)
+        assert wearout_rate_from_spec(spec) == pytest.approx(120.0 / (600 * TIB))
+
+
+class TestSsdFleet:
+    def test_drive_count_rounds_up(self):
+        fleet = SsdFleet(spec=SsdSpec(capacity=2 * TIB), provisioned_bytes=3 * TIB)
+        assert fleet.n_drives == 2
+
+    def test_zero_provisioning(self):
+        fleet = SsdFleet(provisioned_bytes=0.0)
+        assert fleet.n_drives == 0
+        assert fleet.endurance_consumed_fraction == 0.0
+
+    def test_endurance_accumulates(self):
+        spec = SsdSpec(capacity=2 * TIB, tbw=100 * TIB)
+        fleet = SsdFleet(spec=spec, provisioned_bytes=2 * TIB)
+        fleet.record_writes(50 * TIB)
+        assert fleet.endurance_consumed_fraction == pytest.approx(0.5)
+        fleet.record_writes(50 * TIB)
+        assert fleet.endurance_consumed_fraction == pytest.approx(1.0)
+
+    def test_negative_writes_rejected(self):
+        with pytest.raises(ValueError):
+            SsdFleet().record_writes(-1.0)
+
+    def test_wearout_cost_consistent_with_rate(self):
+        spec = SsdSpec(capacity=2 * TIB, tbw=1000 * TIB, unit_cost=100.0)
+        fleet = SsdFleet(spec=spec, provisioned_bytes=2 * TIB)
+        fleet.record_writes(10 * TIB)
+        assert fleet.wearout_cost == pytest.approx(
+            wearout_rate_from_spec(spec) * 10 * TIB
+        )
+
+    def test_replacement_projection(self):
+        spec = SsdSpec(tbw=100 * TIB)
+        fleet = SsdFleet(spec=spec)
+        assert fleet.drive_replacements_over(250 * TIB) == pytest.approx(2.5)
+
+
+class TestHddFleet:
+    def test_io_bound_sizing(self):
+        fleet = HddFleet(drive_capacity=16 * TIB)
+        # TCIO 3.2 needs 4 drives even with tiny footprint.
+        assert fleet.drives_for(3.2, 1 * TIB) == 4
+
+    def test_capacity_bound_sizing(self):
+        fleet = HddFleet(drive_capacity=16 * TIB)
+        # 100 TiB of cold data needs 7 drives even with no I/O.
+        assert fleet.drives_for(0.0, 100 * TIB) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HddFleet().drives_for(-1.0, 0.0)

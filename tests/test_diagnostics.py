@@ -1,0 +1,74 @@
+"""Category-model diagnostics and Spearman correlation."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelParams
+from repro.core import CategoryModel, diagnose_model, prepare_cluster, spearman_rank_correlation
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, a**3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=3000)
+        b = rng.normal(size=3000)
+        assert abs(spearman_rank_correlation(a, b)) < 0.06
+
+    def test_constant_input_nan(self):
+        assert np.isnan(spearman_rank_correlation(np.ones(5), np.arange(5.0)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.ones(3), np.ones(4))
+
+    def test_tiny_input_nan(self):
+        assert np.isnan(spearman_rank_correlation(np.array([1.0]), np.array([2.0])))
+
+
+class TestDiagnoseModel:
+    @pytest.fixture(scope="class")
+    def setting(self, two_week_trace):
+        cluster = prepare_cluster(two_week_trace)
+        model = CategoryModel(ModelParams(n_categories=8, n_rounds=6, max_depth=4))
+        model.fit(cluster.train, cluster.features_train)
+        return model, cluster
+
+    def test_bundle_shapes(self, setting):
+        model, cluster = setting
+        diag = diagnose_model(model, cluster.test, cluster.features_test)
+        assert diag.confusion.shape == (8, 8)
+        assert diag.confusion.sum() == len(cluster.test)
+        assert diag.admission_precision.shape == (8,)
+        assert np.isnan(diag.admission_precision[0])  # k=0 undefined
+
+    def test_accuracies_consistent(self, setting):
+        model, cluster = setting
+        diag = diagnose_model(model, cluster.test, cluster.features_test)
+        assert 0.0 <= diag.top1_accuracy <= diag.within_one_accuracy <= 1.0
+        assert diag.top1_accuracy == pytest.approx(
+            np.trace(diag.confusion) / diag.confusion.sum()
+        )
+
+    def test_ranking_informative(self, setting):
+        """The regime the paper relies on: modest top-1 accuracy but a
+        strongly informative ranking."""
+        model, cluster = setting
+        diag = diagnose_model(model, cluster.test, cluster.features_test)
+        assert diag.rank_correlation > 0.4
+
+    def test_admission_precision_beats_base_rate(self, setting):
+        model, cluster = setting
+        diag = diagnose_model(model, cluster.test, cluster.features_test)
+        true = model.labels_for(cluster.test)
+        k = 4
+        base_rate = (true >= k).mean()
+        if not np.isnan(diag.admission_precision[k]):
+            assert diag.admission_precision[k] > base_rate

@@ -1,0 +1,75 @@
+"""Figure/table runners exercised on a small cluster (fast versions)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig4_oracle_density,
+    fig11_true_category,
+    fig15_sensitivity,
+    fig16_act_dynamics,
+    table4_category_count,
+)
+from repro.core import prepare_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster(two_week_trace):
+    return prepare_cluster(two_week_trace)
+
+
+class TestFig4Runner:
+    def test_oracle_admissions_structure(self, cluster):
+        result = fig4_oracle_density(cluster, quotas=(0.01, 0.1))
+        savings = result["tco_savings"]
+        for q, admitted in result["admitted"].items():
+            assert admitted.shape == (len(cluster.test),)
+            assert not admitted[savings < 0].any()
+        assert result["admitted"][0.01].sum() <= result["admitted"][0.1].sum()
+
+
+class TestFig11Runner:
+    def test_two_series_produced(self, cluster):
+        out = fig11_true_category(cluster, quotas=(0.05, 0.5))
+        assert set(out) == {"Predicted category", "True category"}
+        for series in out.values():
+            assert set(series) == {0.05, 0.5}
+
+
+class TestFig15Runner:
+    def test_band_structure(self, cluster):
+        out = fig15_sensitivity(
+            cluster,
+            quotas=(0.05, 0.5),
+            tolerances=((0.01, 0.15), (0.05, 0.25)),
+            windows=(900.0,),
+            intervals=(900.0, 1800.0),
+        )
+        assert out["curves"].shape == (4, 2)
+        assert (out["lower"] <= out["upper"]).all()
+        assert len(out["combos"]) == 4
+
+
+class TestFig16Runner:
+    def test_trajectories_recorded(self, cluster):
+        out = fig16_act_dynamics(cluster, quotas=(0.001, 0.5))
+        for q, traj in out.items():
+            assert len(traj) > 0
+            for event in traj:
+                assert 1 <= event.act
+                assert 0.0 <= event.spillover <= 1.0
+
+    def test_scarce_quota_higher_threshold(self, cluster):
+        out = fig16_act_dynamics(cluster, quotas=(0.0001, 0.9))
+        mean_act = {
+            q: np.mean([e.act for e in traj]) for q, traj in out.items()
+        }
+        assert mean_act[0.0001] >= mean_act[0.9]
+
+
+class TestTable4Runner:
+    def test_accuracy_decreases_with_n(self, cluster):
+        out = table4_category_count(cluster, category_counts=(2, 8), quota=0.1)
+        assert out[2]["top1_accuracy"] >= out[8]["top1_accuracy"] - 0.05
+        for n in (2, 8):
+            assert np.isfinite(out[n]["tco_savings_pct"])

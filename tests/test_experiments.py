@@ -1,0 +1,72 @@
+"""Analysis experiment runners (on a small cluster for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MethodSuite, fig1_workload_diversity
+from repro.config import AdaptiveParams, ModelParams
+from repro.core import prepare_cluster
+
+FAST_MODEL = ModelParams(n_categories=6, n_rounds=4, max_depth=3)
+
+
+@pytest.fixture(scope="module")
+def suite(two_week_trace):
+    cluster = prepare_cluster(two_week_trace)
+    return MethodSuite(cluster, model_params=FAST_MODEL)
+
+
+ALL_METHODS = (
+    "Adaptive Ranking",
+    "Adaptive Hash",
+    "ML Baseline",
+    "FirstFit",
+    "Heuristic",
+    "True category",
+    "Oracle TCO",
+    "Oracle TCIO",
+)
+
+
+class TestMethodSuite:
+    def test_capacity_scales_with_quota(self, suite):
+        assert suite.capacity(0.5) == pytest.approx(0.5 * suite.peak)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_every_method_runs(self, suite, method):
+        res = suite.run(method, 0.05)
+        assert res.n_jobs == len(suite.cluster.test)
+        assert np.isfinite(res.tco_savings_pct)
+
+    def test_unknown_method_raises(self, suite):
+        with pytest.raises(ValueError):
+            suite.run("Magic", 0.05)
+
+    def test_oracle_upper_bounds_ours(self, suite):
+        ours = suite.run("Adaptive Ranking", 0.05)
+        oracle = suite.run("Oracle TCO", 0.05)
+        assert oracle.tco_savings_pct >= ours.tco_savings_pct - 0.5
+
+    def test_oracle_tcio_maximizes_tcio(self, suite):
+        tcio_oracle = suite.run("Oracle TCIO", 0.05)
+        tco_oracle = suite.run("Oracle TCO", 0.05)
+        assert tcio_oracle.tcio_savings_pct >= tco_oracle.tcio_savings_pct - 0.5
+
+    def test_results_deterministic(self, suite):
+        a = suite.run("Adaptive Ranking", 0.1)
+        b = suite.run("Adaptive Ranking", 0.1)
+        assert a.tco_savings_pct == pytest.approx(b.tco_savings_pct)
+
+
+class TestFig1Runner:
+    def test_two_contrasting_workloads(self):
+        result = fig1_workload_diversity(hours=6)
+        assert set(result) == {"Workload 0", "Workload 1"}
+        for series in result.values():
+            assert series["hour"].shape == (6,)
+            assert (series["space_bytes"] >= 0).all()
+
+    def test_deterministic(self):
+        a = fig1_workload_diversity(hours=4, seed=3)
+        b = fig1_workload_diversity(hours=4, seed=3)
+        assert np.allclose(a["Workload 0"]["space_bytes"], b["Workload 0"]["space_bytes"])

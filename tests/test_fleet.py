@@ -1,0 +1,77 @@
+"""Fleet-level aggregation of per-cluster results."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fleet import aggregate_fleet, compare_methods_fleetwide
+from repro.storage import SimResult
+
+
+def result(name="m", baseline=100.0, realized=90.0, btcio=50.0, rtcio=40.0):
+    return SimResult(
+        policy_name=name,
+        capacity=1.0,
+        n_jobs=10,
+        baseline_tco=baseline,
+        realized_tco=realized,
+        baseline_tcio=btcio,
+        realized_hdd_tcio=rtcio,
+        n_ssd_requested=5,
+        n_spilled=0,
+        peak_ssd_used=0.0,
+        ssd_fraction=np.zeros(10),
+    )
+
+
+class TestAggregateFleet:
+    def test_weighted_by_baseline(self):
+        # Cluster A: 10% savings on 100; cluster B: 50% savings on 900.
+        fleet = aggregate_fleet(
+            {"A": result(baseline=100, realized=90),
+             "B": result(baseline=900, realized=450)}
+        )
+        assert fleet.tco_savings_pct == pytest.approx(100 * (1000 - 540) / 1000)
+        assert fleet.n_clusters == 2
+
+    def test_mixed_methods_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_fleet({"A": result(name="x"), "B": result(name="y")})
+
+    def test_explicit_method_overrides(self):
+        fleet = aggregate_fleet(
+            {"A": result(name="x"), "B": result(name="y")}, method="combined"
+        )
+        assert fleet.method == "combined"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_fleet({})
+
+    def test_zero_baseline_safe(self):
+        fleet = aggregate_fleet({"A": result(baseline=0.0, realized=0.0, btcio=0.0, rtcio=0.0)})
+        assert fleet.tco_savings_pct == 0.0
+        assert fleet.tcio_savings_pct == 0.0
+
+
+class TestCompareMethodsFleetwide:
+    def test_per_method_summaries(self):
+        per_cluster = {
+            "C0": {"ours": result("ours", 100, 80), "ff": result("ff", 100, 95)},
+            "C1": {"ours": result("ours", 200, 180), "ff": result("ff", 200, 198)},
+        }
+        out = compare_methods_fleetwide(per_cluster)
+        assert set(out) == {"ours", "ff"}
+        assert out["ours"].tco_savings_pct > out["ff"].tco_savings_pct
+        assert out["ours"].n_clusters == 2
+
+    def test_method_missing_in_one_cluster(self):
+        per_cluster = {
+            "C0": {"ours": result("ours")},
+            "C1": {"ff": result("ff")},
+        }
+        with pytest.raises(ValueError):
+            compare_methods_fleetwide(per_cluster)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_methods_fleetwide({})

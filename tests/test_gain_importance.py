@@ -1,0 +1,52 @@
+"""Split-count feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GBTClassifier,
+    GBTRegressor,
+    model_split_importance,
+    split_count_importance,
+)
+
+
+class TestModelSplitImportance:
+    def test_informative_feature_dominates(self, rng):
+        X = rng.normal(size=(2000, 5))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        clf = GBTClassifier(n_rounds=5, max_depth=3).fit(X, y)
+        imp = model_split_importance(clf)
+        assert imp.argmax() == 2
+        assert imp[2] > 0.5
+
+    def test_normalized_sums_to_one(self, rng):
+        X = rng.normal(size=(500, 4))
+        y = X[:, 0] + X[:, 1]
+        reg = GBTRegressor(n_rounds=5, max_depth=3).fit(X, y)
+        imp = model_split_importance(reg)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_unnormalized_counts(self, rng):
+        X = rng.normal(size=(500, 4))
+        y = X[:, 0]
+        reg = GBTRegressor(n_rounds=3, max_depth=2).fit(X, y)
+        counts = model_split_importance(reg, normalize=False)
+        assert (counts >= 0).all()
+        assert counts.sum() > 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            model_split_importance(GBTClassifier())
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            model_split_importance("not a model")
+
+    def test_per_tree_counts(self, rng):
+        X = rng.normal(size=(800, 3))
+        y = X[:, 1]
+        reg = GBTRegressor(n_rounds=1, max_depth=2).fit(X, y)
+        counts = split_count_importance(reg.trees_[0], 3)
+        assert counts.shape == (3,)
+        assert counts[1] >= 1

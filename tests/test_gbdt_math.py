@@ -1,0 +1,78 @@
+"""Numerical correctness of the boosting mathematics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GBTClassifier, GBTRegressor, HistogramTree, QuantileBinner
+
+
+class TestNewtonStep:
+    def test_leaf_value_is_newton_step(self):
+        """A no-split tree's root value must be -G/(H + l2)."""
+        n = 100
+        Xb = np.zeros((n, 1), dtype=np.uint8)
+        g = np.full(n, 2.0)
+        h = np.full(n, 0.5)
+        tree = HistogramTree.fit(Xb, g, h, max_depth=3, l2_reg=1.0)
+        expected = -g.sum() / (h.sum() + 1.0)
+        assert tree.value[0] == pytest.approx(expected)
+
+    def test_split_children_get_partition_stats(self):
+        """After one split on a binary feature, leaf values equal the
+        per-partition Newton steps."""
+        n = 200
+        Xb = np.zeros((n, 1), dtype=np.uint8)
+        Xb[n // 2 :, 0] = 1
+        g = np.where(Xb[:, 0] == 0, -3.0, 5.0)
+        h = np.ones(n)
+        tree = HistogramTree.fit(Xb, g, h, max_depth=1, l2_reg=1.0, min_samples_leaf=1)
+        assert tree.feature[0] == 0
+        left_expected = -(-3.0 * (n // 2)) / (n // 2 + 1.0)
+        right_expected = -(5.0 * (n // 2)) / (n // 2 + 1.0)
+        assert tree.value[1] == pytest.approx(left_expected)
+        assert tree.value[2] == pytest.approx(right_expected)
+
+
+class TestRegressorConvergence:
+    def test_converges_to_mean_per_group(self):
+        """Enough rounds at lr<1 converge to the groupwise means."""
+        rng = np.random.default_rng(0)
+        n = 400
+        X = (rng.random(n) > 0.5).astype(float).reshape(-1, 1)
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        reg = GBTRegressor(n_rounds=40, max_depth=1, learning_rate=0.5,
+                           min_samples_leaf=1).fit(X, y)
+        pred = reg.predict(X)
+        assert pred[X[:, 0] > 0.5].mean() == pytest.approx(10.0, abs=0.1)
+        assert pred[X[:, 0] <= 0.5].mean() == pytest.approx(-10.0, abs=0.1)
+
+
+class TestClassifierCalibration:
+    def test_probabilities_approach_empirical_rates(self):
+        """On a two-value feature with known class rates, predicted
+        probabilities approach the empirical conditional rates."""
+        rng = np.random.default_rng(1)
+        n = 4000
+        X = (rng.random(n) > 0.5).astype(float).reshape(-1, 1)
+        p_true = np.where(X[:, 0] > 0.5, 0.9, 0.2)
+        y = (rng.random(n) < p_true).astype(int)
+        clf = GBTClassifier(n_rounds=30, max_depth=1, learning_rate=0.5,
+                            min_samples_leaf=1).fit(X, y)
+        proba = clf.predict_proba(X)
+        pos_col = int(np.flatnonzero(clf.classes_ == 1)[0])
+        hi = proba[X[:, 0] > 0.5, pos_col].mean()
+        lo = proba[X[:, 0] <= 0.5, pos_col].mean()
+        assert hi == pytest.approx(0.9, abs=0.05)
+        assert lo == pytest.approx(0.2, abs=0.05)
+
+    def test_prior_initialization(self):
+        """With zero rounds the classifier predicts class priors."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 2))
+        y = (rng.random(300) < 0.3).astype(int)
+        # n_rounds=0 -> probabilities equal the empirical priors.
+        clf = GBTClassifier(n_rounds=0).fit(X, y)
+        proba = clf.predict_proba(X)
+        pos_col = int(np.flatnonzero(clf.classes_ == 1)[0])
+        assert proba[:, pos_col].std() == pytest.approx(0.0, abs=1e-12)
+        assert proba[0, pos_col] == pytest.approx(y.mean(), abs=1e-9)

@@ -1,0 +1,132 @@
+"""Cluster trace generation: determinism, structure, churn, diversity."""
+
+import numpy as np
+import pytest
+
+from repro.units import DAY, WEEK
+from repro.workloads import (
+    ARCHETYPES,
+    ClusterSpec,
+    default_cluster_specs,
+    generate_cluster_trace,
+)
+
+
+def _spec(**kw):
+    base = dict(
+        name="G",
+        archetype_weights={"dbquery": 1, "logproc": 1},
+        n_pipelines=6,
+        n_users=3,
+        seed=5,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+class TestClusterSpec:
+    def test_rejects_unknown_archetype(self):
+        with pytest.raises(ValueError, match="unknown archetypes"):
+            _spec(archetype_weights={"nope": 1})
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            _spec(archetype_weights={})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            _spec(archetype_weights={"dbquery": -1})
+
+    def test_rejects_zero_pipelines(self):
+        with pytest.raises(ValueError):
+            _spec(n_pipelines=0)
+
+
+class TestGeneration:
+    def test_deterministic_same_seed(self):
+        a = generate_cluster_trace(_spec(), duration=2 * DAY)
+        b = generate_cluster_trace(_spec(), duration=2 * DAY)
+        assert len(a) == len(b)
+        assert np.allclose(a.arrivals, b.arrivals)
+        assert np.allclose(a.sizes, b.sizes)
+
+    def test_different_seed_differs(self):
+        a = generate_cluster_trace(_spec(seed=1), duration=2 * DAY)
+        b = generate_cluster_trace(_spec(seed=2), duration=2 * DAY)
+        assert len(a) != len(b) or not np.allclose(a.sizes[: len(b)], b.sizes[: len(a)])
+
+    def test_arrivals_within_span(self, small_trace):
+        # Later steps of an execution start staggered, so jobs may begin
+        # slightly past the nominal window; allow that slack.
+        assert small_trace.arrivals.min() >= 0.0
+        assert small_trace.arrivals.max() <= 2.5 * DAY
+
+    def test_all_attributes_positive(self, small_trace):
+        assert (small_trace.sizes > 0).all()
+        assert (small_trace.durations > 0).all()
+        assert (small_trace.read_ops >= 1).all()
+
+    def test_only_requested_archetypes(self, small_trace):
+        used = {j.archetype for j in small_trace}
+        assert used <= {"dbquery", "logproc", "streaming", "staging"}
+
+    def test_metadata_and_resources_populated(self, small_trace):
+        job = small_trace[0]
+        assert len(job.metadata) == 5
+        assert len(job.resources) == 8
+
+    def test_pipeline_job_consistency(self, small_trace):
+        # All jobs of one pipeline share the same user and archetype.
+        by_pipeline = {}
+        for job in small_trace:
+            key = job.pipeline
+            if key in by_pipeline:
+                assert by_pipeline[key] == (job.user, job.archetype)
+            else:
+                by_pipeline[key] = (job.user, job.archetype)
+
+
+class TestChurn:
+    def test_some_pipelines_appear_mid_trace(self):
+        # Over many pipelines, churn must produce pipelines whose first
+        # job arrives well after the trace start.
+        spec = _spec(n_pipelines=40, seed=3)
+        trace = generate_cluster_trace(spec, duration=2 * WEEK)
+        first_arrival = {}
+        for job in trace:
+            first_arrival.setdefault(job.pipeline, job.arrival)
+        assert any(t > 0.3 * 2 * WEEK for t in first_arrival.values())
+
+    def test_some_pipelines_retire_early(self):
+        spec = _spec(n_pipelines=40, seed=3)
+        trace = generate_cluster_trace(spec, duration=2 * WEEK)
+        last_arrival = {}
+        for job in trace:
+            last_arrival[job.pipeline] = job.arrival
+        assert any(t < 0.7 * 2 * WEEK for t in last_arrival.values())
+
+
+class TestDefaultSpecs:
+    def test_ten_distinct_clusters(self):
+        specs = default_cluster_specs(10)
+        assert len(specs) == 10
+        assert len({s.name for s in specs}) == 10
+        assert len({s.seed for s in specs}) == 10
+
+    def test_c3_is_outlier(self):
+        specs = default_cluster_specs(10)
+        c3 = specs[3]
+        assert set(c3.archetype_weights) == {"mlcheckpoint", "compressupload"}
+
+    def test_all_weights_valid(self):
+        for spec in default_cluster_specs(10):
+            assert set(spec.archetype_weights) <= set(ARCHETYPES)
+
+
+class TestDiversity:
+    def test_archetype_scale_gap(self):
+        """Figure 1's point: workloads differ by orders of magnitude."""
+        video = ARCHETYPES["video"]
+        streaming = ARCHETYPES["streaming"]
+        assert video.size_median / streaming.size_median > 50
+        assert video.lifetime_median / streaming.lifetime_median > 10

@@ -1,0 +1,101 @@
+"""Property-based tests on trace generation and feature extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import DAY
+from repro.workloads import (
+    ARCHETYPES,
+    ClusterSpec,
+    extract_features,
+    generate_cluster_trace,
+)
+
+ARCHETYPE_NAMES = sorted(ARCHETYPES)
+
+
+@st.composite
+def cluster_specs(draw):
+    names = draw(
+        st.lists(st.sampled_from(ARCHETYPE_NAMES), min_size=1, max_size=4, unique=True)
+    )
+    weights = {n: draw(st.floats(min_value=0.1, max_value=5.0)) for n in names}
+    return ClusterSpec(
+        name="H",
+        archetype_weights=weights,
+        n_pipelines=draw(st.integers(min_value=1, max_value=8)),
+        n_users=draw(st.integers(min_value=1, max_value=4)),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+class TestGeneratorProperties:
+    @given(spec=cluster_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_trace_invariants(self, spec):
+        trace = generate_cluster_trace(spec, duration=1 * DAY)
+        # All physical quantities valid.
+        assert (trace.durations > 0).all()
+        assert (trace.sizes > 0).all()
+        assert (trace.read_ops >= 1).all()
+        assert (trace.read_bytes >= 0).all()
+        assert (trace.write_bytes >= 0).all()
+        # Arrival-sorted.
+        assert (np.diff(trace.arrivals) >= 0).all()
+        # Every job belongs to a requested archetype.
+        assert {j.archetype for j in trace} <= set(spec.archetype_weights)
+
+    @given(spec=cluster_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_generation_deterministic(self, spec):
+        a = generate_cluster_trace(spec, duration=1 * DAY)
+        b = generate_cluster_trace(spec, duration=1 * DAY)
+        assert len(a) == len(b)
+        if len(a):
+            assert np.allclose(a.sizes, b.sizes)
+            assert np.allclose(a.read_ops, b.read_ops)
+
+    @given(spec=cluster_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_features_finite_and_aligned(self, spec):
+        trace = generate_cluster_trace(spec, duration=1 * DAY)
+        if len(trace) == 0:
+            return
+        fm = extract_features(trace)
+        assert fm.X.shape[0] == len(trace)
+        assert np.isfinite(fm.X).all()
+        # Hashed metadata indicators are binary.
+        b_cols = fm.group_columns("B")
+        assert set(np.unique(fm.X[:, b_cols])) <= {0.0, 1.0}
+
+    @given(spec=cluster_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_costs_finite(self, spec):
+        trace = generate_cluster_trace(spec, duration=1 * DAY)
+        if len(trace) == 0:
+            return
+        costs = trace.costs()
+        assert np.isfinite(costs.c_hdd).all()
+        assert np.isfinite(costs.c_ssd).all()
+        assert (costs.c_hdd > 0).all()
+        assert (costs.c_ssd > 0).all()
+
+
+class TestSparklineProperty:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sparkline_never_crashes(self, values):
+        from repro.analysis import render_sparkline
+
+        out = render_sparkline(values)
+        assert isinstance(out, str)
+        if values:
+            assert "[" in out and "]" in out

@@ -1,0 +1,91 @@
+"""Deeper Heuristic behaviours: refresh cadence and admission edges."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CategoryAdmissionPolicy
+from repro.baselines.heuristic import _admission_set
+from repro.storage import simulate
+from repro.units import GIB
+from repro.workloads import Trace
+
+from conftest import make_job
+
+
+class TestAdmissionSet:
+    def test_negative_savings_never_admitted(self):
+        admitted = _admission_set(
+            ["a", "b"], np.array([-1.0, -5.0]), np.array([1.0, 1.0]), capacity=100.0
+        )
+        assert admitted == set()
+
+    def test_ranking_by_savings(self):
+        admitted = _admission_set(
+            ["lo", "hi"], np.array([1.0, 10.0]), np.array([60.0, 60.0]), capacity=50.0
+        )
+        # Capacity reached after the first (highest-savings) category.
+        assert admitted == {"hi"}
+
+    def test_capacity_zero_admits_one(self):
+        # The loop admits the top category then stops at the capacity
+        # check — matching "add categories until usage reaches capacity".
+        admitted = _admission_set(
+            ["a", "b"], np.array([5.0, 1.0]), np.array([10.0, 10.0]), capacity=0.0
+        )
+        assert admitted == {"a"}
+
+    def test_all_admitted_under_huge_capacity(self):
+        admitted = _admission_set(
+            ["a", "b", "c"],
+            np.array([3.0, 2.0, 1.0]),
+            np.array([1.0, 1.0, 1.0]),
+            capacity=1e12,
+        )
+        assert admitted == {"a", "b", "c"}
+
+
+class TestRefreshCadence:
+    def _profitable(self, i, t, pipeline):
+        return make_job(
+            i, arrival=t, duration=50.0, size=1 * GIB, read_ops=500_000.0,
+            pipeline=pipeline,
+        )
+
+    def test_refresh_uses_only_completed_jobs(self):
+        # Jobs that have not completed by refresh time cannot seed the
+        # admission set.
+        jobs = [
+            make_job(0, arrival=0.0, duration=10_000.0, size=1 * GIB,
+                     read_ops=500_000.0, pipeline="slow"),
+            make_job(1, arrival=2000.0, duration=10.0, size=1 * GIB,
+                     read_ops=500_000.0, pipeline="slow"),
+        ]
+        policy = CategoryAdmissionPolicy(train_trace=None, refresh_interval=1000.0)
+        res = simulate(Trace(jobs), policy, capacity=1e18)
+        # Job 0 still running at t=2000 -> no history -> job 1 on HDD.
+        assert res.n_ssd_requested == 0
+
+    def test_faster_refresh_adapts_sooner(self):
+        jobs = [self._profitable(i, i * 100.0, "p") for i in range(100)]
+        trace = Trace(jobs)
+        slow = CategoryAdmissionPolicy(train_trace=None, refresh_interval=5000.0)
+        fast = CategoryAdmissionPolicy(train_trace=None, refresh_interval=500.0)
+        res_slow = simulate(trace, slow, capacity=1e18)
+        res_fast = simulate(trace, fast, capacity=1e18)
+        assert res_fast.n_ssd_requested >= res_slow.n_ssd_requested
+
+    def test_seed_plus_refresh_combines(self):
+        # Seeded from training, then a new profitable pipeline appears
+        # online and gets picked up by refresh.
+        train = Trace([self._profitable(i, i * 100.0, "old") for i in range(50)])
+        test_jobs = [self._profitable(i, i * 100.0, "old") for i in range(30)]
+        test_jobs += [
+            self._profitable(100 + i, 3000.0 + i * 100.0, "new") for i in range(60)
+        ]
+        trace = Trace(test_jobs)
+        policy = CategoryAdmissionPolicy(train, refresh_interval=2000.0)
+        res = simulate(trace, policy, capacity=1e18)
+        new_mask = np.array([j.pipeline == "new" for j in trace])
+        # Old pipeline admitted from the seed; new one eventually too.
+        assert res.ssd_fraction[~new_mask].mean() > 0.9
+        assert res.ssd_fraction[new_mask][-10:].mean() > 0.9

@@ -1,0 +1,74 @@
+"""Imitation-learning baseline: learns the oracle, fails to adapt."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ImitationModel, ImitationPolicy
+from repro.core import prepare_cluster
+from repro.storage import simulate
+
+
+@pytest.fixture(scope="module")
+def cluster(two_week_trace):
+    return prepare_cluster(two_week_trace)
+
+
+@pytest.fixture(scope="module")
+def model(cluster):
+    return ImitationModel(
+        train_quota_fraction=0.1, n_rounds=6, max_depth=4
+    ).fit(cluster.train, cluster.features_train)
+
+
+class TestImitationModel:
+    def test_rejects_bad_quota(self):
+        with pytest.raises(ValueError):
+            ImitationModel(train_quota_fraction=0.0)
+        with pytest.raises(ValueError):
+            ImitationModel(train_quota_fraction=1.5)
+
+    def test_predict_before_fit_raises(self, cluster):
+        with pytest.raises(RuntimeError):
+            ImitationModel().predict(cluster.features_test)
+
+    def test_misaligned_fit_raises(self, cluster):
+        with pytest.raises(ValueError):
+            ImitationModel(n_rounds=2).fit(cluster.train, cluster.features_test)
+
+    def test_predictions_binary(self, model, cluster):
+        pred = model.predict(cluster.features_test)
+        assert pred.dtype == bool
+        assert pred.shape == (len(cluster.test),)
+
+    def test_imitates_teacher_reasonably(self, model, cluster):
+        """On training data the student should track the teacher."""
+        from repro.oracle import oracle_placement
+
+        cap = 0.1 * cluster.train.peak_ssd_usage()
+        teacher = oracle_placement(
+            cluster.train, cap, "tco", integrality=False
+        ).ssd_fraction() > 0.5
+        student = model.predict(cluster.features_train)
+        agreement = (teacher == student).mean()
+        assert agreement > 0.7
+
+
+class TestImitationPolicy:
+    def test_ignores_capacity_feedback(self, model, cluster):
+        """The policy admits the same jobs at every capacity."""
+        policy_a = ImitationPolicy(model, cluster.features_test)
+        policy_b = ImitationPolicy(model, cluster.features_test)
+        tiny = simulate(cluster.test, policy_a, capacity=1.0)
+        huge = simulate(cluster.test, policy_b, capacity=1e18)
+        assert tiny.n_ssd_requested == huge.n_ssd_requested
+
+    def test_spills_under_tight_capacity(self, model, cluster):
+        policy = ImitationPolicy(model, cluster.features_test)
+        res = simulate(cluster.test, policy, capacity=1.0)
+        if res.n_ssd_requested > 0:
+            assert res.n_spilled == res.n_ssd_requested
+
+    def test_misaligned_trace_raises(self, model, cluster, handmade_trace):
+        policy = ImitationPolicy(model, cluster.features_test)
+        with pytest.raises(ValueError):
+            simulate(handmade_trace, policy, capacity=1e18)

@@ -1,0 +1,81 @@
+"""End-to-end integration: the full BYOM story on one small cluster.
+
+Exercises the complete chain — generation, features, labels, training,
+adaptive deployment, baselines, oracle — and checks the paper's core
+qualitative relationships hold even at this small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FirstFitPolicy
+from repro.config import AdaptiveParams, ModelParams
+from repro.core import ByomPipeline, hash_categories, prepare_cluster
+from repro.core.adaptive import AdaptiveCategoryPolicy
+from repro.oracle import oracle_placement
+from repro.storage import analytic_result, simulate
+
+
+@pytest.fixture(scope="module")
+def setting(two_week_trace):
+    cluster = prepare_cluster(two_week_trace)
+    pipe = ByomPipeline(ModelParams(n_categories=8, n_rounds=6, max_depth=4))
+    pipe.train(cluster.train, cluster.features_train)
+    return cluster, pipe
+
+
+class TestEndToEnd:
+    def test_byom_beats_hash_ablation(self, setting):
+        cluster, pipe = setting
+        quota = 0.02
+        cap = quota * cluster.peak_ssd_usage
+        ours = pipe.deploy(cluster.test, cluster.features_test, quota,
+                           cluster.peak_ssd_usage)
+        hashp = AdaptiveCategoryPolicy(
+            hash_categories(cluster.test, 8), 8, AdaptiveParams(),
+            name="Adaptive Hash",
+        )
+        hash_res = simulate(cluster.test, hashp, cap)
+        assert ours.tco_savings_pct > hash_res.tco_savings_pct
+
+    def test_relaxed_oracle_dominates_everything(self, setting):
+        cluster, pipe = setting
+        quota = 0.02
+        cap = quota * cluster.peak_ssd_usage
+        oracle = oracle_placement(cluster.test, cap, "tco", integrality=False)
+        upper = analytic_result(
+            cluster.test, oracle.ssd_fraction(), cap, name="oracle"
+        ).tco_savings_pct
+        for policy_result in (
+            pipe.deploy(cluster.test, cluster.features_test, quota,
+                        cluster.peak_ssd_usage),
+            simulate(cluster.test, FirstFitPolicy(), cap),
+        ):
+            assert upper >= policy_result.tco_savings_pct - 1e-6
+
+    def test_binary_oracle_below_relaxed(self, setting):
+        cluster, _ = setting
+        cap = 0.02 * cluster.peak_ssd_usage
+        relaxed = oracle_placement(cluster.test, cap, "tco", integrality=False)
+        binary = oracle_placement(
+            cluster.test, cap, "tco", integrality=True, max_milp_jobs=5000,
+            time_limit=30.0,
+        )
+        assert relaxed.objective_value >= binary.objective_value - 1e-6
+
+    def test_adaptive_trajectory_reacts_to_quota(self, setting):
+        cluster, pipe = setting
+        acts = {}
+        for quota in (0.001, 0.5):
+            policy = pipe.make_policy(cluster.test, cluster.features_test)
+            simulate(cluster.test, policy, quota * cluster.peak_ssd_usage)
+            acts[quota] = np.mean([e.act for e in policy.trajectory])
+        assert acts[0.001] >= acts[0.5]
+
+    def test_savings_reported_relative_to_all_hdd(self, setting):
+        cluster, pipe = setting
+        res = pipe.deploy(cluster.test, cluster.features_test, 0.05,
+                          cluster.peak_ssd_usage)
+        costs = cluster.test.costs()
+        manual = 100 * (costs.c_hdd.sum() - res.realized_tco) / costs.c_hdd.sum()
+        assert res.tco_savings_pct == pytest.approx(manual)

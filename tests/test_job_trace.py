@@ -1,0 +1,87 @@
+"""ShuffleJob and Trace container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.units import GIB
+from repro.workloads import ShuffleJob, Trace
+
+from conftest import make_job
+
+
+class TestShuffleJob:
+    def test_end_and_total_bytes(self):
+        job = make_job(arrival=10.0, duration=50.0, read_bytes=3.0, write_bytes=4.0)
+        assert job.end == 60.0
+        assert job.total_bytes == 7.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            make_job(duration=-1.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            make_job(size=-5.0)
+
+
+class TestTrace:
+    def test_sorted_by_arrival(self):
+        jobs = [make_job(0, arrival=100.0), make_job(1, arrival=5.0)]
+        trace = Trace(jobs)
+        assert trace[0].arrival == 5.0
+        assert list(trace.arrivals) == sorted(trace.arrivals)
+
+    def test_len_iter_getitem(self, handmade_trace):
+        assert len(handmade_trace) == 4
+        assert sum(1 for _ in handmade_trace) == 4
+        assert handmade_trace[0].job_id == 0
+
+    def test_array_views_align(self, handmade_trace):
+        t = handmade_trace
+        assert t.ends == pytest.approx(t.arrivals + t.durations)
+        assert t.total_bytes == pytest.approx(t.read_bytes + t.write_bytes)
+
+    def test_peak_ssd_usage_handmade(self, handmade_trace):
+        # Jobs 0 (10 GiB, [0,100)) and 1 (20 GiB, [50,150)) overlap.
+        assert handmade_trace.peak_ssd_usage() == pytest.approx(30 * GIB)
+
+    def test_peak_usage_right_open_intervals(self):
+        # One job ends exactly when the next starts: no overlap.
+        jobs = [
+            make_job(0, arrival=0.0, duration=100.0, size=10 * GIB),
+            make_job(1, arrival=100.0, duration=100.0, size=10 * GIB),
+        ]
+        assert Trace(jobs).peak_ssd_usage() == pytest.approx(10 * GIB)
+
+    def test_peak_usage_empty(self):
+        assert Trace([]).peak_ssd_usage() == 0.0
+
+    def test_split_at(self, handmade_trace):
+        before, after = handmade_trace.split_at(120.0)
+        assert len(before) == 2 and len(after) == 2
+        assert all(j.arrival < 120.0 for j in before)
+        assert all(j.arrival >= 120.0 for j in after)
+
+    def test_subset_mask(self, handmade_trace):
+        mask = np.array([True, False, True, False])
+        sub = handmade_trace.subset(mask)
+        assert len(sub) == 2
+
+    def test_subset_bad_mask_raises(self, handmade_trace):
+        with pytest.raises(ValueError):
+            handmade_trace.subset(np.array([True]))
+
+    def test_costs_shapes(self, handmade_trace):
+        c = handmade_trace.costs()
+        assert c.c_hdd.shape == (4,)
+        assert c.savings.shape == (4,)
+
+    def test_io_density_positive(self, handmade_trace):
+        assert (handmade_trace.io_density() > 0).all()
+
+    def test_io_density_scales_with_ops(self):
+        lo = make_job(0, read_ops=100.0)
+        hi = make_job(1, read_ops=100000.0)
+        trace = Trace([lo, hi])
+        d = trace.io_density()
+        assert d[1] > d[0]

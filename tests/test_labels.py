@@ -1,0 +1,79 @@
+"""Category label design (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CategoryLabeler
+
+
+@pytest.fixture()
+def fitted():
+    rng = np.random.default_rng(0)
+    n = 2000
+    savings = rng.normal(0.5, 1.0, n)
+    density = rng.lognormal(3.0, 1.5, n)
+    labeler = CategoryLabeler(n_categories=10).fit(savings, density)
+    return labeler, savings, density
+
+
+class TestCategoryLabeler:
+    def test_rejects_single_category(self):
+        with pytest.raises(ValueError):
+            CategoryLabeler(1)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CategoryLabeler(5).transform(np.zeros(3), np.zeros(3))
+
+    def test_negative_savings_get_category_zero(self, fitted):
+        labeler, savings, density = fitted
+        labels = labeler.transform(savings, density)
+        assert (labels[savings < 0] == 0).all()
+        assert (labels[savings >= 0] >= 1).all()
+
+    def test_labels_in_range(self, fitted):
+        labeler, savings, density = fitted
+        labels = labeler.transform(savings, density)
+        assert labels.min() >= 0
+        assert labels.max() <= 9
+
+    def test_higher_density_higher_category(self, fitted):
+        labeler, _, _ = fitted
+        s = np.ones(3)
+        d = np.array([1.0, 50.0, 1e6])
+        labels = labeler.transform(s, d)
+        assert labels[0] <= labels[1] <= labels[2]
+        assert labels[2] == 9
+
+    def test_positive_categories_roughly_balanced(self, fitted):
+        labeler, savings, density = fitted
+        labels = labeler.transform(savings, density)
+        pos = labels[savings >= 0]
+        counts = np.bincount(pos, minlength=10)[1:]
+        # Equal-mass quantile design: no class more than 2x another.
+        assert counts.max() < 2.5 * max(counts.min(), 1)
+
+    def test_frozen_edges_apply_to_new_data(self, fitted):
+        labeler, _, _ = fitted
+        edges_before = labeler.density_edges_.copy()
+        labeler.transform(np.ones(10), np.linspace(1, 100, 10))
+        assert np.array_equal(labeler.density_edges_, edges_before)
+
+    def test_all_negative_degenerate(self):
+        labeler = CategoryLabeler(5).fit(-np.ones(10), np.arange(10.0))
+        labels = labeler.transform(-np.ones(10), np.arange(10.0))
+        assert (labels == 0).all()
+
+    def test_shape_mismatch_raises(self, fitted):
+        labeler, _, _ = fitted
+        with pytest.raises(ValueError):
+            labeler.transform(np.zeros(3), np.zeros(4))
+
+    def test_paper_formula_partitioning(self):
+        """With N=3 and uniform density, positive jobs split 50/50."""
+        savings = np.ones(1000)
+        density = np.linspace(0, 1, 1000)
+        labels = CategoryLabeler(3).fit_transform(savings, density)
+        assert set(np.unique(labels)) == {1, 2}
+        frac_top = (labels == 2).mean()
+        assert 0.45 < frac_top < 0.55

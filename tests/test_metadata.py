@@ -1,0 +1,61 @@
+"""Metadata synthesis, tokenization and stable hashing."""
+
+import numpy as np
+
+from repro.workloads import METADATA_FIELDS, MetadataSynthesizer, stable_hash, tokenize
+
+
+class TestTokenize:
+    def test_splits_on_non_alphanumeric(self):
+        assert tokenize("//storage/logs/buildmanager:importer") == [
+            "storage",
+            "logs",
+            "buildmanager",
+            "importer",
+        ]
+
+    def test_keeps_digits(self):
+        assert tokenize("s3-open-shuffle10") == ["s3", "open", "shuffle10"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_separators(self):
+        assert tokenize("//--..::") == []
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("GroupByKey") == stable_hash("GroupByKey")
+
+    def test_seed_changes_hash(self):
+        assert stable_hash("GroupByKey", seed=0) != stable_hash("GroupByKey", seed=1)
+
+    def test_range_32bit(self):
+        h = stable_hash("anything")
+        assert 0 <= h <= 0xFFFFFFFF
+
+
+class TestMetadataSynthesizer:
+    def _make(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return MetadataSynthesizer("C0", "user0", 7, "dbquery", rng)
+
+    def test_produces_all_fields(self):
+        meta = self._make().for_step(0)
+        assert set(meta) == set(METADATA_FIELDS)
+
+    def test_pipeline_names_stable_across_steps(self):
+        synth = self._make()
+        m0, m1 = synth.for_step(0), synth.for_step(1)
+        assert m0["pipeline_name"] == m1["pipeline_name"]
+        assert m0["build_target_name"] == m1["build_target_name"]
+        assert m0["step_name"] != m1["step_name"]
+
+    def test_pipeline_index_embedded(self):
+        meta = self._make().for_step(0)
+        assert "7" in meta["pipeline_name"]
+
+    def test_archetype_tokens_present(self):
+        meta = self._make().for_step(0)
+        assert "dbquery" in tokenize(meta["build_target_name"])

@@ -1,0 +1,70 @@
+"""Additional lifetime-model behaviours and simulator interplay."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LifetimeModel, LifetimePolicy
+from repro.storage import simulate
+from repro.units import GIB, HOUR
+from repro.workloads import Trace, extract_features
+
+from conftest import make_job
+
+
+def _two_population_trace(n=120):
+    """Half short-lived (5 min), half long-lived (5 h), distinguishable
+    by the worker-count resource."""
+    jobs = []
+    for i in range(n):
+        short = i % 2 == 0
+        job = make_job(
+            i,
+            arrival=i * 50.0,
+            duration=300.0 if short else 5 * HOUR,
+            size=1 * GIB,
+            pipeline="short" if short else "long",
+        )
+        resources = dict(job.resources)
+        resources["bucket_sizing_num_workers"] = 8.0 if short else 256.0
+        from dataclasses import replace
+
+        jobs.append(replace(job, resources=resources))
+    return Trace(jobs)
+
+
+class TestLifetimeModelLearning:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        trace = _two_population_trace()
+        features = extract_features(trace)
+        model = LifetimeModel(n_rounds=10, max_depth=3).fit(features, trace.durations)
+        return trace, features, model
+
+    def test_separates_populations(self, setting):
+        trace, features, model = setting
+        mu, _ = model.predict(features)
+        short_mask = np.array([j.pipeline == "short" for j in trace])
+        assert np.median(mu[short_mask]) < np.median(mu[~short_mask])
+
+    def test_ttl_between_populations_splits_admission(self, setting):
+        trace, features, model = setting
+        policy = LifetimePolicy(model, features, ttl=1 * HOUR)
+        res = simulate(trace, policy, capacity=1e18)
+        short_mask = np.array([j.pipeline == "short" for j in trace])
+        admitted = res.ssd_fraction > 0
+        # Short jobs mostly admitted, long jobs mostly rejected.
+        assert admitted[short_mask].mean() > 0.8
+        assert admitted[~short_mask].mean() < 0.2
+
+    def test_eviction_limits_residency_of_underestimates(self, setting):
+        trace, features, model = setting
+        # Tiny TTL admits nothing.
+        policy = LifetimePolicy(model, features, ttl=1.0)
+        res = simulate(trace, policy, capacity=1e18)
+        assert res.n_ssd_requested == 0
+
+    def test_sigma_reflects_uncertainty(self, setting):
+        _, features, model = setting
+        _, sigma = model.predict(features)
+        assert (sigma >= 0).all()
+        assert np.isfinite(sigma).all()

@@ -1,0 +1,100 @@
+"""Gradient boosted trees: classifier and regressor behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GBTClassifier, GBTRegressor, accuracy
+
+
+@pytest.fixture(scope="module")
+def multiclass_data():
+    rng = np.random.default_rng(3)
+    n = 4000
+    X = rng.normal(size=(n, 10))
+    y = np.digitize(X[:, 0] + 0.3 * X[:, 1] ** 2, [-1.0, 0.0, 1.0])
+    return X[:3000], y[:3000], X[3000:], y[3000:]
+
+
+class TestGBTClassifier:
+    def test_beats_majority_class(self, multiclass_data):
+        Xtr, ytr, Xte, yte = multiclass_data
+        clf = GBTClassifier(n_rounds=10, max_depth=4).fit(Xtr, ytr)
+        acc = accuracy(yte, clf.predict(Xte))
+        majority = np.bincount(yte).max() / len(yte)
+        assert acc > majority + 0.2
+
+    def test_proba_sums_to_one(self, multiclass_data):
+        Xtr, ytr, Xte, _ = multiclass_data
+        clf = GBTClassifier(n_rounds=5, max_depth=3).fit(Xtr, ytr)
+        proba = clf.predict_proba(Xte)
+        assert proba.shape == (len(Xte), len(clf.classes_))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_predict_in_training_classes(self, multiclass_data):
+        Xtr, ytr, Xte, _ = multiclass_data
+        clf = GBTClassifier(n_rounds=3).fit(Xtr, ytr)
+        assert set(np.unique(clf.predict(Xte))) <= set(clf.classes_)
+
+    def test_non_contiguous_labels(self, rng):
+        X = rng.normal(size=(500, 4))
+        y = np.where(X[:, 0] > 0, 7, 3)  # labels {3, 7}
+        clf = GBTClassifier(n_rounds=5).fit(X, y)
+        pred = clf.predict(X)
+        assert set(np.unique(pred)) <= {3, 7}
+        assert accuracy(y, pred) > 0.9
+
+    def test_single_class_degenerate(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = np.zeros(100, dtype=int)
+        clf = GBTClassifier(n_rounds=3).fit(X, y)
+        assert (clf.predict(X) == 0).all()
+        assert np.allclose(clf.predict_proba(X), 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GBTClassifier().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            GBTClassifier().fit(rng.normal(size=(10, 3)), np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GBTClassifier().predict(np.zeros((2, 3)))
+
+    def test_n_trees_accounting(self, multiclass_data):
+        Xtr, ytr, _, _ = multiclass_data
+        clf = GBTClassifier(n_rounds=4).fit(Xtr, ytr)
+        assert clf.n_trees == 4 * len(clf.classes_)
+
+    def test_more_rounds_help_or_tie(self, multiclass_data):
+        Xtr, ytr, Xte, yte = multiclass_data
+        small = GBTClassifier(n_rounds=2, max_depth=3).fit(Xtr, ytr)
+        big = GBTClassifier(n_rounds=12, max_depth=3).fit(Xtr, ytr)
+        assert accuracy(yte, big.predict(Xte)) >= accuracy(yte, small.predict(Xte)) - 0.02
+
+
+class TestGBTRegressor:
+    def test_fits_nonlinear_function(self, rng):
+        n = 3000
+        X = rng.normal(size=(n, 5))
+        y = X[:, 0] ** 2 + 2 * X[:, 1] + 0.05 * rng.normal(size=n)
+        reg = GBTRegressor(n_rounds=25, max_depth=4).fit(X[:2000], y[:2000])
+        pred = reg.predict(X[2000:])
+        resid_var = np.var(pred - y[2000:])
+        assert resid_var < 0.3 * np.var(y[2000:])
+
+    def test_constant_target(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = np.full(200, 5.0)
+        reg = GBTRegressor(n_rounds=3).fit(X, y)
+        assert reg.predict(X) == pytest.approx(np.full(200, 5.0), abs=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GBTRegressor().predict(np.zeros((2, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GBTRegressor().fit(np.zeros((0, 3)), np.zeros(0))

@@ -1,0 +1,78 @@
+"""Classification metric implementations."""
+
+import numpy as np
+import pytest
+
+from repro.ml import accuracy, confusion_matrix, roc_auc, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        y = np.array([0, 1, 2])
+        assert accuracy(y, y) == 1.0
+        assert accuracy(y, np.array([1, 2, 0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_empty_is_nan(self):
+        assert np.isnan(accuracy(np.array([]), np.array([])))
+
+
+class TestTopK:
+    def test_top2_includes_runner_up(self):
+        proba = np.array([[0.5, 0.4, 0.1], [0.1, 0.5, 0.4]])
+        classes = np.array([0, 1, 2])
+        y = np.array([1, 2])
+        assert top_k_accuracy(y, proba, classes, k=1) == 0.0
+        assert top_k_accuracy(y, proba, classes, k=2) == 1.0
+
+    def test_k_clipped_to_n_classes(self):
+        proba = np.array([[0.6, 0.4]])
+        assert top_k_accuracy(np.array([1]), proba, np.array([0, 1]), k=10) == 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.uniform(size=5000)
+        assert abs(roc_auc(y, s) - 0.5) < 0.03
+
+    def test_ties_use_midrank(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(y, s) == pytest.approx(0.5)
+
+    def test_single_class_nan(self):
+        assert np.isnan(roc_auc(np.array([1, 1]), np.array([0.1, 0.2])))
+
+    def test_known_value(self):
+        # 1 discordant pair of 4: AUC = 3/4.
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.4, 0.35, 0.8])) == 0.75
+
+
+class TestConfusion:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0, 1, 2, 2])
+        cm = confusion_matrix(y, y, 3)
+        assert cm.sum() == 4
+        assert np.trace(cm) == 4
+
+    def test_rows_are_true_labels(self):
+        cm = confusion_matrix(np.array([0, 0]), np.array([1, 1]), 2)
+        assert cm[0, 1] == 2
+        assert cm[1, 0] == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 2)

@@ -1,0 +1,108 @@
+"""Histogram tree and quantile binner."""
+
+import numpy as np
+import pytest
+
+from repro.ml import HistogramTree, QuantileBinner
+
+
+class TestQuantileBinner:
+    def test_rejects_bad_n_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(1)
+        with pytest.raises(ValueError):
+            QuantileBinner(500)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+    def test_monotone_binning(self, rng):
+        X = rng.normal(size=(1000, 1))
+        binner = QuantileBinner(16).fit(X)
+        codes = binner.transform(X)[:, 0]
+        order = np.argsort(X[:, 0])
+        assert (np.diff(codes[order].astype(int)) >= 0).all()
+
+    def test_roughly_equal_mass(self, rng):
+        X = rng.normal(size=(10000, 1))
+        codes = QuantileBinner(8).fit_transform(X)[:, 0]
+        counts = np.bincount(codes, minlength=8)
+        assert counts.min() > 500  # ~1250 expected per bin
+
+    def test_binary_features_get_two_bins(self):
+        X = np.array([[0.0], [1.0], [0.0], [1.0]])
+        binner = QuantileBinner(64).fit(X)
+        codes = binner.fit_transform(X)[:, 0]
+        assert set(codes.tolist()) == {0, 1}
+
+    def test_constant_column(self):
+        X = np.full((100, 1), 3.0)
+        codes = QuantileBinner(8).fit_transform(X)[:, 0]
+        assert (codes == 0).all()
+
+    def test_column_mismatch_raises(self, rng):
+        binner = QuantileBinner(8).fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            binner.transform(rng.normal(size=(10, 2)))
+
+    def test_unseen_values_clip(self, rng):
+        X = rng.uniform(0, 1, size=(1000, 1))
+        binner = QuantileBinner(8).fit(X)
+        far = binner.transform(np.array([[100.0], [-100.0]]))[:, 0]
+        assert far[0] == binner.transform(X)[:, 0].max()
+        assert far[1] == 0
+
+
+class TestHistogramTree:
+    def _fit_step(self, rng, n=2000):
+        """y = step function of x0: one split should capture it."""
+        X = rng.uniform(0, 1, size=(n, 3))
+        y = np.where(X[:, 0] > 0.5, 1.0, -1.0)
+        binner = QuantileBinner(32)
+        Xb = binner.fit_transform(X)
+        # squared loss at pred=0: g = -y, h = 1
+        tree = HistogramTree.fit(Xb, -y, np.ones(n), max_depth=2, n_bins=32)
+        return tree, Xb, y
+
+    def test_recovers_step_function(self, rng):
+        tree, Xb, y = self._fit_step(rng)
+        pred = tree.predict(Xb)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_root_split_on_informative_feature(self, rng):
+        tree, _, _ = self._fit_step(rng)
+        assert tree.feature[0] == 0
+
+    def test_pure_node_becomes_leaf(self, rng):
+        n = 500
+        Xb = np.zeros((n, 2), dtype=np.uint8)  # no split possible
+        g = rng.normal(size=n)
+        tree = HistogramTree.fit(Xb, g, np.ones(n), max_depth=3, n_bins=4)
+        assert tree.is_leaf[0]
+        assert tree.value[0] == pytest.approx(-g.sum() / (n + 1.0))
+
+    def test_min_samples_leaf_respected(self, rng):
+        n = 100
+        X = rng.uniform(size=(n, 1))
+        y = X[:, 0]
+        Xb = QuantileBinner(32).fit_transform(X)
+        tree = HistogramTree.fit(
+            Xb, -y, np.ones(n), max_depth=6, min_samples_leaf=40, n_bins=32
+        )
+        # With min 40 per leaf and 100 samples, at most 2 leaves.
+        assert tree.n_leaves <= 2
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            HistogramTree.fit(np.zeros((10, 2), dtype=np.uint8), np.zeros(5), np.ones(5))
+
+    def test_deeper_tree_fits_better(self, rng):
+        X = rng.uniform(size=(3000, 2))
+        y = np.sin(6 * X[:, 0]) + np.cos(4 * X[:, 1])
+        Xb = QuantileBinner(64).fit_transform(X)
+        errs = []
+        for depth in (1, 3, 6):
+            tree = HistogramTree.fit(Xb, -y, np.ones(len(y)), max_depth=depth)
+            errs.append(np.mean((tree.predict(Xb) - y) ** 2))
+        assert errs[0] > errs[1] > errs[2]

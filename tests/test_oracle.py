@@ -1,0 +1,166 @@
+"""Oracle ILP, greedy approximation, and headroom analysis."""
+
+import numpy as np
+import pytest
+
+from repro.oracle import (
+    greedy_placement,
+    headroom_analysis,
+    oracle_objective,
+    oracle_placement,
+)
+from repro.storage import FixedPolicy, simulate
+from repro.units import GIB
+from repro.workloads import Trace
+
+from conftest import make_job
+
+
+def hot_job(i, arrival, savings_scale=1.0, size=1 * GIB, duration=100.0):
+    return make_job(
+        i, arrival=arrival, duration=duration, size=size,
+        read_ops=300_000.0 * savings_scale,
+    )
+
+
+def cold_job(i, arrival, size=10 * GIB, duration=50_000.0):
+    return make_job(
+        i, arrival=arrival, duration=duration, size=size,
+        read_ops=5.0, write_bytes=2 * size,
+    )
+
+
+class TestOracleObjective:
+    def test_tco_matches_savings(self, handmade_trace):
+        from repro.cost import DEFAULT_RATES
+
+        coef = oracle_objective(handmade_trace, "tco", DEFAULT_RATES)
+        assert np.allclose(coef, handmade_trace.costs().savings)
+
+    def test_tcio_nonnegative(self, handmade_trace):
+        from repro.cost import DEFAULT_RATES
+
+        coef = oracle_objective(handmade_trace, "tcio", DEFAULT_RATES)
+        assert (coef >= 0).all()
+
+    def test_unknown_objective_raises(self, handmade_trace):
+        from repro.cost import DEFAULT_RATES
+
+        with pytest.raises(ValueError):
+            oracle_objective(handmade_trace, "latency", DEFAULT_RATES)
+
+
+class TestOraclePlacement:
+    def test_respects_capacity_profile(self):
+        # Three overlapping 1 GiB hot jobs, capacity for two.
+        jobs = [hot_job(i, arrival=float(i), duration=1000.0) for i in range(3)]
+        trace = Trace(jobs)
+        res = oracle_placement(trace, capacity=2 * GIB)
+        assert res.decisions.sum() == 2
+
+    def test_prefers_higher_savings(self):
+        jobs = [
+            hot_job(0, 0.0, savings_scale=0.5, duration=1000.0),
+            hot_job(1, 1.0, savings_scale=5.0, duration=1000.0),
+        ]
+        res = oracle_placement(Trace(jobs), capacity=1 * GIB)
+        assert not res.decisions[0]
+        assert res.decisions[1]
+
+    def test_never_admits_negative_savings(self, small_trace):
+        savings = small_trace.costs().savings
+        res = oracle_placement(small_trace, capacity=1e18, max_milp_jobs=50)
+        assert not res.decisions[savings <= 0].any()
+
+    def test_infinite_capacity_admits_all_positive(self, small_trace):
+        savings = small_trace.costs().savings
+        res = oracle_placement(small_trace, capacity=1e18, max_milp_jobs=50)
+        # Greedy fallback with ample capacity still takes every winner.
+        assert res.decisions.sum() == (savings > 0).sum()
+
+    def test_zero_capacity_trivial(self, small_trace):
+        res = oracle_placement(small_trace, capacity=0.0)
+        assert res.method == "trivial"
+        assert not res.decisions.any()
+
+    def test_oversized_jobs_dropped(self):
+        jobs = [hot_job(0, 0.0, size=100 * GIB)]
+        res = oracle_placement(Trace(jobs), capacity=1 * GIB)
+        assert not res.decisions.any()
+
+    def test_milp_at_least_greedy(self):
+        rng = np.random.default_rng(1)
+        jobs = [
+            hot_job(
+                i,
+                arrival=float(rng.uniform(0, 5000)),
+                savings_scale=float(rng.uniform(0.2, 3.0)),
+                size=float(rng.uniform(0.5, 4) * GIB),
+                duration=float(rng.uniform(50, 2000)),
+            )
+            for i in range(120)
+        ]
+        trace = Trace(jobs)
+        cap = 6 * GIB
+        milp_res = oracle_placement(trace, cap, max_milp_jobs=1000, time_limit=20.0)
+        greedy_res = oracle_placement(trace, cap, max_milp_jobs=1)
+        assert milp_res.method == "milp"
+        assert greedy_res.method == "greedy"
+        assert milp_res.objective_value >= greedy_res.objective_value - 1e-9
+
+    def test_simulated_oracle_has_no_spill(self, small_trace):
+        cap = 0.05 * small_trace.peak_ssd_usage()
+        res = oracle_placement(small_trace, cap, max_milp_jobs=50)
+        sim = simulate(small_trace, FixedPolicy(res.decisions, "oracle"), cap)
+        assert sim.n_spilled == 0
+
+    def test_negative_capacity_raises(self, small_trace):
+        with pytest.raises(ValueError):
+            oracle_placement(small_trace, capacity=-1.0)
+
+
+class TestGreedy:
+    def test_empty_input(self):
+        picked, val = greedy_placement(
+            np.array([]), np.array([]), np.array([]), np.array([]), 100.0
+        )
+        assert len(picked) == 0 and val == 0.0
+
+    def test_capacity_never_exceeded(self):
+        rng = np.random.default_rng(2)
+        n = 200
+        arrivals = rng.uniform(0, 1000, n)
+        ends = arrivals + rng.uniform(10, 500, n)
+        sizes = rng.uniform(1, 10, n)
+        values = rng.uniform(0.1, 5, n)
+        cap = 20.0
+        picked, _ = greedy_placement(arrivals, ends, sizes, values, cap)
+        chosen = set(picked.tolist())
+        for t in arrivals:
+            usage = sum(
+                sizes[i]
+                for i in chosen
+                if arrivals[i] <= t < ends[i]
+            )
+            assert usage <= cap + 1e-9
+
+    def test_value_accumulates(self):
+        arrivals = np.array([0.0, 100.0])
+        ends = np.array([50.0, 150.0])
+        sizes = np.array([1.0, 1.0])
+        values = np.array([2.0, 3.0])
+        picked, val = greedy_placement(arrivals, ends, sizes, values, 1.0)
+        assert len(picked) == 2
+        assert val == pytest.approx(5.0)
+
+
+class TestHeadroom:
+    def test_oracle_beats_heuristic(self, two_week_trace):
+        from repro.workloads import week_split
+
+        train, _, test, _ = week_split(two_week_trace)
+        result = headroom_analysis(
+            train, test, quota_fraction=0.01, max_milp_jobs=500
+        )
+        assert result.oracle.tco_savings_pct >= result.heuristic.tco_savings_pct
+        assert result.savings_ratio >= 1.0

@@ -1,0 +1,38 @@
+"""Public API surface: everything in __all__ is importable and real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.cost",
+    "repro.workloads",
+    "repro.ml",
+    "repro.storage",
+    "repro.baselines",
+    "repro.core",
+    "repro.oracle",
+    "repro.prototype",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), f"{name} lacks __all__"
+    for symbol in mod.__all__:
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,83 @@
+"""Three-phase shuffle-job I/O decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.units import GIB
+from repro.workloads import Phase, decompose_phases
+
+from conftest import make_job
+
+
+class TestPhaseValidation:
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("write", 0.5, 0.5, 0, 0, 0)
+        with pytest.raises(ValueError):
+            Phase("write", -0.1, 0.5, 0, 0, 0)
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_phases(make_job(), overlap=0.6)
+
+
+class TestDecomposePhases:
+    def test_byte_conservation(self):
+        job = make_job(read_bytes=5 * GIB, write_bytes=3 * GIB, size=2 * GIB)
+        profile = decompose_phases(job)
+        total_read = sum(p.read_bytes for p in profile.phases)
+        total_write = sum(p.write_bytes for p in profile.phases)
+        assert total_read == pytest.approx(job.read_bytes)
+        assert total_write == pytest.approx(job.write_bytes)
+
+    def test_ops_conservation(self):
+        job = make_job(read_ops=10_000.0)
+        profile = decompose_phases(job)
+        assert sum(p.read_ops for p in profile.phases) == pytest.approx(10_000.0)
+
+    def test_phase_roles(self):
+        job = make_job(read_bytes=5 * GIB, write_bytes=3 * GIB, size=2 * GIB)
+        profile = decompose_phases(job)
+        # Raw writes land in the write phase, bounded by the footprint.
+        assert profile.write.write_bytes == pytest.approx(2 * GIB)
+        assert profile.write.read_bytes == 0.0
+        # Retrieval is read-only and carries most of the random ops.
+        assert profile.retrieve.write_bytes == 0.0
+        assert profile.retrieve.read_ops > profile.sort.read_ops
+
+    def test_phases_ordered_and_overlapping(self):
+        profile = decompose_phases(make_job(), overlap=0.2)
+        w, s, r = profile.phases
+        assert w.start_frac < s.start_frac < r.start_frac
+        assert w.end_frac > s.start_frac  # overlap exists
+        assert s.end_frac > r.start_frac
+        assert r.end_frac == 1.0
+
+    def test_zero_overlap_partitions(self):
+        profile = decompose_phases(make_job(), overlap=0.0)
+        w, s, r = profile.phases
+        assert w.end_frac == pytest.approx(s.start_frac)
+        assert s.end_frac == pytest.approx(r.start_frac)
+
+
+class TestProfileQueries:
+    def test_cumulative_monotone_and_complete(self):
+        job = make_job(read_bytes=4 * GIB, write_bytes=2 * GIB)
+        profile = decompose_phases(job)
+        fracs = np.linspace(0, 1, 21)
+        series = [profile.cumulative_bytes(f) for f in fracs]
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+        assert series[0] == 0.0
+        assert series[-1] == pytest.approx(job.total_bytes)
+
+    def test_io_rate_nonnegative(self):
+        profile = decompose_phases(make_job())
+        for f in np.linspace(0, 0.99, 10):
+            assert profile.io_rate_at(float(f)) >= 0.0
+
+    def test_out_of_range_frac_rejected(self):
+        profile = decompose_phases(make_job())
+        with pytest.raises(ValueError):
+            profile.cumulative_bytes(1.5)
+        with pytest.raises(ValueError):
+            profile.io_rate_at(-0.1)

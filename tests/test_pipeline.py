@@ -1,0 +1,84 @@
+"""End-to-end BYOM pipeline: train offline, deploy online."""
+
+import numpy as np
+import pytest
+
+from repro.config import AdaptiveParams, ModelParams
+from repro.core import ByomPipeline, prepare_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster(two_week_trace):
+    return prepare_cluster(two_week_trace)
+
+
+@pytest.fixture(scope="module")
+def pipeline(cluster):
+    params = ModelParams(n_categories=8, n_rounds=6, max_depth=4)
+    return ByomPipeline(params).train(cluster.train, cluster.features_train)
+
+
+class TestPrepareCluster:
+    def test_split_is_consistent(self, cluster, two_week_trace):
+        assert len(cluster.train) + len(cluster.test) == len(two_week_trace)
+        assert len(cluster.features_train) == len(cluster.train)
+        assert len(cluster.features_test) == len(cluster.test)
+
+    def test_peak_is_test_week(self, cluster):
+        assert cluster.peak_ssd_usage == pytest.approx(cluster.test.peak_ssd_usage())
+
+    def test_test_jobs_inherit_train_history(self, cluster):
+        # Features extracted on the full trace: an early test-week job of
+        # a pipeline seen in week 1 must have observed history.
+        a_cols = cluster.features_test.group_columns("A")
+        has_history = (cluster.features_test.X[:, a_cols] != 0).any(axis=1)
+        train_pipelines = set(cluster.train.pipelines)
+        carried = [
+            h
+            for h, p in zip(has_history, cluster.test.pipelines)
+            if p in train_pipelines
+        ]
+        assert np.mean(carried) > 0.9
+
+
+class TestByomPipeline:
+    def test_deploy_returns_result(self, pipeline, cluster):
+        res = pipeline.deploy(cluster.test, cluster.features_test, 0.05)
+        assert res.n_jobs == len(cluster.test)
+        assert res.policy_name == "Adaptive Ranking"
+
+    def test_positive_savings_at_moderate_quota(self, pipeline, cluster):
+        res = pipeline.deploy(
+            cluster.test, cluster.features_test, 0.1, cluster.peak_ssd_usage
+        )
+        assert res.tco_savings_pct > 0
+
+    def test_zero_quota_zero_savings(self, pipeline, cluster):
+        res = pipeline.deploy(
+            cluster.test, cluster.features_test, 0.0, cluster.peak_ssd_usage
+        )
+        assert res.tco_savings_pct == pytest.approx(0.0)
+        assert res.tcio_savings_pct == pytest.approx(0.0)
+
+    def test_monotone_tcio_with_quota(self, pipeline, cluster):
+        """More SSD can only move more I/O off HDD (approximately)."""
+        small = pipeline.deploy(
+            cluster.test, cluster.features_test, 0.01, cluster.peak_ssd_usage
+        )
+        large = pipeline.deploy(
+            cluster.test, cluster.features_test, 0.5, cluster.peak_ssd_usage
+        )
+        assert large.tcio_savings_pct >= small.tcio_savings_pct - 1.0
+
+    def test_true_category_policy_uses_ground_truth(self, pipeline, cluster):
+        policy = pipeline.true_category_policy(cluster.test)
+        labels = pipeline.model.labels_for(cluster.test)
+        assert np.array_equal(policy.categories, labels)
+
+    def test_adaptive_params_propagate(self, cluster):
+        params = AdaptiveParams(decision_interval=123.0)
+        pipe = ByomPipeline(
+            ModelParams(n_categories=4, n_rounds=2), params
+        ).train(cluster.train, cluster.features_train)
+        policy = pipe.make_policy(cluster.test, cluster.features_test)
+        assert policy.params.decision_interval == 123.0

@@ -1,0 +1,83 @@
+"""Prototype deployment emulation (Figures 5, 13, 14)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelParams
+from repro.prototype import (
+    application_runtime_savings,
+    build_mixed_workload,
+    build_prototype_workload,
+    run_prototype,
+)
+
+FAST_MODEL = ModelParams(n_categories=8, n_rounds=5, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return build_prototype_workload(seed=1)
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return build_mixed_workload(seed=2)
+
+
+class TestWorkloadBuilders:
+    def test_prototype_is_all_framework(self, proto):
+        assert proto.is_framework.all()
+        assert len(proto.trace) > 200
+
+    def test_prototype_has_both_orientations(self, proto):
+        from repro.workloads import ARCHETYPES
+
+        suited = {ARCHETYPES[j.archetype].ssd_suited for j in proto.trace}
+        assert suited == {True, False}
+
+    def test_mixed_contains_both_kinds(self, mixed):
+        assert mixed.is_framework.any()
+        assert (~mixed.is_framework).any()
+
+    def test_mixed_footprint_roughly_balanced(self, mixed):
+        fw = mixed.trace.sizes[mixed.is_framework].sum()
+        nfw = mixed.trace.sizes[~mixed.is_framework].sum()
+        assert 0.5 < fw / nfw < 2.0
+
+    def test_mixed_job_ids_unique(self, mixed):
+        ids = [j.job_id for j in mixed.trace]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRunPrototype:
+    def test_adaptive_beats_firstfit_at_tight_quota(self, proto):
+        result = run_prototype(proto, quota_fraction=0.01, model_params=FAST_MODEL)
+        assert result.adaptive.tco_savings_pct > result.firstfit.tco_savings_pct
+        assert result.tco_improvement > 1.0
+
+    def test_quota_recorded(self, proto):
+        result = run_prototype(proto, quota_fraction=0.2, model_params=FAST_MODEL)
+        assert result.quota_fraction == 0.2
+
+
+class TestRuntimeModel:
+    def test_all_hdd_no_savings(self, proto):
+        savings = application_runtime_savings(
+            proto.trace, np.zeros(len(proto.trace))
+        )
+        assert np.allclose(savings, 0.0)
+
+    def test_no_regressions(self, proto):
+        rng = np.random.default_rng(0)
+        frac = rng.uniform(0, 1, len(proto.trace))
+        savings = application_runtime_savings(proto.trace, frac)
+        assert (savings >= 0.0).all()
+
+    def test_full_ssd_saves_more_than_partial(self, proto):
+        full = application_runtime_savings(proto.trace, np.ones(len(proto.trace)))
+        half = application_runtime_savings(proto.trace, np.full(len(proto.trace), 0.5))
+        assert full.mean() > half.mean()
+
+    def test_misaligned_raises(self, proto):
+        with pytest.raises(ValueError):
+            application_runtime_savings(proto.trace, np.zeros(3))

@@ -1,0 +1,53 @@
+"""ASCII report rendering and CSV export."""
+
+import numpy as np
+
+from repro.analysis import render_series, render_table, write_csv
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "== My Table =="
+
+    def test_nan_rendering(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_scientific_for_extremes(self):
+        out = render_table(["v"], [[1234567.0], [0.000001]])
+        assert "e+06" in out or "e+6" in out
+        assert "e-06" in out or "e-6" in out
+
+    def test_row_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series(
+            [0.01, 0.1],
+            {"ours": [1.0, 2.0], "baseline": [0.5, 1.0]},
+            x_name="quota",
+        )
+        assert "quota" in out and "ours" in out and "baseline" in out
+        assert len(out.splitlines()) == 4
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "out.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+        assert len(content) == 3

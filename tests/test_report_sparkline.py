@@ -1,0 +1,26 @@
+"""Sparkline renderer."""
+
+from repro.analysis import render_sparkline
+
+
+class TestSparkline:
+    def test_constant_series_flat(self):
+        out = render_sparkline([3.0, 3.0, 3.0])
+        assert "min=3" in out and "max=3" in out
+
+    def test_extremes_use_ramp_ends(self):
+        out = render_sparkline([0.0, 10.0])
+        inner = out[out.index("[") + 1 : out.index("]")]
+        assert inner[0] == " "  # minimum maps to the lowest ramp char
+        assert inner[-1] == "@"  # maximum maps to the highest
+
+    def test_resampling_caps_width(self):
+        out = render_sparkline(range(1000), width=40)
+        inner = out[out.index("[") + 1 : out.index("]")]
+        assert len(inner) == 40
+
+    def test_label_prefix(self):
+        assert render_sparkline([1, 2], label="acc").startswith("acc ")
+
+    def test_empty(self):
+        assert "(empty)" in render_sparkline([], label="x")

@@ -1,0 +1,49 @@
+"""Multi-seed robustness harness (small instance for speed)."""
+
+import pytest
+
+from repro.analysis import multi_seed_comparison
+from repro.config import ModelParams
+from repro.workloads import ClusterSpec
+
+FAST = ModelParams(n_categories=6, n_rounds=3, max_depth=3)
+
+SPEC = ClusterSpec(
+    name="robust",
+    archetype_weights={"dbquery": 2, "logproc": 2, "streaming": 1, "staging": 1},
+    n_pipelines=6,
+    n_users=3,
+    seed=0,
+)
+
+
+class TestMultiSeedComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return multi_seed_comparison(
+            SPEC,
+            seeds=(0, 1),
+            methods=("Adaptive Ranking", "FirstFit"),
+            quota=0.05,
+            model_params=FAST,
+        )
+
+    def test_structure(self, report):
+        assert set(report.per_seed) == {"Adaptive Ranking", "FirstFit"}
+        assert set(report.per_seed["FirstFit"]) == {0, 1}
+        assert report.summary["FirstFit"]["n"] == 2
+
+    def test_win_fraction_bounds(self, report):
+        assert 0.0 <= report.win_fraction <= 1.0
+
+    def test_summary_consistent_with_per_seed(self, report):
+        vals = list(report.per_seed["Adaptive Ranking"].values())
+        assert report.summary["Adaptive Ranking"]["max"] == pytest.approx(max(vals))
+        assert report.summary["Adaptive Ranking"]["min"] == pytest.approx(min(vals))
+
+    def test_focal_must_be_included(self):
+        with pytest.raises(ValueError):
+            multi_seed_comparison(
+                SPEC, seeds=(0,), methods=("FirstFit",), focal_method="Adaptive Ranking",
+                model_params=FAST,
+            )

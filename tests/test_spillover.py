@@ -1,0 +1,74 @@
+"""Spillover-TCIO signal computation (Section 4.3)."""
+
+import pytest
+
+from repro.core import ObservedJob, spillover_percentage, spillover_tcio
+
+
+def obs(arrival=0.0, end=100.0, rate=1.0, ssd=True, spill=None, frac=0.0):
+    return ObservedJob(
+        arrival=arrival,
+        end=end,
+        tcio_rate=rate,
+        scheduled_ssd=ssd,
+        spill_time=spill,
+        spilled_fraction=frac,
+    )
+
+
+class TestSpilloverTcio:
+    def test_zero_without_spill(self):
+        assert spillover_tcio(obs(), t=50.0) == 0.0
+
+    def test_zero_for_hdd_jobs(self):
+        job = obs(ssd=False, spill=0.0, frac=1.0)
+        assert spillover_tcio(job, t=50.0) == 0.0
+
+    def test_full_spill_from_arrival(self):
+        # Spilled immediately and fully: spillover equals cumulative TCIO.
+        job = obs(spill=0.0, frac=1.0, rate=2.0)
+        assert spillover_tcio(job, t=50.0) == pytest.approx(100.0)
+
+    def test_partial_fraction_scales(self):
+        job = obs(spill=0.0, frac=0.25, rate=2.0)
+        assert spillover_tcio(job, t=50.0) == pytest.approx(25.0)
+
+    def test_midlife_spill_weighting(self):
+        # Paper formula: weight (t - ts) / (t - ta).
+        job = obs(spill=40.0, frac=1.0, rate=1.0)
+        expected = (80.0 - 40.0) / 80.0 * 80.0
+        assert spillover_tcio(job, t=80.0) == pytest.approx(expected)
+
+    def test_spill_after_t_ignored(self):
+        job = obs(spill=60.0, frac=1.0)
+        assert spillover_tcio(job, t=50.0) == 0.0
+
+
+class TestSpilloverPercentage:
+    def test_empty_history(self):
+        assert spillover_percentage([], t=10.0) == 0.0
+
+    def test_all_hdd_history(self):
+        history = [obs(ssd=False), obs(ssd=False)]
+        assert spillover_percentage(history, t=50.0) == 0.0
+
+    def test_no_spill_is_zero(self):
+        history = [obs(), obs(arrival=10.0)]
+        assert spillover_percentage(history, t=50.0) == 0.0
+
+    def test_everything_spilled_is_one(self):
+        history = [obs(spill=0.0, frac=1.0), obs(arrival=10.0, spill=10.0, frac=1.0)]
+        assert spillover_percentage(history, t=50.0) == pytest.approx(1.0)
+
+    def test_half_spilled(self):
+        history = [obs(spill=0.0, frac=1.0, rate=1.0), obs(frac=0.0, rate=1.0)]
+        assert spillover_percentage(history, t=50.0) == pytest.approx(0.5)
+
+    def test_bounded_in_unit_interval(self):
+        history = [
+            obs(spill=20.0, frac=0.7, rate=3.0),
+            obs(arrival=5.0, frac=0.0, rate=0.5),
+            obs(arrival=30.0, spill=30.0, frac=1.0, rate=2.0),
+        ]
+        p = spillover_percentage(history, t=60.0)
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,96 @@
+"""Bootstrap statistics and trace validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BootstrapCI, bootstrap_savings_ci, summarize_across_seeds
+from repro.workloads import Trace, trace_statistics, validate_trace
+
+from conftest import make_job
+
+
+class TestBootstrapCI:
+    def test_point_estimate_matches_direct(self, rng):
+        c_hdd = rng.uniform(1, 2, 500)
+        realized = c_hdd * rng.uniform(0.8, 1.0, 500)
+        ci = bootstrap_savings_ci(c_hdd, realized, n_boot=200)
+        direct = 100 * (c_hdd.sum() - realized.sum()) / c_hdd.sum()
+        assert ci.point == pytest.approx(direct)
+
+    def test_interval_contains_point(self, rng):
+        c_hdd = rng.uniform(1, 2, 500)
+        realized = c_hdd * rng.uniform(0.8, 1.0, 500)
+        ci = bootstrap_savings_ci(c_hdd, realized, n_boot=500)
+        assert ci.point in ci
+        assert ci.lower <= ci.upper
+
+    def test_deterministic_with_seed(self, rng):
+        c_hdd = rng.uniform(1, 2, 100)
+        realized = c_hdd * 0.9
+        a = bootstrap_savings_ci(c_hdd, realized, seed=7)
+        b = bootstrap_savings_ci(c_hdd, realized, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_narrower_with_more_data(self, rng):
+        base = rng.uniform(1, 2, 4000)
+        ci_small = bootstrap_savings_ci(
+            base[:100], base[:100] * rng.uniform(0.5, 1.0, 100), n_boot=400, seed=1
+        )
+        ci_large = bootstrap_savings_ci(
+            base, base * rng.uniform(0.5, 1.0, 4000), n_boot=400, seed=1
+        )
+        assert ci_large.width < ci_small.width
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            bootstrap_savings_ci(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_savings_ci(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            bootstrap_savings_ci(np.ones(3), np.ones(3), level=1.5)
+
+
+class TestSummarizeAcrossSeeds:
+    def test_summary_fields(self):
+        s = summarize_across_seeds({0: 1.0, 1: 2.0, 2: 3.0})
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["n"] == 3
+
+    def test_single_value_zero_std(self):
+        assert summarize_across_seeds({0: 5.0})["std"] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_across_seeds({})
+
+
+class TestTraceStatistics:
+    def test_counts(self, small_trace):
+        s = trace_statistics(small_trace)
+        assert s.n_jobs == len(small_trace)
+        assert s.n_pipelines >= 1
+        assert s.peak_ssd_usage == pytest.approx(small_trace.peak_ssd_usage())
+
+    def test_generated_trace_validates(self, small_trace):
+        stats = validate_trace(small_trace)
+        assert 0.05 <= stats.positive_savings_fraction <= 0.95
+        assert stats.density_dynamic_range >= 1.0
+
+    def test_degenerate_trace_rejected(self):
+        # All-identical cold jobs: no savings mix, no density spread.
+        jobs = [
+            make_job(i, arrival=i * 100.0, duration=50_000.0, size=10 * 2**30,
+                     read_ops=5.0, write_bytes=20 * 2**30)
+            for i in range(20)
+        ]
+        with pytest.raises(ValueError):
+            validate_trace(Trace(jobs))
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            trace_statistics(Trace([]))
+
+    def test_churn_detected(self, two_week_trace):
+        s = trace_statistics(two_week_trace)
+        assert 0.0 <= s.churn_fraction <= 1.0

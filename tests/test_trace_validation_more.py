@@ -1,0 +1,39 @@
+"""All ten default clusters must produce experiment-grade traces."""
+
+import pytest
+
+from repro.units import WEEK
+from repro.workloads import (
+    default_cluster_specs,
+    generate_cluster_trace,
+    validate_trace,
+    week_split,
+)
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_default_cluster_validates(index):
+    """Every cluster in the experiment suite has the structure the
+    evaluation requires (savings mix, density spread)."""
+    spec = default_cluster_specs(10)[index]
+    spec = type(spec)(
+        name=spec.name,
+        archetype_weights=spec.archetype_weights,
+        n_pipelines=8,  # smaller instance for test speed
+        n_users=spec.n_users,
+        seed=spec.seed,
+    )
+    trace = generate_cluster_trace(spec, duration=1 * WEEK)
+    stats = validate_trace(trace)
+    assert stats.n_jobs > 50
+
+
+def test_both_weeks_have_jobs():
+    spec = default_cluster_specs(10)[0]
+    trace = generate_cluster_trace(spec, duration=2 * WEEK)
+    train, _, test, _ = week_split(trace)
+    assert len(train) > 500
+    assert len(test) > 500
+    # Week populations are within 3x of each other (no collapse).
+    ratio = len(train) / len(test)
+    assert 1 / 3 < ratio < 3

@@ -1,0 +1,49 @@
+"""Trace persistence round-trip and week splitting."""
+
+import numpy as np
+import pytest
+
+from repro.units import WEEK
+from repro.workloads import load_trace, save_trace, week_split
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "trace"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_trace)
+        assert np.allclose(loaded.arrivals, small_trace.arrivals)
+        assert np.allclose(loaded.sizes, small_trace.sizes)
+        assert loaded.name == small_trace.name
+
+    def test_roundtrip_preserves_metadata(self, small_trace, tmp_path):
+        path = tmp_path / "trace"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded[0].metadata == small_trace[0].metadata
+        assert loaded[0].resources == small_trace[0].resources
+        assert loaded[0].pipeline == small_trace[0].pipeline
+
+    def test_costs_identical_after_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "trace"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert np.allclose(loaded.costs().savings, small_trace.costs().savings)
+
+
+class TestWeekSplit:
+    def test_partition_complete(self, two_week_trace):
+        train, train_idx, test, test_idx = week_split(two_week_trace)
+        assert len(train) + len(test) == len(two_week_trace)
+        assert len(train_idx) == len(train)
+        assert len(test_idx) == len(test)
+
+    def test_boundary(self, two_week_trace):
+        train, _, test, _ = week_split(two_week_trace)
+        assert train.arrivals.max() < WEEK
+        assert test.arrivals.min() >= WEEK
+
+    def test_indices_map_back(self, two_week_trace):
+        train, train_idx, _, _ = week_split(two_week_trace)
+        assert np.allclose(two_week_trace.arrivals[train_idx], train.arrivals)

@@ -1,0 +1,45 @@
+"""Unit constants and formatting helpers."""
+
+from repro.units import (
+    DAY,
+    GIB,
+    HOUR,
+    KIB,
+    MIB,
+    PIB,
+    TIB,
+    WEEK,
+    fmt_bytes,
+    fmt_duration,
+)
+
+
+def test_byte_scale_chain():
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+    assert TIB == 1024 * GIB
+    assert PIB == 1024 * TIB
+
+
+def test_time_scale_chain():
+    assert HOUR == 3600
+    assert DAY == 24 * HOUR
+    assert WEEK == 7 * DAY
+
+
+def test_fmt_bytes_units():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KIB) == "2.00 KiB"
+    assert fmt_bytes(1.5 * GIB) == "1.50 GiB"
+    assert fmt_bytes(3 * PIB) == "3.00 PiB"
+
+
+def test_fmt_bytes_negative():
+    assert fmt_bytes(-2 * GIB) == "-2.00 GiB"
+
+
+def test_fmt_duration_units():
+    assert fmt_duration(30) == "30s"
+    assert fmt_duration(120) == "2.0m"
+    assert fmt_duration(2 * HOUR) == "2.0h"
+    assert fmt_duration(3 * DAY) == "3.0d"
