@@ -17,7 +17,7 @@ from repro.analysis import render_series, standard_suite
 from repro.baselines import ImitationModel, ImitationPolicy
 from repro.storage import simulate
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTAS = (0.002, 0.01, 0.1, 0.5)
 TRAIN_QUOTA = 0.1

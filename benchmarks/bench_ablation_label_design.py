@@ -16,7 +16,7 @@ from repro.core import AdaptiveCategoryPolicy, CategoryModel
 from repro.ml import GBTClassifier
 from repro.storage import simulate
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTA = 0.05
 N_CAT = 15

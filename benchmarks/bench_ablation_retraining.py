@@ -14,7 +14,7 @@ from repro.storage import simulate
 from repro.units import DAY
 from repro.workloads import extract_features
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTA = 0.05
 

@@ -14,7 +14,7 @@ from repro.analysis import render_table, standard_suite
 from repro.baselines import FirstFitPolicy
 from repro.storage import simulate_sharded
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTA = 0.02
 SHARDS = (1, 4, 16)

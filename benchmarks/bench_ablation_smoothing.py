@@ -14,7 +14,7 @@ from repro.config import AdaptiveParams
 from repro.core import AdaptiveCategoryPolicy
 from repro.storage import simulate
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTA = 0.01
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import fig1_workload_diversity, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig01")

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import fig4_oracle_density, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig04")

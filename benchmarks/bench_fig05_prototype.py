@@ -10,7 +10,7 @@ import pytest
 from repro.analysis import render_table
 from repro.prototype import build_prototype_workload, run_prototype
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig05")

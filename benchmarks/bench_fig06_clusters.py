@@ -14,7 +14,7 @@ from repro.analysis import (
     render_table,
 )
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig06")

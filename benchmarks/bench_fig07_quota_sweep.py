@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import DEFAULT_QUOTAS, FIG7_METHODS, fig7_quota_sweep, render_series
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig07")

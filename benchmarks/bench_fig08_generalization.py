@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import DEFAULT_QUOTAS, fig8_generalization, render_series
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig08")

@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import fig9_model_analysis, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig09")

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import fig10_holdout_generalization, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTAS = (0.01, 0.1, 0.5, 1.0)
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import DEFAULT_QUOTAS, fig11_true_category, render_series
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig11")

@@ -12,7 +12,7 @@ from repro.analysis import render_table
 from repro.core import prepare_cluster
 from repro.prototype import build_mixed_workload, run_prototype
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig13")

@@ -16,7 +16,7 @@ from repro.prototype import (
     run_prototype,
 )
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig14")

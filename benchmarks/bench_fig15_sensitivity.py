@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import fig15_sensitivity, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="fig15")

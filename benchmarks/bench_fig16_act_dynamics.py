@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import fig16_act_dynamics, render_table
 
-from conftest import emit
+from bench_utils import emit
 
 QUOTAS = (0.0001, 0.01, 0.1, 0.5)
 

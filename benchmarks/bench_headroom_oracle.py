@@ -9,7 +9,7 @@ import pytest
 from repro.analysis import render_table, standard_cluster
 from repro.oracle import headroom_analysis
 
-from conftest import emit
+from bench_utils import emit
 
 
 @pytest.mark.benchmark(group="headroom")

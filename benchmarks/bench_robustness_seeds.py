@@ -11,7 +11,7 @@ import pytest
 from repro.analysis import multi_seed_comparison, render_table
 from repro.workloads import default_cluster_specs
 
-from conftest import emit
+from bench_utils import emit
 
 SEEDS = (0, 1, 2)
 METHODS = ("Adaptive Ranking", "ML Baseline", "FirstFit", "Heuristic")

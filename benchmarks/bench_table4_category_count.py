@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import render_table, table4_category_count
 
-from conftest import emit
+from bench_utils import emit
 
 COUNTS = (2, 5, 15, 25, 35)
 

@@ -1,0 +1,21 @@
+"""Shared benchmark helpers (import as ``from bench_utils import emit``).
+
+Every benchmark regenerates one paper table/figure.  ``emit`` both
+prints the rendered series (visible with ``pytest -s``) and persists it
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and save it to benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -97,8 +97,14 @@ class MethodSuite:
     def capacity(self, quota: float) -> float:
         return quota * self.peak
 
-    def run(self, method: str, quota: float, **kw) -> SimResult:
-        """Evaluate one method at one quota on the test week."""
+    def run(self, method: str, quota: float, engine: str = "auto", **kw) -> SimResult:
+        """Evaluate one method at one quota on the test week.
+
+        ``engine`` selects the simulator event loop: every method's
+        policy implements the batch protocol, so ``"auto"`` runs the
+        chunked fast path; pass ``"legacy"`` to force the reference
+        per-job loop (used by equivalence tests and benchmarks).
+        """
         test = self.cluster.test
         cap = self.capacity(quota)
         if method == "Adaptive Ranking":
@@ -131,7 +137,7 @@ class MethodSuite:
             )
         else:
             raise ValueError(f"unknown method {method!r}")
-        return simulate(test, policy, cap, self.rates)
+        return simulate(test, policy, cap, self.rates, engine=engine)
 
 
 @lru_cache(maxsize=16)

@@ -8,7 +8,7 @@ when SSD is plentiful, indiscriminate when it is scarce.
 
 from __future__ import annotations
 
-from ..storage.policy import Decision, PlacementContext, PlacementPolicy
+from ..storage.policy import BatchDecision, Decision, PlacementContext, PlacementPolicy
 
 __all__ = ["FirstFitPolicy"]
 
@@ -27,3 +27,14 @@ class FirstFitPolicy(PlacementPolicy):
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
         size = self._trace.sizes[job_index]
         return Decision(want_ssd=bool(size <= ctx.free_ssd))
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """One fit-check chunk covering the rest of the trace.
+
+        The rule ("admit iff it fits right now") never changes, so the
+        chunked engine evaluates it against evolving occupancy without
+        any further policy round-trips.
+        """
+        return BatchDecision(
+            count=len(self._trace) - first, want_ssd=None, fit_check=True
+        )

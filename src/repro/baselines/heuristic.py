@@ -20,7 +20,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
-from ..storage.policy import Decision, PlacementContext, PlacementPolicy
+from ..storage.policy import BatchDecision, Decision, PlacementContext, PlacementPolicy
 from ..units import HOUR
 from ..workloads.job import Trace
 
@@ -111,6 +111,7 @@ class CategoryAdmissionPolicy(PlacementPolicy):
         self._cat_space_seconds.clear()
         self._pending = sorted(range(len(trace)), key=lambda i: trace.ends[i])
         self._pending_pos = 0
+        self._pipelines = np.asarray(trace.pipelines, dtype=object)
         self._seed_from_history(capacity)
         start = float(trace.arrivals[0]) if len(trace) else 0.0
         self._epoch = start
@@ -147,3 +148,22 @@ class CategoryAdmissionPolicy(PlacementPolicy):
             self._next_refresh = ctx.time + self.refresh_interval
         pipeline = self._trace[job_index].pipeline
         return Decision(want_ssd=pipeline in self._admitted)
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """Admission mask for every job up to the next refresh.
+
+        Between refreshes the admission set is frozen, so membership is
+        one vectorized lookup over the chunk's pipeline column.
+        """
+        if ctx.time >= self._next_refresh:
+            self._refresh(ctx.time)
+            self._next_refresh = ctx.time + self.refresh_interval
+        arrivals = self._trace.arrivals
+        stop = int(np.searchsorted(arrivals, self._next_refresh, side="left"))
+        stop = min(max(stop, first + 1), len(arrivals))
+        chunk = self._pipelines[first:stop]
+        if self._admitted:
+            mask = np.isin(chunk, np.asarray(sorted(self._admitted), dtype=object))
+        else:
+            mask = np.zeros(len(chunk), dtype=bool)
+        return BatchDecision(count=stop - first, want_ssd=mask)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..ml.gbdt import GBTRegressor
-from ..storage.policy import Decision, PlacementContext, PlacementPolicy
+from ..storage.policy import BatchDecision, Decision, PlacementContext, PlacementPolicy
 from ..units import HOUR
 from ..workloads.features import FeatureMatrix
 from ..workloads.job import Trace
@@ -82,3 +82,11 @@ class LifetimePolicy(PlacementPolicy):
         if bound < self.ttl:
             return Decision(want_ssd=True, ssd_ttl=bound)
         return Decision(want_ssd=False)
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """The full remaining trace: per-job bounds are precomputed and
+        independent of simulator feedback."""
+        bounds = self._bound[first:]
+        return BatchDecision(
+            count=len(bounds), want_ssd=bounds < self.ttl, ssd_ttl=bounds
+        )

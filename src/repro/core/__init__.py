@@ -11,13 +11,14 @@ from .hashing import hash_categories
 from .labels import CategoryLabeler
 from .pipeline import ByomPipeline, PreparedCluster, prepare_cluster
 from .retraining import RetrainEvent, RetrainingPolicy, RollingTrainer
-from .spillover import ObservedJob, spillover_percentage, spillover_tcio
+from .spillover import ObservedJob, SpilloverWindow, spillover_percentage, spillover_tcio
 
 __all__ = [
     "CategoryLabeler",
     "CategoryModel",
     "InferenceTiming",
     "ObservedJob",
+    "SpilloverWindow",
     "spillover_tcio",
     "spillover_percentage",
     "AdaptiveCategoryPolicy",

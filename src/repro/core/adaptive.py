@@ -29,9 +29,16 @@ import numpy as np
 
 from ..config import AdaptiveParams
 from ..cost import CostRates
-from ..storage.policy import Decision, PlacementContext, PlacementOutcome, PlacementPolicy
+from ..storage.policy import (
+    BatchDecision,
+    BatchOutcomes,
+    Decision,
+    PlacementContext,
+    PlacementOutcome,
+    PlacementPolicy,
+)
 from ..workloads.job import Trace
-from .spillover import ObservedJob, spillover_percentage
+from .spillover import SpilloverWindow
 
 __all__ = ["ThresholdEvent", "AdaptiveCategoryPolicy"]
 
@@ -78,7 +85,7 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self._tcio: np.ndarray | None = None
         self.act = min(max(self.params.initial_act, 1), n_categories - 1)
         self._td = -np.inf
-        self._history: list[ObservedJob] = []
+        self._window = SpilloverWindow()
         self.trajectory: list[ThresholdEvent] = []
 
     def on_simulation_start(self, trace: Trace, capacity: float, rates: CostRates) -> None:
@@ -90,17 +97,21 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self._tcio = trace.tcio(rates)
         self.act = min(max(self.params.initial_act, 1), self.n_categories - 1)
         self._td = -np.inf
-        self._history = []
+        self._window = SpilloverWindow()
         self.trajectory = []
+
+    @property
+    def history(self):
+        """The live observation window as ``ObservedJob`` objects."""
+        return self._window.to_jobs()
 
     def _update_threshold(self, t: float) -> None:
         p = self.params
         # Keep only jobs *starting* within the look-back window — using
         # jobs overlapping the window lets long-lived jobs dominate the
         # estimate (Section 4.3's design note).
-        ws = t - p.lookback_window
-        self._history = [j for j in self._history if j.arrival > ws]
-        h = spillover_percentage(self._history, t)
+        self._window.evict_older(t - p.lookback_window)
+        h = self._window.percentage(t)
         if h < p.spillover_low:
             self.act = max(1, self.act - 1)
         elif h > p.spillover_high:
@@ -114,17 +125,48 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
             self._update_threshold(t)
         return Decision(want_ssd=bool(self.categories[job_index] >= self.act))
 
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """Admission mask for every job up to the next ACT update.
+
+        Between updates the rule ``category >= ACT`` is constant, so the
+        chunk covers all jobs arriving strictly before ``td + t_l`` —
+        exactly the jobs whose per-job ``decide`` would not have
+        triggered an update.
+        """
+        t = ctx.time
+        if t >= self._td + self.params.decision_interval:
+            self._update_threshold(t)
+        arrivals = self._trace.arrivals
+        deadline = self._td + self.params.decision_interval
+        stop = int(np.searchsorted(arrivals, deadline, side="left"))
+        stop = min(max(stop, first + 1), len(arrivals))
+        return BatchDecision(
+            count=stop - first, want_ssd=self.categories[first:stop] >= self.act
+        )
+
     def observe(self, outcome: PlacementOutcome) -> None:
         i = outcome.job_index
-        self._history.append(
-            ObservedJob(
-                arrival=float(self._trace.arrivals[i]),
-                end=float(self._trace.ends[i]),
-                tcio_rate=float(self._tcio[i]),
-                scheduled_ssd=outcome.requested_ssd,
-                spill_time=outcome.spill_time,
-                spilled_fraction=1.0 - outcome.ssd_space_fraction
-                if outcome.requested_ssd
-                else 0.0,
-            )
+        self._window.append(
+            arrival=float(self._trace.arrivals[i]),
+            end=float(self._trace.ends[i]),
+            tcio_rate=float(self._tcio[i]),
+            scheduled_ssd=outcome.requested_ssd,
+            spill_time=outcome.spill_time,
+            spilled_fraction=1.0 - outcome.ssd_space_fraction
+            if outcome.requested_ssd
+            else 0.0,
+        )
+
+    def observe_batch(self, outcomes: BatchOutcomes) -> None:
+        """Vectorized ingest of one chunk into the ring buffer."""
+        first = outcomes.first
+        k = len(outcomes)
+        sched = np.asarray(outcomes.requested_ssd, dtype=bool)
+        self._window.extend(
+            arrival=self._trace.arrivals[first : first + k],
+            end=self._trace.ends[first : first + k],
+            tcio_rate=self._tcio[first : first + k],
+            scheduled_ssd=sched,
+            spill_time=outcomes.spill_time,
+            spilled_fraction=np.where(sched, 1.0 - outcomes.ssd_space_fraction, 0.0),
         )

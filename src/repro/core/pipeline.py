@@ -89,13 +89,18 @@ class ByomPipeline:
         features_test: FeatureMatrix,
         quota_fraction: float,
         peak_usage: float | None = None,
+        engine: str = "auto",
     ) -> SimResult:
-        """Online phase: simulate placement at an SSD quota fraction."""
+        """Online phase: simulate placement at an SSD quota fraction.
+
+        ``engine`` selects the simulator event loop (``"auto"`` uses
+        the chunked fast path; see :func:`repro.storage.simulate`).
+        """
         cfg = SimConfig(ssd_quota_fraction=quota_fraction, adaptive=self.adaptive_params)
         peak = peak_usage if peak_usage is not None else test_trace.peak_ssd_usage()
         capacity = cfg.ssd_quota_fraction * peak
         policy = self.make_policy(test_trace, features_test)
-        return simulate(test_trace, policy, capacity, self.rates)
+        return simulate(test_trace, policy, capacity, self.rates, engine=engine)
 
     def true_category_policy(
         self, test_trace: Trace, name: str = "True category"

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ObservedJob", "spillover_tcio", "spillover_percentage"]
+import numpy as np
+
+__all__ = [
+    "ObservedJob",
+    "SpilloverWindow",
+    "spillover_tcio",
+    "spillover_percentage",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,174 @@ def spillover_tcio(job: ObservedJob, t: float) -> float:
         return 0.0
     weight = (t - ts) / span
     return job.spilled_fraction * weight * _tcio_hdd(job, t)
+
+
+class SpilloverWindow:
+    """Structure-of-arrays ring buffer over the observation history.
+
+    The adaptive policy appends one entry per placed job (in arrival
+    order) and periodically drops everything older than the look-back
+    window.  A ``list[ObservedJob]`` makes that O(window) per update
+    (the list is rebuilt) and O(window) Python-loop work per
+    :func:`spillover_percentage` call.  This buffer keeps the live
+    window as contiguous slices of preallocated NumPy arrays:
+
+    - *append* writes one slot at the tail (amortized O(1); the backing
+      store doubles when full, and eviction slack is recycled by
+      compaction before each growth decision);
+    - *evict* advances the head pointer with one ``searchsorted`` over
+      the sorted arrival column;
+    - *percentage* is a vectorized evaluation of the paper's
+      ``P_SPILLOVER_TCIO`` formula over the live slice.
+
+    Spill times are NaN-encoded (NaN = never spilled) so the whole
+    structure stays numeric.
+    """
+
+    #: The six parallel column buffers grown/compacted together.
+    _ARRAY_FIELDS = (
+        "_arrival",
+        "_end",
+        "_tcio_rate",
+        "_scheduled",
+        "_spill_time",
+        "_spilled_fraction",
+    )
+
+    __slots__ = _ARRAY_FIELDS + ("_head", "_tail")
+
+    def __init__(self, capacity: int = 1024):
+        capacity = max(int(capacity), 16)
+        self._arrival = np.empty(capacity, dtype=float)
+        self._end = np.empty(capacity, dtype=float)
+        self._tcio_rate = np.empty(capacity, dtype=float)
+        self._scheduled = np.empty(capacity, dtype=bool)
+        self._spill_time = np.empty(capacity, dtype=float)
+        self._spilled_fraction = np.empty(capacity, dtype=float)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def _ensure_room(self, extra: int) -> None:
+        cap = self._arrival.shape[0]
+        if self._tail + extra <= cap:
+            return
+        live = len(self)
+        new_cap = cap
+        while live + extra > new_cap:
+            new_cap *= 2
+        for name in self._ARRAY_FIELDS:
+            buf = getattr(self, name)
+            if new_cap == cap:
+                # Enough dead space at the front: compact in place.
+                buf[: live] = buf[self._head : self._tail]
+            else:
+                grown = np.empty(new_cap, dtype=buf.dtype)
+                grown[:live] = buf[self._head : self._tail]
+                setattr(self, name, grown)
+        self._head, self._tail = 0, live
+
+    def append(
+        self,
+        arrival: float,
+        end: float,
+        tcio_rate: float,
+        scheduled_ssd: bool,
+        spill_time: float | None,
+        spilled_fraction: float,
+    ) -> None:
+        """Record one observed job (arrivals must be non-decreasing)."""
+        self._ensure_room(1)
+        i = self._tail
+        self._arrival[i] = arrival
+        self._end[i] = end
+        self._tcio_rate[i] = tcio_rate
+        self._scheduled[i] = scheduled_ssd
+        self._spill_time[i] = np.nan if spill_time is None else spill_time
+        self._spilled_fraction[i] = spilled_fraction
+        self._tail = i + 1
+
+    def extend(
+        self,
+        arrival: np.ndarray,
+        end: np.ndarray,
+        tcio_rate: np.ndarray,
+        scheduled_ssd: np.ndarray,
+        spill_time: np.ndarray,
+        spilled_fraction: np.ndarray,
+    ) -> None:
+        """Bulk append (``spill_time`` NaN-encoded, arrivals sorted)."""
+        k = len(arrival)
+        if k == 0:
+            return
+        self._ensure_room(k)
+        s = slice(self._tail, self._tail + k)
+        self._arrival[s] = arrival
+        self._end[s] = end
+        self._tcio_rate[s] = tcio_rate
+        self._scheduled[s] = scheduled_ssd
+        self._spill_time[s] = spill_time
+        self._spilled_fraction[s] = spilled_fraction
+        self._tail += k
+
+    def evict_older(self, window_start: float) -> None:
+        """Drop entries with ``arrival <= window_start`` (O(log n))."""
+        live = self._arrival[self._head : self._tail]
+        self._head += int(np.searchsorted(live, window_start, side="right"))
+
+    def percentage(self, t: float) -> float:
+        """Vectorized ``P_SPILLOVER_TCIO`` over the live window.
+
+        Matches :func:`spillover_percentage` on the equivalent
+        ``ObservedJob`` list up to floating-point summation order.
+        """
+        h, tl = self._head, self._tail
+        if h == tl:
+            return 0.0
+        sched = self._scheduled[h:tl]
+        arrival = self._arrival[h:tl]
+        elapsed = np.minimum(t, self._end[h:tl]) - arrival
+        np.clip(elapsed, 0.0, None, out=elapsed)
+        tcio_hdd = self._tcio_rate[h:tl] * elapsed
+        den = float(tcio_hdd[sched].sum())
+        if den <= 0.0:
+            return 0.0
+        ts = self._spill_time[h:tl]
+        span = t - arrival
+        with np.errstate(invalid="ignore", divide="ignore"):
+            weight = (t - ts) / span
+            valid = (
+                sched
+                & ~np.isnan(ts)
+                & (arrival <= ts)
+                & (ts <= t)
+                & (span > 0)
+            )
+            num = float(
+                np.where(valid, self._spilled_fraction[h:tl] * weight * tcio_hdd, 0.0).sum()
+            )
+        # num <= den holds exactly in real arithmetic; the two sums run
+        # in different orders, so clamp the last-ulp excursions.
+        return min(max(num / den, 0.0), 1.0)
+
+    def to_jobs(self) -> list[ObservedJob]:
+        """Materialize the live window as ``ObservedJob`` objects."""
+        out = []
+        for i in range(self._head, self._tail):
+            st = self._spill_time[i]
+            out.append(
+                ObservedJob(
+                    arrival=float(self._arrival[i]),
+                    end=float(self._end[i]),
+                    tcio_rate=float(self._tcio_rate[i]),
+                    scheduled_ssd=bool(self._scheduled[i]),
+                    spill_time=None if np.isnan(st) else float(st),
+                    spilled_fraction=float(self._spilled_fraction[i]),
+                )
+            )
+        return out
 
 
 def spillover_percentage(history: list[ObservedJob], t: float) -> float:

@@ -9,11 +9,13 @@ from .gain_importance import model_split_importance, split_count_importance
 from .gbdt import GBTClassifier, GBTRegressor
 from .importance import GroupImportance, feature_group_importance
 from .metrics import accuracy, confusion_matrix, roc_auc, top_k_accuracy
+from .packed import PackedForest
 from .tree import HistogramTree
 
 __all__ = [
     "QuantileBinner",
     "HistogramTree",
+    "PackedForest",
     "GBTClassifier",
     "GBTRegressor",
     "accuracy",

@@ -15,9 +15,13 @@ learners to second-order gradients.
 
 from __future__ import annotations
 
+import weakref
+import zlib
+
 import numpy as np
 
 from .encoding import QuantileBinner
+from .packed import PackedForest
 from .tree import HistogramTree
 
 __all__ = ["GBTClassifier", "GBTRegressor"]
@@ -61,6 +65,8 @@ class GBTClassifier:
         self.classes_: np.ndarray | None = None
         self.base_score_: np.ndarray | None = None
         self.trees_: list[list[HistogramTree]] = []
+        self._packed: PackedForest | None = None
+        self._raw_cache: tuple[weakref.ref, int, np.ndarray] | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GBTClassifier":
         X = np.asarray(X, dtype=float)
@@ -69,6 +75,8 @@ class GBTClassifier:
             raise ValueError("X must be (n, p) and y must be (n,)")
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
+        self._packed = None
+        self._raw_cache = None
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         k = len(self.classes_)
         self.binner_ = QuantileBinner(self.n_bins).fit(X)
@@ -110,12 +118,63 @@ class GBTClassifier:
         if self.binner_ is None or self.classes_ is None:
             raise RuntimeError("model not fitted")
 
+    @property
+    def packed_(self) -> PackedForest | None:
+        """All base learners packed for single-pass inference (lazy)."""
+        if self._packed is None and self.trees_:
+            self._packed = PackedForest.from_trees(
+                [t for round_trees in self.trees_ for t in round_trees]
+            )
+        return self._packed
+
+    def _raw_scores(self, Xb: np.ndarray, n: int) -> np.ndarray:
+        """Raw per-class scores from binned inputs via the packed forest.
+
+        Accumulates per boosting round in fit order, so the result is
+        bit-identical to the legacy per-tree loop.
+        """
+        packed = self.packed_
+        if packed is None:
+            return np.tile(self.base_score_, (n, 1))
+        return packed.decision_scores(
+            Xb, self.base_score_, self.learning_rate, len(self.classes_)
+        )
+
+    @staticmethod
+    def _fingerprint(X: np.ndarray) -> int:
+        """Order-sensitive content checksum of the cached input."""
+        return zlib.crc32(X.tobytes())
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Raw per-class scores, shape (n, n_classes)."""
+        """Raw per-class scores, shape (n, n_classes).
+
+        Consecutive calls on the *same array object* (e.g. a
+        ``predict_proba`` followed by ``predict``, or a quota sweep
+        re-deploying over one feature matrix) reuse one binning and one
+        forest pass via a weak-reference cache.  A CRC32 content
+        fingerprint invalidates the cache on any in-place mutation of
+        the array, including sum-preserving ones like row swaps.
+        """
+        self._check_fitted()
+        if isinstance(X, np.ndarray) and self._raw_cache is not None:
+            ref, checksum, raw = self._raw_cache
+            if ref() is X and self._fingerprint(X) == checksum:
+                return raw.copy()
+        X_arr = np.asarray(X, dtype=float)
+        Xb = self.binner_.transform(X_arr)
+        raw = self._raw_scores(Xb, X_arr.shape[0])
+        if isinstance(X, np.ndarray):
+            try:
+                self._raw_cache = (weakref.ref(X), self._fingerprint(X), raw.copy())
+            except TypeError:
+                self._raw_cache = None
+        return raw
+
+    def _decision_function_legacy(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree reference path (kept for equivalence tests/benchmarks)."""
         self._check_fitted()
         X = np.asarray(X, dtype=float)
         Xb = self.binner_.transform(X)
-        k = len(self.classes_)
         raw = np.tile(self.base_score_, (X.shape[0], 1))
         for round_trees in self.trees_:
             for c, tree in enumerate(round_trees):
@@ -159,6 +218,7 @@ class GBTRegressor:
         self.binner_: QuantileBinner | None = None
         self.base_score_: float = 0.0
         self.trees_: list[HistogramTree] = []
+        self._packed: PackedForest | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GBTRegressor":
         X = np.asarray(X, dtype=float)
@@ -167,6 +227,7 @@ class GBTRegressor:
             raise ValueError("X must be (n, p) and y must be (n,)")
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
+        self._packed = None
         self.binner_ = QuantileBinner(self.n_bins).fit(X)
         Xb = self.binner_.transform(X)
         self.base_score_ = float(y.mean())
@@ -188,12 +249,21 @@ class GBTRegressor:
             self.trees_.append(tree)
         return self
 
+    @property
+    def packed_(self) -> PackedForest | None:
+        """The fitted forest packed for single-pass inference (lazy)."""
+        if self._packed is None and self.trees_:
+            self._packed = PackedForest.from_trees(self.trees_)
+        return self._packed
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.binner_ is None:
             raise RuntimeError("model not fitted")
         X = np.asarray(X, dtype=float)
         Xb = self.binner_.transform(X)
-        pred = np.full(X.shape[0], self.base_score_)
-        for tree in self.trees_:
-            pred += self.learning_rate * tree.predict(Xb)
-        return pred
+        packed = self.packed_
+        if packed is None:
+            return np.full(X.shape[0], self.base_score_)
+        return packed.decision_scores(
+            Xb, self.base_score_, self.learning_rate, n_classes=1
+        )[:, 0]

@@ -1,6 +1,8 @@
 """Storage-layer substrate: placement simulator and policy interface."""
 
 from .policy import (
+    BatchDecision,
+    BatchOutcomes,
     Decision,
     FixedPolicy,
     PlacementContext,
@@ -16,6 +18,8 @@ __all__ = [
     "Decision",
     "PlacementOutcome",
     "PlacementPolicy",
+    "BatchDecision",
+    "BatchOutcomes",
     "FixedPolicy",
     "SimResult",
     "simulate",

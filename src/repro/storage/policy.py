@@ -4,19 +4,44 @@ A policy sees each job at its arrival (with current SSD occupancy) and
 answers SSD-or-HDD; after the simulator applies the decision the policy
 receives the outcome (how much actually fit), which is the real-time
 feedback channel the paper's adaptive algorithm consumes.
+
+Batch protocol (the simulator's fast path)
+------------------------------------------
+Policies whose decision *rule* only changes at discrete instants (the
+adaptive policies between ACT updates, the heuristic between admission
+refreshes, replayed/static baselines for the whole trace) may
+additionally implement::
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision
+
+returning decisions for a whole run of upcoming jobs at once.  The
+chunked simulator engine drives such policies in decision-interval
+chunks with vectorized capacity accounting, calling
+:meth:`PlacementPolicy.observe_batch` with structure-of-arrays feedback
+after each chunk.  Policies without ``decide_batch`` run through the
+legacy per-job event loop unchanged.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from ..cost import CostRates
 from ..workloads.job import Trace
 
-__all__ = ["PlacementContext", "Decision", "PlacementOutcome", "PlacementPolicy", "FixedPolicy"]
+__all__ = [
+    "PlacementContext",
+    "Decision",
+    "PlacementOutcome",
+    "BatchDecision",
+    "BatchOutcomes",
+    "PlacementPolicy",
+    "FixedPolicy",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +93,65 @@ class PlacementOutcome:
     spill_time: float | None
 
 
+@dataclass(frozen=True)
+class BatchDecision:
+    """Decisions for ``count`` consecutive jobs starting at some index.
+
+    Attributes
+    ----------
+    count:
+        How many upcoming jobs this decision covers (>= 1).  The policy
+        guarantees its decision rule is constant over the run — the
+        simulator will not call back before job ``first + count``.
+    want_ssd:
+        Boolean mask of length ``count``, or ``None`` with
+        ``fit_check=True``.
+    ssd_ttl:
+        Optional per-job SSD residency bound (length ``count``); NaN or
+        ``None`` entries mean "resident until job end".
+    fit_check:
+        FirstFit semantics: a job wants SSD iff its full footprint fits
+        in the free capacity observed at its own arrival.  The decision
+        depends on evolving occupancy, so no mask can be precomputed,
+        but the simulator can still drive the run without per-job
+        policy calls.
+    """
+
+    count: int
+    want_ssd: np.ndarray | None
+    ssd_ttl: np.ndarray | None = None
+    fit_check: bool = False
+
+
+@dataclass(frozen=True)
+class BatchOutcomes:
+    """Structure-of-arrays feedback for one simulated chunk.
+
+    Mirrors :class:`PlacementOutcome` field-for-field; ``spill_time``
+    is NaN-encoded (NaN = nothing spilled).
+    """
+
+    first: int
+    times: np.ndarray
+    requested_ssd: np.ndarray
+    ssd_space_fraction: np.ndarray
+    spill_time: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[PlacementOutcome]:
+        for k in range(len(self.times)):
+            st = self.spill_time[k]
+            yield PlacementOutcome(
+                job_index=self.first + k,
+                time=float(self.times[k]),
+                requested_ssd=bool(self.requested_ssd[k]),
+                ssd_space_fraction=float(self.ssd_space_fraction[k]),
+                spill_time=None if np.isnan(st) else float(st),
+            )
+
+
 class PlacementPolicy(ABC):
     """Base class for all placement methods (baselines and BYOM)."""
 
@@ -86,6 +170,18 @@ class PlacementPolicy(ABC):
     def observe(self, outcome: PlacementOutcome) -> None:
         """Receive the applied outcome (default: ignore feedback)."""
 
+    def observe_batch(self, outcomes: BatchOutcomes) -> None:
+        """Receive one chunk of outcomes from the chunked engine.
+
+        The default fans out to :meth:`observe` (skipped entirely when
+        the policy never overrode it); feedback-driven policies should
+        override this with a vectorized ingest.
+        """
+        if type(self).observe is PlacementPolicy.observe:
+            return
+        for outcome in outcomes:
+            self.observe(outcome)
+
 
 class FixedPolicy(PlacementPolicy):
     """Replays a precomputed 0/1 placement vector (oracle output)."""
@@ -98,3 +194,8 @@ class FixedPolicy(PlacementPolicy):
 
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
         return Decision(want_ssd=bool(self.decisions[job_index]))
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """The whole remaining replay in one chunk (rule never changes)."""
+        mask = self.decisions[first:]
+        return BatchDecision(count=len(mask), want_ssd=mask)

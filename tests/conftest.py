@@ -5,55 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.units import DAY, GIB, HOUR, MIB
-from repro.workloads import ClusterSpec, ShuffleJob, Trace, generate_cluster_trace
+from repro.units import DAY, GIB
+from repro.workloads import ClusterSpec, Trace, generate_cluster_trace
 
-
-def make_job(
-    job_id: int = 0,
-    arrival: float = 0.0,
-    duration: float = 600.0,
-    size: float = 1 * GIB,
-    read_ops: float = 10_000.0,
-    read_bytes: float = 2 * GIB,
-    write_bytes: float = 1 * GIB,
-    pipeline: str = "pipe0",
-    user: str = "user0",
-    cluster: str = "T",
-    archetype: str = "dbquery",
-    step: int = 0,
-) -> ShuffleJob:
-    """A hand-built job with sensible defaults for unit tests."""
-    return ShuffleJob(
-        job_id=job_id,
-        cluster=cluster,
-        user=user,
-        pipeline=pipeline,
-        archetype=archetype,
-        arrival=arrival,
-        duration=duration,
-        size=size,
-        read_bytes=read_bytes,
-        write_bytes=write_bytes,
-        read_ops=read_ops,
-        metadata={
-            "build_target_name": f"//team/{archetype}/buildmanager:bin",
-            "execution_name": f"com.team.{archetype}.Main",
-            "pipeline_name": pipeline,
-            "step_name": f"s{step}-open-shuffle{step}",
-            "user_name": f"GroupByKey-{step}",
-        },
-        resources={
-            "bucket_sizing_initial_num_stripes": 4.0,
-            "bucket_sizing_num_shards": 32.0,
-            "bucket_sizing_num_worker_threads": 4.0,
-            "bucket_sizing_num_workers": 16.0,
-            "initial_num_buckets": 64.0,
-            "num_buckets": 64.0,
-            "records_written": 1e6,
-            "requested_num_shards": 32.0,
-        },
-    )
+from helpers import make_job  # noqa: F401  (re-exported for fixtures below)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,61 @@
+"""Shared test helpers, importable as ``from helpers import make_job``.
+
+Lives outside ``conftest.py`` so the module name can never collide with
+``benchmarks/conftest.py`` (both directories previously defined a
+top-level ``conftest`` module; whichever was imported first shadowed the
+other and broke collection).
+"""
+
+from __future__ import annotations
+
+from repro.units import GIB
+from repro.workloads import ShuffleJob
+
+__all__ = ["make_job"]
+
+
+def make_job(
+    job_id: int = 0,
+    arrival: float = 0.0,
+    duration: float = 600.0,
+    size: float = 1 * GIB,
+    read_ops: float = 10_000.0,
+    read_bytes: float = 2 * GIB,
+    write_bytes: float = 1 * GIB,
+    pipeline: str = "pipe0",
+    user: str = "user0",
+    cluster: str = "T",
+    archetype: str = "dbquery",
+    step: int = 0,
+) -> ShuffleJob:
+    """A hand-built job with sensible defaults for unit tests."""
+    return ShuffleJob(
+        job_id=job_id,
+        cluster=cluster,
+        user=user,
+        pipeline=pipeline,
+        archetype=archetype,
+        arrival=arrival,
+        duration=duration,
+        size=size,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        read_ops=read_ops,
+        metadata={
+            "build_target_name": f"//team/{archetype}/buildmanager:bin",
+            "execution_name": f"com.team.{archetype}.Main",
+            "pipeline_name": pipeline,
+            "step_name": f"s{step}-open-shuffle{step}",
+            "user_name": f"GroupByKey-{step}",
+        },
+        resources={
+            "bucket_sizing_initial_num_stripes": 4.0,
+            "bucket_sizing_num_shards": 32.0,
+            "bucket_sizing_num_worker_threads": 4.0,
+            "bucket_sizing_num_workers": 16.0,
+            "initial_num_buckets": 64.0,
+            "num_buckets": 64.0,
+            "records_written": 1e6,
+            "requested_num_shards": 32.0,
+        },
+    )

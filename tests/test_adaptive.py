@@ -9,7 +9,7 @@ from repro.storage import simulate
 from repro.units import GIB
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 def uniform_jobs(n, size=1 * GIB, spacing=100.0, duration=90.0, **kw):

@@ -13,7 +13,7 @@ from repro.storage import simulate
 from repro.units import GIB, HOUR
 from repro.workloads import Trace, extract_features
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestFirstFit:

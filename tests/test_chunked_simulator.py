@@ -1,0 +1,193 @@
+"""Chunked simulator engine: equivalence with the legacy per-job loop.
+
+Every batched policy is driven through both engines on randomized
+traces across capacity regimes (abundant, binding, zero) and the full
+:class:`SimResult` surface is compared to float tolerance — including
+per-job SSD fractions and, for the adaptive policy, the exact ACT
+trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CategoryAdmissionPolicy, FirstFitPolicy, LifetimePolicy
+from repro.config import AdaptiveParams
+from repro.core import AdaptiveCategoryPolicy
+from repro.storage import BatchDecision, FixedPolicy, simulate
+from repro.units import GIB
+from repro.workloads import Trace
+
+from helpers import make_job
+
+
+def random_trace(seed: int, n: int = 800, span: float = 100_000.0) -> Trace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, span, n))
+    jobs = [
+        make_job(
+            i,
+            arrival=float(arrivals[i]),
+            duration=float(rng.uniform(30.0, span / 8)),
+            size=float(rng.uniform(0.05, 25.0) * GIB),
+            pipeline=f"pipe{int(rng.integers(0, 10))}",
+        )
+        for i in range(n)
+    ]
+    return Trace(jobs, name=f"rand{seed}")
+
+
+def assert_equivalent(trace, make_policy, capacity):
+    p_legacy = make_policy()
+    r_legacy = simulate(trace, p_legacy, capacity, engine="legacy")
+    p_chunked = make_policy()
+    r_chunked = simulate(trace, p_chunked, capacity, engine="chunked")
+
+    np.testing.assert_allclose(
+        r_chunked.ssd_fraction, r_legacy.ssd_fraction, atol=1e-9, rtol=1e-9
+    )
+    assert r_chunked.n_ssd_requested == r_legacy.n_ssd_requested
+    assert r_chunked.n_spilled == r_legacy.n_spilled
+    assert r_chunked.realized_tco == pytest.approx(r_legacy.realized_tco, rel=1e-9)
+    assert r_chunked.realized_hdd_tcio == pytest.approx(
+        r_legacy.realized_hdd_tcio, rel=1e-9
+    )
+    # Peak usage: tolerance relative to capacity, since the legacy
+    # loop's one-at-a-time subtraction loses small allocations first at
+    # extreme capacities.
+    assert abs(r_chunked.peak_ssd_used - r_legacy.peak_ssd_used) <= max(
+        1e-6, 1e-9 * max(capacity, 1.0)
+    )
+    return p_legacy, p_chunked
+
+
+CAPACITIES = (0.0, 2 * GIB, 40 * GIB, 400 * GIB, 1e18)
+
+
+class TestAdaptiveEquivalence:
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_placements_and_trajectory(self, seed, capacity):
+        trace = random_trace(seed)
+        rng = np.random.default_rng(seed + 100)
+        cats = rng.integers(0, 8, len(trace))
+        params = AdaptiveParams(decision_interval=700.0, lookback_window=4000.0)
+
+        def build():
+            return AdaptiveCategoryPolicy(cats, 8, params)
+
+        p_legacy, p_chunked = assert_equivalent(trace, build, capacity)
+        assert len(p_legacy.trajectory) == len(p_chunked.trajectory)
+        for a, b in zip(p_legacy.trajectory, p_chunked.trajectory):
+            assert a.time == b.time
+            assert a.act == b.act
+            assert a.spillover == pytest.approx(b.spillover, abs=1e-12)
+
+    def test_zero_decision_interval_updates_every_job(self):
+        trace = random_trace(3, n=200)
+        cats = np.random.default_rng(3).integers(0, 5, len(trace))
+        params = AdaptiveParams(decision_interval=0.0, lookback_window=1000.0)
+        policy = AdaptiveCategoryPolicy(cats, 5, params)
+        simulate(trace, policy, 20 * GIB, engine="chunked")
+        assert len(policy.trajectory) == len(trace)
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_firstfit(self, capacity):
+        trace = random_trace(11)
+        assert_equivalent(trace, FirstFitPolicy, capacity)
+
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_heuristic(self, capacity):
+        trace = random_trace(12)
+        train = random_trace(13)
+        assert_equivalent(
+            trace, lambda: CategoryAdmissionPolicy(train, refresh_interval=9000.0),
+            capacity,
+        )
+
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_fixed_replay(self, capacity):
+        trace = random_trace(14)
+        decisions = np.random.default_rng(14).random(len(trace)) < 0.5
+        assert_equivalent(trace, lambda: FixedPolicy(decisions), capacity)
+
+    @pytest.mark.parametrize("capacity", (2 * GIB, 40 * GIB, 1e18))
+    def test_lifetime_ttl_eviction(self, capacity, small_trace):
+        """TTL-bounded residency must survive the chunked rewrite."""
+        from repro.baselines import LifetimeModel
+        from repro.cost import DEFAULT_RATES
+        from repro.workloads.features import extract_features
+
+        features = extract_features(small_trace, DEFAULT_RATES)
+        model = LifetimeModel(n_rounds=4).fit(features, small_trace.durations)
+        assert_equivalent(
+            small_trace, lambda: LifetimePolicy(model, features), capacity
+        )
+
+
+class TestEngineDispatch:
+    def test_auto_uses_chunked_for_batched_policy(self, small_trace):
+        cats = np.ones(len(small_trace), dtype=int)
+        policy = AdaptiveCategoryPolicy(cats, 4)
+        calls = []
+        orig = policy.decide_batch
+        policy.decide_batch = lambda first, ctx: calls.append(first) or orig(first, ctx)
+        simulate(small_trace, policy, 10 * GIB)
+        assert calls  # fast path actually taken
+
+    def test_chunked_engine_rejects_unbatched_policy(self, small_trace):
+        from repro.storage import Decision, PlacementPolicy
+
+        class Plain(PlacementPolicy):
+            def decide(self, job_index, ctx):
+                return Decision(want_ssd=False)
+
+        with pytest.raises(ValueError):
+            simulate(small_trace, Plain(), 1 * GIB, engine="chunked")
+        # auto falls back to the legacy loop silently
+        res = simulate(small_trace, Plain(), 1 * GIB)
+        assert res.n_ssd_requested == 0
+
+    def test_unknown_engine_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            simulate(small_trace, FirstFitPolicy(), 1 * GIB, engine="warp")
+
+
+class TestChunkProtocolEdges:
+    def test_mask_chunks_with_equal_arrival_ties(self):
+        """Jobs sharing one timestamp must split/admit exactly as legacy."""
+        jobs = [
+            make_job(i, arrival=float(100.0 * (i // 3)), duration=500.0, size=4 * GIB)
+            for i in range(30)
+        ]
+        trace = Trace(jobs)
+        cats = np.tile([1, 3, 2], 10)
+        params = AdaptiveParams(decision_interval=100.0, lookback_window=900.0)
+        assert_equivalent(
+            trace, lambda: AdaptiveCategoryPolicy(cats, 4, params), 10 * GIB
+        )
+
+    def test_zero_size_jobs(self):
+        jobs = [
+            make_job(i, arrival=10.0 * i, duration=100.0, size=0.0) for i in range(8)
+        ]
+        trace = Trace(jobs)
+        decisions = np.ones(8, dtype=bool)
+        assert_equivalent(trace, lambda: FixedPolicy(decisions), 1 * GIB)
+
+    def test_batch_decision_count_clamped_to_trace(self):
+        """A policy over-reporting count must not run off the trace end."""
+
+        class Greedy(FixedPolicy):
+            def decide_batch(self, first, ctx):
+                return BatchDecision(
+                    count=10_000, want_ssd=self.decisions[first:]
+                )
+
+        jobs = [make_job(i, arrival=10.0 * i, size=1 * GIB) for i in range(20)]
+        trace = Trace(jobs)
+        res = simulate(
+            trace, Greedy(np.ones(20, dtype=bool)), 1e18, engine="chunked"
+        )
+        assert res.n_ssd_requested == 20

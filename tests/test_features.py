@@ -13,7 +13,7 @@ from repro.workloads import (
     extract_features,
 )
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestExtractFeatures:

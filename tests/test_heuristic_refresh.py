@@ -9,7 +9,7 @@ from repro.storage import simulate
 from repro.units import GIB
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestAdmissionSet:

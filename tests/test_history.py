@@ -5,7 +5,7 @@ import pytest
 
 from repro.workloads import Trace, compute_history
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestComputeHistory:

@@ -8,7 +8,7 @@ from repro.storage import simulate
 from repro.units import GIB, HOUR
 from repro.workloads import Trace, extract_features
 
-from conftest import make_job
+from helpers import make_job
 
 
 def _two_population_trace(n=120):

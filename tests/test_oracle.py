@@ -13,7 +13,7 @@ from repro.storage import FixedPolicy, simulate
 from repro.units import GIB
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 def hot_job(i, arrival, savings_scale=1.0, size=1 * GIB, duration=100.0):

@@ -1,0 +1,145 @@
+"""PackedForest: exact equivalence with per-tree HistogramTree.predict."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GBTClassifier, GBTRegressor, HistogramTree, PackedForest
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(1500, 9))
+    X[:, 3] = rng.integers(0, 2, size=1500)  # a binary feature
+    y_cls = rng.integers(0, 5, size=1500)
+    y_reg = rng.normal(size=1500)
+    Xq = rng.normal(size=(700, 9)) * 2.0  # includes unseen ranges
+    Xq[:, 3] = rng.integers(0, 2, size=700)
+    return X, y_cls, y_reg, Xq
+
+
+class TestPackedEquivalence:
+    def test_per_tree_leaf_values_exact(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=6).fit(X, y_cls)
+        Xb = model.binner_.transform(Xq)
+        packed = model.packed_
+        leaf = packed.predict(Xb)
+        flat = [t for round_trees in model.trees_ for t in round_trees]
+        assert leaf.shape == (len(Xq), len(flat))
+        for j, tree in enumerate(flat):
+            assert np.array_equal(leaf[:, j], tree.predict(Xb))
+
+    def test_classifier_decision_function_bit_identical(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=6).fit(X, y_cls)
+        assert np.array_equal(
+            model.decision_function(Xq), model._decision_function_legacy(Xq)
+        )
+
+    def test_classifier_chunk_boundaries(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=4).fit(X, y_cls)
+        Xb = model.binner_.transform(Xq)
+        full = model.packed_.predict(Xb)
+        for chunk in (1, 7, len(Xq), 10 * len(Xq)):
+            assert np.array_equal(model.packed_.predict(Xb, chunk_size=chunk), full)
+
+    def test_regressor_predict_bit_identical(self, data):
+        X, _, y_reg, Xq = data
+        model = GBTRegressor(n_rounds=9).fit(X, y_reg)
+        Xb = model.binner_.transform(Xq)
+        ref = np.full(len(Xq), model.base_score_)
+        for tree in model.trees_:
+            ref += model.learning_rate * tree.predict(Xb)
+        assert np.array_equal(model.predict(Xq), ref)
+
+    def test_single_class_degenerate(self, data):
+        X, _, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, np.zeros(len(X)))
+        assert model.packed_ is None
+        assert np.array_equal(
+            model.decision_function(Xq), model._decision_function_legacy(Xq)
+        )
+        assert (model.predict(Xq) == 0).all()
+
+
+class TestPackedConstruction:
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            PackedForest.from_trees([])
+
+    def test_mixed_depth_rejected(self, data):
+        X, _, y_reg, _ = data
+        rng = np.random.default_rng(0)
+        Xb = (rng.random((200, 3)) * 10).astype(np.uint8)
+        g = rng.normal(size=200)
+        h = np.ones(200)
+        t1 = HistogramTree.fit(Xb, g, h, max_depth=3)
+        t2 = HistogramTree.fit(Xb, g, h, max_depth=4)
+        with pytest.raises(ValueError):
+            PackedForest.from_trees([t1, t2])
+
+    def test_decision_scores_requires_divisible_classes(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, y_cls)
+        Xb = model.binner_.transform(Xq)
+        with pytest.raises(ValueError):
+            model.packed_.decision_scores(Xb, 0.0, 0.3, n_classes=7)
+
+
+class TestPredictionCache:
+    def test_shared_pass_between_proba_and_predict(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=4).fit(X, y_cls)
+        calls = {"n": 0}
+        orig = model._raw_scores
+
+        def counting(*a, **kw):
+            calls["n"] += 1
+            return orig(*a, **kw)
+
+        model._raw_scores = counting
+        proba = model.predict_proba(Xq)
+        pred = model.predict(Xq)
+        assert calls["n"] == 1  # second call served from the cache
+        assert np.array_equal(pred, model.classes_[np.argmax(proba, axis=1)])
+
+    def test_cache_invalidated_on_refit(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, y_cls)
+        first = model.decision_function(Xq)
+        model.fit(X[:800], y_cls[:800])
+        second = model.decision_function(Xq)
+        assert first.shape == second.shape
+        assert not np.array_equal(first, second)
+
+    def test_distinct_arrays_not_conflated(self, data):
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, y_cls)
+        a = model.decision_function(Xq)
+        other = Xq + 1.0
+        b = model.decision_function(other)
+        assert not np.array_equal(a, b)
+
+    def test_inplace_mutation_invalidates_cache(self, data):
+        """Reusing one buffer for different batches must not serve stale scores."""
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, y_cls)
+        buf = Xq.copy()
+        first = model.decision_function(buf)
+        buf[:] = Xq + 1.0  # same object, new contents
+        second = model.decision_function(buf)
+        assert not np.array_equal(first, second)
+        assert np.array_equal(second, model._decision_function_legacy(Xq + 1.0))
+
+    def test_sum_preserving_mutation_invalidates_cache(self, data):
+        """A row swap keeps np.sum(X) exact — the fingerprint must still see it."""
+        X, y_cls, _, Xq = data
+        model = GBTClassifier(n_rounds=3).fit(X, y_cls)
+        buf = Xq.copy()
+        first = model.decision_function(buf)
+        buf[[0, 1]] = buf[[1, 0]]  # same object, same sum, new row order
+        second = model.decision_function(buf)
+        assert np.array_equal(second[0], first[1])
+        assert np.array_equal(second[1], first[0])

@@ -6,7 +6,7 @@ import pytest
 from repro.units import GIB
 from repro.workloads import Phase, decompose_phases
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestPhaseValidation:

@@ -12,7 +12,7 @@ from repro.oracle import greedy_placement
 from repro.storage import Decision, PlacementPolicy, simulate
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 finite_floats = st.floats(
     min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False

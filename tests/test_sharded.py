@@ -13,7 +13,7 @@ from repro.storage import (
 from repro.units import GIB
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 class AlwaysSSD(PlacementPolicy):

@@ -7,7 +7,7 @@ from repro.storage import Decision, FixedPolicy, PlacementPolicy, simulate
 from repro.units import GIB
 from repro.workloads import Trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 class AlwaysSSD(PlacementPolicy):

@@ -6,7 +6,7 @@ import pytest
 from repro.analysis import BootstrapCI, bootstrap_savings_ci, summarize_across_seeds
 from repro.workloads import Trace, trace_statistics, validate_trace
 
-from conftest import make_job
+from helpers import make_job
 
 
 class TestBootstrapCI:
