@@ -6,13 +6,15 @@ is not what any one admission point observes.  This ablation splits the
 same total capacity across 1/4/16 shards and compares FirstFit (which
 *reads the local free-space counter*) against Adaptive Ranking (which
 senses utilization behaviourally via spillover).
+
+Both methods run through the unified shard-aware runtime
+(``MethodSuite.run(..., n_shards=...)``), riding the chunked engine —
+the same fast path the unsharded experiments use.
 """
 
 import pytest
 
 from repro.analysis import render_table, standard_suite
-from repro.baselines import FirstFitPolicy
-from repro.storage import simulate_sharded
 
 from bench_utils import emit
 
@@ -24,15 +26,10 @@ SHARDS = (1, 4, 16)
 def test_ablation_capacity_sharding(benchmark):
     def run():
         suite = standard_suite(0)
-        cluster = suite.cluster
-        cap = QUOTA * cluster.peak_ssd_usage
         out = {}
         for n_shards in SHARDS:
-            ours = suite.pipeline.make_policy(cluster.test, cluster.features_test)
-            r_ours = simulate_sharded(cluster.test, ours, cap, n_shards, suite.rates)
-            r_ff = simulate_sharded(
-                cluster.test, FirstFitPolicy(), cap, n_shards, suite.rates
-            )
+            r_ours = suite.run("Adaptive Ranking", QUOTA, n_shards=n_shards)
+            r_ff = suite.run("FirstFit", QUOTA, n_shards=n_shards)
             out[n_shards] = (r_ours.tco_savings_pct, r_ff.tco_savings_pct)
         return out
 

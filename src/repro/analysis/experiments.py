@@ -29,7 +29,7 @@ from ..core import (
 )
 from ..cost import CostRates, DEFAULT_RATES
 from ..oracle import oracle_placement
-from ..storage import SimResult, analytic_result, simulate
+from ..storage import SimResult, analytic_result, simulate, simulate_sharded
 from ..units import HOUR, WEEK
 from ..workloads import (
     ClusterSpec,
@@ -97,13 +97,25 @@ class MethodSuite:
     def capacity(self, quota: float) -> float:
         return quota * self.peak
 
-    def run(self, method: str, quota: float, engine: str = "auto", **kw) -> SimResult:
+    def run(
+        self,
+        method: str,
+        quota: float,
+        engine: str = "auto",
+        n_shards: int = 1,
+        **kw,
+    ) -> SimResult:
         """Evaluate one method at one quota on the test week.
 
         ``engine`` selects the simulator event loop: every method's
         policy implements the batch protocol, so ``"auto"`` runs the
         chunked fast path; pass ``"legacy"`` to force the reference
         per-job loop (used by equivalence tests and benchmarks).
+
+        ``n_shards`` evaluates the method with the quota capacity split
+        across that many caching servers (the fragmentation ablation);
+        the clairvoyant oracles ignore it — they remain the unsharded
+        upper bound.
         """
         test = self.cluster.test
         cap = self.capacity(quota)
@@ -137,6 +149,10 @@ class MethodSuite:
             )
         else:
             raise ValueError(f"unknown method {method!r}")
+        if n_shards > 1:
+            return simulate_sharded(
+                test, policy, cap, n_shards, self.rates, engine=engine
+            )
         return simulate(test, policy, cap, self.rates, engine=engine)
 
 

@@ -25,7 +25,7 @@ import numpy as np
 from ..cost import CostRates, DEFAULT_RATES
 from ..ml.gbdt import GBTClassifier
 from ..oracle.ilp import oracle_placement
-from ..storage.policy import Decision, PlacementContext, PlacementPolicy
+from ..storage.policy import BatchDecision, Decision, PlacementContext, PlacementPolicy
 from ..workloads.features import FeatureMatrix
 from ..workloads.job import Trace
 
@@ -100,3 +100,13 @@ class ImitationPolicy(PlacementPolicy):
 
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
         return Decision(want_ssd=bool(self._decisions[job_index]))
+
+    def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
+        """The whole remaining replay in one chunk.
+
+        The model decided offline and ignores every feedback channel
+        (the brittleness under study), so the mask never changes and the
+        chunked engine can drive the entire trace in one batch.
+        """
+        mask = self._decisions[first:]
+        return BatchDecision(count=len(mask), want_ssd=mask)

@@ -87,6 +87,8 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self._td = -np.inf
         self._window = SpilloverWindow()
         self.trajectory: list[ThresholdEvent] = []
+        self.shard_ssd_requested = np.zeros(1, dtype=np.int64)
+        self.shard_spills = np.zeros(1, dtype=np.int64)
 
     def on_simulation_start(self, trace: Trace, capacity: float, rates: CostRates) -> None:
         if len(trace) != len(self.categories):
@@ -99,6 +101,8 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self._td = -np.inf
         self._window = SpilloverWindow()
         self.trajectory = []
+        self.shard_ssd_requested = np.zeros(1, dtype=np.int64)
+        self.shard_spills = np.zeros(1, dtype=np.int64)
 
     @property
     def history(self):
@@ -144,8 +148,19 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
             count=stop - first, want_ssd=self.categories[first:stop] >= self.act
         )
 
+    def _grow_shard_counters(self, n_shards: int) -> None:
+        if n_shards > self.shard_spills.size:
+            pad = n_shards - self.shard_spills.size
+            self.shard_ssd_requested = np.pad(self.shard_ssd_requested, (0, pad))
+            self.shard_spills = np.pad(self.shard_spills, (0, pad))
+
     def observe(self, outcome: PlacementOutcome) -> None:
         i = outcome.job_index
+        self._grow_shard_counters(outcome.shard + 1)
+        if outcome.requested_ssd:
+            self.shard_ssd_requested[outcome.shard] += 1
+            if outcome.spill_time is not None:
+                self.shard_spills[outcome.shard] += 1
         self._window.append(
             arrival=float(self._trace.arrivals[i]),
             end=float(self._trace.ends[i]),
@@ -158,10 +173,29 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         )
 
     def observe_batch(self, outcomes: BatchOutcomes) -> None:
-        """Vectorized ingest of one chunk into the ring buffer."""
+        """Vectorized ingest of one chunk into the ring buffer.
+
+        Sharded runs additionally maintain per-caching-server admission
+        and spill counters (``shard_ssd_requested`` / ``shard_spills``)
+        — the diagnostic surface for the fragmentation ablation.  The
+        adaptive signal itself stays global: the paper's spillover-TCIO
+        percentage aggregates behaviour across the whole fleet.
+        """
         first = outcomes.first
         k = len(outcomes)
         sched = np.asarray(outcomes.requested_ssd, dtype=bool)
+        shards = (
+            np.zeros(k, dtype=np.intp) if outcomes.shards is None else outcomes.shards
+        )
+        if k:
+            self._grow_shard_counters(int(shards.max()) + 1)
+            self.shard_ssd_requested += np.bincount(
+                shards[sched], minlength=self.shard_ssd_requested.size
+            )
+            spilled = sched & ~np.isnan(outcomes.spill_time)
+            self.shard_spills += np.bincount(
+                shards[spilled], minlength=self.shard_spills.size
+            )
         self._window.extend(
             arrival=self._trace.arrivals[first : first + k],
             end=self._trace.ends[first : first + k],

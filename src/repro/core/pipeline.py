@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..config import AdaptiveParams, ModelParams, SimConfig
 from ..cost import CostRates, DEFAULT_RATES
+from ..storage.sharded import simulate_sharded
 from ..storage.simulator import SimResult, simulate
 from ..workloads.features import FeatureMatrix, extract_features
 from ..workloads.job import Trace
@@ -90,16 +91,24 @@ class ByomPipeline:
         quota_fraction: float,
         peak_usage: float | None = None,
         engine: str = "auto",
+        n_shards: int = 1,
     ) -> SimResult:
         """Online phase: simulate placement at an SSD quota fraction.
 
         ``engine`` selects the simulator event loop (``"auto"`` uses
         the chunked fast path; see :func:`repro.storage.simulate`).
+        ``n_shards`` deploys across that many caching servers (the
+        production fragmentation regime of Section 2.4), splitting the
+        quota capacity evenly; 1 keeps the single global SSD pool.
         """
         cfg = SimConfig(ssd_quota_fraction=quota_fraction, adaptive=self.adaptive_params)
         peak = peak_usage if peak_usage is not None else test_trace.peak_ssd_usage()
         capacity = cfg.ssd_quota_fraction * peak
         policy = self.make_policy(test_trace, features_test)
+        if n_shards > 1:
+            return simulate_sharded(
+                test_trace, policy, capacity, n_shards, self.rates, engine=engine
+            )
         return simulate(test_trace, policy, capacity, self.rates, engine=engine)
 
     def true_category_policy(

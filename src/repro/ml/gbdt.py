@@ -109,8 +109,14 @@ class GBTClassifier:
                     l2_reg=self.l2_reg,
                     n_bins=self.n_bins,
                 )
-                raw[:, c] += self.learning_rate * tree.predict(Xb)
                 round_trees.append(tree)
+            # Per-round margin update through the packed forest: one
+            # routing pass over all k class trees instead of k per-tree
+            # Python walks.  Gradients only read `proba`, which is fixed
+            # at round start, so deferring the update to round end is
+            # bit-identical to updating inside the class loop.
+            leaf = PackedForest.from_trees(round_trees).predict(Xb)
+            raw += self.learning_rate * leaf
             self.trees_.append(round_trees)
         return self
 

@@ -1,4 +1,13 @@
-"""Storage-layer substrate: placement simulator and policy interface."""
+"""Storage-layer substrate: one shard-aware placement runtime.
+
+A single engine (:mod:`repro.storage.engine`) drives every placement
+scenario: :func:`simulate` is the one-global-pool (``n_shards=1``) case
+and :func:`simulate_sharded` splits the same capacity across caching
+servers, modelled as lanes of a multi-lane capacity accountant.  Both
+run either the reference per-job ``legacy`` loop or the vectorized
+``chunked`` engine behind the ``decide_batch``/``observe_batch`` batch
+protocol (:mod:`repro.storage.policy`).
+"""
 
 from .policy import (
     BatchDecision,
@@ -10,6 +19,7 @@ from .policy import (
     PlacementPolicy,
 )
 from .devices import HddFleet, SsdFleet, SsdSpec, wearout_rate_from_spec
+from .engine import run_placement
 from .sharded import assign_shards, simulate_sharded
 from .simulator import SimResult, analytic_result, simulate
 
@@ -24,6 +34,7 @@ __all__ = [
     "SimResult",
     "simulate",
     "analytic_result",
+    "run_placement",
     "SsdSpec",
     "SsdFleet",
     "HddFleet",

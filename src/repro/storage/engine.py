@@ -1,0 +1,874 @@
+"""Unified shard-aware placement runtime: one engine for every scenario.
+
+This module is the storage layer's single event-loop implementation.
+Placement over one global SSD pool (:func:`repro.storage.simulate`) and
+placement over ``n_shards`` caching servers
+(:func:`repro.storage.simulate_sharded`) are the same computation:
+shards are a routing vector over a **multi-lane capacity accountant**,
+and the global pool is simply the ``n_shards=1`` special case.  Both
+run through the same two engines:
+
+- ``legacy``: the reference per-job event loop (one ``decide`` /
+  ``observe`` round-trip and heap push per job), now with a lane column
+  in the release heap.
+- ``chunked``: for policies implementing the batch protocol
+  (:class:`~repro.storage.policy.BatchDecision`), the trace is driven
+  in decision-interval chunks.  Admission is resolved **per lane**: a
+  lane whose capacity trajectory never goes negative inside the chunk
+  is admitted with one vectorized pass; a lane where capacity binds
+  goes through a *re-entrant vectorized retry* — the clean prefix is
+  accepted vectorized, a bounded window around the binding candidate is
+  replayed through the exact scalar loop, and the remainder re-enters
+  the vectorized check.  Binding chunks therefore no longer fall back
+  wholesale to the per-candidate loop.
+
+Peak-usage accounting stays global (the fleet-level metric) and is
+sampled at admission events exactly as the legacy loop samples it.
+
+Both engines produce identical results up to floating-point summation
+order (see ``tests/test_unified_runtime.py`` and
+``tests/test_chunked_simulator.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES
+from ..workloads.job import Trace
+from ..workloads.metadata import stable_hash
+from .policy import (
+    BatchOutcomes,
+    PlacementContext,
+    PlacementOutcome,
+    PlacementPolicy,
+)
+
+__all__ = ["SimResult", "assign_shards", "run_placement"]
+
+#: Minimum number of candidates replayed through the exact scalar loop
+#: around a binding point before the vectorized check re-enters.  The
+#: window also scales with the remaining chunk (1/8th) so a chunk that
+#: binds everywhere degenerates to the scalar loop with only O(log)
+#: vectorized re-checks, not O(n) of them.
+_SCALAR_WINDOW_MIN = 64
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    Savings percentages are relative to the all-HDD baseline, exactly as
+    the paper reports them.  ``n_shards`` records the lane count of the
+    run (1 = one global SSD pool); ``scalar_fallback_jobs`` counts the
+    candidates the chunked engine had to replay through the exact scalar
+    loop inside capacity-binding chunks (0 when fully vectorized, and
+    always 0 for the legacy engine, which has no vectorized path).
+    """
+
+    policy_name: str
+    capacity: float
+    n_jobs: int
+    baseline_tco: float
+    realized_tco: float
+    baseline_tcio: float
+    realized_hdd_tcio: float
+    n_ssd_requested: int
+    n_spilled: int
+    peak_ssd_used: float
+    ssd_fraction: np.ndarray = field(repr=False)
+    n_shards: int = 1
+    scalar_fallback_jobs: int = 0
+
+    @property
+    def tco_savings_pct(self) -> float:
+        if self.baseline_tco <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_tco - self.realized_tco) / self.baseline_tco
+
+    @property
+    def tcio_savings_pct(self) -> float:
+        if self.baseline_tcio <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_tcio - self.realized_hdd_tcio) / self.baseline_tcio
+
+
+def assign_shards(trace: Trace, n_shards: int, seed: int = 0) -> np.ndarray:
+    """Stable pipeline-to-shard routing.
+
+    All jobs of one pipeline land on the same caching server, mirroring
+    the locality of a pipeline's intermediate files.  Pipelines repeat
+    heavily across a trace, so each unique pipeline is hashed once and
+    broadcast back through the inverse index.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    uniq, inverse = np.unique(
+        np.asarray(trace.pipelines, dtype=object), return_inverse=True
+    )
+    lanes = np.array(
+        [stable_hash(p, seed=seed) % n_shards for p in uniq], dtype=np.intp
+    )
+    return lanes[inverse]
+
+
+def run_placement(
+    trace: Trace,
+    policy: PlacementPolicy,
+    capacity: float,
+    n_shards: int = 1,
+    rates: CostRates = DEFAULT_RATES,
+    engine: str = "auto",
+    shard_seed: int = 0,
+) -> SimResult:
+    """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD
+    split evenly across ``n_shards`` lanes.
+
+    The single entry point behind :func:`repro.storage.simulate`
+    (``n_shards=1``) and :func:`repro.storage.simulate_sharded`.
+    ``engine`` selects the event-loop implementation: ``"auto"``
+    (chunked fast path when the policy implements ``decide_batch``,
+    legacy otherwise), ``"chunked"``, or ``"legacy"``.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0")
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if engine not in ("auto", "chunked", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
+    batched = callable(getattr(policy, "decide_batch", None))
+    if engine == "chunked" and not batched:
+        raise ValueError(f"policy {policy.name!r} does not implement decide_batch")
+    shards = assign_shards(trace, n_shards, seed=shard_seed) if n_shards > 1 else None
+    if batched and engine != "legacy":
+        return _run_chunked(trace, policy, capacity, rates, shards, n_shards)
+    return _run_legacy(trace, policy, capacity, rates, shards, n_shards)
+
+
+def _finalize(
+    trace: Trace,
+    policy: PlacementPolicy,
+    capacity: float,
+    n_shards: int,
+    rates: CostRates,
+    ssd_fraction: np.ndarray,
+    n_ssd_requested: int,
+    n_spilled: int,
+    peak_used: float,
+    scalar_fallback_jobs: int = 0,
+) -> SimResult:
+    """Common cost roll-up shared by both engines."""
+    costs = trace.costs(rates)
+    tcio_integral = trace.tcio(rates) * np.maximum(trace.durations, 1.0)
+    return SimResult(
+        policy_name=policy.name,
+        capacity=capacity,
+        n_jobs=len(trace),
+        baseline_tco=float(costs.c_hdd.sum()),
+        realized_tco=float(
+            (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
+        ),
+        baseline_tcio=float(tcio_integral.sum()),
+        realized_hdd_tcio=float(((1.0 - ssd_fraction) * tcio_integral).sum()),
+        n_ssd_requested=n_ssd_requested,
+        n_spilled=n_spilled,
+        peak_ssd_used=peak_used,
+        ssd_fraction=ssd_fraction,
+        n_shards=n_shards,
+        scalar_fallback_jobs=scalar_fallback_jobs,
+    )
+
+
+def _run_legacy(
+    trace: Trace,
+    policy: PlacementPolicy,
+    capacity: float,
+    rates: CostRates,
+    shards: np.ndarray | None,
+    n_shards: int,
+) -> SimResult:
+    """Reference per-job event loop (one policy round-trip per job).
+
+    The policy's :class:`PlacementContext` reports the job's lane-local
+    free space and lane capacity — what a caching server actually knows
+    at admission time.  With ``n_shards=1`` this is the global counter.
+    """
+    n = len(trace)
+    arrivals = trace.arrivals
+    durations = trace.durations
+    sizes = trace.sizes
+
+    policy.on_simulation_start(trace, capacity, rates)
+
+    lane_capacity = capacity / n_shards
+    free = np.full(n_shards, lane_capacity)
+    peak_used = 0.0
+    ssd_fraction = np.zeros(n)
+    n_ssd_requested = 0
+    n_spilled = 0
+    release_heap: list[tuple[float, int, int, float]] = []  # (t, idx, lane, bytes)
+
+    for i in range(n):
+        t = arrivals[i]
+        while release_heap and release_heap[0][0] <= t:
+            _, _, lane, freed = heapq.heappop(release_heap)
+            free[lane] += freed
+
+        s = int(shards[i]) if shards is not None else 0
+        ctx = PlacementContext(time=t, free_ssd=float(free[s]), capacity=lane_capacity)
+        decision = policy.decide(i, ctx)
+
+        spill_time: float | None = None
+        space_frac = 0.0
+        if decision.want_ssd:
+            n_ssd_requested += 1
+            alloc = min(sizes[i], free[s])
+            if alloc < sizes[i]:
+                n_spilled += 1
+                spill_time = t
+            free[s] -= alloc
+            used = capacity - float(free.sum())
+            if used > peak_used:
+                peak_used = used
+            duration = durations[i]
+            if decision.ssd_ttl is not None and decision.ssd_ttl < duration:
+                release = t + max(decision.ssd_ttl, 0.0)
+                time_frac = (release - t) / duration if duration > 0 else 1.0
+            else:
+                release = t + duration
+                time_frac = 1.0
+            if alloc > 0:
+                heapq.heappush(release_heap, (release, i, s, alloc))
+            space_frac = alloc / sizes[i] if sizes[i] > 0 else 1.0
+            ssd_fraction[i] = space_frac * time_frac
+
+        policy.observe(
+            PlacementOutcome(
+                job_index=i,
+                time=t,
+                requested_ssd=decision.want_ssd,
+                ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
+                spill_time=spill_time,
+                shard=s,
+            )
+        )
+
+    return _finalize(
+        trace, policy, capacity, n_shards, rates,
+        ssd_fraction, n_ssd_requested, n_spilled, peak_used,
+    )
+
+
+class _LaneState:
+    """Multi-lane capacity/release bookkeeping shared by chunk handlers.
+
+    One lane per caching server; ``free`` is the per-lane free-space
+    vector.  Pending releases live in time-sorted arrays with a lane
+    column, consumed by a moving cursor; each chunk's freshly created
+    releases are buffered and merged back with one vectorized stable
+    sort, replacing the legacy per-job heap pushes.
+    """
+
+    __slots__ = (
+        "capacity", "lane_capacity", "n_lanes", "free", "peak_used",
+        "rel_t", "rel_a", "rel_l", "rel_pos", "new_t", "new_a", "new_l",
+        "n_scalar",
+    )
+
+    def __init__(self, capacity: float, n_lanes: int):
+        self.capacity = capacity
+        self.n_lanes = n_lanes
+        self.lane_capacity = capacity / n_lanes
+        self.free = np.full(n_lanes, self.lane_capacity)
+        self.peak_used = 0.0
+        self.rel_t = np.empty(0, dtype=float)
+        self.rel_a = np.empty(0, dtype=float)
+        self.rel_l = np.empty(0, dtype=np.intp)
+        self.rel_pos = 0
+        self.new_t: list[float] = []
+        self.new_a: list[float] = []
+        self.new_l: list[int] = []
+        self.n_scalar = 0
+
+    def release_until(self, t: float) -> None:
+        """Apply every pending release with time <= ``t`` to its lane."""
+        j = self.rel_pos + int(
+            np.searchsorted(self.rel_t[self.rel_pos :], t, side="right")
+        )
+        if j > self.rel_pos:
+            if self.n_lanes == 1:
+                self.free[0] += float(self.rel_a[self.rel_pos : j].sum())
+            else:
+                np.add.at(
+                    self.free,
+                    self.rel_l[self.rel_pos : j],
+                    self.rel_a[self.rel_pos : j],
+                )
+            self.rel_pos = j
+
+    def buffer_release(self, rel_time: float, amount: float, lane: int) -> None:
+        """Queue a release for the merge at chunk end (skips zero allocs)."""
+        if amount > 0.0:
+            self.new_t.append(rel_time)
+            self.new_a.append(amount)
+            self.new_l.append(lane)
+
+    def merge_new(self) -> None:
+        """Fold this chunk's buffered releases into the sorted arrays."""
+        if not self.new_t:
+            return
+        all_t = np.concatenate([self.rel_t[self.rel_pos :], np.asarray(self.new_t)])
+        all_a = np.concatenate([self.rel_a[self.rel_pos :], np.asarray(self.new_a)])
+        all_l = np.concatenate(
+            [self.rel_l[self.rel_pos :], np.asarray(self.new_l, dtype=np.intp)]
+        )
+        order = np.argsort(all_t, kind="stable")
+        self.rel_t = all_t[order]
+        self.rel_a = all_a[order]
+        self.rel_l = all_l[order]
+        self.rel_pos = 0
+        self.new_t.clear()
+        self.new_a.clear()
+        self.new_l.clear()
+
+
+def _ttl_release_fracs(
+    t: np.ndarray, dur: np.ndarray, ttl: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized TTL semantics of the legacy loop.
+
+    Returns ``(release_time, time_fraction)`` per job: a TTL shorter
+    than the lifetime releases at ``t + max(ttl, 0)`` and charges only
+    the resident share of the duration.
+    """
+    if ttl is None:
+        return t + dur, np.ones(len(t))
+    ttl = np.asarray(ttl, dtype=float)
+    bounded = ~np.isnan(ttl) & (ttl < dur)
+    held = np.clip(ttl, 0.0, None)
+    release = np.where(bounded, t + held, t + dur)
+    safe_dur = np.where(dur > 0, dur, 1.0)
+    time_frac = np.where(bounded & (dur > 0), held / safe_dur, 1.0)
+    return release, time_frac
+
+
+def _run_chunked(
+    trace: Trace,
+    policy: PlacementPolicy,
+    capacity: float,
+    rates: CostRates,
+    shards: np.ndarray | None,
+    n_shards: int,
+) -> SimResult:
+    """Chunked engine: one policy round-trip per decision interval.
+
+    Equivalent to :func:`_run_legacy` up to floating-point summation
+    order, for any lane count.
+    """
+    n = len(trace)
+    arrivals = trace.arrivals
+    durations = trace.durations
+    sizes = trace.sizes
+
+    policy.on_simulation_start(trace, capacity, rates)
+
+    st = _LaneState(capacity, n_shards)
+    ssd_fraction = np.zeros(n)
+    n_ssd_requested = 0
+    n_spilled = 0
+
+    i = 0
+    while i < n:
+        t0 = float(arrivals[i])
+        st.release_until(t0)
+        s0 = int(shards[i]) if shards is not None else 0
+        ctx = PlacementContext(
+            time=t0, free_ssd=float(st.free[s0]), capacity=st.lane_capacity
+        )
+        bd = policy.decide_batch(i, ctx)
+        count = max(1, min(int(bd.count), n - i))
+        stop = i + count
+        chunk_t = arrivals[i:stop]
+        t_last = float(chunk_t[-1])
+        chunk_lanes = shards[i:stop] if shards is not None else None
+        space = np.zeros(count)
+        spill_col = np.full(count, np.nan)
+
+        if bd.fit_check:
+            requested = _run_fit_check_chunk(
+                st, i, stop, t_last, arrivals, durations, sizes, chunk_lanes,
+                bd.ssd_ttl, space, spill_col, ssd_fraction,
+            )
+            n_ssd_requested += int(requested.sum())
+            n_spilled += int(np.count_nonzero(~np.isnan(spill_col)))
+        else:
+            requested = np.asarray(bd.want_ssd, dtype=bool)[:count].copy()
+            cand = np.flatnonzero(requested)
+            if cand.size:
+                spilled = _run_mask_chunk(
+                    st, i, t_last, arrivals, durations, sizes, chunk_lanes,
+                    bd.ssd_ttl, cand, space, spill_col, ssd_fraction,
+                )
+                n_ssd_requested += cand.size
+                n_spilled += spilled
+
+        policy.observe_batch(
+            BatchOutcomes(
+                first=i,
+                times=chunk_t,
+                requested_ssd=requested,
+                ssd_space_fraction=np.where(requested, space, 0.0),
+                spill_time=spill_col,
+                shards=chunk_lanes,
+            )
+        )
+        st.merge_new()
+        i = stop
+
+    return _finalize(
+        trace, policy, capacity, n_shards, rates,
+        ssd_fraction, n_ssd_requested, n_spilled, st.peak_used,
+        scalar_fallback_jobs=st.n_scalar,
+    )
+
+
+def _run_mask_chunk(
+    st: _LaneState,
+    first: int,
+    t_last: float,
+    arrivals: np.ndarray,
+    durations: np.ndarray,
+    sizes: np.ndarray,
+    chunk_lanes: np.ndarray | None,
+    ttl: np.ndarray | None,
+    cand: np.ndarray,
+    space: np.ndarray,
+    spill_col: np.ndarray,
+    ssd_fraction: np.ndarray,
+) -> int:
+    """Process one mask-mode chunk; returns the number of spilled jobs.
+
+    Builds the merged (release, arrival) event timeline assuming every
+    candidate fits, then resolves admission **per lane**: a lane whose
+    capacity trajectory never goes negative is accepted with one
+    vectorized pass; a lane where capacity binds goes through
+    :func:`_admit_lane_binding`'s re-entrant retry.  Peak usage is then
+    sampled globally over the realized allocations.
+    """
+    idx = first + cand
+    ct = arrivals[idx]
+    cs = sizes[idx]
+    cdur = durations[idx]
+    ttl_vals = None if ttl is None else np.asarray(ttl, dtype=float)[cand]
+    release, time_frac = _ttl_release_fracs(ct, cdur, ttl_vals)
+    if chunk_lanes is None:
+        lane = np.zeros(cand.size, dtype=np.intp)
+    else:
+        lane = chunk_lanes[cand]
+
+    # Pending releases maturing inside this chunk.
+    j2 = st.rel_pos + int(
+        np.searchsorted(st.rel_t[st.rel_pos :], t_last, side="right")
+    )
+    old_t = st.rel_t[st.rel_pos : j2]
+    old_a = st.rel_a[st.rel_pos : j2]
+    old_l = st.rel_l[st.rel_pos : j2]
+    inside = release <= t_last
+
+    # Event timeline. The secondary key replicates heap order at equal
+    # timestamps: releases from earlier chunks first (-1), then each
+    # arrival (2k) ahead of the release it creates (2k+1), where k is
+    # the candidate-order position (monotone in job index).
+    pos = np.arange(cand.size)
+    ev_t = np.concatenate([old_t, ct, release[inside]])
+    ev_d = np.concatenate([old_a, -cs, cs[inside]])
+    ev_k = np.concatenate(
+        [np.full(old_t.size, -1), 2 * pos, 2 * pos[inside] + 1]
+    )
+    order = np.lexsort((ev_k, ev_t))
+    total_free_start = float(st.free.sum())
+
+    if st.n_lanes == 1:
+        traj = st.free[0] + np.cumsum(ev_d[order])
+        if traj.size and float(traj.min()) >= 0.0:
+            # Capacity never binds: every candidate fits in full.
+            ko = ev_k[order]
+            arr_pos = (ko >= 0) & ((ko & 1) == 0)
+            low = float(traj[arr_pos].min()) if arr_pos.any() else float(st.free[0])
+            st.peak_used = max(st.peak_used, st.capacity - low)
+            st.free[0] = float(traj[-1])
+            st.rel_pos = j2
+            outside = ~inside
+            st.new_t.extend(release[outside].tolist())
+            st.new_a.extend(cs[outside].tolist())
+            st.new_l.extend([0] * int(outside.sum()))
+            space[cand] = 1.0
+            ssd_fraction[idx] = time_frac
+            return 0
+        clean = np.zeros(1, dtype=bool)
+        binding_lanes = [0]
+    else:
+        ev_l = np.concatenate([old_l, lane, lane[inside]])
+        # Lane-major event order, derived from the (t, k) sort with one
+        # stable integer argsort (equivalent to lexsort((k, t, lane))).
+        lo = ev_l[order]
+        sub = np.argsort(lo, kind="stable")
+        order_l = order[sub]
+        lo = lo[sub]
+        bounds = np.flatnonzero(np.r_[True, lo[1:] != lo[:-1]])
+        ends = np.r_[bounds[1:], lo.size]
+        clean = np.zeros(st.n_lanes, dtype=bool)
+        binding_lanes = []
+        for a, b in zip(bounds, ends):
+            seg = order_l[a:b]
+            L = int(lo[a])
+            traj_L = st.free[L] + np.cumsum(ev_d[seg])
+            if float(traj_L.min()) >= 0.0:
+                clean[L] = True
+                st.free[L] = float(traj_L[-1])
+            else:
+                binding_lanes.append(L)
+
+    alloc_arr = np.zeros(cand.size)
+    n_spilled = 0
+
+    # Clean lanes: one fused vectorized accept across every clean lane
+    # (their trajectories are exact — lanes are independent in capacity
+    # space, so binding elsewhere cannot disturb them).
+    lp = np.flatnonzero(clean[lane])
+    if lp.size:
+        space[cand[lp]] = 1.0
+        ssd_fraction[idx[lp]] = time_frac[lp]
+        alloc_arr[lp] = cs[lp]
+        out = lp[release[lp] > t_last]
+        st.new_t.extend(release[out].tolist())
+        st.new_a.extend(cs[out].tolist())
+        st.new_l.extend(lane[out].tolist())
+
+    # Binding lanes.  Large lanes get the re-entrant vectorized retry
+    # around each binding candidate; lanes with only a handful of
+    # candidates in this chunk (the common case at high shard counts)
+    # are cheaper to replay together through one merged scalar loop
+    # than to rebuild per-lane event timelines for.
+    if binding_lanes:
+        counts = np.bincount(lane, minlength=st.n_lanes)
+        small = [L for L in binding_lanes if counts[L] <= _SCALAR_WINDOW_MIN]
+        for L in binding_lanes:
+            if counts[L] <= _SCALAR_WINDOW_MIN:
+                continue
+            lpos = np.flatnonzero(lane == L)
+            if st.n_lanes == 1:
+                pend_t, pend_a = old_t, old_a
+            else:
+                m = old_l == L
+                pend_t, pend_a = old_t[m], old_a[m]
+            n_spilled += _admit_lane_binding(
+                st, L, lpos, pend_t, pend_a, t_last,
+                ct, cs, release, time_frac, cand, idx,
+                space, spill_col, ssd_fraction, alloc_arr,
+            )
+        if small:
+            n_spilled += _admit_lanes_scalar(
+                st, small, lane, old_t, old_a, old_l, t_last,
+                ct, cs, release, time_frac, cand, idx,
+                space, spill_col, ssd_fraction, alloc_arr,
+            )
+
+    st.rel_pos = j2
+
+    # Global peak over the realized allocations, sampled at admissions
+    # exactly as the legacy loop samples it.
+    ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
+    ptraj = total_free_start + np.cumsum(ev_pd[order])
+    ko = ev_k[order]
+    arr_pos = (ko >= 0) & ((ko & 1) == 0)
+    if arr_pos.any():
+        low = float(ptraj[arr_pos].min())
+        st.peak_used = max(st.peak_used, st.capacity - low)
+    return n_spilled
+
+
+def _admit_lanes_scalar(
+    st: _LaneState,
+    lanes: list[int],
+    lane: np.ndarray,
+    old_t: np.ndarray,
+    old_a: np.ndarray,
+    old_l: np.ndarray,
+    t_last: float,
+    ct: np.ndarray,
+    cs: np.ndarray,
+    release: np.ndarray,
+    time_frac: np.ndarray,
+    cand: np.ndarray,
+    idx: np.ndarray,
+    space: np.ndarray,
+    spill_col: np.ndarray,
+    ssd_fraction: np.ndarray,
+    alloc_arr: np.ndarray,
+) -> int:
+    """Merged exact scalar replay for a set of small binding lanes.
+
+    One pass in arrival order over the selected lanes' candidates with
+    a lane-tagged release heap — the same admission arithmetic as the
+    legacy loop, restricted to the lanes where capacity binds.  Lanes
+    not in ``lanes`` are untouched (their events were consumed by the
+    vectorized paths).
+    """
+    member = np.zeros(st.n_lanes, dtype=bool)
+    member[lanes] = True
+    sel = np.flatnonzero(member[lane])  # candidate positions, time order
+    if st.n_lanes == 1:
+        pend_t, pend_a, pend_l = old_t, old_a, old_l
+    else:
+        om = member[old_l]
+        pend_t, pend_a, pend_l = old_t[om], old_a[om], old_l[om]
+    pend_i = 0
+    pend_n = pend_t.size
+    heap: list[tuple[float, int, float]] = []  # (time, lane, amount)
+    free = st.free
+    n_spilled = 0
+    for q in sel:
+        t = float(ct[q])
+        while pend_i < pend_n and pend_t[pend_i] <= t:
+            free[pend_l[pend_i]] += pend_a[pend_i]
+            pend_i += 1
+        while heap and heap[0][0] <= t:
+            _, hl, amt = heapq.heappop(heap)
+            free[hl] += amt
+        L = int(lane[q])
+        size = float(cs[q])
+        f = float(free[L])
+        alloc = size if size <= f else f
+        free[L] = f - alloc
+        if alloc < size:
+            n_spilled += 1
+            spill_col[cand[q]] = t
+        if alloc > 0.0:
+            rt = float(release[q])
+            if rt <= t_last:
+                heapq.heappush(heap, (rt, L, alloc))
+            else:
+                st.buffer_release(rt, alloc, L)
+        sf = alloc / size if size > 0 else 1.0
+        space[cand[q]] = sf
+        ssd_fraction[idx[q]] = sf * float(time_frac[q])
+        alloc_arr[q] = alloc
+    # Chunk epilogue: apply the remaining in-chunk releases now (the
+    # next chunk starts at t >= t_last, so this is indistinguishable
+    # from draining them at its first arrival).
+    while pend_i < pend_n:
+        free[pend_l[pend_i]] += pend_a[pend_i]
+        pend_i += 1
+    for _, hl, amt in heap:
+        free[hl] += amt
+    st.n_scalar += sel.size
+    return n_spilled
+
+
+def _admit_lane_binding(
+    st: _LaneState,
+    L: int,
+    lpos: np.ndarray,
+    pend_t: np.ndarray,
+    pend_a: np.ndarray,
+    t_last: float,
+    ct: np.ndarray,
+    cs: np.ndarray,
+    release: np.ndarray,
+    time_frac: np.ndarray,
+    cand: np.ndarray,
+    idx: np.ndarray,
+    space: np.ndarray,
+    spill_col: np.ndarray,
+    ssd_fraction: np.ndarray,
+    alloc_arr: np.ndarray,
+) -> int:
+    """Re-entrant admission for one lane where capacity binds.
+
+    Loop invariant: ``f`` is the lane's free space with every event
+    strictly before the cursor applied; ``pend_t[pend_i:]`` and ``heap``
+    hold the not-yet-applied releases.  Each round builds the assumed
+    event timeline for the remaining candidates; if it stays
+    non-negative the remainder is accepted vectorized, otherwise the
+    clean prefix is accepted vectorized, the next ``>= _SCALAR_WINDOW_MIN``
+    candidates are replayed through the exact per-candidate loop
+    (spill/partial-fit semantics identical to the legacy engine), and
+    the check re-enters on what is left.  Returns the spill count.
+    """
+    f = float(st.free[L])
+    pend_i = 0
+    heap: list[tuple[float, float]] = []  # in-chunk releases of admitted jobs
+    p = 0
+    n_lane = lpos.size
+    n_spilled = 0
+
+    while p < n_lane:
+        rem = lpos[p:]
+        rct = ct[rem]
+        rcs = cs[rem]
+        rrel = release[rem]
+        rin = rrel <= t_last
+        hp_t = np.array([h[0] for h in heap], dtype=float)
+        hp_a = np.array([h[1] for h in heap], dtype=float)
+        ev_t = np.concatenate([pend_t[pend_i:], hp_t, rct, rrel[rin]])
+        ev_d = np.concatenate([pend_a[pend_i:], hp_a, -rcs, rcs[rin]])
+        ev_k = np.concatenate(
+            [
+                np.full(pend_t.size - pend_i + hp_t.size, -1),
+                2 * rem,
+                2 * rem[rin] + 1,
+            ]
+        )
+        order = np.lexsort((ev_k, ev_t))
+        traj = f + np.cumsum(ev_d[order])
+        viol = np.flatnonzero(traj < 0.0)
+
+        if viol.size == 0:
+            # The remainder fits in full: accept it vectorized.
+            if traj.size:
+                f = float(traj[-1])
+            space[cand[rem]] = 1.0
+            ssd_fraction[idx[rem]] = time_frac[rem]
+            alloc_arr[rem] = cs[rem]
+            out = ~rin
+            for rt, amt in zip(release[rem[out]], cs[rem[out]]):
+                st.buffer_release(float(rt), float(amt), L)
+            heap = []
+            pend_i = pend_t.size
+            p = n_lane
+            break
+
+        v = int(viol[0])
+        ko = ev_k[order]
+        to = ev_t[order]
+        t_v = float(to[v])
+        # Accept the clean prefix vectorized.  Only a (positive-size)
+        # arrival can push the trajectory negative, so event v is the
+        # arrival of the binding candidate; candidates arriving before
+        # it in event order are admitted in full.
+        pre_k = ko[:v]
+        adm = pre_k[(pre_k >= 0) & ((pre_k & 1) == 0)] >> 1
+        j = adm.size
+        if v > 0:
+            # The prefix value absorbs every event before v: prefix
+            # admissions, and all pending/heap releases at times <= t_v
+            # (their -1 key sorts them ahead of the binding arrival).
+            f = float(traj[v - 1])
+            heap = [h for h in heap if h[0] > t_v]
+            heapq.heapify(heap)
+            pend_i += int(np.searchsorted(pend_t[pend_i:], t_v, side="right"))
+        if j:
+            space[cand[adm]] = 1.0
+            ssd_fraction[idx[adm]] = time_frac[adm]
+            alloc_arr[adm] = cs[adm]
+            # Prefix releases at times <= t_v are already absorbed in
+            # the trajectory value; later ones stay pending.
+            for a_pos in adm:
+                rt = float(release[a_pos])
+                amt = float(cs[a_pos])
+                if rt > t_v and amt > 0.0:
+                    if rt <= t_last:
+                        heapq.heappush(heap, (rt, amt))
+                    else:
+                        st.buffer_release(rt, amt, L)
+
+        # Exact scalar replay of a bounded window starting at the
+        # binding candidate.
+        window = rem[j : j + max(_SCALAR_WINDOW_MIN, (n_lane - p) // 8)]
+        for wq in window:
+            t = float(ct[wq])
+            k2 = int(np.searchsorted(pend_t[pend_i:], t, side="right"))
+            if k2:
+                f += float(pend_a[pend_i : pend_i + k2].sum())
+                pend_i += k2
+            while heap and heap[0][0] <= t:
+                f += heapq.heappop(heap)[1]
+            size = float(cs[wq])
+            alloc = size if size <= f else f
+            f -= alloc
+            if alloc < size:
+                n_spilled += 1
+                spill_col[cand[wq]] = t
+            if alloc > 0.0:
+                rt = float(release[wq])
+                if rt <= t_last:
+                    heapq.heappush(heap, (rt, alloc))
+                else:
+                    st.buffer_release(rt, alloc, L)
+            sf = alloc / size if size > 0 else 1.0
+            space[cand[wq]] = sf
+            ssd_fraction[idx[wq]] = sf * float(time_frac[wq])
+            alloc_arr[wq] = alloc
+        st.n_scalar += len(window)
+        p += j + len(window)
+
+    # Chunk epilogue: every in-chunk release (<= t_last) is applied to
+    # the lane now; the next chunk starts at t >= t_last, so this is
+    # indistinguishable from draining them at the next arrival.
+    for _, amt in heap:
+        f += amt
+    if pend_i < pend_t.size:
+        f += float(pend_a[pend_i:].sum())
+    st.free[L] = f
+    return n_spilled
+
+
+def _run_fit_check_chunk(
+    st: _LaneState,
+    first: int,
+    stop: int,
+    t_last: float,
+    arrivals: np.ndarray,
+    durations: np.ndarray,
+    sizes: np.ndarray,
+    chunk_lanes: np.ndarray | None,
+    ttl: np.ndarray | None,
+    space: np.ndarray,
+    spill_col: np.ndarray,
+    ssd_fraction: np.ndarray,
+) -> np.ndarray:
+    """FirstFit-style chunk: want SSD iff the full footprint fits in the
+    job's own lane right now.
+
+    Decisions depend on evolving occupancy, so this stays a per-job
+    loop — but without per-job policy calls, decision objects, or heap
+    churn for rejected jobs.  Returns the want-SSD mask.
+    """
+    count = stop - first
+    requested = np.zeros(count, dtype=bool)
+    chunk_t = arrivals[first:stop]
+    chunk_dur = durations[first:stop]
+    ttl_vals = None if ttl is None else np.asarray(ttl, dtype=float)
+    release, time_frac = _ttl_release_fracs(chunk_t, chunk_dur, ttl_vals)
+    local_heap: list[tuple[float, int, float]] = []  # (t, lane, amount)
+    for k in range(count):
+        gi = first + k
+        t = float(arrivals[gi])
+        st.release_until(t)
+        while local_heap and local_heap[0][0] <= t:
+            _, hl, amt = heapq.heappop(local_heap)
+            st.free[hl] += amt
+        L = int(chunk_lanes[k]) if chunk_lanes is not None else 0
+        size = float(sizes[gi])
+        if size > st.free[L]:
+            continue
+        requested[k] = True
+        st.free[L] -= size
+        used = st.capacity - float(st.free.sum())
+        if used > st.peak_used:
+            st.peak_used = used
+        if size > 0:
+            rt = float(release[k])
+            if rt <= t_last:
+                heapq.heappush(local_heap, (rt, L, size))
+            else:
+                st.buffer_release(rt, size, L)
+        space[k] = 1.0
+        ssd_fraction[gi] = float(time_frac[k])
+    for rt, hl, amt in local_heap:
+        st.buffer_release(rt, amt, hl)
+    return requested

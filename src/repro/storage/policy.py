@@ -84,6 +84,8 @@ class PlacementOutcome:
     spill_time:
         Time at which spillover began (arrival time in this simulator's
         admit-at-arrival model), or ``None`` if nothing spilled.
+    shard:
+        Caching server the job was routed to (0 in unsharded runs).
     """
 
     job_index: int
@@ -91,6 +93,7 @@ class PlacementOutcome:
     requested_ssd: bool
     ssd_space_fraction: float
     spill_time: float | None
+    shard: int = 0
 
 
 @dataclass(frozen=True)
@@ -128,7 +131,9 @@ class BatchOutcomes:
     """Structure-of-arrays feedback for one simulated chunk.
 
     Mirrors :class:`PlacementOutcome` field-for-field; ``spill_time``
-    is NaN-encoded (NaN = nothing spilled).
+    is NaN-encoded (NaN = nothing spilled).  ``shards`` carries the
+    per-job caching-server routing of the chunk, or ``None`` in
+    unsharded runs (one global pool).
     """
 
     first: int
@@ -136,6 +141,7 @@ class BatchOutcomes:
     requested_ssd: np.ndarray
     ssd_space_fraction: np.ndarray
     spill_time: np.ndarray
+    shards: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.times)
@@ -149,6 +155,7 @@ class BatchOutcomes:
                 requested_ssd=bool(self.requested_ssd[k]),
                 ssd_space_fraction=float(self.ssd_space_fraction[k]),
                 spill_time=None if np.isnan(st) else float(st),
+                shard=0 if self.shards is None else int(self.shards[k]),
             )
 
 

@@ -9,41 +9,29 @@ exactly why the paper's storage layer estimates utilization through job
 behaviour (the spillover-TCIO signal) rather than by reading a global
 free-space counter.
 
-:func:`simulate_sharded` replays a trace against ``n_shards`` caching
-servers.  Jobs are routed to shards by a stable hash of their pipeline
-(data locality: a pipeline's intermediate files live together) and
-consume capacity only on their shard.  Policies see the *shard-local*
-context, so global-counter policies degrade while behaviour-feedback
-policies (Adaptive Ranking) keep working — quantified by
-``benchmarks/bench_ablation_sharding.py``.
+Since the unified runtime landed there is no second event loop here:
+:func:`simulate_sharded` routes jobs to shards with
+:func:`~repro.storage.engine.assign_shards` (a stable hash of their
+pipeline — data locality: a pipeline's intermediate files live
+together) and delegates to :func:`repro.storage.engine.run_placement`,
+where shards are lanes of the multi-lane capacity accountant.  Both
+engines apply: the ``legacy`` per-job loop and the ``chunked``
+batch-protocol fast path, selected by ``engine=`` exactly as in
+:func:`repro.storage.simulate`.
+
+Policies see the *shard-local* context, so global-counter policies
+degrade while behaviour-feedback policies (Adaptive Ranking) keep
+working — quantified by ``benchmarks/bench_ablation_sharding.py``.
 """
 
 from __future__ import annotations
 
-import heapq
-
-import numpy as np
-
 from ..cost import CostRates, DEFAULT_RATES
 from ..workloads.job import Trace
-from ..workloads.metadata import stable_hash
-from .policy import PlacementContext, PlacementOutcome, PlacementPolicy
-from .simulator import SimResult
+from .engine import SimResult, assign_shards, run_placement
+from .policy import PlacementPolicy
 
 __all__ = ["assign_shards", "simulate_sharded"]
-
-
-def assign_shards(trace: Trace, n_shards: int, seed: int = 0) -> np.ndarray:
-    """Stable pipeline-to-shard routing.
-
-    All jobs of one pipeline land on the same caching server, mirroring
-    the locality of a pipeline's intermediate files.
-    """
-    if n_shards < 1:
-        raise ValueError("need at least one shard")
-    return np.array(
-        [stable_hash(p, seed=seed) % n_shards for p in trace.pipelines], dtype=int
-    )
 
 
 def simulate_sharded(
@@ -53,6 +41,7 @@ def simulate_sharded(
     n_shards: int,
     rates: CostRates = DEFAULT_RATES,
     shard_seed: int = 0,
+    engine: str = "auto",
 ) -> SimResult:
     """Run ``policy`` over a trace with capacity split across shards.
 
@@ -60,87 +49,21 @@ def simulate_sharded(
     servers; each job can only use its own shard's slice.  With
     ``n_shards=1`` this reduces exactly to :func:`repro.storage.simulate`.
 
-    The policy's :class:`PlacementContext` reports the job's shard-local
-    free space (what a caching server actually knows at admission time).
+    The policy's :class:`~repro.storage.policy.PlacementContext` reports
+    the job's shard-local free space (what a caching server actually
+    knows at admission time), and batch feedback carries the chunk's
+    shard routing (:attr:`~repro.storage.policy.BatchOutcomes.shards`).
+
+    ``engine`` selects the event loop exactly as in
+    :func:`repro.storage.simulate`: ``"auto"`` runs the chunked fast
+    path whenever the policy implements ``decide_batch``.
     """
-    if capacity < 0:
-        raise ValueError("capacity must be >= 0")
-    n = len(trace)
-    shards = assign_shards(trace, n_shards, seed=shard_seed)
-    shard_capacity = capacity / n_shards
-
-    arrivals = trace.arrivals
-    durations = trace.durations
-    sizes = trace.sizes
-    costs = trace.costs(rates)
-    tcio = trace.tcio(rates)
-
-    policy.on_simulation_start(trace, capacity, rates)
-
-    free = np.full(n_shards, shard_capacity)
-    peak_used = 0.0
-    ssd_fraction = np.zeros(n)
-    n_ssd_requested = 0
-    n_spilled = 0
-    release_heap: list[tuple[float, int, int, float]] = []  # (t, idx, shard, bytes)
-
-    for i in range(n):
-        t = arrivals[i]
-        while release_heap and release_heap[0][0] <= t:
-            _, _, shard, freed = heapq.heappop(release_heap)
-            free[shard] += freed
-
-        s = int(shards[i])
-        ctx = PlacementContext(time=t, free_ssd=float(free[s]), capacity=shard_capacity)
-        decision = policy.decide(i, ctx)
-
-        spill_time = None
-        space_frac = 0.0
-        if decision.want_ssd:
-            n_ssd_requested += 1
-            alloc = min(sizes[i], free[s])
-            if alloc < sizes[i]:
-                n_spilled += 1
-                spill_time = t
-            free[s] -= alloc
-            used = capacity - float(free.sum())
-            if used > peak_used:
-                peak_used = used
-            duration = durations[i]
-            if decision.ssd_ttl is not None and decision.ssd_ttl < duration:
-                release = t + max(decision.ssd_ttl, 0.0)
-                time_frac = (release - t) / duration if duration > 0 else 1.0
-            else:
-                release = t + duration
-                time_frac = 1.0
-            if alloc > 0:
-                heapq.heappush(release_heap, (release, i, s, alloc))
-            space_frac = alloc / sizes[i] if sizes[i] > 0 else 1.0
-            ssd_fraction[i] = space_frac * time_frac
-
-        policy.observe(
-            PlacementOutcome(
-                job_index=i,
-                time=t,
-                requested_ssd=decision.want_ssd,
-                ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
-                spill_time=spill_time,
-            )
-        )
-
-    tcio_integral = tcio * np.maximum(durations, 1.0)
-    return SimResult(
-        policy_name=policy.name,
-        capacity=capacity,
-        n_jobs=n,
-        baseline_tco=float(costs.c_hdd.sum()),
-        realized_tco=float(
-            (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
-        ),
-        baseline_tcio=float(tcio_integral.sum()),
-        realized_hdd_tcio=float(((1.0 - ssd_fraction) * tcio_integral).sum()),
-        n_ssd_requested=n_ssd_requested,
-        n_spilled=n_spilled,
-        peak_ssd_used=peak_used,
-        ssd_fraction=ssd_fraction,
+    return run_placement(
+        trace,
+        policy,
+        capacity,
+        n_shards=n_shards,
+        rates=rates,
+        engine=engine,
+        shard_seed=shard_seed,
     )

@@ -1,4 +1,4 @@
-"""Event-driven SSD/HDD placement simulator.
+"""Event-driven SSD/HDD placement simulator (single global pool).
 
 Follows the paper's simulation methodology (Section 5.1): jobs arrive in
 time order; a policy routes each to SSD or HDD; an SSD-routed job that
@@ -11,74 +11,24 @@ Realized cost of a partially-SSD job interpolates between the pure-SSD
 and pure-HDD TCO by the SSD-resident share (space fraction x time
 fraction); its residual HDD TCIO scales the same way.
 
-Engines
--------
-Two interchangeable engines produce identical results (up to
-floating-point summation order):
-
-- ``legacy``: the reference per-job event loop (one ``decide`` /
-  ``observe`` round-trip and heap push per job).
-- ``chunked``: for policies implementing the batch protocol
-  (:class:`~repro.storage.policy.BatchDecision`), the trace is driven
-  in decision-interval chunks — vectorized admission masks, release
-  events merged via sorted arrays, and a fully vectorized capacity
-  check that falls back to a tight per-candidate loop only inside
-  chunks where SSD capacity actually binds.
-
-``engine="auto"`` (the default) picks ``chunked`` whenever the policy
-supports it.
+Since the unified runtime landed, :func:`simulate` is a thin wrapper
+over :func:`repro.storage.engine.run_placement` with ``n_shards=1`` —
+the one-global-pool special case of the shard-aware engine.  Both the
+``legacy`` per-job loop and the ``chunked`` batch-protocol engine live
+in :mod:`repro.storage.engine`; ``engine="auto"`` (the default) picks
+``chunked`` whenever the policy supports it.
 """
 
 from __future__ import annotations
-
-import heapq
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
 from ..workloads.job import Trace
-from .policy import (
-    BatchOutcomes,
-    PlacementContext,
-    PlacementOutcome,
-    PlacementPolicy,
-)
+from .engine import SimResult, run_placement
+from .policy import PlacementPolicy
 
 __all__ = ["SimResult", "simulate", "analytic_result"]
-
-
-@dataclass
-class SimResult:
-    """Outcome of one simulation run.
-
-    Savings percentages are relative to the all-HDD baseline, exactly as
-    the paper reports them.
-    """
-
-    policy_name: str
-    capacity: float
-    n_jobs: int
-    baseline_tco: float
-    realized_tco: float
-    baseline_tcio: float
-    realized_hdd_tcio: float
-    n_ssd_requested: int
-    n_spilled: int
-    peak_ssd_used: float
-    ssd_fraction: np.ndarray = field(repr=False)
-
-    @property
-    def tco_savings_pct(self) -> float:
-        if self.baseline_tco <= 0:
-            return 0.0
-        return 100.0 * (self.baseline_tco - self.realized_tco) / self.baseline_tco
-
-    @property
-    def tcio_savings_pct(self) -> float:
-        if self.baseline_tcio <= 0:
-            return 0.0
-        return 100.0 * (self.baseline_tcio - self.realized_hdd_tcio) / self.baseline_tcio
 
 
 def analytic_result(
@@ -133,430 +83,10 @@ def simulate(
 
     ``engine`` selects the event-loop implementation: ``"auto"``
     (chunked fast path when the policy implements ``decide_batch``,
-    legacy otherwise), ``"chunked"``, or ``"legacy"``.
+    legacy otherwise), ``"chunked"``, or ``"legacy"``.  This is the
+    ``n_shards=1`` case of the unified shard-aware runtime
+    (:func:`repro.storage.engine.run_placement`).
     """
-    if capacity < 0:
-        raise ValueError("capacity must be >= 0")
-    if engine not in ("auto", "chunked", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}")
-    batched = callable(getattr(policy, "decide_batch", None))
-    if engine == "chunked" and not batched:
-        raise ValueError(f"policy {policy.name!r} does not implement decide_batch")
-    if batched and engine != "legacy":
-        return _simulate_chunked(trace, policy, capacity, rates)
-    return _simulate_legacy(trace, policy, capacity, rates)
-
-
-def _simulate_legacy(
-    trace: Trace,
-    policy: PlacementPolicy,
-    capacity: float,
-    rates: CostRates,
-) -> SimResult:
-    """Reference per-job event loop (one policy round-trip per job)."""
-    n = len(trace)
-    arrivals = trace.arrivals
-    durations = trace.durations
-    sizes = trace.sizes
-    costs = trace.costs(rates)
-    tcio = trace.tcio(rates)
-
-    policy.on_simulation_start(trace, capacity, rates)
-
-    free = float(capacity)
-    peak_used = 0.0
-    ssd_fraction = np.zeros(n)
-    n_ssd_requested = 0
-    n_spilled = 0
-    release_heap: list[tuple[float, int, float]] = []  # (release_time, idx, bytes)
-
-    for i in range(n):
-        t = arrivals[i]
-        while release_heap and release_heap[0][0] <= t:
-            _, _, freed = heapq.heappop(release_heap)
-            free += freed
-
-        ctx = PlacementContext(time=t, free_ssd=free, capacity=capacity)
-        decision = policy.decide(i, ctx)
-
-        alloc = 0.0
-        spill_time: float | None = None
-        if decision.want_ssd:
-            n_ssd_requested += 1
-            alloc = min(sizes[i], free)
-            if alloc < sizes[i]:
-                n_spilled += 1
-                spill_time = t
-            free -= alloc
-            used = capacity - free
-            if used > peak_used:
-                peak_used = used
-            duration = durations[i]
-            if decision.ssd_ttl is not None and decision.ssd_ttl < duration:
-                release = t + max(decision.ssd_ttl, 0.0)
-                time_frac = (release - t) / duration if duration > 0 else 1.0
-            else:
-                release = t + duration
-                time_frac = 1.0
-            if alloc > 0:
-                heapq.heappush(release_heap, (release, i, alloc))
-            space_frac = alloc / sizes[i] if sizes[i] > 0 else 1.0
-            ssd_fraction[i] = space_frac * time_frac
-        else:
-            space_frac = 0.0
-
-        policy.observe(
-            PlacementOutcome(
-                job_index=i,
-                time=t,
-                requested_ssd=decision.want_ssd,
-                ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
-                spill_time=spill_time,
-            )
-        )
-
-    baseline_tco = float(costs.c_hdd.sum())
-    realized_tco = float(
-        (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
+    return run_placement(
+        trace, policy, capacity, n_shards=1, rates=rates, engine=engine
     )
-    tcio_integral = tcio * np.maximum(durations, 1.0)
-    baseline_tcio = float(tcio_integral.sum())
-    realized_hdd_tcio = float(((1.0 - ssd_fraction) * tcio_integral).sum())
-
-    return SimResult(
-        policy_name=policy.name,
-        capacity=capacity,
-        n_jobs=n,
-        baseline_tco=baseline_tco,
-        realized_tco=realized_tco,
-        baseline_tcio=baseline_tcio,
-        realized_hdd_tcio=realized_hdd_tcio,
-        n_ssd_requested=n_ssd_requested,
-        n_spilled=n_spilled,
-        peak_ssd_used=peak_used,
-        ssd_fraction=ssd_fraction,
-    )
-
-
-class _ChunkedState:
-    """Mutable capacity/release bookkeeping shared by the chunk handlers.
-
-    Pending releases live in time-sorted arrays consumed by a moving
-    cursor; each chunk's freshly created releases are buffered and
-    merged back with one vectorized sort, replacing the legacy per-job
-    heap pushes.
-    """
-
-    __slots__ = (
-        "capacity", "free", "peak_used", "rel_t", "rel_a", "rel_pos",
-        "new_t", "new_a",
-    )
-
-    def __init__(self, capacity: float):
-        self.capacity = capacity
-        self.free = float(capacity)
-        self.peak_used = 0.0
-        self.rel_t = np.empty(0, dtype=float)
-        self.rel_a = np.empty(0, dtype=float)
-        self.rel_pos = 0
-        self.new_t: list[float] = []
-        self.new_a: list[float] = []
-
-    def release_until(self, t: float) -> None:
-        """Apply every pending release with time <= ``t``."""
-        j = self.rel_pos + int(
-            np.searchsorted(self.rel_t[self.rel_pos :], t, side="right")
-        )
-        if j > self.rel_pos:
-            self.free += float(self.rel_a[self.rel_pos : j].sum())
-            self.rel_pos = j
-
-    def drain_until(self, local_heap: list[tuple[float, float]], t: float) -> None:
-        """Apply pending + intra-chunk releases due at time ``t``."""
-        self.release_until(t)
-        while local_heap and local_heap[0][0] <= t:
-            self.free += heapq.heappop(local_heap)[1]
-
-    def schedule_release(
-        self,
-        local_heap: list[tuple[float, float]],
-        rel_time: float,
-        amount: float,
-        t_last: float,
-    ) -> None:
-        """Queue a new release: heap if it matures inside this chunk,
-        otherwise the merge buffer (legacy pushes only when amount > 0)."""
-        if amount <= 0.0:
-            return
-        if rel_time <= t_last:
-            heapq.heappush(local_heap, (rel_time, amount))
-        else:
-            self.new_t.append(rel_time)
-            self.new_a.append(amount)
-
-    def flush_heap(self, local_heap: list[tuple[float, float]]) -> None:
-        """Move unmatured intra-chunk releases into the merge buffer."""
-        for rel_time, amount in local_heap:
-            self.new_t.append(rel_time)
-            self.new_a.append(amount)
-
-    def admit(self, size: float) -> float:
-        """Allocate up to ``size``; returns the allocation and tracks peak."""
-        alloc = size if size <= self.free else self.free
-        self.free -= alloc
-        used = self.capacity - self.free
-        if used > self.peak_used:
-            self.peak_used = used
-        return alloc
-
-    def merge_new(self) -> None:
-        """Fold this chunk's buffered releases into the sorted arrays."""
-        if not self.new_t:
-            return
-        rem_t = self.rel_t[self.rel_pos :]
-        rem_a = self.rel_a[self.rel_pos :]
-        all_t = np.concatenate([rem_t, np.asarray(self.new_t)])
-        all_a = np.concatenate([rem_a, np.asarray(self.new_a)])
-        order = np.argsort(all_t, kind="stable")
-        self.rel_t = all_t[order]
-        self.rel_a = all_a[order]
-        self.rel_pos = 0
-        self.new_t.clear()
-        self.new_a.clear()
-
-
-def _ttl_release_fracs(
-    t: np.ndarray, dur: np.ndarray, ttl: np.ndarray | None
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized TTL semantics of the legacy loop.
-
-    Returns ``(release_time, time_fraction)`` per job: a TTL shorter
-    than the lifetime releases at ``t + max(ttl, 0)`` and charges only
-    the resident share of the duration.
-    """
-    if ttl is None:
-        return t + dur, np.ones(len(t))
-    ttl = np.asarray(ttl, dtype=float)
-    bounded = ~np.isnan(ttl) & (ttl < dur)
-    held = np.clip(ttl, 0.0, None)
-    release = np.where(bounded, t + held, t + dur)
-    safe_dur = np.where(dur > 0, dur, 1.0)
-    time_frac = np.where(bounded & (dur > 0), held / safe_dur, 1.0)
-    return release, time_frac
-
-
-def _simulate_chunked(
-    trace: Trace,
-    policy: PlacementPolicy,
-    capacity: float,
-    rates: CostRates,
-) -> SimResult:
-    """Chunked engine: one policy round-trip per decision interval.
-
-    Equivalent to :func:`_simulate_legacy` up to floating-point
-    summation order (see tests/test_chunked_simulator.py).
-    """
-    n = len(trace)
-    arrivals = trace.arrivals
-    durations = trace.durations
-    sizes = trace.sizes
-    costs = trace.costs(rates)
-    tcio = trace.tcio(rates)
-
-    policy.on_simulation_start(trace, capacity, rates)
-
-    st = _ChunkedState(capacity)
-    ssd_fraction = np.zeros(n)
-    n_ssd_requested = 0
-    n_spilled = 0
-
-    i = 0
-    while i < n:
-        t0 = float(arrivals[i])
-        st.release_until(t0)
-        ctx = PlacementContext(time=t0, free_ssd=st.free, capacity=capacity)
-        bd = policy.decide_batch(i, ctx)
-        count = max(1, min(int(bd.count), n - i))
-        stop = i + count
-        chunk_t = arrivals[i:stop]
-        t_last = float(chunk_t[-1])
-        space = np.zeros(count)
-        spill_col = np.full(count, np.nan)
-
-        if bd.fit_check:
-            requested = _run_fit_check_chunk(
-                st, i, stop, t_last, arrivals, durations, sizes,
-                bd.ssd_ttl, space, spill_col, ssd_fraction,
-            )
-            n_ssd_requested += int(requested.sum())
-            n_spilled += int(np.count_nonzero(~np.isnan(spill_col)))
-        else:
-            requested = np.asarray(bd.want_ssd, dtype=bool)[:count].copy()
-            cand = np.flatnonzero(requested)
-            if cand.size:
-                spilled = _run_mask_chunk(
-                    st, i, t_last, arrivals, durations, sizes,
-                    bd.ssd_ttl, cand, space, spill_col, ssd_fraction,
-                )
-                n_ssd_requested += cand.size
-                n_spilled += spilled
-
-        policy.observe_batch(
-            BatchOutcomes(
-                first=i,
-                times=chunk_t,
-                requested_ssd=requested,
-                ssd_space_fraction=np.where(requested, space, 0.0),
-                spill_time=spill_col,
-            )
-        )
-        st.merge_new()
-        i = stop
-
-    baseline_tco = float(costs.c_hdd.sum())
-    realized_tco = float(
-        (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
-    )
-    tcio_integral = tcio * np.maximum(durations, 1.0)
-    baseline_tcio = float(tcio_integral.sum())
-    realized_hdd_tcio = float(((1.0 - ssd_fraction) * tcio_integral).sum())
-
-    return SimResult(
-        policy_name=policy.name,
-        capacity=capacity,
-        n_jobs=n,
-        baseline_tco=baseline_tco,
-        realized_tco=realized_tco,
-        baseline_tcio=baseline_tcio,
-        realized_hdd_tcio=realized_hdd_tcio,
-        n_ssd_requested=n_ssd_requested,
-        n_spilled=n_spilled,
-        peak_ssd_used=st.peak_used,
-        ssd_fraction=ssd_fraction,
-    )
-
-
-def _run_mask_chunk(
-    st: _ChunkedState,
-    first: int,
-    t_last: float,
-    arrivals: np.ndarray,
-    durations: np.ndarray,
-    sizes: np.ndarray,
-    ttl: np.ndarray | None,
-    cand: np.ndarray,
-    space: np.ndarray,
-    spill_col: np.ndarray,
-    ssd_fraction: np.ndarray,
-) -> int:
-    """Process one mask-mode chunk; returns the number of spilled jobs.
-
-    First attempts the fully vectorized path: build the merged
-    (release, arrival) event timeline assuming every candidate fits,
-    and accept it when the capacity trajectory never goes negative —
-    exactly the condition under which the legacy loop would have
-    admitted every candidate in full.  Only chunks where capacity binds
-    fall back to a per-candidate loop (which still skips every
-    HDD-routed job).
-    """
-    idx = first + cand
-    ct = arrivals[idx]
-    cs = sizes[idx]
-    cdur = durations[idx]
-    ttl_vals = None if ttl is None else np.asarray(ttl, dtype=float)[cand]
-    release, time_frac = _ttl_release_fracs(ct, cdur, ttl_vals)
-
-    # Pending releases maturing inside this chunk.
-    j2 = st.rel_pos + int(
-        np.searchsorted(st.rel_t[st.rel_pos :], t_last, side="right")
-    )
-    old_t = st.rel_t[st.rel_pos : j2]
-    old_a = st.rel_a[st.rel_pos : j2]
-    inside = release <= t_last
-
-    # Event timeline. The secondary key replicates heap order at equal
-    # timestamps: releases from earlier chunks first (-1), then each
-    # arrival (2k) ahead of the release it creates (2k+1).
-    ev_t = np.concatenate([old_t, ct, release[inside]])
-    ev_d = np.concatenate([old_a, -cs, cs[inside]])
-    ev_k = np.concatenate(
-        [np.full(old_t.size, -1), 2 * cand, 2 * cand[inside] + 1]
-    )
-    order = np.lexsort((ev_k, ev_t))
-    traj = st.free + np.cumsum(ev_d[order])
-
-    if traj.size and float(traj.min()) >= 0.0:
-        # Capacity never binds: every candidate fits in full.
-        arr_pos = ev_k[order] >= 0
-        arr_pos &= (ev_k[order] & 1) == 0
-        low = float(traj[arr_pos].min()) if arr_pos.any() else st.free
-        st.peak_used = max(st.peak_used, st.capacity - low)
-        st.free = float(traj[-1])
-        st.rel_pos = j2
-        outside = ~inside
-        st.new_t.extend(release[outside].tolist())
-        st.new_a.extend(cs[outside].tolist())
-        space[cand] = 1.0
-        ssd_fraction[idx] = time_frac
-        return 0
-
-    # Capacity binds somewhere in this chunk: tight per-candidate loop.
-    n_spilled = 0
-    local_heap: list[tuple[float, float]] = []
-    for pos, lk in enumerate(cand):
-        gi = first + lk
-        t = float(arrivals[gi])
-        st.drain_until(local_heap, t)
-        size = float(sizes[gi])
-        alloc = st.admit(size)
-        if alloc < size:
-            n_spilled += 1
-            spill_col[lk] = t
-        st.schedule_release(local_heap, float(release[pos]), alloc, t_last)
-        sf = alloc / size if size > 0 else 1.0
-        space[lk] = sf
-        ssd_fraction[gi] = sf * float(time_frac[pos])
-    st.flush_heap(local_heap)
-    return n_spilled
-
-
-def _run_fit_check_chunk(
-    st: _ChunkedState,
-    first: int,
-    stop: int,
-    t_last: float,
-    arrivals: np.ndarray,
-    durations: np.ndarray,
-    sizes: np.ndarray,
-    ttl: np.ndarray | None,
-    space: np.ndarray,
-    spill_col: np.ndarray,
-    ssd_fraction: np.ndarray,
-) -> np.ndarray:
-    """FirstFit-style chunk: want SSD iff the full footprint fits now.
-
-    Decisions depend on evolving occupancy, so this stays a per-job
-    loop — but without per-job policy calls, decision objects, or heap
-    churn for rejected jobs.  Returns the want-SSD mask.
-    """
-    count = stop - first
-    requested = np.zeros(count, dtype=bool)
-    chunk_t = arrivals[first:stop]
-    chunk_dur = durations[first:stop]
-    ttl_vals = None if ttl is None else np.asarray(ttl, dtype=float)
-    release, time_frac = _ttl_release_fracs(chunk_t, chunk_dur, ttl_vals)
-    local_heap: list[tuple[float, float]] = []
-    for k in range(count):
-        gi = first + k
-        t = float(arrivals[gi])
-        st.drain_until(local_heap, t)
-        size = float(sizes[gi])
-        if size > st.free:
-            continue
-        requested[k] = True
-        st.admit(size)  # fits in full by construction
-        st.schedule_release(local_heap, float(release[k]), size, t_last)
-        space[k] = 1.0
-        ssd_fraction[gi] = float(time_frac[k])
-    st.flush_heap(local_heap)
-    return requested

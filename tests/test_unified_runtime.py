@@ -1,0 +1,299 @@
+"""Unified shard-aware placement runtime.
+
+Three pillars:
+
+1. ``n_shards=1`` is :func:`repro.storage.simulate` — both engines,
+   same results (the legacy lane loop is the exact per-job reference).
+2. Sharded chunked == sharded legacy for every batched policy, across
+   capacity regimes, including the policy-visible feedback (adaptive
+   trajectory and per-shard counters).
+3. The re-entrant retry: a capacity-binding chunk is no longer replayed
+   wholesale through the per-candidate loop — the clean prefix and the
+   post-binding remainder are admitted vectorized.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CategoryAdmissionPolicy,
+    FirstFitPolicy,
+    ImitationPolicy,
+    LifetimeModel,
+    LifetimePolicy,
+)
+from repro.config import AdaptiveParams
+from repro.core import AdaptiveCategoryPolicy
+from repro.cost import DEFAULT_RATES
+from repro.storage import (
+    FixedPolicy,
+    run_placement,
+    simulate,
+    simulate_sharded,
+)
+from repro.units import GIB
+from repro.workloads import Trace
+from repro.workloads.features import extract_features
+
+from helpers import make_job
+
+
+def random_trace(seed: int, n: int = 600, span: float = 100_000.0) -> Trace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, span, n))
+    jobs = [
+        make_job(
+            i,
+            arrival=float(arrivals[i]),
+            duration=float(rng.uniform(30.0, span / 8)),
+            size=float(rng.uniform(0.05, 25.0) * GIB),
+            pipeline=f"pipe{int(rng.integers(0, 10))}",
+        )
+        for i in range(n)
+    ]
+    return Trace(jobs, name=f"rand{seed}")
+
+
+def assert_same_result(a, b, capacity, label=""):
+    np.testing.assert_allclose(
+        b.ssd_fraction, a.ssd_fraction, atol=1e-9, rtol=1e-9, err_msg=label
+    )
+    assert b.n_ssd_requested == a.n_ssd_requested, label
+    assert b.n_spilled == a.n_spilled, label
+    assert b.realized_tco == pytest.approx(a.realized_tco, rel=1e-9), label
+    assert b.realized_hdd_tcio == pytest.approx(a.realized_hdd_tcio, rel=1e-9), label
+    assert abs(b.peak_ssd_used - a.peak_ssd_used) <= max(
+        1e-6, 1e-9 * max(capacity, 1.0)
+    ), label
+
+
+def make_policy_builders(trace, seed):
+    """One builder per batched policy family."""
+    rng = np.random.default_rng(seed + 100)
+    cats = rng.integers(0, 8, len(trace))
+    params = AdaptiveParams(decision_interval=700.0, lookback_window=4000.0)
+    train = random_trace(seed + 50)
+    feats = extract_features(trace, DEFAULT_RATES)
+    lt = LifetimeModel(n_rounds=3).fit(feats, trace.durations)
+    decisions = rng.random(len(trace)) < 0.5
+    return {
+        "adaptive": lambda: AdaptiveCategoryPolicy(cats, 8, params),
+        "heuristic": lambda: CategoryAdmissionPolicy(train, refresh_interval=9000.0),
+        "firstfit": FirstFitPolicy,
+        "fixed": lambda: FixedPolicy(decisions),
+        "lifetime": lambda: LifetimePolicy(lt, feats),
+    }
+
+
+class TestSingleShardIsSimulate:
+    """``n_shards=1`` must reproduce ``simulate`` on both engines."""
+
+    @pytest.mark.parametrize("engine", ("legacy", "chunked"))
+    def test_bit_equal_placements(self, engine):
+        trace = random_trace(0)
+        cats = np.random.default_rng(7).integers(0, 6, len(trace))
+        cap = 30 * GIB
+        r_sim = simulate(
+            trace, AdaptiveCategoryPolicy(cats, 6), cap, engine=engine
+        )
+        r_one = simulate_sharded(
+            trace, AdaptiveCategoryPolicy(cats, 6), cap, n_shards=1, engine=engine
+        )
+        # Same code path by construction: exact equality, not tolerance.
+        assert np.array_equal(r_one.ssd_fraction, r_sim.ssd_fraction)
+        assert r_one.realized_tco == r_sim.realized_tco
+        assert r_one.peak_ssd_used == r_sim.peak_ssd_used
+        assert r_one.n_spilled == r_sim.n_spilled
+        assert r_one.n_shards == r_sim.n_shards == 1
+
+    def test_run_placement_validates(self, small_trace):
+        policy = FirstFitPolicy()
+        with pytest.raises(ValueError):
+            run_placement(small_trace, policy, -1.0)
+        with pytest.raises(ValueError):
+            run_placement(small_trace, policy, 1 * GIB, n_shards=0)
+        with pytest.raises(ValueError):
+            run_placement(small_trace, policy, 1 * GIB, engine="warp")
+
+
+CAPACITIES = (0.0, 2 * GIB, 40 * GIB, 400 * GIB, 1e18)
+
+
+class TestShardedEngineEquivalence:
+    """Chunked sharded == legacy sharded for every batched policy."""
+
+    @pytest.mark.parametrize("n_shards", (1, 3, 8))
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_all_policies(self, n_shards, capacity):
+        trace = random_trace(1)
+        for name, build in make_policy_builders(trace, 1).items():
+            r_legacy = simulate_sharded(
+                trace, build(), capacity, n_shards, engine="legacy"
+            )
+            r_chunked = simulate_sharded(
+                trace, build(), capacity, n_shards, engine="chunked"
+            )
+            assert_same_result(
+                r_legacy, r_chunked, capacity,
+                label=f"{name} n_shards={n_shards} cap={capacity:.3g}",
+            )
+
+    def test_imitation_rides_the_fast_path(self):
+        """ImitationPolicy's decide_batch: whole-trace replay chunks."""
+        trace = random_trace(2, n=200)
+
+        class _StubModel:
+            def predict(self, feats):
+                return np.arange(len(trace)) % 3 == 0
+
+        policy = ImitationPolicy(_StubModel(), features=None)
+        calls = []
+        orig = policy.decide_batch
+        policy.decide_batch = lambda first, ctx: (
+            calls.append(first) or orig(first, ctx)
+        )
+        cap = 20 * GIB
+        r_fast = simulate(trace, policy, cap)
+        assert calls, "auto engine must use the batch protocol"
+        r_ref = simulate(
+            trace, ImitationPolicy(_StubModel(), features=None), cap, engine="legacy"
+        )
+        assert_same_result(r_ref, r_fast, cap, label="imitation")
+        # Sharded, both engines:
+        for n_shards in (2, 5):
+            a = simulate_sharded(
+                trace, ImitationPolicy(_StubModel(), None), cap, n_shards,
+                engine="legacy",
+            )
+            b = simulate_sharded(
+                trace, ImitationPolicy(_StubModel(), None), cap, n_shards,
+                engine="chunked",
+            )
+            assert_same_result(a, b, cap, label=f"imitation n_shards={n_shards}")
+
+
+class TestFeedbackPathUnified:
+    """Both engines must feed the policy identical outcomes."""
+
+    @pytest.mark.parametrize("n_shards", (1, 4))
+    def test_adaptive_trajectory_and_shard_counters(self, n_shards):
+        trace = random_trace(3)
+        cats = np.random.default_rng(3).integers(0, 8, len(trace))
+        params = AdaptiveParams(decision_interval=700.0, lookback_window=4000.0)
+        cap = 25 * GIB
+
+        p_legacy = AdaptiveCategoryPolicy(cats, 8, params)
+        simulate_sharded(trace, p_legacy, cap, n_shards, engine="legacy")
+        p_chunked = AdaptiveCategoryPolicy(cats, 8, params)
+        simulate_sharded(trace, p_chunked, cap, n_shards, engine="chunked")
+
+        assert len(p_legacy.trajectory) == len(p_chunked.trajectory)
+        for a, b in zip(p_legacy.trajectory, p_chunked.trajectory):
+            assert a.time == b.time
+            assert a.act == b.act
+            assert a.spillover == pytest.approx(b.spillover, abs=1e-12)
+
+        # The per-shard feedback (observe vs observe_batch) is identical.
+        assert np.array_equal(p_legacy.shard_spills, p_chunked.shard_spills)
+        assert np.array_equal(
+            p_legacy.shard_ssd_requested, p_chunked.shard_ssd_requested
+        )
+        assert p_legacy.shard_spills.size == n_shards
+        assert int(p_legacy.shard_ssd_requested.sum()) > 0
+
+    def test_spills_spread_across_shards(self):
+        """Under pressure, every loaded shard reports its own spills."""
+        trace = random_trace(4)
+        cats = np.full(len(trace), 5)
+        policy = AdaptiveCategoryPolicy(cats, 8)
+        res = simulate_sharded(trace, policy, 4 * GIB, n_shards=4)
+        assert res.n_spilled > 0
+        assert int(policy.shard_spills.sum()) == res.n_spilled
+        assert (policy.shard_spills > 0).sum() >= 2
+
+
+class TestReentrantRetry:
+    """Binding chunks no longer fall back wholesale to the scalar loop."""
+
+    def _binding_setting(self, n=200, monster=100):
+        # One chunk (static replay), capacity binds exactly once in the
+        # middle: short 1 GiB jobs stream through a 16 GiB pool, and
+        # job ``monster`` is an 80 GiB job that binds.  The chunk is
+        # larger than the scalar window, so the retry must accept the
+        # prefix and the post-window remainder vectorized.
+        jobs = []
+        for i in range(n):
+            size = 80 * GIB if i == monster else 1 * GIB
+            jobs.append(
+                make_job(i, arrival=10.0 * i, duration=40.0, size=size)
+            )
+        trace = Trace(jobs)
+        return trace, np.ones(len(trace), dtype=bool)
+
+    def test_binding_chunk_partial_scalar(self):
+        trace, decisions = self._binding_setting()
+        cap = 16 * GIB
+        res = simulate(trace, FixedPolicy(decisions), cap, engine="chunked")
+        ref = simulate(trace, FixedPolicy(decisions), cap, engine="legacy")
+        assert_same_result(ref, res, cap, label="binding chunk")
+        assert res.n_spilled == 1
+        # The retry replays only a window around the binding candidate;
+        # the prefix and the post-binding remainder stay vectorized.
+        assert 0 < res.scalar_fallback_jobs < res.n_ssd_requested
+
+    def test_clean_chunk_reports_zero_scalar(self):
+        trace, decisions = self._binding_setting()
+        res = simulate(trace, FixedPolicy(decisions), 1e18, engine="chunked")
+        assert res.scalar_fallback_jobs == 0
+        assert res.n_spilled == 0
+
+    def test_zero_capacity_stays_exact(self):
+        trace, decisions = self._binding_setting()
+        res = simulate(trace, FixedPolicy(decisions), 0.0, engine="chunked")
+        ref = simulate(trace, FixedPolicy(decisions), 0.0, engine="legacy")
+        assert_same_result(ref, res, 0.0, label="zero capacity")
+        assert res.n_spilled == len(trace)
+
+    @pytest.mark.parametrize("seed", (5, 6))
+    @pytest.mark.parametrize("n_shards", (1, 4))
+    def test_binding_random_traces_sharded(self, seed, n_shards):
+        """Tight capacity forces repeated retries; results stay exact."""
+        trace = random_trace(seed, n=400)
+        decisions = np.random.default_rng(seed).random(len(trace)) < 0.7
+        cap = 10 * GIB
+        a = simulate_sharded(
+            trace, FixedPolicy(decisions), cap, n_shards, engine="legacy"
+        )
+        b = simulate_sharded(
+            trace, FixedPolicy(decisions), cap, n_shards, engine="chunked"
+        )
+        assert_same_result(a, b, cap, label=f"seed={seed} n_shards={n_shards}")
+        assert b.n_spilled > 0  # capacity really binds
+
+
+class TestShardedSemantics:
+    """Runtime-level invariants of the lane accountant."""
+
+    def test_lane_capacity_context(self):
+        """Policies see the shard-local slice, not the global pool."""
+        seen = []
+
+        class Probe(FixedPolicy):
+            def decide_batch(self, first, ctx):
+                seen.append((ctx.free_ssd, ctx.capacity))
+                return super().decide_batch(first, ctx)
+
+        trace = random_trace(8, n=50)
+        simulate_sharded(
+            trace, Probe(np.ones(len(trace), dtype=bool)), 8 * GIB, n_shards=4
+        )
+        assert seen and all(c == pytest.approx(2 * GIB) for _, c in seen)
+
+    def test_fragmentation_only_loses(self):
+        trace = random_trace(9)
+        decisions = np.ones(len(trace), dtype=bool)
+        cap = 0.05 * trace.peak_ssd_usage()
+        whole = simulate_sharded(trace, FixedPolicy(decisions), cap, 1)
+        split = simulate_sharded(trace, FixedPolicy(decisions), cap, 8)
+        assert split.tcio_savings_pct <= whole.tcio_savings_pct + 1e-9
+        assert split.n_shards == 8
