@@ -7,9 +7,16 @@ same total capacity across 1/4/16 shards and compares FirstFit (which
 *reads the local free-space counter*) against Adaptive Ranking (which
 senses utilization behaviourally via spillover).
 
-Both methods run through the unified shard-aware runtime
-(``MethodSuite.run(..., n_shards=...)``), riding the chunked engine —
-the same fast path the unsharded experiments use.
+A second stage ablates **per-shard ACT** against the global threshold
+on heterogeneous capacity layouts (real fleets rarely hand every
+caching server an equal slice): the same quota is split uniformly and
+skewed 2x/1x/1x/0.5x across four servers, with Adaptive Ranking run
+once with the fleet-wide threshold and once with one threshold per
+caching server (``per_shard_act=True``, Algorithm 1 applied lane-wise).
+
+Both stages run through the unified shard-aware runtime
+(``MethodSuite.run(..., n_shards=..., shard_weights=...)``), riding the
+chunked engine — the same fast path the unsharded experiments use.
 """
 
 import pytest
@@ -20,6 +27,12 @@ from bench_utils import emit
 
 QUOTA = 0.02
 SHARDS = (1, 4, 16)
+
+#: Per-shard-ACT stage: capacity layouts over 4 caching servers.
+SKEW_LAYOUTS = (
+    ("uniform 1/1/1/1", None),
+    ("skewed 2/1/1/0.5", (2.0, 1.0, 1.0, 0.5)),
+)
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -55,3 +68,53 @@ def test_ablation_capacity_sharding(benchmark):
     # the capacity), but ours keeps a meaningful share of the unsharded
     # savings and its advantage over FirstFit at every level.
     assert results[16][0] > 0.3 * results[1][0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_per_shard_act(benchmark):
+    """Global vs per-shard ACT across capacity layouts (4 servers)."""
+
+    def run():
+        suite = standard_suite(0)
+        out = {}
+        for label, weights in SKEW_LAYOUTS:
+            kw = dict(n_shards=4, shard_weights=weights)
+            r_global = suite.run("Adaptive Ranking", QUOTA, **kw)
+            r_lane = suite.run("Adaptive Ranking", QUOTA, per_shard_act=True, **kw)
+            r_ff = suite.run("FirstFit", QUOTA, **kw)
+            out[label] = (
+                r_global.tco_savings_pct,
+                r_lane.tco_savings_pct,
+                r_ff.tco_savings_pct,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [label, glob, lane, ff, lane - glob]
+        for label, (glob, lane, ff) in results.items()
+    ]
+    emit(
+        "ablation_per_shard_act",
+        render_table(
+            [
+                "capacity layout",
+                "global ACT TCO %",
+                "per-shard ACT TCO %",
+                "FirstFit TCO %",
+                "per-shard - global",
+            ],
+            rows,
+            title=f"Ablation: per-shard ACT @ {QUOTA:.0%} total quota, 4 caching servers",
+        ),
+    )
+
+    for label, (glob, lane, ff) in results.items():
+        # Both threshold modes beat the local-counter baseline.
+        assert glob > ff, label
+        assert lane > ff, label
+        # Lane-wise adaptation stays in the same savings regime as the
+        # fleet-wide threshold on every layout (it trades a noisier
+        # per-lane signal for locality, not a collapse).
+        assert lane > 0.5 * glob, label

@@ -23,6 +23,11 @@ pytest invocation in CI uses a reduced trace via
 ``test_perf_million_trace`` additionally drives the chunked engine over
 a ~1M-job trace (``BENCH_MILLION_JOBS`` overrides the size) and reports
 throughput plus peak RSS — the memory profile of the chunked engine.
+
+``test_perf_skewed_capacity`` is the heterogeneous-capacity smoke: the
+same sharded deployment over a skewed 2x/1x/.../0.5x lane layout (with
+per-shard ACT enabled), chunked vs legacy, equivalence asserted before
+timing (``BENCH_SKEWED_JOBS`` overrides the size, as in CI).
 """
 
 from __future__ import annotations
@@ -290,6 +295,68 @@ def test_perf_million_trace():
         N_JOBS = saved
 
 
+def test_perf_skewed_capacity():
+    """Heterogeneous-lane smoke: skewed capacities through both engines.
+
+    One sharded deployment over a 2x/1x/.../0.5x capacity layout with
+    per-shard ACT enabled — the production shape where caching servers
+    own unequal slices and adapt their own thresholds.  Placements must
+    match between the chunked and legacy engines before any timing is
+    reported; the emitted table is the perf baseline for the
+    heterogeneous path.
+    """
+    global N_JOBS
+    n = int(os.environ.get("BENCH_SKEWED_JOBS", "200000"))
+    saved = N_JOBS
+    N_JOBS = n
+    try:
+        trace, X, y = build_workload(seed=2)
+        model = GBTClassifier(n_rounds=10, max_depth=6).fit(X[:N_TRAIN], y[:N_TRAIN])
+        cats = model.classes_[np.argmax(model.decision_function(X), axis=1)].astype(int)
+        peak = trace.peak_ssd_usage()
+        weights = np.array([2.0] + [1.0] * (N_SHARDS - 2) + [0.5])
+        caps = 0.05 * peak * weights / weights.sum()
+        params = AdaptiveParams()
+
+        timings = {}
+        results = {}
+        for engine in ("legacy", "chunked"):
+            policy = AdaptiveCategoryPolicy(
+                cats, N_CATEGORIES, params, per_shard_act=True
+            )
+            t0 = time.perf_counter()
+            results[engine] = simulate_sharded(
+                trace, policy, caps, N_SHARDS, engine=engine
+            )
+            timings[engine] = time.perf_counter() - t0
+        check_equivalence([results["legacy"]], [results["chunked"]])
+        assert results["chunked"].lane_capacities is not None
+        np.testing.assert_allclose(results["chunked"].lane_capacities, caps)
+
+        speedup = (
+            timings["legacy"] / timings["chunked"]
+            if timings["chunked"] > 0
+            else float("inf")
+        )
+        lines = [
+            f"Skewed-capacity smoke: {len(trace):,} jobs, {N_SHARDS} caching "
+            "servers, 2x/1x/.../0.5x layout, per-shard ACT",
+            f"{'engine':<10} {'time (s)':>10} {'jobs/s':>12}",
+        ]
+        for engine in ("legacy", "chunked"):
+            lines.append(
+                f"{engine:<10} {timings[engine]:>10.2f} "
+                f"{len(trace) / timings[engine]:>12,.0f}"
+            )
+        lines.append(f"chunked speedup: {speedup:.1f}x")
+        emit("perf_skewed_capacity", "\n".join(lines))
+        if n >= 200_000:
+            assert speedup >= 2.0
+    finally:
+        N_JOBS = saved
+
+
 if __name__ == "__main__":
     test_perf_hotpaths()
     test_perf_million_trace()
+    test_perf_skewed_capacity()

@@ -103,6 +103,8 @@ class MethodSuite:
         quota: float,
         engine: str = "auto",
         n_shards: int = 1,
+        shard_weights: tuple[float, ...] | None = None,
+        per_shard_act: bool = False,
         **kw,
     ) -> SimResult:
         """Evaluate one method at one quota on the test week.
@@ -113,20 +115,27 @@ class MethodSuite:
         per-job loop (used by equivalence tests and benchmarks).
 
         ``n_shards`` evaluates the method with the quota capacity split
-        across that many caching servers (the fragmentation ablation);
-        the clairvoyant oracles ignore it — they remain the unsharded
-        upper bound.
+        across that many caching servers (the fragmentation ablation),
+        evenly unless ``shard_weights`` gives relative per-server
+        slices (normalized to the quota capacity — a heterogeneous
+        fleet, e.g. ``(2, 1, 0.5)``); the clairvoyant oracles ignore
+        both — they remain the unsharded upper bound.  ``per_shard_act``
+        runs the adaptive methods with one admission threshold per
+        caching server instead of the global ACT.
         """
         test = self.cluster.test
         cap = self.capacity(quota)
         if method == "Adaptive Ranking":
-            policy = self.pipeline.make_policy(test, self.cluster.features_test)
+            policy = self.pipeline.make_policy(
+                test, self.cluster.features_test, per_shard_act=per_shard_act
+            )
         elif method == "Adaptive Hash":
             policy = AdaptiveCategoryPolicy(
                 hash_categories(test, self.model_params.n_categories),
                 self.model_params.n_categories,
                 self.adaptive_params,
                 name="Adaptive Hash",
+                per_shard_act=per_shard_act,
             )
         elif method == "ML Baseline":
             policy = LifetimePolicy(self.lifetime_model, self.cluster.features_test)
@@ -135,7 +144,9 @@ class MethodSuite:
         elif method == "Heuristic":
             policy = CategoryAdmissionPolicy(self.cluster.train, self.rates)
         elif method == "True category":
-            policy = self.pipeline.true_category_policy(test)
+            policy = self.pipeline.true_category_policy(
+                test, per_shard_act=per_shard_act
+            )
         elif method in ("Oracle TCO", "Oracle TCIO"):
             # LP-relaxed oracle: fractional placement matches the
             # simulator's partial-fit semantics, so this is a true upper
@@ -149,6 +160,13 @@ class MethodSuite:
             )
         else:
             raise ValueError(f"unknown method {method!r}")
+        if shard_weights is not None:
+            w = np.asarray(shard_weights, dtype=float)
+            if w.size != n_shards:
+                raise ValueError(
+                    f"shard_weights has {w.size} entries for {n_shards} shards"
+                )
+            cap = cap * w / w.sum()
         if n_shards > 1:
             return simulate_sharded(
                 test, policy, cap, n_shards, self.rates, engine=engine

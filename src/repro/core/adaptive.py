@@ -13,6 +13,16 @@ Two smoothing mechanisms limit threshold churn (Section 4.3): a
 tolerance band ``[T_l, T_u]`` inside which ACT is unchanged, and a
 minimum decision interval ``t_l`` between updates.
 
+Sharded deployments (Section 2.4's caching servers) may opt into
+**per-shard ACT** (``per_shard_act=True``): one threshold per caching
+server, each driven lane-wise by the per-shard admission/spill counters
+the policy already ingests through its feedback channel — Algorithm 1
+applied per lane, with each lane's spill *rate* over the last decision
+interval standing in for the global spillover-TCIO percentage.  Under
+heterogeneous capacity layouts this lets a starved 0.5x server raise
+its threshold while an oversized 2x server keeps admitting broadly,
+where a single global threshold must average the two regimes.
+
 Note on the paper's pseudocode: Algorithm 1 prints the clamp directions
 swapped (``ACT = max(N-1, ACT+1)`` on *low* spillover).  The prose is
 unambiguous — "if P falls below the range lower bound, we decrease the
@@ -45,11 +55,16 @@ __all__ = ["ThresholdEvent", "AdaptiveCategoryPolicy"]
 
 @dataclass(frozen=True)
 class ThresholdEvent:
-    """One ACT update, recorded for the Figure-16 dynamics plots."""
+    """One ACT update, recorded for the Figure-16 dynamics plots.
+
+    ``shard`` identifies the caching server whose lane threshold moved
+    in per-shard-ACT runs; -1 marks a global-threshold update.
+    """
 
     time: float
     act: int
     spillover: float
+    shard: int = -1
 
 
 class AdaptiveCategoryPolicy(PlacementPolicy):
@@ -66,6 +81,15 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         Tolerance band, look-back window and decision interval.
     name:
         Report label ("Adaptive Ranking" / "Adaptive Hash" / ...).
+    per_shard_act:
+        Maintain one threshold per caching server instead of one global
+        ACT.  Lane thresholds live in :attr:`act_lanes` (sized from the
+        runtime's shard topology) and move lane-wise on each decision
+        interval, driven by the per-shard counter deltas; the global
+        spillover window is still maintained for diagnostics.  In an
+        unsharded run (one lane, or before the topology is known) the
+        flag is inert and the policy runs the paper's global
+        spillover-TCIO algorithm unchanged.
     """
 
     def __init__(
@@ -74,6 +98,7 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         n_categories: int,
         params: AdaptiveParams | None = None,
         name: str = "Adaptive Ranking",
+        per_shard_act: bool = False,
     ):
         self.categories = np.asarray(categories, dtype=int)
         if self.categories.min(initial=0) < 0 or self.categories.max(initial=0) >= n_categories:
@@ -81,6 +106,7 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self.n_categories = n_categories
         self.params = params or AdaptiveParams()
         self.name = name
+        self.per_shard_act = per_shard_act
         self._trace: Trace | None = None
         self._tcio: np.ndarray | None = None
         self.act = min(max(self.params.initial_act, 1), n_categories - 1)
@@ -89,6 +115,10 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self.trajectory: list[ThresholdEvent] = []
         self.shard_ssd_requested = np.zeros(1, dtype=np.int64)
         self.shard_spills = np.zeros(1, dtype=np.int64)
+        self._shards: np.ndarray | None = None
+        self.act_lanes: np.ndarray | None = None
+        self._req_mark: np.ndarray | None = None
+        self._spill_mark: np.ndarray | None = None
 
     def on_simulation_start(self, trace: Trace, capacity: float, rates: CostRates) -> None:
         if len(trace) != len(self.categories):
@@ -103,6 +133,30 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self.trajectory = []
         self.shard_ssd_requested = np.zeros(1, dtype=np.int64)
         self.shard_spills = np.zeros(1, dtype=np.int64)
+        self._shards = None
+        self.act_lanes = None
+        self._req_mark = None
+        self._spill_mark = None
+
+    def on_shard_topology(
+        self, shards: np.ndarray | None, lane_capacities: np.ndarray
+    ) -> None:
+        """Receive the run's lane layout from the placement runtime.
+
+        Counters are pre-sized to the lane count so scalar and batch
+        feedback can never disagree on their shape; per-shard-ACT runs
+        additionally seed one threshold per lane at the initial ACT.
+        """
+        n_lanes = len(lane_capacities)
+        self._grow_shard_counters(n_lanes)
+        self._shards = shards
+        # With one lane there is nothing per-shard about the threshold:
+        # keep the paper's global spillover-TCIO algorithm rather than
+        # silently switching an unsharded run to the counter-rate rule.
+        if self.per_shard_act and n_lanes > 1:
+            self.act_lanes = np.full(n_lanes, self.act, dtype=int)
+            self._req_mark = np.zeros(n_lanes, dtype=np.int64)
+            self._spill_mark = np.zeros(n_lanes, dtype=np.int64)
 
     @property
     def history(self):
@@ -115,6 +169,10 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         # jobs overlapping the window lets long-lived jobs dominate the
         # estimate (Section 4.3's design note).
         self._window.evict_older(t - p.lookback_window)
+        if self.act_lanes is not None:
+            self._update_lane_thresholds(t)
+            self._td = t
+            return
         h = self._window.percentage(t)
         if h < p.spillover_low:
             self.act = max(1, self.act - 1)
@@ -123,11 +181,50 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self._td = t
         self.trajectory.append(ThresholdEvent(time=t, act=self.act, spillover=h))
 
+    def _update_lane_thresholds(self, t: float) -> None:
+        """Algorithm 1 applied lane-wise from the per-shard counters.
+
+        Each lane's spill rate since the previous update — spills over
+        admissions, both already maintained per caching server by the
+        feedback path — plays the role of the spillover percentage: a
+        lane above the tolerance band raises its own ACT, a lane below
+        it (including an idle lane) lowers it.  Counter deltas make the
+        two engines exactly equivalent: at update time both have folded
+        in precisely the outcomes of all earlier jobs.
+        """
+        p = self.params
+        n = self.act_lanes.size
+        req_d = self.shard_ssd_requested[:n] - self._req_mark
+        spill_d = self.shard_spills[:n] - self._spill_mark
+        rate = np.divide(
+            spill_d.astype(float), req_d, out=np.zeros(n), where=req_d > 0
+        )
+        step = (rate > p.spillover_high).astype(int) - (rate < p.spillover_low).astype(int)
+        self.act_lanes = np.clip(self.act_lanes + step, 1, self.n_categories - 1)
+        self._req_mark = self.shard_ssd_requested[:n].copy()
+        self._spill_mark = self.shard_spills[:n].copy()
+        for lane in range(n):
+            self.trajectory.append(
+                ThresholdEvent(
+                    time=t,
+                    act=int(self.act_lanes[lane]),
+                    spillover=float(rate[lane]),
+                    shard=lane,
+                )
+            )
+
+    def _lane_of(self, job_index: int) -> int:
+        return int(self._shards[job_index]) if self._shards is not None else 0
+
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
         t = ctx.time
         if t >= self._td + self.params.decision_interval:
             self._update_threshold(t)
-        return Decision(want_ssd=bool(self.categories[job_index] >= self.act))
+        if self.act_lanes is not None:
+            threshold = int(self.act_lanes[self._lane_of(job_index)])
+        else:
+            threshold = self.act
+        return Decision(want_ssd=bool(self.categories[job_index] >= threshold))
 
     def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
         """Admission mask for every job up to the next ACT update.
@@ -144,9 +241,15 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         deadline = self._td + self.params.decision_interval
         stop = int(np.searchsorted(arrivals, deadline, side="left"))
         stop = min(max(stop, first + 1), len(arrivals))
-        return BatchDecision(
-            count=stop - first, want_ssd=self.categories[first:stop] >= self.act
-        )
+        cats = self.categories[first:stop]
+        if self.act_lanes is not None:
+            if self._shards is None:
+                mask = cats >= int(self.act_lanes[0])
+            else:
+                mask = cats >= self.act_lanes[self._shards[first:stop]]
+        else:
+            mask = cats >= self.act
+        return BatchDecision(count=stop - first, want_ssd=mask)
 
     def _grow_shard_counters(self, n_shards: int) -> None:
         if n_shards > self.shard_spills.size:
@@ -177,9 +280,11 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
 
         Sharded runs additionally maintain per-caching-server admission
         and spill counters (``shard_ssd_requested`` / ``shard_spills``)
-        — the diagnostic surface for the fragmentation ablation.  The
-        adaptive signal itself stays global: the paper's spillover-TCIO
-        percentage aggregates behaviour across the whole fleet.
+        — the diagnostic surface for the fragmentation ablation and, in
+        per-shard-ACT mode, the lane-wise adaptive signal.  With the
+        default global threshold the adaptive signal stays fleet-wide:
+        the paper's spillover-TCIO percentage aggregates behaviour
+        across the whole fleet.
         """
         first = outcomes.first
         k = len(outcomes)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import AdaptiveParams, ModelParams, SimConfig
 from ..cost import CostRates, DEFAULT_RATES
 from ..storage.sharded import simulate_sharded
@@ -73,7 +75,11 @@ class ByomPipeline:
         return self
 
     def make_policy(
-        self, test_trace: Trace, features_test: FeatureMatrix, name: str = "Adaptive Ranking"
+        self,
+        test_trace: Trace,
+        features_test: FeatureMatrix,
+        name: str = "Adaptive Ranking",
+        per_shard_act: bool = False,
     ) -> AdaptiveCategoryPolicy:
         """Build the online policy from model predictions for a trace."""
         categories = self.model.predict(features_test)
@@ -82,6 +88,7 @@ class ByomPipeline:
             n_categories=self.model_params.n_categories,
             params=self.adaptive_params,
             name=name,
+            per_shard_act=per_shard_act,
         )
 
     def deploy(
@@ -92,6 +99,8 @@ class ByomPipeline:
         peak_usage: float | None = None,
         engine: str = "auto",
         n_shards: int = 1,
+        shard_weights: "np.ndarray | None" = None,
+        per_shard_act: bool = False,
     ) -> SimResult:
         """Online phase: simulate placement at an SSD quota fraction.
 
@@ -99,12 +108,24 @@ class ByomPipeline:
         the chunked fast path; see :func:`repro.storage.simulate`).
         ``n_shards`` deploys across that many caching servers (the
         production fragmentation regime of Section 2.4), splitting the
-        quota capacity evenly; 1 keeps the single global SSD pool.
+        quota capacity evenly unless ``shard_weights`` gives relative
+        per-server slices (normalized to the quota capacity — e.g.
+        ``(2, 1, 0.5)`` for a skewed fleet); 1 keeps the single global
+        SSD pool.  ``per_shard_act`` switches the adaptive policy to
+        one admission threshold per caching server (Algorithm 1 applied
+        lane-wise).
         """
         cfg = SimConfig(ssd_quota_fraction=quota_fraction, adaptive=self.adaptive_params)
         peak = peak_usage if peak_usage is not None else test_trace.peak_ssd_usage()
         capacity = cfg.ssd_quota_fraction * peak
-        policy = self.make_policy(test_trace, features_test)
+        policy = self.make_policy(test_trace, features_test, per_shard_act=per_shard_act)
+        if shard_weights is not None:
+            w = np.asarray(shard_weights, dtype=float)
+            if w.size != n_shards:
+                raise ValueError(
+                    f"shard_weights has {w.size} entries for {n_shards} shards"
+                )
+            capacity = capacity * w / w.sum()
         if n_shards > 1:
             return simulate_sharded(
                 test_trace, policy, capacity, n_shards, self.rates, engine=engine
@@ -112,7 +133,7 @@ class ByomPipeline:
         return simulate(test_trace, policy, capacity, self.rates, engine=engine)
 
     def true_category_policy(
-        self, test_trace: Trace, name: str = "True category"
+        self, test_trace: Trace, name: str = "True category", per_shard_act: bool = False
     ) -> AdaptiveCategoryPolicy:
         """Policy fed ground-truth categories (Figure 11's upper bound)."""
         categories = self.model.labels_for(test_trace)
@@ -121,4 +142,5 @@ class ByomPipeline:
             n_categories=self.model_params.n_categories,
             params=self.adaptive_params,
             name=name,
+            per_shard_act=per_shard_act,
         )

@@ -137,6 +137,9 @@ class RetrainingPolicy(PlacementPolicy):
         )
         self._inner.on_simulation_start(trace, capacity, rates)
 
+    def on_shard_topology(self, shards, lane_capacities) -> None:
+        self._inner.on_shard_topology(shards, lane_capacities)
+
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:
         refit = self.trainer.maybe_refit(ctx.time, self._trace, self.features)
         if refit:

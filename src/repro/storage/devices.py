@@ -96,10 +96,32 @@ class SsdFleet:
         return wearout_rate_from_spec(self.spec) * self.bytes_written
 
     def drive_replacements_over(self, horizon_writes: float) -> float:
-        """Expected drive replacements if ``horizon_writes`` more bytes land."""
+        """Replacement budget (drive-lifetimes) to sustain ``horizon_writes``.
+
+        Counts the drive-lifetimes consumed by the end of the horizon,
+        including the endurance the currently installed drives have
+        *already* burned: the writes recorded so far have worn each
+        (wear-leveled) drive by ``bytes_written / n_drives``, so the
+        in-service drives fail after only their remaining endurance — a
+        mid-life fleet budgets more replacements over the same horizon
+        than a fresh one (the previous implementation ignored wear
+        entirely).  Wear already past a full TBW belongs to drives
+        replaced before the horizon and is not re-counted.  A fresh
+        fleet reduces to ``horizon_writes / tbw``.
+
+        Because the current drives' sunk wear is billed to the horizon
+        (a zero-byte horizon reports exactly that worn fraction), the
+        projection is a *provisioning* number: query one horizon at a
+        time rather than summing consecutive calls, which would bill
+        the worn fraction repeatedly.
+        """
+        if horizon_writes < 0:
+            raise ValueError("horizon_writes must be >= 0")
         if self.spec.tbw <= 0:
             return 0.0
-        return horizon_writes / self.spec.tbw
+        drives = max(self.n_drives, 1)
+        worn = (self.bytes_written / drives) % self.spec.tbw
+        return (drives * worn + horizon_writes) / self.spec.tbw
 
 
 @dataclass(frozen=True)

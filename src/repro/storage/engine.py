@@ -5,8 +5,22 @@ Placement over one global SSD pool (:func:`repro.storage.simulate`) and
 placement over ``n_shards`` caching servers
 (:func:`repro.storage.simulate_sharded`) are the same computation:
 shards are a routing vector over a **multi-lane capacity accountant**,
-and the global pool is simply the ``n_shards=1`` special case.  Both
-run through the same two engines:
+and the global pool is simply the ``n_shards=1`` special case.
+
+Lane capacities are **heterogeneous**: ``capacity`` may be a scalar
+(split evenly, the historical behaviour — bit-identical to the
+pre-vector engine) or a length-``n_shards`` vector giving each caching
+server its own slice, since real fleets rarely hand every server an
+equal one.  Per-job ``decide`` calls observe the job's *own lane's*
+capacity and free space in
+:class:`~repro.storage.policy.PlacementContext`; ``decide_batch``
+receives the chunk's *opening* context (the first job's lane — a chunk
+spans many lanes), so shard-aware batch policies take the full per-job
+routing and layout from
+:meth:`~repro.storage.policy.PlacementPolicy.on_shard_topology`
+instead.  The realized layout is recorded on
+:attr:`SimResult.lane_capacities`.  Both configurations run through
+the same two engines:
 
 - ``legacy``: the reference per-job event loop (one ``decide`` /
   ``observe`` round-trip and heap push per job), now with a lane column
@@ -63,10 +77,12 @@ class SimResult:
 
     Savings percentages are relative to the all-HDD baseline, exactly as
     the paper reports them.  ``n_shards`` records the lane count of the
-    run (1 = one global SSD pool); ``scalar_fallback_jobs`` counts the
-    candidates the chunked engine had to replay through the exact scalar
-    loop inside capacity-binding chunks (0 when fully vectorized, and
-    always 0 for the legacy engine, which has no vectorized path).
+    run (1 = one global SSD pool) and ``lane_capacities`` the realized
+    per-lane capacity layout (uniform when ``capacity`` was a scalar);
+    ``scalar_fallback_jobs`` counts the candidates the chunked engine
+    had to replay through the exact scalar loop inside capacity-binding
+    chunks (0 when fully vectorized, and always 0 for the legacy
+    engine, which has no vectorized path).
     """
 
     policy_name: str
@@ -82,6 +98,7 @@ class SimResult:
     ssd_fraction: np.ndarray = field(repr=False)
     n_shards: int = 1
     scalar_fallback_jobs: int = 0
+    lane_capacities: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def tco_savings_pct(self) -> float:
@@ -115,17 +132,45 @@ def assign_shards(trace: Trace, n_shards: int, seed: int = 0) -> np.ndarray:
     return lanes[inverse]
 
 
+def _normalize_capacity(
+    capacity: float | np.ndarray, n_shards: int
+) -> tuple[np.ndarray, float]:
+    """Resolve the capacity layout to ``(lane_capacities, total)``.
+
+    A scalar splits evenly (``total`` keeps the caller's exact float so
+    the uniform path stays bit-identical to the pre-vector engine); a
+    length-``n_shards`` vector gives each lane its own slice.
+    """
+    arr = np.asarray(capacity, dtype=float)
+    if arr.ndim == 0:
+        total = float(arr)
+        if total < 0:
+            raise ValueError("capacity must be >= 0")
+        return np.full(n_shards, total / n_shards), total
+    if arr.shape != (n_shards,):
+        raise ValueError(
+            f"capacity vector has {arr.size} entries for {n_shards} shards"
+        )
+    if (arr < 0).any():
+        raise ValueError("capacity must be >= 0")
+    return arr.astype(float), float(arr.sum())
+
+
 def run_placement(
     trace: Trace,
     policy: PlacementPolicy,
-    capacity: float,
+    capacity: float | np.ndarray,
     n_shards: int = 1,
     rates: CostRates = DEFAULT_RATES,
     engine: str = "auto",
     shard_seed: int = 0,
 ) -> SimResult:
     """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD
-    split evenly across ``n_shards`` lanes.
+    across ``n_shards`` lanes.
+
+    ``capacity`` is either a scalar — split evenly across lanes, the
+    historical behaviour — or a length-``n_shards`` vector handing each
+    caching server its own (possibly zero) slice.
 
     The single entry point behind :func:`repro.storage.simulate`
     (``n_shards=1``) and :func:`repro.storage.simulate_sharded`.
@@ -133,8 +178,6 @@ def run_placement(
     (chunked fast path when the policy implements ``decide_batch``,
     legacy otherwise), ``"chunked"``, or ``"legacy"``.
     """
-    if capacity < 0:
-        raise ValueError("capacity must be >= 0")
     if n_shards < 1:
         raise ValueError("need at least one shard")
     if engine not in ("auto", "chunked", "legacy"):
@@ -142,16 +185,20 @@ def run_placement(
     batched = callable(getattr(policy, "decide_batch", None))
     if engine == "chunked" and not batched:
         raise ValueError(f"policy {policy.name!r} does not implement decide_batch")
+    lane_caps, total = _normalize_capacity(capacity, n_shards)
     shards = assign_shards(trace, n_shards, seed=shard_seed) if n_shards > 1 else None
+    policy.on_simulation_start(trace, total, rates)
+    policy.on_shard_topology(shards, lane_caps.copy())
     if batched and engine != "legacy":
-        return _run_chunked(trace, policy, capacity, rates, shards, n_shards)
-    return _run_legacy(trace, policy, capacity, rates, shards, n_shards)
+        return _run_chunked(trace, policy, lane_caps, total, rates, shards, n_shards)
+    return _run_legacy(trace, policy, lane_caps, total, rates, shards, n_shards)
 
 
 def _finalize(
     trace: Trace,
     policy: PlacementPolicy,
     capacity: float,
+    lane_caps: np.ndarray,
     n_shards: int,
     rates: CostRates,
     ssd_fraction: np.ndarray,
@@ -179,12 +226,14 @@ def _finalize(
         ssd_fraction=ssd_fraction,
         n_shards=n_shards,
         scalar_fallback_jobs=scalar_fallback_jobs,
+        lane_capacities=lane_caps,
     )
 
 
 def _run_legacy(
     trace: Trace,
     policy: PlacementPolicy,
+    lane_caps: np.ndarray,
     capacity: float,
     rates: CostRates,
     shards: np.ndarray | None,
@@ -193,18 +242,16 @@ def _run_legacy(
     """Reference per-job event loop (one policy round-trip per job).
 
     The policy's :class:`PlacementContext` reports the job's lane-local
-    free space and lane capacity — what a caching server actually knows
-    at admission time.  With ``n_shards=1`` this is the global counter.
+    free space and its *own lane's* capacity (lanes may be unequal) —
+    what a caching server actually knows at admission time.  With
+    ``n_shards=1`` this is the global counter.
     """
     n = len(trace)
     arrivals = trace.arrivals
     durations = trace.durations
     sizes = trace.sizes
 
-    policy.on_simulation_start(trace, capacity, rates)
-
-    lane_capacity = capacity / n_shards
-    free = np.full(n_shards, lane_capacity)
+    free = lane_caps.copy()
     peak_used = 0.0
     ssd_fraction = np.zeros(n)
     n_ssd_requested = 0
@@ -218,7 +265,9 @@ def _run_legacy(
             free[lane] += freed
 
         s = int(shards[i]) if shards is not None else 0
-        ctx = PlacementContext(time=t, free_ssd=float(free[s]), capacity=lane_capacity)
+        ctx = PlacementContext(
+            time=t, free_ssd=float(free[s]), capacity=float(lane_caps[s])
+        )
         decision = policy.decide(i, ctx)
 
         spill_time: float | None = None
@@ -257,7 +306,7 @@ def _run_legacy(
         )
 
     return _finalize(
-        trace, policy, capacity, n_shards, rates,
+        trace, policy, capacity, lane_caps, n_shards, rates,
         ssd_fraction, n_ssd_requested, n_spilled, peak_used,
     )
 
@@ -266,10 +315,11 @@ class _LaneState:
     """Multi-lane capacity/release bookkeeping shared by chunk handlers.
 
     One lane per caching server; ``free`` is the per-lane free-space
-    vector.  Pending releases live in time-sorted arrays with a lane
-    column, consumed by a moving cursor; each chunk's freshly created
-    releases are buffered and merged back with one vectorized stable
-    sort, replacing the legacy per-job heap pushes.
+    vector and ``lane_capacity`` the per-lane capacity vector (lanes
+    may be unequal).  Pending releases live in time-sorted arrays with
+    a lane column, consumed by a moving cursor; each chunk's freshly
+    created releases are buffered and merged back with one vectorized
+    stable sort, replacing the legacy per-job heap pushes.
     """
 
     __slots__ = (
@@ -278,11 +328,11 @@ class _LaneState:
         "n_scalar",
     )
 
-    def __init__(self, capacity: float, n_lanes: int):
-        self.capacity = capacity
-        self.n_lanes = n_lanes
-        self.lane_capacity = capacity / n_lanes
-        self.free = np.full(n_lanes, self.lane_capacity)
+    def __init__(self, lane_caps: np.ndarray, total: float):
+        self.capacity = total
+        self.n_lanes = len(lane_caps)
+        self.lane_capacity = lane_caps
+        self.free = lane_caps.copy()
         self.peak_used = 0.0
         self.rel_t = np.empty(0, dtype=float)
         self.rel_a = np.empty(0, dtype=float)
@@ -358,6 +408,7 @@ def _ttl_release_fracs(
 def _run_chunked(
     trace: Trace,
     policy: PlacementPolicy,
+    lane_caps: np.ndarray,
     capacity: float,
     rates: CostRates,
     shards: np.ndarray | None,
@@ -366,16 +417,14 @@ def _run_chunked(
     """Chunked engine: one policy round-trip per decision interval.
 
     Equivalent to :func:`_run_legacy` up to floating-point summation
-    order, for any lane count.
+    order, for any lane count and capacity layout.
     """
     n = len(trace)
     arrivals = trace.arrivals
     durations = trace.durations
     sizes = trace.sizes
 
-    policy.on_simulation_start(trace, capacity, rates)
-
-    st = _LaneState(capacity, n_shards)
+    st = _LaneState(lane_caps, capacity)
     ssd_fraction = np.zeros(n)
     n_ssd_requested = 0
     n_spilled = 0
@@ -386,7 +435,7 @@ def _run_chunked(
         st.release_until(t0)
         s0 = int(shards[i]) if shards is not None else 0
         ctx = PlacementContext(
-            time=t0, free_ssd=float(st.free[s0]), capacity=st.lane_capacity
+            time=t0, free_ssd=float(st.free[s0]), capacity=float(st.lane_capacity[s0])
         )
         bd = policy.decide_batch(i, ctx)
         count = max(1, min(int(bd.count), n - i))
@@ -429,7 +478,7 @@ def _run_chunked(
         i = stop
 
     return _finalize(
-        trace, policy, capacity, n_shards, rates,
+        trace, policy, capacity, lane_caps, n_shards, rates,
         ssd_fraction, n_ssd_requested, n_spilled, st.peak_used,
         scalar_fallback_jobs=st.n_scalar,
     )

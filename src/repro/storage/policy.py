@@ -46,7 +46,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PlacementContext:
-    """What a policy may observe at decision time."""
+    """What a policy may observe at decision time.
+
+    ``free_ssd`` and ``capacity`` are *lane-local*: in sharded runs they
+    describe the job's own caching server (whose slice may differ from
+    its peers' under a heterogeneous capacity layout), and with one
+    global pool they are the global counters.  A ``decide_batch``
+    context is the chunk's opening snapshot — the *first* job's lane —
+    since one chunk spans many lanes; batch policies needing per-job
+    lane data use the routing vector from
+    :meth:`PlacementPolicy.on_shard_topology`.
+    """
 
     time: float
     free_ssd: float
@@ -168,7 +178,23 @@ class PlacementPolicy(ABC):
     def on_simulation_start(
         self, trace: Trace, capacity: float, rates: CostRates
     ) -> None:
-        """Called once before the event loop; default is stateless."""
+        """Called once before the event loop; default is stateless.
+
+        ``capacity`` is the run's *total* SSD capacity across all lanes;
+        the per-lane layout follows in :meth:`on_shard_topology`.
+        """
+
+    def on_shard_topology(
+        self, shards: np.ndarray | None, lane_capacities: np.ndarray
+    ) -> None:
+        """Called once per run, after :meth:`on_simulation_start`.
+
+        ``shards`` is the per-job caching-server routing vector of the
+        trace (``None`` with one global pool) and ``lane_capacities``
+        the per-lane capacity layout — unequal under a heterogeneous
+        split.  Shard-aware policies (e.g. per-shard adaptive
+        thresholds) hook in here; the default ignores the topology.
+        """
 
     @abstractmethod
     def decide(self, job_index: int, ctx: PlacementContext) -> Decision:

@@ -19,12 +19,21 @@ engines apply: the ``legacy`` per-job loop and the ``chunked``
 batch-protocol fast path, selected by ``engine=`` exactly as in
 :func:`repro.storage.simulate`.
 
+Capacity layouts are heterogeneous: ``capacity`` may be a scalar
+(split evenly across the caching servers, the historical behaviour) or
+a length-``n_shards`` vector handing each server its own slice — real
+fleets rarely provision equal ones.  Policies observe their job's own
+lane's capacity in the placement context, and the runtime reports the
+layout on ``SimResult.lane_capacities``.
+
 Policies see the *shard-local* context, so global-counter policies
 degrade while behaviour-feedback policies (Adaptive Ranking) keep
 working — quantified by ``benchmarks/bench_ablation_sharding.py``.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
 from ..workloads.job import Trace
@@ -37,7 +46,7 @@ __all__ = ["assign_shards", "simulate_sharded"]
 def simulate_sharded(
     trace: Trace,
     policy: PlacementPolicy,
-    capacity: float,
+    capacity: float | np.ndarray,
     n_shards: int,
     rates: CostRates = DEFAULT_RATES,
     shard_seed: int = 0,
@@ -45,14 +54,17 @@ def simulate_sharded(
 ) -> SimResult:
     """Run ``policy`` over a trace with capacity split across shards.
 
-    Total SSD capacity is divided evenly among ``n_shards`` caching
-    servers; each job can only use its own shard's slice.  With
-    ``n_shards=1`` this reduces exactly to :func:`repro.storage.simulate`.
+    A scalar ``capacity`` is divided evenly among ``n_shards`` caching
+    servers; a length-``n_shards`` vector gives each server its own
+    slice (heterogeneous fleets).  Each job can only use its own
+    shard's slice.  With ``n_shards=1`` this reduces exactly to
+    :func:`repro.storage.simulate`.
 
     The policy's :class:`~repro.storage.policy.PlacementContext` reports
-    the job's shard-local free space (what a caching server actually
-    knows at admission time), and batch feedback carries the chunk's
-    shard routing (:attr:`~repro.storage.policy.BatchOutcomes.shards`).
+    the job's shard-local free space and its own lane's capacity (what
+    a caching server actually knows at admission time), and batch
+    feedback carries the chunk's shard routing
+    (:attr:`~repro.storage.policy.BatchOutcomes.shards`).
 
     ``engine`` selects the event loop exactly as in
     :func:`repro.storage.simulate`: ``"auto"`` runs the chunked fast

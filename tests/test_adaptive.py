@@ -5,7 +5,8 @@ import pytest
 
 from repro.config import AdaptiveParams
 from repro.core import AdaptiveCategoryPolicy, hash_categories
-from repro.storage import simulate
+from repro.cost import DEFAULT_RATES
+from repro.storage import BatchOutcomes, PlacementOutcome, simulate
 from repro.units import GIB
 from repro.workloads import Trace
 
@@ -113,6 +114,101 @@ class TestToleranceBand:
         )
         simulate(trace, policy, capacity=1e18)
         assert policy.act == 4
+
+
+class TestShardCounterConsistency:
+    """Scalar ``observe`` and ``observe_batch`` must accumulate the same
+    per-shard admission/spill counters, in any interleaving (the scalar
+    path grows them via ``outcome.shard + 1``, the batch path via the
+    chunk maximum with a bincount ``minlength``)."""
+
+    def _stream(self, n=120, seed=3):
+        trace = uniform_jobs(n)
+        rng = np.random.default_rng(seed)
+        shards = rng.integers(0, 4, n)
+        requested = rng.random(n) < 0.7
+        spilled = requested & (rng.random(n) < 0.3)
+        return trace, shards, requested, spilled
+
+    def _fresh(self, trace):
+        policy = AdaptiveCategoryPolicy(np.full(len(trace), 3), 5)
+        policy.on_simulation_start(trace, 1 * GIB, DEFAULT_RATES)
+        return policy
+
+    def _feed_scalar(self, policy, trace, shards, requested, spilled, idx):
+        for i in idx:
+            t = float(trace.arrivals[i])
+            policy.observe(
+                PlacementOutcome(
+                    job_index=int(i),
+                    time=t,
+                    requested_ssd=bool(requested[i]),
+                    ssd_space_fraction=0.5 if spilled[i] else float(requested[i]),
+                    spill_time=t if spilled[i] else None,
+                    shard=int(shards[i]),
+                )
+            )
+
+    def _feed_batch(self, policy, trace, shards, requested, spilled, first, stop):
+        times = trace.arrivals[first:stop]
+        sp = spilled[first:stop]
+        policy.observe_batch(
+            BatchOutcomes(
+                first=int(first),
+                times=times,
+                requested_ssd=requested[first:stop],
+                ssd_space_fraction=np.where(
+                    sp, 0.5, requested[first:stop].astype(float)
+                ),
+                spill_time=np.where(sp, times, np.nan),
+                shards=shards[first:stop].astype(np.intp),
+            )
+        )
+
+    def test_scalar_batch_and_interleaved_agree(self):
+        trace, shards, requested, spilled = self._stream()
+        n = len(trace)
+
+        p_scalar = self._fresh(trace)
+        self._feed_scalar(p_scalar, trace, shards, requested, spilled, range(n))
+
+        p_batch = self._fresh(trace)
+        for first in range(0, n, 7):
+            self._feed_batch(
+                p_batch, trace, shards, requested, spilled, first, min(first + 7, n)
+            )
+
+        p_mixed = self._fresh(trace)
+        for k, first in enumerate(range(0, n, 7)):
+            stop = min(first + 7, n)
+            if k % 2 == 0:
+                self._feed_batch(
+                    p_mixed, trace, shards, requested, spilled, first, stop
+                )
+            else:
+                self._feed_scalar(
+                    p_mixed, trace, shards, requested, spilled, range(first, stop)
+                )
+
+        for other in (p_batch, p_mixed):
+            assert np.array_equal(
+                p_scalar.shard_ssd_requested, other.shard_ssd_requested
+            )
+            assert np.array_equal(p_scalar.shard_spills, other.shard_spills)
+        assert int(p_scalar.shard_ssd_requested.sum()) == int(requested.sum())
+        assert int(p_scalar.shard_spills.sum()) == int(spilled.sum())
+
+    def test_topology_presizing_keeps_shapes_stable(self):
+        """After on_shard_topology the counter shape never changes, even
+        when later chunks only touch low shards."""
+        trace, shards, requested, spilled = self._stream()
+        policy = self._fresh(trace)
+        policy.on_shard_topology(shards.astype(np.intp), np.full(6, GIB / 6))
+        assert policy.shard_ssd_requested.size == 6
+        self._feed_batch(policy, trace, shards, requested, spilled, 0, 40)
+        self._feed_scalar(policy, trace, shards, requested, spilled, range(40, 80))
+        assert policy.shard_ssd_requested.size == 6
+        assert policy.shard_spills.size == 6
 
 
 class TestHashCategories:

@@ -53,6 +53,48 @@ class TestSsdFleet:
         fleet = SsdFleet(spec=spec)
         assert fleet.drive_replacements_over(250 * TIB) == pytest.approx(2.5)
 
+    def test_replacement_projection_accounts_for_consumed_endurance(self):
+        """A mid-life fleet must report more replacements than a fresh one
+        over the same horizon: its drives fail after only the remaining
+        endurance (regression: wear was previously ignored entirely)."""
+        spec = SsdSpec(capacity=2 * TIB, tbw=100 * TIB)
+        fresh = SsdFleet(spec=spec, provisioned_bytes=2 * TIB)
+        mid = SsdFleet(spec=spec, provisioned_bytes=2 * TIB, bytes_written=50 * TIB)
+        assert fresh.drive_replacements_over(250 * TIB) == pytest.approx(2.5)
+        assert mid.drive_replacements_over(250 * TIB) == pytest.approx(3.0)
+        assert mid.drive_replacements_over(250 * TIB) > fresh.drive_replacements_over(
+            250 * TIB
+        )
+
+    def test_replacement_projection_wear_levels_across_drives(self):
+        # 2 drives, 100 TiB written -> 50 TiB wear each: the horizon
+        # starts one half-lifetime in on both lineages.
+        spec = SsdSpec(capacity=2 * TIB, tbw=100 * TIB)
+        fleet = SsdFleet(spec=spec, provisioned_bytes=4 * TIB, bytes_written=100 * TIB)
+        assert fleet.drive_replacements_over(250 * TIB) == pytest.approx(3.5)
+
+    def test_replacement_projection_skips_already_replaced_wear(self):
+        # 150 TiB on a 100-TiB-TBW drive: one replacement already
+        # happened before the horizon; only the 50 TiB on the current
+        # drive counts against it.
+        spec = SsdSpec(capacity=2 * TIB, tbw=100 * TIB)
+        fleet = SsdFleet(spec=spec, provisioned_bytes=2 * TIB, bytes_written=150 * TIB)
+        assert fleet.drive_replacements_over(250 * TIB) == pytest.approx(3.0)
+
+    def test_replacement_projection_zero_horizon_reports_sunk_wear(self):
+        # The budget framing: with no further writes, the projection is
+        # exactly the worn fraction of the in-service drives (and 0 for
+        # a fresh fleet).
+        spec = SsdSpec(capacity=2 * TIB, tbw=100 * TIB)
+        fresh = SsdFleet(spec=spec, provisioned_bytes=2 * TIB)
+        mid = SsdFleet(spec=spec, provisioned_bytes=2 * TIB, bytes_written=50 * TIB)
+        assert fresh.drive_replacements_over(0.0) == 0.0
+        assert mid.drive_replacements_over(0.0) == pytest.approx(0.5)
+
+    def test_replacement_projection_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            SsdFleet().drive_replacements_over(-1.0)
+
 
 class TestHddFleet:
     def test_io_bound_sizing(self):

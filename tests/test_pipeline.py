@@ -70,6 +70,35 @@ class TestByomPipeline:
         )
         assert large.tcio_savings_pct >= small.tcio_savings_pct - 1.0
 
+    def test_deploy_skewed_shards(self, pipeline, cluster):
+        res = pipeline.deploy(
+            cluster.test,
+            cluster.features_test,
+            0.05,
+            cluster.peak_ssd_usage,
+            n_shards=4,
+            shard_weights=(2.0, 1.0, 1.0, 0.5),
+            per_shard_act=True,
+        )
+        assert res.n_shards == 4
+        total = 0.05 * cluster.peak_ssd_usage
+        np.testing.assert_allclose(
+            res.lane_capacities, total * np.array([2.0, 1.0, 1.0, 0.5]) / 4.5
+        )
+        assert res.capacity == pytest.approx(total)
+
+    def test_deploy_rejects_mismatched_shard_weights(self, pipeline, cluster):
+        # Weights must match the shard count — in particular they are
+        # not silently dropped when n_shards is left at 1.
+        with pytest.raises(ValueError):
+            pipeline.deploy(
+                cluster.test,
+                cluster.features_test,
+                0.05,
+                cluster.peak_ssd_usage,
+                shard_weights=(2.0, 1.0, 1.0, 0.5),
+            )
+
     def test_true_category_policy_uses_ground_truth(self, pipeline, cluster):
         policy = pipeline.true_category_policy(cluster.test)
         labels = pipeline.model.labels_for(cluster.test)

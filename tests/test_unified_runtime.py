@@ -271,6 +271,228 @@ class TestReentrantRetry:
         assert b.n_spilled > 0  # capacity really binds
 
 
+class TestHeterogeneousCapacity:
+    """Per-shard capacity vectors through both engines."""
+
+    SKEWS = ((2.0, 1.0, 0.5), (4.0, 1.0, 1.0, 1.0, 0.0))
+
+    @pytest.mark.parametrize("weights", SKEWS)
+    def test_engines_agree_on_skewed_layouts(self, weights):
+        trace = random_trace(11)
+        n_shards = len(weights)
+        total = 30 * GIB
+        caps = total * np.asarray(weights) / sum(weights)
+        for name, build in make_policy_builders(trace, 11).items():
+            a = simulate_sharded(trace, build(), caps, n_shards, engine="legacy")
+            b = simulate_sharded(trace, build(), caps, n_shards, engine="chunked")
+            assert_same_result(a, b, total, label=f"{name} weights={weights}")
+            assert np.array_equal(a.lane_capacities, caps)
+            assert np.array_equal(b.lane_capacities, caps)
+            assert a.capacity == pytest.approx(total)
+
+    @pytest.mark.parametrize("engine", ("legacy", "chunked"))
+    def test_uniform_vector_matches_scalar_split(self, engine):
+        """An explicit even vector places exactly like the scalar split."""
+        trace = random_trace(12)
+        decisions = np.random.default_rng(12).random(len(trace)) < 0.7
+        total, n_shards = 20 * GIB, 4
+        r_scalar = simulate_sharded(
+            trace, FixedPolicy(decisions), total, n_shards, engine=engine
+        )
+        r_vector = simulate_sharded(
+            trace,
+            FixedPolicy(decisions),
+            np.full(n_shards, total / n_shards),
+            n_shards,
+            engine=engine,
+        )
+        assert np.array_equal(r_vector.ssd_fraction, r_scalar.ssd_fraction)
+        assert r_vector.n_spilled == r_scalar.n_spilled
+        assert r_vector.peak_ssd_used == pytest.approx(r_scalar.peak_ssd_used)
+        assert np.array_equal(
+            r_scalar.lane_capacities, np.full(n_shards, total / n_shards)
+        )
+
+    def test_context_reports_own_lane_capacity(self):
+        """Each job's context carries *its* lane's slice, not an average."""
+        from repro.storage import assign_shards
+        from repro.storage.policy import Decision, PlacementPolicy
+
+        trace = random_trace(13, n=80)
+        caps = np.array([6.0, 2.0, 1.0]) * GIB
+        shards = assign_shards(trace, 3)
+        seen = {}
+
+        class Probe(PlacementPolicy):
+            name = "probe"
+
+            def decide(self, job_index, ctx):
+                seen[job_index] = ctx.capacity
+                return Decision(want_ssd=False)
+
+        simulate_sharded(trace, Probe(), caps, 3, engine="legacy")
+        assert len(seen) == len(trace)
+        for i, cap in seen.items():
+            assert cap == pytest.approx(float(caps[shards[i]]))
+
+    def test_skew_changes_placements_under_pressure(self):
+        """A skewed layout really behaves differently from the even split."""
+        trace = random_trace(14)
+        decisions = np.ones(len(trace), dtype=bool)
+        total = 0.05 * trace.peak_ssd_usage()
+        even = simulate_sharded(trace, FixedPolicy(decisions), total, 4)
+        skew = simulate_sharded(
+            trace,
+            FixedPolicy(decisions),
+            total * np.array([0.7, 0.1, 0.1, 0.1]),
+            4,
+        )
+        assert not np.array_equal(even.ssd_fraction, skew.ssd_fraction)
+
+    def test_capacity_vector_validation(self, small_trace):
+        policy = FirstFitPolicy()
+        with pytest.raises(ValueError):
+            run_placement(small_trace, policy, np.array([1.0, 2.0]), n_shards=3)
+        with pytest.raises(ValueError):
+            run_placement(small_trace, policy, np.array([1.0, -2.0]), n_shards=2)
+
+
+class TestEdgeHardening:
+    """Empty traces, more shards than jobs, and zero capacity."""
+
+    @pytest.mark.parametrize("engine", ("legacy", "chunked"))
+    @pytest.mark.parametrize("n_shards", (1, 3))
+    def test_empty_trace(self, engine, n_shards):
+        trace = Trace([], name="empty")
+        res = run_placement(
+            trace,
+            FixedPolicy(np.zeros(0, dtype=bool)),
+            4 * GIB,
+            n_shards=n_shards,
+            engine=engine,
+        )
+        assert res.n_jobs == 0
+        assert res.ssd_fraction.shape == (0,)
+        assert res.n_spilled == 0
+        assert res.peak_ssd_used == 0.0
+        assert res.tco_savings_pct == 0.0
+
+    @pytest.mark.parametrize("engine", ("legacy", "chunked"))
+    def test_empty_trace_adaptive(self, engine):
+        trace = Trace([], name="empty")
+        policy = AdaptiveCategoryPolicy(np.zeros(0, dtype=int), 5)
+        res = run_placement(trace, policy, 1 * GIB, n_shards=2, engine=engine)
+        assert res.n_jobs == 0
+        assert int(policy.shard_ssd_requested.sum()) == 0
+
+    @pytest.mark.parametrize("engine", ("legacy", "chunked"))
+    def test_more_shards_than_jobs(self, engine):
+        trace = random_trace(15, n=5)
+        for capacity in (40 * GIB, np.full(8, 5.0 * GIB)):
+            a = simulate_sharded(trace, FirstFitPolicy(), capacity, 8, engine=engine)
+            assert a.n_shards == 8
+            assert a.n_jobs == 5
+        r_legacy = simulate_sharded(trace, FirstFitPolicy(), 40 * GIB, 8, engine="legacy")
+        r_chunked = simulate_sharded(trace, FirstFitPolicy(), 40 * GIB, 8, engine="chunked")
+        assert_same_result(r_legacy, r_chunked, 40 * GIB, label="8 shards, 5 jobs")
+
+    def test_zero_capacity_many_shards(self):
+        trace = random_trace(16, n=100)
+        for name, build in make_policy_builders(trace, 16).items():
+            a = simulate_sharded(trace, build(), 0.0, 4, engine="legacy")
+            b = simulate_sharded(trace, build(), 0.0, 4, engine="chunked")
+            assert_same_result(a, b, 0.0, label=f"{name} zero capacity")
+            assert a.peak_ssd_used == 0.0
+            assert (a.ssd_fraction == 0.0).all()
+
+    def test_zero_capacity_lane_spills_locally(self):
+        """Jobs routed to a 0-byte lane spill even while peers have room."""
+        from repro.storage import assign_shards
+
+        trace = random_trace(17, n=200)
+        caps = np.array([40.0, 0.0]) * GIB
+        shards = assign_shards(trace, 2)
+        res = simulate_sharded(
+            trace, FixedPolicy(np.ones(len(trace), dtype=bool)), caps, 2
+        )
+        starved = shards == 1
+        assert starved.any() and (~starved).any()
+        assert (res.ssd_fraction[starved] == 0.0).all()
+        assert (res.ssd_fraction[~starved] > 0.0).any()
+
+
+class TestPerShardAct:
+    """Per-caching-server adaptive thresholds (lane-wise Algorithm 1)."""
+
+    def _policy(self, trace, seed, per_shard_act=True):
+        cats = np.random.default_rng(seed + 1000).integers(0, 8, len(trace))
+        params = AdaptiveParams(decision_interval=700.0, lookback_window=4000.0)
+        return AdaptiveCategoryPolicy(cats, 8, params, per_shard_act=per_shard_act)
+
+    @pytest.mark.parametrize("n_shards", (1, 4))
+    def test_engines_agree(self, n_shards):
+        trace = random_trace(21)
+        cap = 8 * GIB
+        p_legacy = self._policy(trace, 21)
+        a = simulate_sharded(trace, p_legacy, cap, n_shards, engine="legacy")
+        p_chunked = self._policy(trace, 21)
+        b = simulate_sharded(trace, p_chunked, cap, n_shards, engine="chunked")
+        assert_same_result(a, b, cap, label=f"per-shard ACT n_shards={n_shards}")
+        if n_shards == 1:
+            # One lane: the flag is inert, the global algorithm runs.
+            assert p_legacy.act_lanes is None and p_chunked.act_lanes is None
+        else:
+            assert np.array_equal(p_legacy.act_lanes, p_chunked.act_lanes)
+        assert len(p_legacy.trajectory) == len(p_chunked.trajectory)
+        for ea, eb in zip(p_legacy.trajectory, p_chunked.trajectory):
+            assert (ea.time, ea.act, ea.shard) == (eb.time, eb.act, eb.shard)
+            assert ea.spillover == pytest.approx(eb.spillover, abs=1e-12)
+
+    def test_engines_agree_on_skewed_layout(self):
+        trace = random_trace(22)
+        caps = 12 * GIB * np.array([2.0, 1.0, 0.5]) / 3.5
+        a = simulate_sharded(trace, self._policy(trace, 22), caps, 3, engine="legacy")
+        b = simulate_sharded(trace, self._policy(trace, 22), caps, 3, engine="chunked")
+        assert_same_result(a, b, 12 * GIB, label="per-shard ACT skewed")
+
+    def test_lane_thresholds_diverge_under_skew(self):
+        """A starved lane raises its own ACT; an oversized one relaxes."""
+        trace = random_trace(23)
+        policy = self._policy(trace, 23)
+        caps = np.array([1e18, 0.5 * GIB])
+        simulate_sharded(trace, policy, caps, 2)
+        assert policy.act_lanes is not None
+        assert policy.act_lanes.size == 2
+        assert int(policy.act_lanes[1]) > int(policy.act_lanes[0])
+        shards_seen = {e.shard for e in policy.trajectory}
+        assert shards_seen == {0, 1}
+
+    def test_differs_from_global_threshold(self):
+        """The ablation axis is real: per-shard ACT changes placements."""
+        trace = random_trace(24)
+        cap = 6 * GIB
+        r_global = simulate_sharded(
+            trace, self._policy(trace, 24, per_shard_act=False), cap, 4
+        )
+        r_lane = simulate_sharded(trace, self._policy(trace, 24), cap, 4)
+        assert not np.array_equal(r_global.ssd_fraction, r_lane.ssd_fraction)
+
+    def test_inert_without_sharding(self):
+        """Unsharded runs with the flag set keep the global algorithm."""
+        trace = random_trace(26)
+        r_flag = simulate(trace, self._policy(trace, 26), 6 * GIB)
+        r_plain = simulate(trace, self._policy(trace, 26, per_shard_act=False), 6 * GIB)
+        assert np.array_equal(r_flag.ssd_fraction, r_plain.ssd_fraction)
+        assert r_flag.n_spilled == r_plain.n_spilled
+
+    def test_global_mode_untouched_by_default(self):
+        trace = random_trace(25)
+        policy = self._policy(trace, 25, per_shard_act=False)
+        simulate_sharded(trace, policy, 10 * GIB, 4)
+        assert policy.act_lanes is None
+        assert all(e.shard == -1 for e in policy.trajectory)
+
+
 class TestShardedSemantics:
     """Runtime-level invariants of the lane accountant."""
 
