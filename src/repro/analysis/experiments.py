@@ -36,6 +36,7 @@ from ..workloads import (
     Trace,
     default_cluster_specs,
     generate_cluster_trace,
+    materialize_trace,
 )
 
 __all__ = [
@@ -105,25 +106,60 @@ class MethodSuite:
         n_shards: int = 1,
         shard_weights: tuple[float, ...] | None = None,
         per_shard_act: bool = False,
+        trace_source: "object | None" = None,
         **kw,
     ) -> SimResult:
         """Evaluate one method at one quota on the test week.
 
-        ``engine`` selects the simulator event loop: every method's
-        policy implements the batch protocol, so ``"auto"`` runs the
-        chunked fast path; pass ``"legacy"`` to force the reference
-        per-job loop (used by equivalence tests and benchmarks).
+        Parameters
+        ----------
+        method:
+            One of ``"Adaptive Ranking"``, ``"Adaptive Hash"``,
+            ``"ML Baseline"``, ``"FirstFit"``, ``"Heuristic"``,
+            ``"True category"``, ``"Oracle TCO"``, ``"Oracle TCIO"``.
+        quota:
+            SSD capacity as a fraction of the test week's peak usage.
+        engine:
+            Simulator event loop: every method's policy implements the
+            batch protocol, so ``"auto"`` runs the chunked fast path;
+            pass ``"legacy"`` to force the reference per-job loop (used
+            by equivalence tests and benchmarks).
+        n_shards:
+            Evaluate with the quota capacity split across that many
+            caching servers (the fragmentation ablation); the
+            clairvoyant oracles ignore sharding — they remain the
+            unsharded upper bound.
+        shard_weights:
+            Relative per-server capacity slices (normalized to the
+            quota capacity — a heterogeneous fleet, e.g.
+            ``(2, 1, 0.5)``); ``None`` splits evenly.
+        per_shard_act:
+            Run the adaptive methods with one admission threshold per
+            caching server instead of the global ACT.
+        trace_source:
+            Replay the evaluation from a streamed stand-in for the test
+            week instead of the in-memory trace: a
+            :class:`~repro.workloads.streaming.TraceSource` or a
+            ``.csv``/``.npz`` path (e.g. the test week serialized with
+            ``save_csv_trace``).  The source must stream the *same jobs
+            in the same order* as the prepared test week — model
+            predictions and features stay aligned by job position — and
+            then yields bit-identical results while skipping the
+            job-object materialization::
 
-        ``n_shards`` evaluates the method with the quota capacity split
-        across that many caching servers (the fragmentation ablation),
-        evenly unless ``shard_weights`` gives relative per-server
-        slices (normalized to the quota capacity — a heterogeneous
-        fleet, e.g. ``(2, 1, 0.5)``); the clairvoyant oracles ignore
-        both — they remain the unsharded upper bound.  ``per_shard_act``
-        runs the adaptive methods with one admission threshold per
-        caching server instead of the global ACT.
+                save_csv_trace(suite.cluster.test, "week2.csv")
+                suite.run("Adaptive Ranking", 0.05,
+                          trace_source=stream_csv_trace("week2.csv"))
         """
         test = self.cluster.test
+        if trace_source is not None:
+            test = materialize_trace(trace_source)
+            if len(test) != len(self.cluster.test):
+                raise ValueError(
+                    f"trace_source streams {len(test)} jobs but the prepared "
+                    f"test week has {len(self.cluster.test)}; the source must "
+                    "replay the same jobs in the same order"
+                )
         cap = self.capacity(quota)
         if method == "Adaptive Ranking":
             policy = self.pipeline.make_policy(

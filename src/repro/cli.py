@@ -7,6 +7,8 @@ Subcommands:
 - ``sweep``     — quota sweep of all methods on one cluster (Figure 7)
 - ``headroom``  — oracle-vs-heuristic headroom analysis (Section 3.1)
 - ``deploy``    — train BYOM on week 1, deploy on week 2, report savings
+- ``replay``    — stream a CSV/npz trace through the simulator without
+  materializing per-job objects (see ``repro.workloads.streaming``)
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     python -m repro.cli sweep --cluster 0 --quotas 0.01 0.1 0.5
     python -m repro.cli headroom --cluster 0 --quota 0.01
     python -m repro.cli deploy --cluster 0 --quota 0.01
+    python -m repro.cli replay --trace /tmp/trace.csv --quota 0.05 --shards 4
 """
 
 from __future__ import annotations
@@ -59,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--cluster", type=int, default=0)
     deploy.add_argument("--quota", type=float, default=0.01)
     deploy.add_argument("--categories", type=int, default=15)
+
+    replay = sub.add_parser(
+        "replay", help="stream a trace file through the placement simulator"
+    )
+    replay.add_argument(
+        "--trace", required=True,
+        help="trace to stream: a .csv file or a .npz/prefix saved by generate",
+    )
+    replay.add_argument("--quota", type=float, default=0.05,
+                        help="SSD capacity as a fraction of the trace's peak usage")
+    replay.add_argument("--shards", type=int, default=1,
+                        help="number of caching servers (1 = one global pool)")
+    replay.add_argument("--categories", type=int, default=15,
+                        help="category count for the hash-category adaptive policy")
+    replay.add_argument("--block-size", type=int, default=None,
+                        help="jobs per streamed block (default 65536)")
+    replay.add_argument("--engine", choices=("auto", "chunked", "legacy"),
+                        default="auto", help="simulator event loop")
     return parser
 
 
@@ -146,12 +167,55 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from .core import AdaptiveCategoryPolicy, hash_categories
+    from .storage import simulate, simulate_sharded
+    from .workloads.streaming import (
+        DEFAULT_BLOCK_SIZE,
+        materialize_trace,
+        open_trace_source,
+    )
+
+    block_size = DEFAULT_BLOCK_SIZE if args.block_size is None else args.block_size
+    if block_size < 1:
+        print(f"replay: --block-size must be >= 1, got {block_size}", file=sys.stderr)
+        return 2
+    source = open_trace_source(args.trace, block_size=block_size)
+    trace = materialize_trace(source)
+    if len(trace) == 0:
+        print(f"trace {trace.name}: 0 jobs, nothing to replay")
+        return 0
+    peak = trace.peak_ssd_usage()
+    capacity = args.quota * peak
+    policy = AdaptiveCategoryPolicy(
+        hash_categories(trace, args.categories), args.categories,
+        name="Adaptive Hash",
+    )
+    if args.shards > 1:
+        res = simulate_sharded(
+            trace, policy, capacity, args.shards, engine=args.engine
+        )
+    else:
+        res = simulate(trace, policy, capacity, engine=args.engine)
+    print(f"streamed {len(trace)} jobs from {args.trace} "
+          f"({type(source).__name__}, blocks of {block_size})")
+    print(f"  capacity:     {fmt_bytes(capacity)} "
+          f"({args.quota:.1%} of {fmt_bytes(peak)} peak)"
+          + (f" across {args.shards} caching servers" if args.shards > 1 else ""))
+    print(f"  policy:       {res.policy_name} ({args.categories} categories)")
+    print(f"  TCO savings:  {res.tco_savings_pct:.2f}%")
+    print(f"  TCIO savings: {res.tcio_savings_pct:.2f}%")
+    print(f"  spilled:      {res.n_spilled} of {res.n_ssd_requested} SSD requests")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "sweep": _cmd_sweep,
     "headroom": _cmd_headroom,
     "deploy": _cmd_deploy,
+    "replay": _cmd_replay,
 }
 
 

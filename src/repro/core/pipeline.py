@@ -18,6 +18,7 @@ from ..storage.sharded import simulate_sharded
 from ..storage.simulator import SimResult, simulate
 from ..workloads.features import FeatureMatrix, extract_features
 from ..workloads.job import Trace
+from ..workloads.streaming import TraceSource, materialize_trace
 from ..workloads.traces import week_split
 from .adaptive import AdaptiveCategoryPolicy
 from .category_model import CategoryModel
@@ -93,7 +94,7 @@ class ByomPipeline:
 
     def deploy(
         self,
-        test_trace: Trace,
+        test_trace: "Trace | TraceSource | str",
         features_test: FeatureMatrix,
         quota_fraction: float,
         peak_usage: float | None = None,
@@ -104,17 +105,48 @@ class ByomPipeline:
     ) -> SimResult:
         """Online phase: simulate placement at an SSD quota fraction.
 
-        ``engine`` selects the simulator event loop (``"auto"`` uses
-        the chunked fast path; see :func:`repro.storage.simulate`).
-        ``n_shards`` deploys across that many caching servers (the
-        production fragmentation regime of Section 2.4), splitting the
-        quota capacity evenly unless ``shard_weights`` gives relative
-        per-server slices (normalized to the quota capacity — e.g.
-        ``(2, 1, 0.5)`` for a skewed fleet); 1 keeps the single global
-        SSD pool.  ``per_shard_act`` switches the adaptive policy to
-        one admission threshold per caching server (Algorithm 1 applied
-        lane-wise).
+        Parameters
+        ----------
+        test_trace:
+            The deployment week: an in-memory
+            :class:`~repro.workloads.job.Trace`, a streaming
+            :class:`~repro.workloads.streaming.TraceSource`, or a
+            ``.csv``/``.npz`` path — streamed inputs are drained into
+            columns without materializing per-job objects and produce
+            bit-identical results.  ``features_test`` must be aligned
+            with the trace's job order (for a source, row ``i`` of the
+            feature matrix describes the ``i``-th streamed job — e.g.
+            features extracted before the trace was serialized)::
+
+                pipe.deploy(stream_csv_trace("week2.csv"),
+                            features_week2, quota_fraction=0.05)
+        features_test:
+            Per-job feature matrix the category model predicts from.
+        quota_fraction:
+            SSD capacity as a fraction of ``peak_usage``.
+        peak_usage:
+            Quota denominator (the test week's infinite-SSD peak).
+            Computed from the trace when omitted; pass it explicitly to
+            avoid a second pass over very large streamed traces.
+        engine:
+            Simulator event loop: ``"auto"`` (chunked fast path
+            whenever the policy implements ``decide_batch``),
+            ``"chunked"``, or ``"legacy"``; see
+            :func:`repro.storage.simulate`.
+        n_shards:
+            Deploy across that many caching servers (the production
+            fragmentation regime of Section 2.4); 1 keeps the single
+            global SSD pool.
+        shard_weights:
+            Relative per-server capacity slices, e.g. ``(2, 1, 0.5)``
+            for a skewed fleet (normalized to the quota capacity);
+            ``None`` splits evenly.
+        per_shard_act:
+            Switch the adaptive policy to one admission threshold per
+            caching server (Algorithm 1 applied lane-wise) instead of
+            the global ACT.
         """
+        test_trace = materialize_trace(test_trace)
         cfg = SimConfig(ssd_quota_fraction=quota_fraction, adaptive=self.adaptive_params)
         peak = peak_usage if peak_usage is not None else test_trace.peak_ssd_usage()
         capacity = cfg.ssd_quota_fraction * peak

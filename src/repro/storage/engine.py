@@ -39,6 +39,14 @@ the same two engines:
 Peak-usage accounting stays global (the fleet-level metric) and is
 sampled at admission events exactly as the legacy loop samples it.
 
+The runtime is **source-agnostic**: ``run_placement`` (and therefore
+``simulate``/``simulate_sharded``) accepts an in-memory ``Trace``, any
+:class:`~repro.workloads.streaming.TraceSource` (blocks of
+structure-of-arrays columns drained without materializing per-job
+objects — see :mod:`repro.workloads.streaming`), or a ``.csv``/``.npz``
+path.  A streamed run is bit-identical to the in-memory run of the
+same jobs.
+
 Both engines produce identical results up to floating-point summation
 order (see ``tests/test_unified_runtime.py`` and
 ``tests/test_chunked_simulator.py``).
@@ -52,8 +60,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
-from ..workloads.job import Trace
+from ..workloads.job import TraceBase
 from ..workloads.metadata import stable_hash
+from ..workloads.streaming import TraceSource, materialize_trace
 from .policy import (
     BatchOutcomes,
     PlacementContext,
@@ -113,7 +122,7 @@ class SimResult:
         return 100.0 * (self.baseline_tcio - self.realized_hdd_tcio) / self.baseline_tcio
 
 
-def assign_shards(trace: Trace, n_shards: int, seed: int = 0) -> np.ndarray:
+def assign_shards(trace: TraceBase, n_shards: int, seed: int = 0) -> np.ndarray:
     """Stable pipeline-to-shard routing.
 
     All jobs of one pipeline land on the same caching server, mirroring
@@ -157,7 +166,7 @@ def _normalize_capacity(
 
 
 def run_placement(
-    trace: Trace,
+    trace: "TraceBase | TraceSource | str",
     policy: PlacementPolicy,
     capacity: float | np.ndarray,
     n_shards: int = 1,
@@ -168,16 +177,45 @@ def run_placement(
     """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD
     across ``n_shards`` lanes.
 
-    ``capacity`` is either a scalar — split evenly across lanes, the
-    historical behaviour — or a length-``n_shards`` vector handing each
-    caching server its own (possibly zero) slice.
-
     The single entry point behind :func:`repro.storage.simulate`
     (``n_shards=1``) and :func:`repro.storage.simulate_sharded`.
-    ``engine`` selects the event-loop implementation: ``"auto"``
-    (chunked fast path when the policy implements ``decide_batch``,
-    legacy otherwise), ``"chunked"``, or ``"legacy"``.
+
+    Parameters
+    ----------
+    trace:
+        What to simulate — any of:
+
+        - an in-memory :class:`~repro.workloads.job.Trace`;
+        - a :class:`~repro.workloads.streaming.TraceSource` (or an
+          already-drained
+          :class:`~repro.workloads.streaming.StreamedTrace`): the
+          blocks are drained into structure-of-arrays columns without
+          ever materializing per-job objects, and the run is
+          bit-identical to the in-memory path over the same jobs;
+        - a path string to a ``.csv`` trace or a ``.npz``/prefix saved
+          by :func:`~repro.workloads.traces.save_trace`, opened via
+          :func:`~repro.workloads.streaming.open_trace_source`.
+
+        Example::
+
+            run_placement(stream_csv_trace("week2.csv"), policy, cap)
+    capacity:
+        Either a scalar — split evenly across lanes, the historical
+        behaviour — or a length-``n_shards`` vector handing each
+        caching server its own (possibly zero) slice.  The realized
+        layout is recorded on :attr:`SimResult.lane_capacities`.
+    n_shards:
+        Lane count; jobs route to lanes by a stable hash of their
+        pipeline (:func:`assign_shards`).  1 = one global SSD pool.
+    engine:
+        Event-loop implementation: ``"auto"`` (chunked fast path when
+        the policy implements ``decide_batch``, legacy otherwise),
+        ``"chunked"``, or ``"legacy"``.
+    shard_seed:
+        Seed of the pipeline-to-shard routing hash.
     """
+    # Argument validation precedes the drain: a bad lane count or
+    # engine name must not cost a full pass over an out-of-core source.
     if n_shards < 1:
         raise ValueError("need at least one shard")
     if engine not in ("auto", "chunked", "legacy"):
@@ -186,6 +224,7 @@ def run_placement(
     if engine == "chunked" and not batched:
         raise ValueError(f"policy {policy.name!r} does not implement decide_batch")
     lane_caps, total = _normalize_capacity(capacity, n_shards)
+    trace = materialize_trace(trace)
     shards = assign_shards(trace, n_shards, seed=shard_seed) if n_shards > 1 else None
     policy.on_simulation_start(trace, total, rates)
     policy.on_shard_topology(shards, lane_caps.copy())
@@ -195,7 +234,7 @@ def run_placement(
 
 
 def _finalize(
-    trace: Trace,
+    trace: TraceBase,
     policy: PlacementPolicy,
     capacity: float,
     lane_caps: np.ndarray,
@@ -231,7 +270,7 @@ def _finalize(
 
 
 def _run_legacy(
-    trace: Trace,
+    trace: TraceBase,
     policy: PlacementPolicy,
     lane_caps: np.ndarray,
     capacity: float,
@@ -406,7 +445,7 @@ def _ttl_release_fracs(
 
 
 def _run_chunked(
-    trace: Trace,
+    trace: TraceBase,
     policy: PlacementPolicy,
     lane_caps: np.ndarray,
     capacity: float,

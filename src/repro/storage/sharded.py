@@ -36,7 +36,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
-from ..workloads.job import Trace
+from ..workloads.job import Trace, TraceBase
+from ..workloads.streaming import TraceSource
 from .engine import SimResult, assign_shards, run_placement
 from .policy import PlacementPolicy
 
@@ -44,7 +45,7 @@ __all__ = ["assign_shards", "simulate_sharded"]
 
 
 def simulate_sharded(
-    trace: Trace,
+    trace: "Trace | TraceBase | TraceSource | str",
     policy: PlacementPolicy,
     capacity: float | np.ndarray,
     n_shards: int,
@@ -59,6 +60,16 @@ def simulate_sharded(
     slice (heterogeneous fleets).  Each job can only use its own
     shard's slice.  With ``n_shards=1`` this reduces exactly to
     :func:`repro.storage.simulate`.
+
+    ``trace`` accepts everything :func:`repro.storage.simulate` does:
+    an in-memory :class:`~repro.workloads.job.Trace`, a streaming
+    :class:`~repro.workloads.streaming.TraceSource`, or a
+    ``.csv``/``.npz`` path — streamed traces carry their pipeline
+    identity column, so the pipeline-to-shard routing (and therefore
+    the result) is bit-identical to the in-memory run::
+
+        simulate_sharded(stream_csv_trace("week2.csv"), policy,
+                         capacity, n_shards=16)
 
     The policy's :class:`~repro.storage.policy.PlacementContext` reports
     the job's shard-local free space and its own lane's capacity (what

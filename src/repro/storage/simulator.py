@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cost import CostRates, DEFAULT_RATES
-from ..workloads.job import Trace
+from ..workloads.job import Trace, TraceBase
+from ..workloads.streaming import TraceSource
 from .engine import SimResult, run_placement
 from .policy import PlacementPolicy
 
@@ -70,7 +71,7 @@ def analytic_result(
 
 
 def simulate(
-    trace: Trace,
+    trace: "Trace | TraceBase | TraceSource | str",
     policy: PlacementPolicy,
     capacity: float,
     rates: CostRates = DEFAULT_RATES,
@@ -79,13 +80,27 @@ def simulate(
     """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD.
 
     Returns realized TCO/TCIO along with per-job SSD fractions (the
-    effective share of each job's cost charged at SSD rates).
-
-    ``engine`` selects the event-loop implementation: ``"auto"``
-    (chunked fast path when the policy implements ``decide_batch``,
-    legacy otherwise), ``"chunked"``, or ``"legacy"``.  This is the
-    ``n_shards=1`` case of the unified shard-aware runtime
+    effective share of each job's cost charged at SSD rates).  This is
+    the ``n_shards=1`` case of the unified shard-aware runtime
     (:func:`repro.storage.engine.run_placement`).
+
+    Parameters
+    ----------
+    trace:
+        An in-memory :class:`~repro.workloads.job.Trace`, a streaming
+        :class:`~repro.workloads.streaming.TraceSource` (drained block
+        by block — no per-job objects are materialized, and the result
+        is bit-identical to the in-memory run of the same jobs), or a
+        ``.csv``/``.npz`` path accepted by
+        :func:`~repro.workloads.streaming.open_trace_source`::
+
+            simulate(stream_csv_trace("week2.csv"), policy, capacity)
+    capacity:
+        SSD bytes available to the single global pool.
+    engine:
+        Event-loop implementation: ``"auto"`` (chunked fast path when
+        the policy implements ``decide_batch``, legacy otherwise),
+        ``"chunked"``, or ``"legacy"``.
     """
     return run_placement(
         trace, policy, capacity, n_shards=1, rates=rates, engine=engine

@@ -15,11 +15,26 @@ from .features import (
 )
 from .generator import ClusterSpec, default_cluster_specs, generate_cluster_trace
 from .history import HISTORY_FEATURES, HistoricalMetrics, compute_history
-from .job import ShuffleJob, Trace
+from .job import ShuffleJob, Trace, TraceBase
 from .metadata import METADATA_FIELDS, MetadataSynthesizer, stable_hash, tokenize
 from .phases import Phase, PhaseProfile, decompose_phases
-from .external import REQUIRED_COLUMNS, load_csv_trace, save_csv_trace
-from .traces import load_trace, save_trace, week_split
+from .external import (
+    REQUIRED_COLUMNS,
+    CsvTraceSource,
+    load_csv_trace,
+    save_csv_trace,
+    stream_csv_trace,
+)
+from .streaming import (
+    DEFAULT_BLOCK_SIZE,
+    InMemoryTraceSource,
+    StreamedTrace,
+    TraceBlock,
+    TraceSource,
+    materialize_trace,
+    open_trace_source,
+)
+from .traces import NpzTraceSource, load_trace, save_trace, week_split
 from .validation import TraceStatistics, trace_statistics, validate_trace
 
 __all__ = [
@@ -29,6 +44,17 @@ __all__ = [
     "NON_FRAMEWORK_ARCHETYPES",
     "ShuffleJob",
     "Trace",
+    "TraceBase",
+    "TraceBlock",
+    "TraceSource",
+    "InMemoryTraceSource",
+    "CsvTraceSource",
+    "NpzTraceSource",
+    "StreamedTrace",
+    "DEFAULT_BLOCK_SIZE",
+    "open_trace_source",
+    "materialize_trace",
+    "stream_csv_trace",
     "ClusterSpec",
     "generate_cluster_trace",
     "default_cluster_specs",

@@ -19,7 +19,7 @@ import numpy as np
 from ..cost import CostRates, DEFAULT_RATES, JobCostVector, hdd_cost, ssd_cost, tcio_rate
 from ..units import GIB
 
-__all__ = ["ShuffleJob", "Trace"]
+__all__ = ["ShuffleJob", "Trace", "TraceBase"]
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,93 @@ class ShuffleJob:
             raise ValueError(f"job {self.job_id}: negative size or I/O volume")
 
 
-class Trace:
+class TraceBase:
+    """Column-backed view of an arrival-ordered job sequence.
+
+    Concrete subclasses provide the structure-of-arrays columns
+    (:attr:`arrivals`, :attr:`durations`, :attr:`sizes`,
+    :attr:`read_bytes`, :attr:`write_bytes`, :attr:`read_ops`, plus the
+    :attr:`pipelines` identity list), ``__len__``, and a :attr:`name`;
+    this base derives everything the placement runtime and the cost
+    model consume from those columns alone.  Two implementations exist:
+
+    - :class:`Trace` — backed by a tuple of :class:`ShuffleJob`
+      objects, the fully-materialized representation.
+    - :class:`~repro.workloads.streaming.StreamedTrace` — backed only
+      by the numeric columns, produced by draining a
+      :class:`~repro.workloads.streaming.TraceSource` block by block
+      (no per-job Python objects are ever built).
+
+    Because both run the same derived-quantity code over identical
+    arrays, a simulation over a streamed trace is bit-identical to the
+    in-memory one (see ``tests/test_streaming.py``).
+    """
+
+    name: str
+    arrivals: np.ndarray
+    durations: np.ndarray
+    sizes: np.ndarray
+    read_bytes: np.ndarray
+    write_bytes: np.ndarray
+    read_ops: np.ndarray
+    pipelines: list[str]
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @cached_property
+    def ends(self) -> np.ndarray:
+        return self.arrivals + self.durations
+
+    @cached_property
+    def total_bytes(self) -> np.ndarray:
+        return self.read_bytes + self.write_bytes
+
+    # -- derived quantities --------------------------------------------
+
+    def tcio(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
+        """Per-job TCIO rate if placed on HDD (HDD-equivalents)."""
+        return np.asarray(tcio_rate(self.read_ops, self.write_bytes, self.durations, rates))
+
+    def io_density(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
+        """Total I/O over the lifetime divided by the peak footprint.
+
+        Measured as effective disk operations per GiB of footprint; this
+        is the quantity the paper clusters jobs by when designing
+        importance categories (Section 4.2 / Figure 4).
+        """
+        total_ops = (
+            self.tcio(rates) * np.maximum(self.durations, 1.0) * rates.hdd_ops_per_second
+        )
+        return total_ops / np.maximum(self.sizes / GIB, 1e-9)
+
+    def costs(self, rates: CostRates = DEFAULT_RATES) -> JobCostVector:
+        """HDD and SSD TCO for every job."""
+        tcio = self.tcio(rates)
+        c_hdd = hdd_cost(self.sizes, self.durations, self.total_bytes, tcio, rates)
+        c_ssd = ssd_cost(self.sizes, self.durations, self.total_bytes, self.write_bytes, rates)
+        return JobCostVector(c_hdd=np.asarray(c_hdd), c_ssd=np.asarray(c_ssd))
+
+    def peak_ssd_usage(self) -> float:
+        """Peak concurrent footprint if every job were placed on SSD.
+
+        Experiments express SSD quotas as fractions of this value
+        (Section 5.1: capacity is measured under infinite SSD first).
+        """
+        n = len(self)
+        if n == 0:
+            return 0.0
+        events = np.concatenate([self.arrivals, self.ends])
+        deltas = np.concatenate([self.sizes, -self.sizes])
+        # Ends sort before arrivals at equal timestamps (right-open
+        # intervals): release space before allocating.
+        tie = np.concatenate([np.ones(n), np.zeros(n)])
+        idx = np.lexsort((tie, events))
+        usage = np.cumsum(deltas[idx])
+        return float(usage.max(initial=0.0))
+
+
+class Trace(TraceBase):
     """An immutable, arrival-ordered sequence of shuffle jobs.
 
     Array views (:attr:`arrivals`, :attr:`sizes`, ...) are cached on
@@ -116,10 +202,6 @@ class Trace:
         return np.array([j.duration for j in self.jobs], dtype=float)
 
     @cached_property
-    def ends(self) -> np.ndarray:
-        return self.arrivals + self.durations
-
-    @cached_property
     def sizes(self) -> np.ndarray:
         return np.array([j.size for j in self.jobs], dtype=float)
 
@@ -136,10 +218,6 @@ class Trace:
         return np.array([j.read_ops for j in self.jobs], dtype=float)
 
     @cached_property
-    def total_bytes(self) -> np.ndarray:
-        return self.read_bytes + self.write_bytes
-
-    @cached_property
     def pipelines(self) -> list[str]:
         return [j.pipeline for j in self.jobs]
 
@@ -147,47 +225,7 @@ class Trace:
     def users(self) -> list[str]:
         return [j.user for j in self.jobs]
 
-    # -- derived quantities --------------------------------------------
-
-    def tcio(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
-        """Per-job TCIO rate if placed on HDD (HDD-equivalents)."""
-        return np.asarray(tcio_rate(self.read_ops, self.write_bytes, self.durations, rates))
-
-    def io_density(self, rates: CostRates = DEFAULT_RATES) -> np.ndarray:
-        """Total I/O over the lifetime divided by the peak footprint.
-
-        Measured as effective disk operations per GiB of footprint; this
-        is the quantity the paper clusters jobs by when designing
-        importance categories (Section 4.2 / Figure 4).
-        """
-        total_ops = (
-            self.tcio(rates) * np.maximum(self.durations, 1.0) * rates.hdd_ops_per_second
-        )
-        return total_ops / np.maximum(self.sizes / GIB, 1e-9)
-
-    def costs(self, rates: CostRates = DEFAULT_RATES) -> JobCostVector:
-        """HDD and SSD TCO for every job."""
-        tcio = self.tcio(rates)
-        c_hdd = hdd_cost(self.sizes, self.durations, self.total_bytes, tcio, rates)
-        c_ssd = ssd_cost(self.sizes, self.durations, self.total_bytes, self.write_bytes, rates)
-        return JobCostVector(c_hdd=np.asarray(c_hdd), c_ssd=np.asarray(c_ssd))
-
-    def peak_ssd_usage(self) -> float:
-        """Peak concurrent footprint if every job were placed on SSD.
-
-        Experiments express SSD quotas as fractions of this value
-        (Section 5.1: capacity is measured under infinite SSD first).
-        """
-        if not self.jobs:
-            return 0.0
-        events = np.concatenate([self.arrivals, self.ends])
-        deltas = np.concatenate([self.sizes, -self.sizes])
-        # Ends sort before arrivals at equal timestamps (right-open
-        # intervals): release space before allocating.
-        tie = np.concatenate([np.ones(len(self.jobs)), np.zeros(len(self.jobs))])
-        idx = np.lexsort((tie, events))
-        usage = np.cumsum(deltas[idx])
-        return float(usage.max(initial=0.0))
+    # -- job-backed operations -----------------------------------------
 
     def split_at(self, t: float, names: tuple[str, str] | None = None) -> tuple["Trace", "Trace"]:
         """Split into (jobs arriving before ``t``, jobs arriving at/after).
