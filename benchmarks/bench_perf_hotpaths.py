@@ -29,6 +29,15 @@ same sharded deployment over a skewed 2x/1x/.../0.5x lane layout (with
 per-shard ACT enabled), chunked vs legacy, equivalence asserted before
 timing (``BENCH_SKEWED_JOBS`` overrides the size, as in CI).
 
+``test_perf_serve_latency`` is the online-service smoke: the same
+200k-job trace replayed through ``PlacementService`` in micro-batch
+mode (p50/p99 per-batch decision latency + sustained decisions/sec,
+equivalence to the offline chunked engine asserted before timing) and
+through request-at-a-time scalar mode on a subsample (per-request
+latency percentiles).  ``BENCH_SERVE_JOBS`` overrides the size, as in
+CI; at full size the micro-batch path must sustain >= 50k
+decisions/sec.
+
 ``test_perf_streaming_rss`` is the out-of-core ingestion smoke: the
 same CSV trace is simulated twice per size — materialized through
 ``load_csv_trace`` (per-job objects) and streamed through
@@ -369,6 +378,111 @@ def test_perf_skewed_capacity():
         N_JOBS = saved
 
 
+def test_perf_serve_latency():
+    """Online-service latency/throughput on the hot-path trace.
+
+    Drives the 200k-job workload through ``PlacementService`` twice:
+
+    - **micro-batch mode** (the production submission path): batches of
+      ``SERVE_BATCH`` jobs, per-batch decision latency and sustained
+      decisions/sec over the whole stream;
+    - **scalar mode** (request-at-a-time): per-request latency
+      percentiles over a subsample (the per-job Python loop is the
+      latency floor, not the throughput path).
+
+    The micro-batch replay must be bit-identical to the offline chunked
+    engine before any timing is reported, and at full size must sustain
+    >= 50k decisions/sec.
+    """
+    from repro.serve import PlacementService
+
+    global N_JOBS
+    n = int(os.environ.get("BENCH_SERVE_JOBS", "200000"))
+    batch_jobs = 1024
+    saved = N_JOBS
+    N_JOBS = n
+    try:
+        trace, X, y = build_workload(seed=5)
+        peak = trace.peak_ssd_usage()
+        capacity = 0.05 * peak
+        rng = np.random.default_rng(9)
+        cats = rng.integers(1, N_CATEGORIES, n)
+        params = AdaptiveParams()
+
+        # Offline reference for the equivalence gate.
+        offline = simulate(
+            trace, AdaptiveCategoryPolicy(cats, N_CATEGORIES, params), capacity
+        )
+
+        # Micro-batch mode: the sustained-throughput path.
+        service = PlacementService(
+            AdaptiveCategoryPolicy(cats, N_CATEGORIES, params), capacity,
+            mode="batch",
+        )
+        service.open(trace)
+        pipelines = trace.pipelines
+        lat = np.empty(-(-n // batch_jobs))
+        t_start = time.perf_counter()
+        for b, lo in enumerate(range(0, n, batch_jobs)):
+            hi = min(lo + batch_jobs, n)
+            t0 = time.perf_counter()
+            service.submit_batch(
+                trace.arrivals[lo:hi], trace.durations[lo:hi],
+                trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                pipelines=pipelines[lo:hi],
+            )
+            lat[b] = time.perf_counter() - t0
+        res = service.result()
+        elapsed = time.perf_counter() - t_start
+        rate = n / elapsed
+        np.testing.assert_array_equal(res.ssd_fraction, offline.ssd_fraction)
+        assert res.realized_tco == offline.realized_tco
+        p50b, p99b = np.percentile(lat, [50, 99])
+
+        # Scalar mode: request-at-a-time latency floor on a subsample.
+        n_scalar = min(n, 20_000)
+        service_s = PlacementService(
+            AdaptiveCategoryPolicy(cats[:n_scalar], N_CATEGORIES, params),
+            capacity, mode="scalar",
+        )
+        sub = trace.subset(np.arange(n) < n_scalar, name="scalar-sub")
+        service_s.open(sub)
+        lat_s = np.empty(n_scalar)
+        for i in range(n_scalar):
+            t0 = time.perf_counter()
+            service_s.submit(
+                arrival=sub.arrivals[i], duration=sub.durations[i],
+                size=sub.sizes[i], read_bytes=sub.read_bytes[i],
+                write_bytes=sub.write_bytes[i], read_ops=sub.read_ops[i],
+                pipeline=pipelines[i],
+            )
+            lat_s[i] = time.perf_counter() - t0
+        p50s, p99s = np.percentile(lat_s, [50, 99])
+        rate_s = n_scalar / lat_s.sum()
+
+        lines = [
+            f"Online-service latency smoke: {n:,} jobs micro-batched "
+            f"({batch_jobs}/batch), {n_scalar:,} request-at-a-time "
+            "(adaptive policy; batch replay bit-identical to the chunked "
+            "engine)",
+            f"{'mode':<14} {'p50':>12} {'p99':>12} {'decisions/s':>13}",
+            f"{'micro-batch':<14} {p50b * 1e3:>9.2f} ms {p99b * 1e3:>9.2f} ms "
+            f"{rate:>13,.0f}",
+            f"{'per-request':<14} {p50s * 1e6:>9.1f} us {p99s * 1e6:>9.1f} us "
+            f"{rate_s:>13,.0f}",
+            f"chunks: {service.stats.n_chunks}, peak queue: "
+            f"{service.stats.max_pending_seen} jobs",
+        ]
+        emit("perf_serve_latency", "\n".join(lines))
+
+        # The sustained-throughput bar is asserted only at full size.
+        if n >= 200_000:
+            assert rate >= 50_000, f"sustained {rate:,.0f} decisions/s < 50k"
+    finally:
+        N_JOBS = saved
+
+
 def _write_synthetic_csv(path: Path, n: int, seed: int) -> None:
     """Write an arrival-ordered CSV trace straight from columns.
 
@@ -502,5 +616,6 @@ if __name__ == "__main__":
     test_perf_hotpaths()
     test_perf_million_trace()
     test_perf_skewed_capacity()
+    test_perf_serve_latency()
     with tempfile.TemporaryDirectory() as _tmp:
         test_perf_streaming_rss(Path(_tmp))

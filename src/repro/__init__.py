@@ -12,6 +12,8 @@ Public API overview
 - :mod:`repro.baselines` -- FirstFit, Heuristic, ML lifetime baseline.
 - :mod:`repro.core` -- the BYOM contribution: category labels, category
   model, Adaptive Category Selection (Algorithm 1), Adaptive Hash.
+- :mod:`repro.serve` -- online placement service: request-at-a-time
+  serving over the same engine, load generation, checkpointing.
 - :mod:`repro.oracle` -- clairvoyant ILP oracle and headroom analysis.
 - :mod:`repro.prototype` -- test-deployment emulation (Figures 5/13/14).
 - :mod:`repro.analysis` -- experiment runners for every table/figure.

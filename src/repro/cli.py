@@ -9,6 +9,13 @@ Subcommands:
 - ``deploy``    — train BYOM on week 1, deploy on week 2, report savings
 - ``replay``    — stream a CSV/npz trace through the simulator without
   materializing per-job objects (see ``repro.workloads.streaming``)
+- ``serve``     — replay a trace request-at-a-time (or in micro-batches)
+  through the online ``PlacementService`` (see ``repro.serve``)
+- ``loadgen``   — open-loop timed load generation against the service at
+  a configurable rate and burst shape
+
+``serve`` and ``loadgen`` handle Ctrl-C gracefully: queued jobs are
+drained, the partial roll-up is printed, and the process exits 130.
 
 Examples::
 
@@ -18,6 +25,8 @@ Examples::
     python -m repro.cli headroom --cluster 0 --quota 0.01
     python -m repro.cli deploy --cluster 0 --quota 0.01
     python -m repro.cli replay --trace /tmp/trace.csv --quota 0.05 --shards 4
+    python -m repro.cli serve --trace /tmp/trace.csv --quota 0.05 --batch 512
+    python -m repro.cli loadgen --trace /tmp/trace.csv --rate 20000 --burst poisson
 """
 
 from __future__ import annotations
@@ -80,6 +89,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="jobs per streamed block (default 65536)")
     replay.add_argument("--engine", choices=("auto", "chunked", "legacy"),
                         default="auto", help="simulator event loop")
+    replay.add_argument("--aggregate", action="store_true",
+                        help="constant-memory results: keep aggregates only, "
+                             "drop the per-job SSD-fraction array")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a trace through the online placement service",
+    )
+    serve.add_argument(
+        "--trace", required=True,
+        help="trace to serve: a .csv file or a .npz/prefix saved by generate",
+    )
+    serve.add_argument("--quota", type=float, default=0.05,
+                       help="SSD capacity as a fraction of the trace's peak usage")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="number of caching servers (1 = one global pool)")
+    serve.add_argument("--categories", type=int, default=15,
+                       help="category count for the hash-category adaptive policy")
+    serve.add_argument("--mode", choices=("batch", "scalar"), default="batch",
+                       help="micro-batch (chunked-engine) or request-at-a-time "
+                            "(legacy-engine) submission")
+    serve.add_argument("--batch", type=int, default=512,
+                       help="jobs per submitted micro-batch (batch mode)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="backpressure bound on the admission queue")
+    serve.add_argument("--aggregate", action="store_true",
+                       help="keep aggregates only in the final roll-up")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop timed load generation against the placement service",
+    )
+    loadgen.add_argument(
+        "--trace", required=True,
+        help="trace to stream: a .csv file or a .npz/prefix saved by generate",
+    )
+    loadgen.add_argument("--quota", type=float, default=0.05,
+                         help="SSD capacity as a fraction of the trace's peak usage")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="number of caching servers")
+    loadgen.add_argument("--categories", type=int, default=15,
+                         help="category count for the hash-category adaptive policy")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="offered load in jobs/second (default: as fast "
+                              "as possible, no pacing)")
+    loadgen.add_argument("--burst", choices=("trace", "uniform", "poisson"),
+                         default="trace", help="arrival burst shape")
+    loadgen.add_argument("--batch", type=int, default=256,
+                         help="jobs per released micro-batch")
+    loadgen.add_argument("--limit", type=int, default=None,
+                         help="stop after this many jobs")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="seed of the poisson gap sampler")
     return parser
 
 
@@ -193,10 +255,14 @@ def _cmd_replay(args) -> int:
     )
     if args.shards > 1:
         res = simulate_sharded(
-            trace, policy, capacity, args.shards, engine=args.engine
+            trace, policy, capacity, args.shards, engine=args.engine,
+            aggregate_only=args.aggregate,
         )
     else:
-        res = simulate(trace, policy, capacity, engine=args.engine)
+        res = simulate(
+            trace, policy, capacity, engine=args.engine,
+            aggregate_only=args.aggregate,
+        )
     print(f"streamed {len(trace)} jobs from {args.trace} "
           f"({type(source).__name__}, blocks of {block_size})")
     print(f"  capacity:     {fmt_bytes(capacity)} "
@@ -206,7 +272,119 @@ def _cmd_replay(args) -> int:
     print(f"  TCO savings:  {res.tco_savings_pct:.2f}%")
     print(f"  TCIO savings: {res.tcio_savings_pct:.2f}%")
     print(f"  spilled:      {res.n_spilled} of {res.n_ssd_requested} SSD requests")
+    if args.aggregate:
+        print("  results:      aggregate-only (per-job arrays dropped)")
     return 0
+
+
+def _service_summary(res, stats, interrupted: bool = False) -> None:
+    tag = "partial roll-up (interrupted)" if interrupted else "final roll-up"
+    print(f"  {tag}: {res.n_jobs} jobs decided, "
+          f"TCO savings {res.tco_savings_pct:.2f}%, "
+          f"{res.n_spilled} of {res.n_ssd_requested} SSD requests spilled")
+    print(f"  chunks: {stats.n_chunks}, peak queue: {stats.max_pending_seen}, "
+          f"completions: {stats.n_completions}")
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import AdaptiveCategoryPolicy, hash_categories
+    from .serve import PlacementService
+    from .workloads.streaming import materialize_trace
+
+    trace = materialize_trace(args.trace)
+    if len(trace) == 0:
+        print(f"trace {trace.name}: 0 jobs, nothing to serve")
+        return 0
+    capacity = args.quota * trace.peak_ssd_usage()
+    policy = AdaptiveCategoryPolicy(
+        hash_categories(trace, args.categories), args.categories,
+        name="Adaptive Hash",
+    )
+    service = PlacementService(
+        policy, capacity, args.shards, mode=args.mode,
+        max_pending=args.max_pending,
+    )
+    service.open(trace)
+    n = len(trace)
+    step = 1 if args.mode == "scalar" else max(args.batch, 1)
+    pipelines = trace.pipelines
+    lat: list[float] = []
+    interrupted = False
+    t_start = time.perf_counter()
+    try:
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            t0 = time.perf_counter()
+            if args.mode == "scalar":
+                service.submit(
+                    arrival=trace.arrivals[lo], duration=trace.durations[lo],
+                    size=trace.sizes[lo], read_bytes=trace.read_bytes[lo],
+                    write_bytes=trace.write_bytes[lo],
+                    read_ops=trace.read_ops[lo], pipeline=pipelines[lo],
+                )
+            else:
+                service.submit_batch(
+                    trace.arrivals[lo:hi], trace.durations[lo:hi],
+                    trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                    trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                    pipelines=pipelines[lo:hi],
+                )
+            lat.append(time.perf_counter() - t0)
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted — flushing queued jobs", file=sys.stderr)
+    elapsed = time.perf_counter() - t_start
+    res = service.result(aggregate_only=args.aggregate)  # drains the queue
+    unit = "request" if args.mode == "scalar" else f"batch of {step}"
+    print(f"served {res.n_jobs} of {n} jobs from {args.trace} "
+          f"({args.mode} mode, one {unit} per submission)")
+    if lat and elapsed > 0:
+        p50, p99 = np.percentile(np.asarray(lat), [50, 99])
+        print(f"  decision latency: p50 {p50 * 1e6:,.0f} us, "
+              f"p99 {p99 * 1e6:,.0f} us per submission")
+        print(f"  throughput:       {res.n_jobs / elapsed:,.0f} decisions/s")
+    _service_summary(res, service.stats, interrupted)
+    return 130 if interrupted else 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .core import AdaptiveCategoryPolicy, hash_categories
+    from .serve import LoadGenerator, PlacementService
+    from .workloads.streaming import materialize_trace
+
+    trace = materialize_trace(args.trace)
+    if len(trace) == 0:
+        print(f"trace {trace.name}: 0 jobs, nothing to offer")
+        return 0
+    capacity = args.quota * trace.peak_ssd_usage()
+    policy = AdaptiveCategoryPolicy(
+        hash_categories(trace, args.categories), args.categories,
+        name="Adaptive Hash",
+    )
+    service = PlacementService(policy, capacity, args.shards, mode="batch")
+    service.open(trace)
+    gen = LoadGenerator(
+        trace, rate=args.rate, shape=args.burst,
+        batch_jobs=max(args.batch, 1), seed=args.seed,
+    )
+    report = gen.run(service, limit=args.limit)
+    if report.interrupted:
+        print("\ninterrupted — flushing queued jobs", file=sys.stderr)
+    offered = "unpaced" if args.rate is None else f"{args.rate:,.0f} jobs/s"
+    print(f"offered {report.n_jobs} jobs from {args.trace} "
+          f"({offered}, burst shape {args.burst!r}, "
+          f"batches of {gen.batch_jobs})")
+    print(f"  achieved:  {report.achieved_rate:,.0f} decisions/s over "
+          f"{report.elapsed:.2f}s (lag {report.lag_seconds:.3f}s)")
+    print(f"  latency:   p50 {report.latency_percentile(50) * 1e6:,.0f} us, "
+          f"p99 {report.latency_percentile(99) * 1e6:,.0f} us per batch")
+    res = service.result()
+    _service_summary(res, service.stats, report.interrupted)
+    return 130 if report.interrupted else 0
 
 
 _COMMANDS = {
@@ -216,6 +394,8 @@ _COMMANDS = {
     "headroom": _cmd_headroom,
     "deploy": _cmd_deploy,
     "replay": _cmd_replay,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

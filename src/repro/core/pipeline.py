@@ -164,6 +164,64 @@ class ByomPipeline:
             )
         return simulate(test_trace, policy, capacity, self.rates, engine=engine)
 
+    def serve(
+        self,
+        quota_fraction: float,
+        peak_usage: float,
+        n_shards: int = 1,
+        shard_weights: "np.ndarray | None" = None,
+        per_shard_act: bool = False,
+        mode: str = "batch",
+        history: Trace | None = None,
+        max_pending: int | None = None,
+    ):
+        """Online phase, live: an opened
+        :class:`~repro.serve.PlacementService` around this trained model.
+
+        Where :meth:`deploy` replays a finished week, ``serve`` stands
+        up the paper's production shape — jobs are submitted as they
+        arrive, features are extracted and categories predicted on the
+        admission path (:class:`~repro.serve.OnlineCategorizer` over
+        the fitted GBT), and Algorithm 1 adapts thresholds from live
+        feedback (:class:`~repro.serve.OnlineAdaptivePolicy`).
+
+        Parameters mirror :meth:`deploy` where they overlap.
+        ``peak_usage`` is required (there is no trace to measure);
+        ``history`` optionally warm-starts the feature extractor's
+        per-pipeline state from an observed trace, e.g. the training
+        week, so early arrivals see the same history an offline
+        combined-trace extraction would give them.  Submit with
+        ``service.submit(job)`` / ``service.submit_jobs(batch)`` and
+        take ``service.result()`` whenever a roll-up is needed.
+        """
+        from ..serve import OnlineAdaptivePolicy, OnlineCategorizer, PlacementService
+
+        policy = OnlineAdaptivePolicy(
+            self.model_params.n_categories,
+            self.adaptive_params,
+            per_shard_act=per_shard_act,
+        )
+        categorizer = OnlineCategorizer(self.model, self.rates)
+        if history is not None:
+            categorizer.warm_start(history)
+        capacity: "float | np.ndarray" = quota_fraction * peak_usage
+        if shard_weights is not None:
+            w = np.asarray(shard_weights, dtype=float)
+            if w.size != n_shards:
+                raise ValueError(
+                    f"shard_weights has {w.size} entries for {n_shards} shards"
+                )
+            capacity = capacity * w / w.sum()
+        return PlacementService(
+            policy,
+            capacity,
+            n_shards,
+            mode=mode,
+            rates=self.rates,
+            categorizer=categorizer,
+            max_pending=max_pending,
+        ).open()
+
     def true_category_policy(
         self, test_trace: Trace, name: str = "True category", per_shard_act: bool = False
     ) -> AdaptiveCategoryPolicy:

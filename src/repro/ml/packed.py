@@ -173,3 +173,33 @@ class PackedForest:
                 raw += learning_rate * leaf[:, r * n_classes : (r + 1) * n_classes]
             out[start:stop] = raw
         return out
+
+    def decision_scores_one(
+        self,
+        x_binned: np.ndarray,
+        base_score: np.ndarray | float,
+        learning_rate: float,
+        n_classes: int = 1,
+    ) -> np.ndarray:
+        """Boosted raw scores for a single sample, shape ``(n_classes,)``.
+
+        The request-at-a-time serving path: skips the batch machinery
+        (chunk loop, per-chunk tiling) while accumulating per round in
+        fit order, so the scores are bit-identical to row ``i`` of
+        :meth:`decision_scores` on a batch containing the sample.
+        """
+        n_trees = self.n_trees
+        if n_classes < 1 or n_trees % n_classes:
+            raise ValueError(
+                f"n_trees={n_trees} is not a multiple of n_classes={n_classes}"
+            )
+        x = np.asarray(x_binned)
+        if x.ndim != 1:
+            raise ValueError("decision_scores_one routes exactly one sample")
+        leaf = self._route_chunk(x.reshape(1, -1))[0]
+        raw = np.array(
+            np.broadcast_to(np.asarray(base_score, dtype=float), (n_classes,))
+        )
+        for r in range(n_trees // n_classes):
+            raw += learning_rate * leaf[r * n_classes : (r + 1) * n_classes]
+        return raw

@@ -1,0 +1,50 @@
+"""Online placement serving: the live counterpart of the offline runtime.
+
+Everything below :mod:`repro.storage` replays a finished trace; this
+subsystem runs the same placement computation *forward in time*, the
+way the paper's production system runs it — jobs arrive, get routed to
+a caching server, the adaptive threshold reacts, completions return
+space:
+
+- :class:`PlacementService` — the stateful request-at-a-time (or
+  micro-batch) controller over the unified engine's incremental
+  kernels; submissions mutate live lane state and return
+  :class:`PlacementDecision` objects, ``complete`` events free space
+  early, and ``snapshot``/``restore`` checkpoint the whole thing.
+- :class:`OnlineAdaptivePolicy` — Algorithm 1 over streaming
+  categories, anchored on the service's live :class:`~repro.serve.log.JobLog`.
+- :class:`OnlineCategorizer` — on-the-fly Table-2 feature extraction
+  plus packed-forest GBT prediction on the admission path.
+- :class:`LoadGenerator` — open-loop timed arrival streams from any
+  trace source, with configurable rate and burst shape, for
+  latency/throughput measurement.
+
+Replaying a trace through the service is bit-identical to the offline
+``simulate``/``simulate_sharded`` run with the matching engine — the
+service drives the same kernels; see :mod:`repro.serve.service`.
+"""
+
+from .loadgen import LoadGenerator, LoadReport
+from .log import ColumnView, GrowArray, JobLog
+from .policy import OnlineAdaptivePolicy
+from .predict import OnlineCategorizer
+from .service import (
+    PlacementDecision,
+    PlacementService,
+    ServiceSnapshot,
+    ServiceStats,
+)
+
+__all__ = [
+    "PlacementService",
+    "PlacementDecision",
+    "ServiceSnapshot",
+    "ServiceStats",
+    "OnlineAdaptivePolicy",
+    "OnlineCategorizer",
+    "LoadGenerator",
+    "LoadReport",
+    "JobLog",
+    "GrowArray",
+    "ColumnView",
+]

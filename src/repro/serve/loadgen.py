@@ -1,0 +1,212 @@
+"""Open-loop load generation for the online placement service.
+
+A :class:`LoadGenerator` turns any trace input — an in-memory trace, a
+:class:`~repro.workloads.streaming.TraceSource`, or a ``.csv``/``.npz``
+path — into a *timed* arrival stream: micro-batches of jobs released
+at wall-clock instants derived from the trace's arrival process, at a
+configurable offered rate and burst shape.  It is open-loop (the
+arrival schedule never waits for the service), which is the honest way
+to measure a serving system: a slow service falls behind the schedule
+instead of silently slowing the offered load.
+
+Burst shapes
+------------
+- ``"trace"`` — preserve the trace's own inter-arrival structure,
+  time-scaled to the offered rate (diurnal waves, natural bursts);
+- ``"uniform"`` — constant spacing at the offered rate (the smoothest
+  possible arrival process, a lower bound on queueing);
+- ``"poisson"`` — i.i.d. exponential gaps at the offered rate (the
+  classic open-system model), deterministic under ``seed``.
+
+With ``rate=None`` the generator never sleeps and the stream degrades
+to as-fast-as-possible replay — the mode the throughput benchmark and
+the tests use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads.streaming import open_trace_source, rechunk_blocks
+
+__all__ = ["LoadReport", "LoadGenerator"]
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured.
+
+    ``batch_seconds`` holds the service time of each ``submit_block``
+    call (the decision path: queueing, feature extraction/prediction
+    when a categorizer is wired, kernel admission).  ``lag_seconds`` is
+    how far the sender fell behind the open-loop schedule at the last
+    batch (0 when the service keeps up or no rate was set).
+    """
+
+    n_jobs: int = 0
+    n_batches: int = 0
+    n_decisions: int = 0
+    elapsed: float = 0.0
+    offered_rate: float | None = None
+    lag_seconds: float = 0.0
+    interrupted: bool = False
+    batch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def achieved_rate(self) -> float:
+        """Decisions per wall-clock second over the whole run."""
+        return self.n_decisions / self.elapsed if self.elapsed > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile (0-100) of the per-micro-batch decision latency."""
+        if not self.batch_seconds:
+            return 0.0
+        return float(np.percentile(np.asarray(self.batch_seconds), q))
+
+
+class LoadGenerator:
+    """Replay a trace as a timed open-loop arrival stream.
+
+    Parameters
+    ----------
+    trace:
+        Anything :func:`~repro.workloads.streaming.open_trace_source`
+        accepts.
+    rate:
+        Offered load in jobs/second; ``None`` disables pacing.
+    shape:
+        Burst shape: ``"trace"``, ``"uniform"`` or ``"poisson"``.
+    batch_jobs:
+        Jobs per released micro-batch (the submission granularity).
+    seed:
+        Seed of the ``"poisson"`` gap sampler (schedules are
+        deterministic for a fixed seed and batch size).
+    clock, sleep:
+        Injectable time source and sleeper (tests pass fakes; defaults
+        are ``time.perf_counter`` / ``time.sleep``).
+
+    ``run`` may be called again to replay the stream when the trace
+    input is re-iterable — every shipped adapter (in-memory, CSV, npz)
+    re-opens its backing store per iteration.  A single-shot iterable
+    of blocks is exhausted by its first run and yields an empty report
+    afterwards.
+    """
+
+    def __init__(
+        self,
+        trace,
+        *,
+        rate: float | None = None,
+        shape: str = "trace",
+        batch_jobs: int = 256,
+        seed: int = 0,
+        clock=time.perf_counter,
+        sleep=time.sleep,
+    ):
+        if shape not in ("trace", "uniform", "poisson"):
+            raise ValueError(f"unknown burst shape {shape!r}")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive")
+        if batch_jobs < 1:
+            raise ValueError("batch_jobs must be >= 1")
+        self.source = open_trace_source(trace)
+        self.rate = rate
+        self.shape = shape
+        self.batch_jobs = batch_jobs
+        self.seed = seed
+        self.clock = clock
+        self.sleep = sleep
+
+    def _send_offsets(self, arrivals: np.ndarray, sent: int) -> np.ndarray:
+        """Wall-clock send offsets (seconds from run start) for one batch.
+
+        ``sent`` is the number of jobs already released — the schedule
+        is a function of global position, so batches join a single
+        continuous arrival process.
+        """
+        k = arrivals.size
+        if self.rate is None:
+            return np.zeros(k)
+        if self.shape == "uniform":
+            return (sent + np.arange(k, dtype=float)) / self.rate
+        if self.shape == "poisson":
+            # One stream restart per batch, keyed by (seed, first global
+            # position): deterministic for a fixed seed and batch size
+            # (re-slicing the stream redraws the gaps).
+            rng = np.random.default_rng(self.seed + sent)
+            gaps = rng.exponential(1.0 / self.rate, size=k)
+            base = self._poisson_clock
+            offsets = base + np.cumsum(gaps)
+            self._poisson_clock = float(offsets[-1])
+            return offsets
+        # "trace": scale the trace's own arrival offsets to the rate.
+        if self._t0 is None:
+            self._t0 = float(arrivals[0])
+        if self._trace_scale is None:
+            # Unknown span up front (streaming source): estimate the
+            # natural rate from the first batch and hold it.
+            span = float(arrivals[-1]) - self._t0
+            natural = (k / span) if span > 0 else self.rate
+            self._trace_scale = natural / self.rate
+        return (arrivals - self._t0) * self._trace_scale
+
+    def run(self, service, limit: int | None = None) -> LoadReport:
+        """Drive ``service`` with the timed stream; returns the report.
+
+        ``limit`` caps the number of jobs released (handy for smoke
+        runs over large traces).  A ``KeyboardInterrupt`` mid-stream
+        stops the run gracefully: queued jobs are drained, the partial
+        report is returned with ``interrupted=True``, and the service
+        keeps its state — callers can still take ``service.result()``.
+        """
+        report = LoadReport(offered_rate=self.rate)
+        self._t0 = None
+        self._trace_scale = None
+        self._poisson_clock = 0.0
+        start = self.clock()
+        sent = 0
+        try:
+            for block in rechunk_blocks(self.source, self.batch_jobs):
+                if limit is not None and sent >= limit:
+                    break
+                if limit is not None and sent + len(block) > limit:
+                    block = _clip_block(block, limit - sent)
+                offsets = self._send_offsets(block.arrivals, sent)
+                if self.rate is not None:
+                    ahead = offsets[0] - (self.clock() - start)
+                    if ahead > 0:
+                        self.sleep(ahead)
+                    else:
+                        report.lag_seconds = float(-ahead)
+                t0 = self.clock()
+                decisions = service.submit_block(block)
+                report.batch_seconds.append(self.clock() - t0)
+                report.n_decisions += len(decisions)
+                sent += len(block)
+                report.n_batches += 1
+        except KeyboardInterrupt:
+            report.interrupted = True
+        report.n_decisions += len(service.drain())
+        report.n_jobs = sent
+        report.elapsed = self.clock() - start
+        return report
+
+
+def _clip_block(block, take: int):
+    """First ``take`` jobs of a block (for the run's job limit)."""
+    from ..workloads.streaming import TraceBlock
+
+    return TraceBlock(
+        arrivals=block.arrivals[:take],
+        durations=block.durations[:take],
+        sizes=block.sizes[:take],
+        read_bytes=block.read_bytes[:take],
+        write_bytes=block.write_bytes[:take],
+        read_ops=block.read_ops[:take],
+        pipelines=None if block.pipelines is None else block.pipelines[:take],
+        users=None if block.users is None else block.users[:take],
+        job_ids=None if block.job_ids is None else block.job_ids[:take],
+    )

@@ -1,0 +1,85 @@
+"""On-the-fly category prediction for the online placement service.
+
+Offline, the BYOM pipeline extracts the whole deployment week's feature
+matrix and predicts every category before the first simulated arrival.
+A live service cannot: each arriving job's features depend on the
+history observed *so far*, and the prediction must happen on the
+admission path.  :class:`OnlineCategorizer` fuses the two incremental
+pieces — the stateful
+:class:`~repro.workloads.features.OnlineFeatureExtractor` (Table-2 rows
+per arrival) and the packed-forest inference of the fitted GBT
+(:meth:`~repro.ml.packed.PackedForest.decision_scores` for
+micro-batches, :meth:`~repro.ml.packed.PackedForest.decision_scores_one`
+for single requests) — into one callable the
+:class:`~repro.serve.PlacementService` invokes per submission.
+
+Predictions are bit-identical to the offline
+``model.predict(extract_features(trace))`` path over the same jobs
+(``tests/test_serve_online.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.category_model import CategoryModel
+from ..cost import CostRates, DEFAULT_RATES
+from ..ml.gbdt import GBTClassifier
+from ..workloads.features import DEFAULT_HASH_BUCKETS, OnlineFeatureExtractor
+from ..workloads.job import Trace
+
+__all__ = ["OnlineCategorizer"]
+
+
+class OnlineCategorizer:
+    """``jobs -> categories`` for arriving jobs, model-driven.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.category_model.CategoryModel` (its
+        GBT classifier is used) or a fitted
+        :class:`~repro.ml.gbdt.GBTClassifier` directly.
+    rates:
+        Cost model for the history features (group A); must match the
+        rates the offline feature extraction used.
+    n_hash_buckets:
+        Metadata hashing width, as in :func:`extract_features`.
+    """
+
+    def __init__(
+        self,
+        model: CategoryModel | GBTClassifier,
+        rates: CostRates = DEFAULT_RATES,
+        n_hash_buckets: int = DEFAULT_HASH_BUCKETS,
+    ):
+        gbt = model.model if isinstance(model, CategoryModel) else model
+        if gbt.binner_ is None or gbt.classes_ is None:
+            raise ValueError("categorizer needs a fitted model")
+        self.gbt = gbt
+        self.extractor = OnlineFeatureExtractor(rates, n_hash_buckets)
+
+    def warm_start(self, trace: Trace) -> "OnlineCategorizer":
+        """Seed feature history from already-observed jobs (e.g. the
+        training week), without predicting anything."""
+        self.extractor.warm_start(trace)
+        return self
+
+    def __call__(self, jobs) -> np.ndarray:
+        """Predicted importance category per arriving job."""
+        gbt = self.gbt
+        X = self.extractor.push(jobs)
+        k = len(gbt.classes_)
+        if gbt.packed_ is None:
+            # Single-class fit: every prediction is that class.
+            return np.full(X.shape[0], int(gbt.classes_[0]), dtype=int)
+        Xb = gbt.binner_.transform(X)
+        if Xb.shape[0] == 1:
+            raw = gbt.packed_.decision_scores_one(
+                Xb[0], gbt.base_score_, gbt.learning_rate, k
+            ).reshape(1, -1)
+        else:
+            raw = gbt.packed_.decision_scores(
+                Xb, gbt.base_score_, gbt.learning_rate, k
+            )
+        return gbt.classes_[np.argmax(raw, axis=1)].astype(int)

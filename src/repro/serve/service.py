@@ -1,0 +1,705 @@
+"""The stateful online placement service.
+
+:class:`PlacementService` turns the offline placement runtime into a
+live request-at-a-time controller: jobs are *submitted* as they arrive
+(one at a time or in micro-batches), each submission mutates live
+fleet/lane state — free space, pending releases, spillover windows,
+adaptive thresholds — and yields a :class:`PlacementDecision` routing
+the job to SSD or HDD on its caching server.  ``complete`` events
+return space early; ``snapshot``/``restore`` checkpoint the full
+service state mid-stream.
+
+Relation to the offline runtime
+-------------------------------
+The service does not reimplement the engine: it drives the same
+incremental kernels (:class:`~repro.storage.engine.ScalarKernel`,
+:class:`~repro.storage.engine.ChunkKernel`) that
+:func:`~repro.storage.engine.run_placement` drives, one submission at
+a time instead of one trace at a time.  Two operating modes mirror the
+two engines:
+
+- ``mode="scalar"`` — one policy round-trip per submission, the legacy
+  engine's arithmetic.  Replaying a trace job by job is
+  **bit-identical** to ``simulate(trace, ..., engine="legacy")``.
+- ``mode="batch"`` — submissions are queued and processed in the
+  *policy's* decision-interval chunks (the chunked engine's
+  arithmetic).  The queue is the admission buffer: a chunk runs as
+  soon as the policy's declared run of jobs is fully buffered, and
+  ``drain()`` flushes the tail exactly as the offline engine clamps
+  its final chunk at trace end.  Because chunk boundaries are decided
+  by the policy in both drivers — never by micro-batch boundaries —
+  replaying a trace through any micro-batch slicing plus a final drain
+  is **bit-identical** to ``simulate(trace, ..., engine="chunked")``.
+
+``tests/test_serve_service.py`` pins both identities across policies,
+engines and shard counts.
+
+Backpressure
+------------
+``max_pending`` bounds the admission queue: when a submission leaves
+more than ``max_pending`` undecided jobs queued (the policy's declared
+chunk still incomplete), the service force-closes chunks at the
+available horizon, trading the offline-equal chunk boundaries for
+bounded decision latency — the same trade a production frontend makes
+when it refuses to hold requests for a full decision interval.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..cost import CostRates, DEFAULT_RATES
+from ..storage.engine import (
+    ChunkKernel,
+    ScalarKernel,
+    SimResult,
+    _finalize,
+    _normalize_capacity,
+    assign_shards,
+)
+from ..storage.policy import PlacementContext, PlacementOutcome, PlacementPolicy
+from ..workloads.job import ShuffleJob, TraceBase
+from .log import GrowArray, JobLog
+
+__all__ = ["PlacementDecision", "ServiceSnapshot", "ServiceStats", "PlacementService"]
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The service's verdict for one submitted job.
+
+    Attributes
+    ----------
+    index:
+        Submission index (position in the service's job log).
+    job_id:
+        Caller-supplied identity (submission index when omitted); the
+        key ``complete`` events use.
+    time:
+        Arrival time the decision was applied at.
+    shard:
+        Caching server the job was routed to (0 with one global pool).
+    requested_ssd:
+        Whether the policy asked for SSD placement.
+    ssd_space_fraction:
+        Fraction of the footprint that fit on SSD (0.0 when HDD-routed
+        or fully spilled).
+    spill_time:
+        When spillover began, or ``None`` if nothing spilled.
+    release_time:
+        Scheduled release of the job's SSD allocation (arrival +
+        residency), meaningful when some space was allocated.
+    """
+
+    index: int
+    job_id: object
+    time: float
+    shard: int
+    requested_ssd: bool
+    ssd_space_fraction: float
+    spill_time: float | None
+    release_time: float
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """A deep-copied checkpoint of a :class:`PlacementService`.
+
+    Produced by :meth:`PlacementService.snapshot`; consumed by
+    :meth:`PlacementService.restore`.  The payload owns copies of all
+    mutable state (kernel, policy, log, queue bookkeeping), so the
+    original service may keep running and one snapshot may be restored
+    any number of times.  Snapshots are picklable whenever the policy
+    is, which is what makes on-disk checkpointing possible.
+    """
+
+    payload: dict = field(repr=False)
+    n_submitted: int = 0
+    n_decided: int = 0
+
+
+@dataclass
+class ServiceStats:
+    """Running operational counters of one service instance."""
+
+    n_submitted: int = 0
+    n_decided: int = 0
+    n_chunks: int = 0
+    n_completions: int = 0
+    duplicate_completes: int = 0
+    forced_chunks: int = 0
+    max_pending_seen: int = 0
+
+
+class PlacementService:
+    """Stateful request-at-a-time placement over the unified engine.
+
+    Parameters
+    ----------
+    policy:
+        Any :class:`~repro.storage.policy.PlacementPolicy`.  In
+        ``"batch"`` mode it must implement ``decide_batch``.  Policies
+        that consult a trace (categories, sizes) work in two ways:
+        *replay* — pass the trace to :meth:`open` and submit its jobs
+        in order — or *online* — use a serve-native policy
+        (:class:`~repro.serve.OnlineAdaptivePolicy`) bound to the
+        service's live job log, optionally fed by an on-the-fly
+        ``categorizer``.
+    capacity:
+        Total SSD bytes (scalar, split evenly) or a per-shard vector,
+        exactly as :func:`~repro.storage.engine.run_placement` takes it.
+    n_shards:
+        Caching-server count; jobs route by a stable pipeline hash.
+    mode:
+        ``"scalar"`` (decide per submission, legacy-engine arithmetic)
+        or ``"batch"`` (queue and decide in policy chunks,
+        chunked-engine arithmetic).
+    max_pending:
+        Backpressure bound on the admission queue (``"batch"`` mode):
+        exceeding it force-closes chunks at the available horizon.
+        ``None`` (default) never forces — decisions wait for the
+        policy's full chunk (or :meth:`drain`), keeping replay
+        bit-identical to the offline engine.
+    categorizer:
+        Optional callable ``jobs -> categories`` invoked on every
+        submission (e.g. :class:`~repro.serve.OnlineCategorizer`:
+        on-the-fly feature extraction + packed-forest prediction); the
+        categories are streamed into the policy via its
+        ``extend_categories`` hook.
+    track_jobs:
+        Keep a live table of outstanding SSD allocations so
+        :meth:`complete` can release space early.  On by default; turn
+        off to shave bookkeeping from pure-replay benchmarks.
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy,
+        capacity: float | np.ndarray,
+        n_shards: int = 1,
+        *,
+        mode: str = "batch",
+        rates: CostRates = DEFAULT_RATES,
+        shard_seed: int = 0,
+        max_pending: int | None = None,
+        categorizer=None,
+        track_jobs: bool = True,
+        name: str = "service",
+    ):
+        if mode not in ("scalar", "batch"):
+            raise ValueError(f"unknown service mode {mode!r}")
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if mode == "batch" and not callable(getattr(policy, "decide_batch", None)):
+            raise ValueError(
+                f"policy {policy.name!r} does not implement decide_batch; "
+                "use mode='scalar'"
+            )
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.policy = policy
+        self.n_shards = n_shards
+        self.mode = mode
+        self.rates = rates
+        self.shard_seed = shard_seed
+        self.max_pending = max_pending
+        self.categorizer = categorizer
+        self.track_jobs = track_jobs
+        lane_caps, total = _normalize_capacity(capacity, n_shards)
+        self.lane_capacities = lane_caps
+        self.capacity = total
+        self.log = JobLog(rates=rates, n_shards=n_shards, shard_seed=shard_seed, name=name)
+        self.kernel = (
+            ScalarKernel(lane_caps, total)
+            if mode == "scalar"
+            else ChunkKernel(lane_caps, total)
+        )
+        self.stats = ServiceStats()
+        self._frac = GrowArray(float)
+        self._decided = 0
+        self._plan = None  # cached (BatchDecision for job index _decided)
+        self._now = -np.inf
+        self._opened = False
+        self._live: dict = {}  # job_id -> (index, lane, alloc, release_time)
+        self._live_sched: list[tuple[float, object]] = []  # (release_time, job_id)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Submitted jobs still queued for a decision (batch mode)."""
+        return len(self.log) - self._decided
+
+    @property
+    def n_decided(self) -> int:
+        return self._decided
+
+    def open(self, trace: TraceBase | None = None) -> "PlacementService":
+        """Wire the policy up and start accepting submissions.
+
+        With ``trace`` (replay mode) the policy receives exactly the
+        hooks the offline runtime would give it —
+        ``on_simulation_start`` with the full trace and the
+        precomputed shard routing — and the caller must then submit the
+        trace's jobs in order.  Without a trace (online mode) the
+        policy is bound to the service's live job log: it sees the
+        submitted prefix wherever it would have seen the trace.
+        Called implicitly (online mode) by the first submission.
+        """
+        if self._opened:
+            raise RuntimeError("service already opened")
+        self._opened = True
+        policy = self.policy
+        if trace is not None:
+            shards = (
+                assign_shards(trace, self.n_shards, seed=self.shard_seed)
+                if self.n_shards > 1
+                else None
+            )
+            policy.on_simulation_start(trace, self.capacity, self.rates)
+            policy.on_shard_topology(shards, self.lane_capacities.copy())
+        else:
+            if hasattr(policy, "bind_log"):
+                policy.bind_log(self.log)
+            policy.on_simulation_start(self.log, self.capacity, self.rates)
+            shards_view = self.log.column("lanes") if self.n_shards > 1 else None
+            policy.on_shard_topology(shards_view, self.lane_capacities.copy())
+        return self
+
+    def _ensure_open(self) -> None:
+        if not self._opened:
+            self.open()
+
+    # -- submissions ----------------------------------------------------
+
+    def submit(
+        self,
+        job: ShuffleJob | None = None,
+        *,
+        arrival: float | None = None,
+        duration: float | None = None,
+        size: float | None = None,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        read_ops: float = 0.0,
+        pipeline: str = "pipeline0",
+        user: str = "user0",
+        job_id=None,
+    ) -> list[PlacementDecision]:
+        """Submit one job; returns the decisions this submission resolved.
+
+        In ``"scalar"`` mode the returned list holds exactly this job's
+        decision.  In ``"batch"`` mode it holds every decision the
+        submission unlocked — possibly none (the job is queued until
+        the policy's decision chunk completes), possibly many (this
+        arrival closed a chunk covering earlier queued jobs).
+        """
+        self._ensure_open()
+        if job is not None:
+            arrival, duration, size = job.arrival, job.duration, job.size
+            read_bytes, write_bytes = job.read_bytes, job.write_bytes
+            read_ops, pipeline, user = job.read_ops, job.pipeline, job.user
+            if job_id is None:
+                job_id = job.job_id
+        elif arrival is None or duration is None or size is None:
+            raise TypeError("submit() needs a ShuffleJob or arrival/duration/size")
+        i = self.log.append_job(
+            arrival, duration, size, read_bytes, write_bytes, read_ops,
+            pipeline, user, job_id,
+        )
+        self.stats.n_submitted += 1
+        if self.categorizer is not None:
+            self._categorize(i, i + 1, [job] if job is not None else None)
+        if self.mode == "scalar":
+            return [self._decide_scalar(i)]
+        return self._pump()
+
+    def submit_batch(
+        self,
+        arrivals: np.ndarray,
+        durations: np.ndarray,
+        sizes: np.ndarray,
+        read_bytes: np.ndarray | None = None,
+        write_bytes: np.ndarray | None = None,
+        read_ops: np.ndarray | None = None,
+        pipelines: Sequence[str] | None = None,
+        users: Sequence[str] | None = None,
+        job_ids: Sequence | None = None,
+    ) -> list[PlacementDecision]:
+        """Submit one arrival-ordered micro-batch of jobs as columns.
+
+        Returns every decision the batch resolved (see :meth:`submit`);
+        undecided jobs stay queued for later submissions or
+        :meth:`drain`.
+        """
+        self._ensure_open()
+        arrivals = np.asarray(arrivals, dtype=float)
+        zeros = np.zeros(arrivals.size)
+        first, stop = self.log.append_block(
+            arrivals, durations, sizes,
+            zeros if read_bytes is None else read_bytes,
+            zeros if write_bytes is None else write_bytes,
+            zeros if read_ops is None else read_ops,
+            pipelines, users, job_ids,
+        )
+        self.stats.n_submitted += stop - first
+        if self.categorizer is not None:
+            self._categorize(first, stop, None)
+        if self.mode == "scalar":
+            return [self._decide_scalar(i) for i in range(first, stop)]
+        return self._pump()
+
+    def submit_jobs(self, jobs: Sequence[ShuffleJob]) -> list[PlacementDecision]:
+        """Submit one arrival-ordered micro-batch of rich job objects.
+
+        Unlike :meth:`submit_batch` (bare columns), the original jobs —
+        with their metadata and resource dictionaries — are handed to
+        the categorizer, so model-driven admission sees the full
+        Table-2 feature groups exactly as an offline extraction would.
+        """
+        self._ensure_open()
+        jobs = list(jobs)
+        if not jobs:
+            return self._pump() if self.mode == "batch" else []
+        first, stop = self.log.append_block(
+            np.array([j.arrival for j in jobs]),
+            np.array([j.duration for j in jobs]),
+            np.array([j.size for j in jobs]),
+            np.array([j.read_bytes for j in jobs]),
+            np.array([j.write_bytes for j in jobs]),
+            np.array([j.read_ops for j in jobs]),
+            pipelines=[j.pipeline for j in jobs],
+            users=[j.user for j in jobs],
+            job_ids=[j.job_id for j in jobs],
+        )
+        self.stats.n_submitted += stop - first
+        if self.categorizer is not None:
+            self._categorize(first, stop, jobs)
+        if self.mode == "scalar":
+            return [self._decide_scalar(i) for i in range(first, stop)]
+        return self._pump()
+
+    def submit_block(self, block) -> list[PlacementDecision]:
+        """Submit one :class:`~repro.workloads.streaming.TraceBlock`."""
+        return self.submit_batch(
+            block.arrivals, block.durations, block.sizes,
+            block.read_bytes, block.write_bytes, block.read_ops,
+            pipelines=block.pipelines, users=block.users,
+            job_ids=None if block.job_ids is None else list(block.job_ids),
+        )
+
+    def drain(self) -> list[PlacementDecision]:
+        """Decide every queued job now, closing partial chunks.
+
+        The final-chunk clamping is exactly the offline engine's
+        end-of-trace clamping, so a replay that submits a whole trace
+        and then drains matches the offline run bit for bit.
+        """
+        self._ensure_open()
+        return self._pump(force=True)
+
+    def _categorize(self, first: int, stop: int, jobs) -> None:
+        """Run the on-the-fly categorizer over newly appended jobs."""
+        if jobs is None:
+            jobs = [self.log[i] for i in range(first, stop)]
+        cats = self.categorizer(jobs)
+        extend = getattr(self.policy, "extend_categories", None)
+        if extend is not None:
+            extend(cats)
+
+    # -- scalar mode ----------------------------------------------------
+
+    def _decide_scalar(self, i: int) -> PlacementDecision:
+        log = self.log
+        kern = self.kernel
+        t = log.arrivals[i]
+        kern.release_until(t)
+        self._advance_now(float(t))
+        s = int(log.lanes[i]) if self.n_shards > 1 else 0
+        ctx = PlacementContext(
+            time=t, free_ssd=float(kern.free[s]),
+            capacity=float(kern.lane_capacity[s]),
+        )
+        decision = self.policy.decide(i, ctx)
+        space_frac, frac, spill_time, alloc, release = kern.admit(
+            i, t, log.sizes[i], log.durations[i], s,
+            decision.want_ssd, decision.ssd_ttl,
+        )
+        self._frac.append(frac if decision.want_ssd else 0.0)
+        self.policy.observe(
+            PlacementOutcome(
+                job_index=i,
+                time=t,
+                requested_ssd=decision.want_ssd,
+                ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
+                spill_time=spill_time,
+                shard=s,
+            )
+        )
+        job_id = log.job_ids[i]
+        if self.track_jobs and alloc > 0 and release > self._now:
+            self._track_live(job_id, i, s, float(alloc), float(release))
+        self._decided += 1
+        self.stats.n_decided += 1
+        return PlacementDecision(
+            index=i,
+            job_id=job_id,
+            time=float(t),
+            shard=s,
+            requested_ssd=decision.want_ssd,
+            ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
+            spill_time=spill_time,
+            release_time=float(release),
+        )
+
+    # -- batch mode -----------------------------------------------------
+
+    def _pump(self, force: bool = False) -> list[PlacementDecision]:
+        """Process every policy chunk the queue can close.
+
+        A chunk closes when the policy's declared run of jobs is fully
+        buffered; ``force`` (drain / backpressure) closes it at the
+        available horizon instead, mirroring the offline engine's
+        end-of-trace clamp.
+        """
+        out: list[PlacementDecision] = []
+        log = self.log
+        kern = self.kernel
+        n = len(log)
+        # Peak queue depth is the backlog *before* closable chunks
+        # drain, i.e. right after the triggering submission.
+        self.stats.max_pending_seen = max(
+            self.stats.max_pending_seen, n - self._decided
+        )
+        forcing = force
+        while self._decided < n:
+            first = self._decided
+            if self._plan is None:
+                t0 = float(log.arrivals[first])
+                s0 = int(log.lanes[first]) if self.n_shards > 1 else 0
+                ctx = kern.open_chunk(t0, s0)
+                self._plan = self.policy.decide_batch(first, ctx)
+            bd = self._plan
+            want = max(1, int(bd.count))
+            if want > n - first and not forcing:
+                if (
+                    self.max_pending is not None
+                    and n - self._decided > self.max_pending
+                ):
+                    forcing = True  # backpressure: stop holding the queue
+                    self.stats.forced_chunks += 1
+                else:
+                    break
+            count = min(want, n - first)
+            stop = first + count
+            self._frac.ensure(n)
+            alloc_buf = np.zeros(count) if self.track_jobs else None
+            rel_buf = np.zeros(count) if self.track_jobs else None
+            outcomes = kern.run_chunk(
+                bd, first, stop,
+                log._arrivals.data, log._durations.data, log._sizes.data,
+                log._lanes.data if self.n_shards > 1 else None,
+                self._frac.data,
+                alloc_buf, rel_buf,
+            )
+            self._frac.n = stop
+            self.policy.observe_batch(outcomes)
+            self._advance_now(float(log.arrivals[stop - 1]))
+            out.extend(self._chunk_decisions(outcomes, alloc_buf, rel_buf))
+            self._decided = stop
+            self.stats.n_decided += count
+            self.stats.n_chunks += 1
+            self._plan = None
+            n = len(log)
+        return out
+
+    def _chunk_decisions(self, outcomes, alloc_buf, rel_buf) -> list[PlacementDecision]:
+        first = outcomes.first
+        job_ids = self.log.job_ids
+        lanes = outcomes.shards
+        decisions = []
+        for k in range(len(outcomes)):
+            i = first + k
+            st = outcomes.spill_time[k]
+            alloc = 0.0 if alloc_buf is None else float(alloc_buf[k])
+            release = float(outcomes.times[k]) if rel_buf is None else float(rel_buf[k])
+            job_id = job_ids[i]
+            if self.track_jobs and alloc > 0 and release > self._now:
+                self._track_live(job_id, i, 0 if lanes is None else int(lanes[k]),
+                                 alloc, release)
+            decisions.append(
+                PlacementDecision(
+                    index=i,
+                    job_id=job_id,
+                    time=float(outcomes.times[k]),
+                    shard=0 if lanes is None else int(lanes[k]),
+                    requested_ssd=bool(outcomes.requested_ssd[k]),
+                    ssd_space_fraction=float(outcomes.ssd_space_fraction[k]),
+                    spill_time=None if np.isnan(st) else float(st),
+                    release_time=release,
+                )
+            )
+        return decisions
+
+    # -- completion events ----------------------------------------------
+
+    def _track_live(self, job_id, index, lane, alloc, release) -> None:
+        self._live[job_id] = (index, lane, alloc, release)
+        heapq.heappush(self._live_sched, (release, index, job_id))
+
+    def _advance_now(self, t: float) -> None:
+        """Move the service clock and prune naturally-released jobs."""
+        if t > self._now:
+            self._now = t
+        sched = self._live_sched
+        while sched and sched[0][0] <= self._now:
+            _, _, job_id = heapq.heappop(sched)
+            entry = self._live.get(job_id)
+            if entry is not None and entry[3] <= self._now:
+                del self._live[job_id]
+
+    def complete(self, job_id, time: float | None = None) -> bool:
+        """Signal that a job finished early, releasing its SSD space now.
+
+        Returns ``True`` when outstanding space was actually freed;
+        ``False`` when the job is unknown, held no space, was already
+        released by its scheduled timeout, or was already completed — a
+        duplicate ``complete`` for the same id is a counted no-op, never
+        a double-free.  ``time`` advances the service clock (defaults
+        to the last decision time).
+        """
+        self._ensure_open()
+        if time is not None:
+            self._advance_now(float(time))
+        entry = self._live.pop(job_id, None)
+        if entry is None:
+            self.stats.duplicate_completes += 1
+            return False
+        index, lane, alloc, release = entry
+        if release <= self._now:
+            return False  # scheduled release already fired
+        if self.mode == "scalar":
+            self.kernel.cancel(index, lane, alloc)
+        else:
+            self.kernel.cancel(lane, alloc, release)
+        self.stats.n_completions += 1
+        return True
+
+    # -- checkpointing --------------------------------------------------
+
+    _SHARED_ATTRS = ("policy", "log", "kernel", "stats", "_frac", "_live",
+                     "_live_sched", "_plan")
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Checkpoint the full mutable state of the service.
+
+        The policy, kernel, log, queue and live-job table are deep
+        copied as one object graph (shared references — e.g. a policy
+        bound to the service's log — stay shared inside the copy).  A
+        replay trace handed to :meth:`open` is not copied: it is
+        immutable input, and both the live service and every restore
+        keep referencing the original.
+        """
+        memo: dict = {}
+        trace = getattr(self.policy, "_trace", None)
+        if trace is not None and trace is not self.log:
+            memo[id(trace)] = trace
+        payload = copy.deepcopy(self.__dict__, memo)
+        return ServiceSnapshot(
+            payload=payload,
+            n_submitted=self.stats.n_submitted,
+            n_decided=self._decided,
+        )
+
+    @classmethod
+    def restore(cls, snapshot: ServiceSnapshot) -> "PlacementService":
+        """Rebuild a service from a snapshot (the snapshot stays intact)."""
+        payload = snapshot.payload
+        trace = getattr(payload["policy"], "_trace", None)
+        memo: dict = {}
+        if trace is not None and trace is not payload["log"]:
+            memo[id(trace)] = trace
+        svc = object.__new__(cls)
+        svc.__dict__ = copy.deepcopy(payload, memo)
+        return svc
+
+    # -- results --------------------------------------------------------
+
+    def result(
+        self, drain: bool = True, aggregate_only: bool = False
+    ) -> SimResult:
+        """Roll the decisions so far up into a
+        :class:`~repro.storage.engine.SimResult`.
+
+        Costs are computed over the service's job log — for a full
+        replay this is column-for-column the input trace, so the result
+        is bit-identical to the offline engine's.  ``drain`` (default)
+        flushes queued jobs first; with ``drain=False`` the call raises
+        if undecided jobs remain.  ``aggregate_only`` drops the per-job
+        array exactly as ``run_placement(..., aggregate_only=True)``.
+        """
+        self._ensure_open()
+        if drain:
+            self.drain()
+        elif self.pending:
+            raise RuntimeError(
+                f"{self.pending} submitted jobs still queued; drain() first "
+                "or call result(drain=True)"
+            )
+        kern = self.kernel
+        scalar_fallback = 0 if self.mode == "scalar" else kern.scalar_fallback_jobs
+        return _finalize(
+            self.log, self.policy, self.capacity, self.lane_capacities,
+            self.n_shards, self.rates,
+            self._frac.view().copy(),
+            kern.n_ssd_requested, kern.n_spilled, kern.peak_used,
+            scalar_fallback_jobs=scalar_fallback,
+            aggregate_only=aggregate_only,
+        )
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(
+        self, trace, batch_jobs: int | None = None
+    ) -> SimResult:
+        """Drive a whole trace through the service and return the result.
+
+        Opens the service in replay mode, submits the trace — job by
+        job in ``"scalar"`` mode, in micro-batches of ``batch_jobs``
+        (default: one batch) in ``"batch"`` mode — then drains and
+        finalizes.  The result is bit-identical to
+        ``run_placement(trace, ...)`` with the matching engine.
+        """
+        from ..workloads.streaming import materialize_trace
+
+        trace = materialize_trace(trace)
+        self.open(trace)
+        n = len(trace)
+        if self.mode == "scalar":
+            for i in range(n):
+                self.submit(
+                    arrival=trace.arrivals[i],
+                    duration=trace.durations[i],
+                    size=trace.sizes[i],
+                    read_bytes=trace.read_bytes[i],
+                    write_bytes=trace.write_bytes[i],
+                    read_ops=trace.read_ops[i],
+                    pipeline=trace.pipelines[i],
+                )
+        else:
+            step = max(n, 1) if batch_jobs is None else max(int(batch_jobs), 1)
+            pipelines = trace.pipelines
+            for lo in range(0, n, step):
+                hi = min(lo + step, n)
+                self.submit_batch(
+                    trace.arrivals[lo:hi], trace.durations[lo:hi],
+                    trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                    trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                    pipelines=pipelines[lo:hi],
+                )
+        return self.result()

@@ -50,6 +50,18 @@ same jobs.
 Both engines produce identical results up to floating-point summation
 order (see ``tests/test_unified_runtime.py`` and
 ``tests/test_chunked_simulator.py``).
+
+Incremental kernels
+-------------------
+Each engine's event-loop arithmetic lives in a stateful *kernel* —
+:class:`ScalarKernel` (the per-job reference loop) and
+:class:`ChunkKernel` (the vectorized decision-interval loop) — that
+advances one job / one chunk at a time and does not need the whole
+trace up front.  ``run_placement`` drives a kernel over a materialized
+trace; the online :class:`~repro.serve.PlacementService` drives the
+*same* kernel request-at-a-time (or micro-batch-at-a-time), which is
+what makes an online replay of a trace bit-identical to the offline
+run: they are the same arithmetic, not two implementations.
 """
 
 from __future__ import annotations
@@ -70,7 +82,13 @@ from .policy import (
     PlacementPolicy,
 )
 
-__all__ = ["SimResult", "assign_shards", "run_placement"]
+__all__ = [
+    "SimResult",
+    "assign_shards",
+    "run_placement",
+    "ScalarKernel",
+    "ChunkKernel",
+]
 
 #: Minimum number of candidates replayed through the exact scalar loop
 #: around a binding point before the vectorized check re-enters.  The
@@ -92,6 +110,13 @@ class SimResult:
     had to replay through the exact scalar loop inside capacity-binding
     chunks (0 when fully vectorized, and always 0 for the legacy
     engine, which has no vectorized path).
+
+    ``ssd_fraction`` is the per-job effective SSD share (space fraction
+    x time fraction) — or ``None`` in **aggregate-only** mode
+    (``run_placement(..., aggregate_only=True)``), where the result
+    keeps only the constant-size aggregates above and drops every
+    per-job array, so holding many results (quota sweeps, long-running
+    services) costs O(1) memory per result instead of O(n_jobs).
     """
 
     policy_name: str
@@ -104,10 +129,15 @@ class SimResult:
     n_ssd_requested: int
     n_spilled: int
     peak_ssd_used: float
-    ssd_fraction: np.ndarray = field(repr=False)
+    ssd_fraction: np.ndarray | None = field(default=None, repr=False)
     n_shards: int = 1
     scalar_fallback_jobs: int = 0
     lane_capacities: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def aggregate_only(self) -> bool:
+        """True when per-job arrays were dropped at finalize time."""
+        return self.ssd_fraction is None
 
     @property
     def tco_savings_pct(self) -> float:
@@ -173,6 +203,7 @@ def run_placement(
     rates: CostRates = DEFAULT_RATES,
     engine: str = "auto",
     shard_seed: int = 0,
+    aggregate_only: bool = False,
 ) -> SimResult:
     """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD
     across ``n_shards`` lanes.
@@ -213,6 +244,11 @@ def run_placement(
         ``"chunked"``, or ``"legacy"``.
     shard_seed:
         Seed of the pipeline-to-shard routing hash.
+    aggregate_only:
+        Drop the per-job arrays from the result and keep only the
+        constant-size aggregates (:attr:`SimResult.ssd_fraction` is
+        ``None``).  The run itself is unchanged — every aggregate is
+        identical to the full-result run.
     """
     # Argument validation precedes the drain: a bad lane count or
     # engine name must not cost a full pass over an out-of-core source.
@@ -229,8 +265,12 @@ def run_placement(
     policy.on_simulation_start(trace, total, rates)
     policy.on_shard_topology(shards, lane_caps.copy())
     if batched and engine != "legacy":
-        return _run_chunked(trace, policy, lane_caps, total, rates, shards, n_shards)
-    return _run_legacy(trace, policy, lane_caps, total, rates, shards, n_shards)
+        return _run_chunked(
+            trace, policy, lane_caps, total, rates, shards, n_shards, aggregate_only
+        )
+    return _run_legacy(
+        trace, policy, lane_caps, total, rates, shards, n_shards, aggregate_only
+    )
 
 
 def _finalize(
@@ -245,8 +285,9 @@ def _finalize(
     n_spilled: int,
     peak_used: float,
     scalar_fallback_jobs: int = 0,
+    aggregate_only: bool = False,
 ) -> SimResult:
-    """Common cost roll-up shared by both engines."""
+    """Common cost roll-up shared by both engines (and the service)."""
     costs = trace.costs(rates)
     tcio_integral = trace.tcio(rates) * np.maximum(trace.durations, 1.0)
     return SimResult(
@@ -262,11 +303,98 @@ def _finalize(
         n_ssd_requested=n_ssd_requested,
         n_spilled=n_spilled,
         peak_ssd_used=peak_used,
-        ssd_fraction=ssd_fraction,
+        ssd_fraction=None if aggregate_only else ssd_fraction,
         n_shards=n_shards,
         scalar_fallback_jobs=scalar_fallback_jobs,
         lane_capacities=lane_caps,
     )
+
+
+class ScalarKernel:
+    """Incremental per-job admission core (the legacy engine's state).
+
+    One instance holds everything the reference event loop carries
+    between jobs: per-lane free space, the release heap, the peak
+    sample and the admission/spill counters.  ``release_until`` then
+    ``admit`` advance it by exactly one job; :func:`_run_legacy` drives
+    it over a whole trace, and the online
+    :class:`~repro.serve.PlacementService` drives it one ``submit`` at
+    a time — the same arithmetic in the same order, which is what makes
+    an online replay bit-identical to the offline run.
+
+    ``cancel`` supports the service's early-completion events: it
+    returns a job's outstanding allocation to its lane immediately and
+    lazily skips the job's scheduled release when it later surfaces on
+    the heap (no behaviour change when never called — the offline path
+    never calls it).
+    """
+
+    __slots__ = (
+        "capacity", "lane_capacity", "free", "peak_used", "heap",
+        "n_ssd_requested", "n_spilled", "_cancelled",
+    )
+
+    def __init__(self, lane_caps: np.ndarray, total: float):
+        self.capacity = total
+        self.lane_capacity = lane_caps
+        self.free = lane_caps.copy()
+        self.peak_used = 0.0
+        #: (release_time, job_index, lane, bytes) min-heap.
+        self.heap: list[tuple[float, int, int, float]] = []
+        self.n_ssd_requested = 0
+        self.n_spilled = 0
+        self._cancelled: set[int] = set()
+
+    def release_until(self, t: float) -> None:
+        """Pop and apply every release due at or before ``t``."""
+        heap = self.heap
+        while heap and heap[0][0] <= t:
+            _, idx, lane, freed = heapq.heappop(heap)
+            if idx in self._cancelled:
+                self._cancelled.discard(idx)
+                continue
+            self.free[lane] += freed
+
+    def admit(
+        self, i: int, t: float, size: float, duration: float, lane: int,
+        want_ssd: bool, ssd_ttl: float | None,
+    ) -> tuple[float, float, float | None, float, float]:
+        """Apply one decision; returns ``(space_frac, ssd_frac,
+        spill_time, alloc, release_time)``.
+
+        The admission arithmetic — partial fit, spill marking, peak
+        sampling at admission, TTL-bounded release — is the reference
+        loop's, verbatim.
+        """
+        spill_time: float | None = None
+        space_frac = 0.0
+        if not want_ssd:
+            return 0.0, 0.0, None, 0.0, t
+        free = self.free
+        self.n_ssd_requested += 1
+        alloc = min(size, free[lane])
+        if alloc < size:
+            self.n_spilled += 1
+            spill_time = t
+        free[lane] -= alloc
+        used = self.capacity - float(free.sum())
+        if used > self.peak_used:
+            self.peak_used = used
+        if ssd_ttl is not None and ssd_ttl < duration:
+            release = t + max(ssd_ttl, 0.0)
+            time_frac = (release - t) / duration if duration > 0 else 1.0
+        else:
+            release = t + duration
+            time_frac = 1.0
+        if alloc > 0:
+            heapq.heappush(self.heap, (release, i, lane, alloc))
+        space_frac = alloc / size if size > 0 else 1.0
+        return space_frac, space_frac * time_frac, spill_time, alloc, release
+
+    def cancel(self, i: int, lane: int, alloc: float) -> None:
+        """Return job ``i``'s outstanding allocation to its lane now."""
+        self.free[lane] += alloc
+        self._cancelled.add(i)
 
 
 def _run_legacy(
@@ -277,61 +405,37 @@ def _run_legacy(
     rates: CostRates,
     shards: np.ndarray | None,
     n_shards: int,
+    aggregate_only: bool = False,
 ) -> SimResult:
     """Reference per-job event loop (one policy round-trip per job).
 
     The policy's :class:`PlacementContext` reports the job's lane-local
     free space and its *own lane's* capacity (lanes may be unequal) —
     what a caching server actually knows at admission time.  With
-    ``n_shards=1`` this is the global counter.
+    ``n_shards=1`` this is the global counter.  The loop body is one
+    :class:`ScalarKernel` step per job.
     """
     n = len(trace)
     arrivals = trace.arrivals
     durations = trace.durations
     sizes = trace.sizes
 
-    free = lane_caps.copy()
-    peak_used = 0.0
+    kern = ScalarKernel(lane_caps, capacity)
     ssd_fraction = np.zeros(n)
-    n_ssd_requested = 0
-    n_spilled = 0
-    release_heap: list[tuple[float, int, int, float]] = []  # (t, idx, lane, bytes)
 
     for i in range(n):
         t = arrivals[i]
-        while release_heap and release_heap[0][0] <= t:
-            _, _, lane, freed = heapq.heappop(release_heap)
-            free[lane] += freed
-
+        kern.release_until(t)
         s = int(shards[i]) if shards is not None else 0
         ctx = PlacementContext(
-            time=t, free_ssd=float(free[s]), capacity=float(lane_caps[s])
+            time=t, free_ssd=float(kern.free[s]), capacity=float(lane_caps[s])
         )
         decision = policy.decide(i, ctx)
-
-        spill_time: float | None = None
-        space_frac = 0.0
+        space_frac, frac, spill_time, _, _ = kern.admit(
+            i, t, sizes[i], durations[i], s, decision.want_ssd, decision.ssd_ttl
+        )
         if decision.want_ssd:
-            n_ssd_requested += 1
-            alloc = min(sizes[i], free[s])
-            if alloc < sizes[i]:
-                n_spilled += 1
-                spill_time = t
-            free[s] -= alloc
-            used = capacity - float(free.sum())
-            if used > peak_used:
-                peak_used = used
-            duration = durations[i]
-            if decision.ssd_ttl is not None and decision.ssd_ttl < duration:
-                release = t + max(decision.ssd_ttl, 0.0)
-                time_frac = (release - t) / duration if duration > 0 else 1.0
-            else:
-                release = t + duration
-                time_frac = 1.0
-            if alloc > 0:
-                heapq.heappush(release_heap, (release, i, s, alloc))
-            space_frac = alloc / sizes[i] if sizes[i] > 0 else 1.0
-            ssd_fraction[i] = space_frac * time_frac
+            ssd_fraction[i] = frac
 
         policy.observe(
             PlacementOutcome(
@@ -346,7 +450,8 @@ def _run_legacy(
 
     return _finalize(
         trace, policy, capacity, lane_caps, n_shards, rates,
-        ssd_fraction, n_ssd_requested, n_spilled, peak_used,
+        ssd_fraction, kern.n_ssd_requested, kern.n_spilled, kern.peak_used,
+        aggregate_only=aggregate_only,
     )
 
 
@@ -444,6 +549,138 @@ def _ttl_release_fracs(
     return release, time_frac
 
 
+class ChunkKernel:
+    """Incremental chunk-at-a-time core (the chunked engine's state).
+
+    Holds the :class:`_LaneState` capacity accountant plus the
+    admission/spill counters, and advances by one decision-interval
+    chunk per :meth:`run_chunk` call.  :func:`_run_chunked` drives it
+    over a whole trace; the online
+    :class:`~repro.serve.PlacementService` drives it one queued chunk
+    at a time, with chunk boundaries decided by the *policy* in both
+    cases — which is what makes a micro-batched online replay
+    bit-identical to the offline chunked run.
+
+    The column arrays passed to :meth:`run_chunk` are indexed with
+    global job indices; callers may pass views over a growing log as
+    long as indices ``[first, stop)`` are populated.
+    """
+
+    __slots__ = ("st", "n_ssd_requested", "n_spilled")
+
+    def __init__(self, lane_caps: np.ndarray, total: float):
+        self.st = _LaneState(lane_caps, total)
+        self.n_ssd_requested = 0
+        self.n_spilled = 0
+
+    @property
+    def peak_used(self) -> float:
+        return self.st.peak_used
+
+    @property
+    def scalar_fallback_jobs(self) -> int:
+        return self.st.n_scalar
+
+    @property
+    def free(self) -> np.ndarray:
+        return self.st.free
+
+    def open_chunk(self, t0: float, lane: int) -> PlacementContext:
+        """Advance releases to ``t0`` and snapshot the opening context.
+
+        Idempotent at a fixed ``t0``: calling it again before the chunk
+        runs re-applies no releases and returns the same context, so a
+        service may open a chunk to consult the policy and run it only
+        once enough jobs are queued.
+        """
+        st = self.st
+        st.release_until(t0)
+        return PlacementContext(
+            time=t0, free_ssd=float(st.free[lane]),
+            capacity=float(st.lane_capacity[lane]),
+        )
+
+    def run_chunk(
+        self,
+        bd,
+        first: int,
+        stop: int,
+        arrivals: np.ndarray,
+        durations: np.ndarray,
+        sizes: np.ndarray,
+        shards: np.ndarray | None,
+        ssd_fraction: np.ndarray,
+        alloc_out: np.ndarray | None = None,
+        release_out: np.ndarray | None = None,
+    ) -> BatchOutcomes:
+        """Process jobs ``[first, stop)`` under one
+        :class:`~repro.storage.policy.BatchDecision`.
+
+        Returns the chunk's :class:`BatchOutcomes` (the caller feeds
+        them to ``policy.observe_batch``).  ``alloc_out`` /
+        ``release_out`` (length ``stop - first``) optionally receive
+        each job's realized allocation and scheduled release time, for
+        callers tracking live jobs (the service's ``complete`` events).
+        """
+        st = self.st
+        count = stop - first
+        chunk_t = arrivals[first:stop]
+        t_last = float(chunk_t[-1])
+        chunk_lanes = shards[first:stop] if shards is not None else None
+        space = np.zeros(count)
+        spill_col = np.full(count, np.nan)
+
+        if bd.fit_check:
+            requested = _run_fit_check_chunk(
+                st, first, stop, t_last, arrivals, durations, sizes, chunk_lanes,
+                bd.ssd_ttl, space, spill_col, ssd_fraction,
+                alloc_out, release_out,
+            )
+            self.n_ssd_requested += int(requested.sum())
+            self.n_spilled += int(np.count_nonzero(~np.isnan(spill_col)))
+        else:
+            requested = np.asarray(bd.want_ssd, dtype=bool)[:count].copy()
+            cand = np.flatnonzero(requested)
+            if cand.size:
+                spilled = _run_mask_chunk(
+                    st, first, t_last, arrivals, durations, sizes, chunk_lanes,
+                    bd.ssd_ttl, cand, space, spill_col, ssd_fraction,
+                    alloc_out, release_out,
+                )
+                self.n_ssd_requested += cand.size
+                self.n_spilled += spilled
+
+        outcomes = BatchOutcomes(
+            first=first,
+            times=chunk_t,
+            requested_ssd=requested,
+            ssd_space_fraction=np.where(requested, space, 0.0),
+            spill_time=spill_col,
+            shards=chunk_lanes,
+        )
+        st.merge_new()
+        return outcomes
+
+    def cancel(self, lane: int, alloc: float, release_time: float) -> None:
+        """Return an outstanding allocation to its lane now.
+
+        The job's scheduled release is neutralized by a compensating
+        negative entry at the same timestamp (both apply in one
+        vectorized release pass, so the lane's free space is exact up
+        to one float rounding of the pair).  The compensation is merged
+        into the sorted release arrays immediately — left buffered, the
+        next chunk's ``release_until`` could apply the original
+        positive release without its offset and double-count the freed
+        space for one chunk.
+        """
+        st = self.st
+        st.free[lane] += alloc
+        st.new_t.append(release_time)
+        st.new_a.append(-alloc)
+        st.new_l.append(lane)
+        st.merge_new()
+
+
 def _run_chunked(
     trace: TraceBase,
     policy: PlacementPolicy,
@@ -452,74 +689,40 @@ def _run_chunked(
     rates: CostRates,
     shards: np.ndarray | None,
     n_shards: int,
+    aggregate_only: bool = False,
 ) -> SimResult:
     """Chunked engine: one policy round-trip per decision interval.
 
     Equivalent to :func:`_run_legacy` up to floating-point summation
-    order, for any lane count and capacity layout.
+    order, for any lane count and capacity layout.  The loop body is
+    one :class:`ChunkKernel` chunk per policy round-trip.
     """
     n = len(trace)
     arrivals = trace.arrivals
     durations = trace.durations
     sizes = trace.sizes
 
-    st = _LaneState(lane_caps, capacity)
+    kern = ChunkKernel(lane_caps, capacity)
     ssd_fraction = np.zeros(n)
-    n_ssd_requested = 0
-    n_spilled = 0
 
     i = 0
     while i < n:
         t0 = float(arrivals[i])
-        st.release_until(t0)
         s0 = int(shards[i]) if shards is not None else 0
-        ctx = PlacementContext(
-            time=t0, free_ssd=float(st.free[s0]), capacity=float(st.lane_capacity[s0])
-        )
+        ctx = kern.open_chunk(t0, s0)
         bd = policy.decide_batch(i, ctx)
         count = max(1, min(int(bd.count), n - i))
-        stop = i + count
-        chunk_t = arrivals[i:stop]
-        t_last = float(chunk_t[-1])
-        chunk_lanes = shards[i:stop] if shards is not None else None
-        space = np.zeros(count)
-        spill_col = np.full(count, np.nan)
-
-        if bd.fit_check:
-            requested = _run_fit_check_chunk(
-                st, i, stop, t_last, arrivals, durations, sizes, chunk_lanes,
-                bd.ssd_ttl, space, spill_col, ssd_fraction,
-            )
-            n_ssd_requested += int(requested.sum())
-            n_spilled += int(np.count_nonzero(~np.isnan(spill_col)))
-        else:
-            requested = np.asarray(bd.want_ssd, dtype=bool)[:count].copy()
-            cand = np.flatnonzero(requested)
-            if cand.size:
-                spilled = _run_mask_chunk(
-                    st, i, t_last, arrivals, durations, sizes, chunk_lanes,
-                    bd.ssd_ttl, cand, space, spill_col, ssd_fraction,
-                )
-                n_ssd_requested += cand.size
-                n_spilled += spilled
-
-        policy.observe_batch(
-            BatchOutcomes(
-                first=i,
-                times=chunk_t,
-                requested_ssd=requested,
-                ssd_space_fraction=np.where(requested, space, 0.0),
-                spill_time=spill_col,
-                shards=chunk_lanes,
-            )
+        outcomes = kern.run_chunk(
+            bd, i, i + count, arrivals, durations, sizes, shards, ssd_fraction
         )
-        st.merge_new()
-        i = stop
+        policy.observe_batch(outcomes)
+        i += count
 
     return _finalize(
         trace, policy, capacity, lane_caps, n_shards, rates,
-        ssd_fraction, n_ssd_requested, n_spilled, st.peak_used,
-        scalar_fallback_jobs=st.n_scalar,
+        ssd_fraction, kern.n_ssd_requested, kern.n_spilled, kern.peak_used,
+        scalar_fallback_jobs=kern.scalar_fallback_jobs,
+        aggregate_only=aggregate_only,
     )
 
 
@@ -536,6 +739,8 @@ def _run_mask_chunk(
     space: np.ndarray,
     spill_col: np.ndarray,
     ssd_fraction: np.ndarray,
+    alloc_out: np.ndarray | None = None,
+    release_out: np.ndarray | None = None,
 ) -> int:
     """Process one mask-mode chunk; returns the number of spilled jobs.
 
@@ -595,6 +800,9 @@ def _run_mask_chunk(
             st.new_l.extend([0] * int(outside.sum()))
             space[cand] = 1.0
             ssd_fraction[idx] = time_frac
+            if alloc_out is not None:
+                alloc_out[cand] = cs
+                release_out[cand] = release
             return 0
         clean = np.zeros(1, dtype=bool)
         binding_lanes = [0]
@@ -666,6 +874,9 @@ def _run_mask_chunk(
             )
 
     st.rel_pos = j2
+    if alloc_out is not None:
+        alloc_out[cand] = alloc_arr
+        release_out[cand] = release
 
     # Global peak over the realized allocations, sampled at admissions
     # exactly as the legacy loop samples it.
@@ -918,6 +1129,8 @@ def _run_fit_check_chunk(
     space: np.ndarray,
     spill_col: np.ndarray,
     ssd_fraction: np.ndarray,
+    alloc_out: np.ndarray | None = None,
+    release_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """FirstFit-style chunk: want SSD iff the full footprint fits in the
     job's own lane right now.
@@ -957,6 +1170,9 @@ def _run_fit_check_chunk(
                 st.buffer_release(rt, size, L)
         space[k] = 1.0
         ssd_fraction[gi] = float(time_frac[k])
+        if alloc_out is not None:
+            alloc_out[k] = size
+            release_out[k] = float(release[k])
     for rt, hl, amt in local_heap:
         st.buffer_release(rt, amt, hl)
     return requested

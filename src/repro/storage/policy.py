@@ -20,6 +20,18 @@ chunks with vectorized capacity accounting, calling
 :meth:`PlacementPolicy.observe_batch` with structure-of-arrays feedback
 after each chunk.  Policies without ``decide_batch`` run through the
 legacy per-job event loop unchanged.
+
+Two drivers speak this protocol: the offline engine
+(:func:`repro.storage.engine.run_placement`) and the online
+:class:`~repro.serve.PlacementService`.  Both call ``decide_batch``
+exactly once per chunk with the chunk-opening context; the service may
+*defer running* the chunk until the declared run of jobs has been
+submitted (its admission queue), so a ``count`` reaching past the jobs
+a policy can currently see is fine — the driver clamps it to the
+available horizon exactly as the engine clamps at trace end.  Online
+policies without a full trace (e.g.
+:class:`~repro.serve.OnlineAdaptivePolicy`) simply declare chunks up to
+the jobs observed so far.
 """
 
 from __future__ import annotations

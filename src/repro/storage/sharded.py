@@ -52,6 +52,7 @@ def simulate_sharded(
     rates: CostRates = DEFAULT_RATES,
     shard_seed: int = 0,
     engine: str = "auto",
+    aggregate_only: bool = False,
 ) -> SimResult:
     """Run ``policy`` over a trace with capacity split across shards.
 
@@ -79,7 +80,9 @@ def simulate_sharded(
 
     ``engine`` selects the event loop exactly as in
     :func:`repro.storage.simulate`: ``"auto"`` runs the chunked fast
-    path whenever the policy implements ``decide_batch``.
+    path whenever the policy implements ``decide_batch``; and
+    ``aggregate_only`` keeps only the constant-size aggregates on the
+    result (``ssd_fraction`` is ``None``), as there.
     """
     return run_placement(
         trace,
@@ -89,4 +92,5 @@ def simulate_sharded(
         rates=rates,
         engine=engine,
         shard_seed=shard_seed,
+        aggregate_only=aggregate_only,
     )

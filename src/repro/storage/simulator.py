@@ -76,6 +76,7 @@ def simulate(
     capacity: float,
     rates: CostRates = DEFAULT_RATES,
     engine: str = "auto",
+    aggregate_only: bool = False,
 ) -> SimResult:
     """Run ``policy`` over ``trace`` with ``capacity`` bytes of SSD.
 
@@ -101,7 +102,12 @@ def simulate(
         Event-loop implementation: ``"auto"`` (chunked fast path when
         the policy implements ``decide_batch``, legacy otherwise),
         ``"chunked"``, or ``"legacy"``.
+    aggregate_only:
+        Constant-memory results: keep only the scalar aggregates and
+        drop the per-job arrays (:attr:`SimResult.ssd_fraction` is
+        ``None``).  Every aggregate equals the full-result run's.
     """
     return run_placement(
-        trace, policy, capacity, n_shards=1, rates=rates, engine=engine
+        trace, policy, capacity, n_shards=1, rates=rates, engine=engine,
+        aggregate_only=aggregate_only,
     )

@@ -22,12 +22,13 @@ score jobs of another cluster (Figure 8) and unseen users/pipelines
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..cost import CostRates, DEFAULT_RATES
-from ..units import DAY, HOUR
+from ..cost import CostRates, DEFAULT_RATES, tcio_rate
+from ..units import DAY, GIB, HOUR
 from .history import HISTORY_FEATURES, compute_history
 from .job import Trace
 from .metadata import METADATA_FIELDS, stable_hash, tokenize
@@ -38,6 +39,7 @@ __all__ = [
     "TIME_FEATURES",
     "FeatureMatrix",
     "extract_features",
+    "OnlineFeatureExtractor",
 ]
 
 #: Allocated-resource columns (group C), Table 2 order.
@@ -125,6 +127,129 @@ def _hash_metadata(trace: Trace, n_buckets: int) -> tuple[np.ndarray, list[str]]
             for token in tokenize(value):
                 X[i, base + stable_hash(token, seed=f_idx) % n_buckets] = 1.0
     return X, names
+
+
+class OnlineFeatureExtractor:
+    """Incremental Table-2 feature extraction for arriving jobs.
+
+    The offline :func:`extract_features` needs the whole trace up front
+    (group A is a causal scan over completed same-pipeline jobs); a
+    live placement service sees one arrival at a time.  This extractor
+    carries the causal state — per-pipeline pending completions and
+    running metric sums — across calls, and :meth:`push` produces, for
+    each newly arrived job, exactly the feature row the offline
+    extractor would have produced at the same position: fold
+    same-pipeline completions with ``end <= arrival``, emit the running
+    averages, then schedule the job's own completion.  Rows are
+    bit-identical to the offline matrix
+    (``tests/test_serve_online.py``).
+
+    :meth:`warm_start` seeds the state from an already-observed trace
+    (e.g. the training week) without emitting rows, so a deployment
+    week served online sees the same history a combined-trace offline
+    extraction would give it.
+    """
+
+    def __init__(
+        self,
+        rates: CostRates = DEFAULT_RATES,
+        n_hash_buckets: int = DEFAULT_HASH_BUCKETS,
+    ):
+        self.rates = rates
+        self.n_hash_buckets = n_hash_buckets
+        #: per-pipeline min-heap of (end, global_index, metrics[4])
+        self._pending: dict[str, list[tuple[float, int, np.ndarray]]] = {}
+        self._sums: dict[str, np.ndarray] = {}
+        self._counts: dict[str, int] = {}
+        self._index = 0
+
+    @property
+    def n_features(self) -> int:
+        return (
+            len(HISTORY_FEATURES)
+            + len(METADATA_FIELDS) * self.n_hash_buckets
+            + len(RESOURCE_FEATURES)
+            + len(TIME_FEATURES)
+        )
+
+    def _metrics(self, job) -> np.ndarray:
+        """The group-A metric vector one completed execution contributes.
+
+        Matches :func:`~repro.workloads.history.compute_history`'s
+        per-job fold — ``[tcio, size, lifetime, io_density]`` with the
+        same elementwise arithmetic, so incremental sums stay
+        bit-identical to the offline scan.
+        """
+        tcio = tcio_rate(job.read_ops, job.write_bytes, job.duration, self.rates)
+        total_ops = (
+            tcio * np.maximum(job.duration, 1.0) * self.rates.hdd_ops_per_second
+        )
+        density = total_ops / np.maximum(job.size / GIB, 1e-9)
+        return np.array([tcio, job.size, job.duration, density])
+
+    def _schedule(self, job) -> None:
+        entry = (job.arrival + job.duration, self._index, self._metrics(job))
+        heapq.heappush(self._pending.setdefault(job.pipeline, []), entry)
+        self._index += 1
+
+    def _fold(self, pipeline: str, t: float) -> None:
+        """Fold same-pipeline completions with ``end <= t`` into the sums."""
+        heap = self._pending.get(pipeline)
+        if not heap:
+            return
+        sums = self._sums.get(pipeline)
+        if sums is None:
+            sums = self._sums[pipeline] = np.zeros(4)
+            self._counts[pipeline] = 0
+        while heap and heap[0][0] <= t:
+            _, _, metrics = heapq.heappop(heap)
+            sums += metrics
+            self._counts[pipeline] += 1
+
+    def warm_start(self, trace: Trace) -> "OnlineFeatureExtractor":
+        """Seed the causal state from already-observed jobs (no rows)."""
+        for job in trace:
+            self._schedule(job)
+        return self
+
+    def push(self, jobs) -> np.ndarray:
+        """Feature rows for newly arrived jobs, shape ``(len(jobs), p)``.
+
+        Jobs must arrive in non-decreasing arrival order across all
+        ``push`` calls (the service's submission order).  Accepts any
+        sequence of :class:`~repro.workloads.job.ShuffleJob`-shaped
+        objects; jobs synthesized from streamed columns (empty
+        metadata/resources) produce zero group-B/C columns, exactly as
+        the offline extractor would for the same materialized trace.
+        """
+        n_b = self.n_hash_buckets
+        rows = np.zeros((len(jobs), self.n_features))
+        meta_base = len(HISTORY_FEATURES)
+        res_base = meta_base + len(METADATA_FIELDS) * n_b
+        time_base = res_base + len(RESOURCE_FEATURES)
+        for r, job in enumerate(jobs):
+            # Group A: running same-pipeline averages, causally folded.
+            self._fold(job.pipeline, job.arrival)
+            count = self._counts.get(job.pipeline, 0)
+            if count > 0:
+                rows[r, :meta_base] = self._sums[job.pipeline] / count
+            # Group B: feature-hashed metadata tokens.
+            for f_idx, fld in enumerate(METADATA_FIELDS):
+                value = job.metadata.get(fld, "") if job.metadata else ""
+                base = meta_base + f_idx * n_b
+                for token in tokenize(value):
+                    rows[r, base + stable_hash(token, seed=f_idx) % n_b] = 1.0
+            # Group C: allocated resources.
+            if job.resources:
+                for c, key in enumerate(RESOURCE_FEATURES):
+                    rows[r, res_base + c] = job.resources.get(key, 0.0)
+            # Group T: timestamp features.
+            seconds_of_day = job.arrival % DAY
+            rows[r, time_base] = np.floor(seconds_of_day / HOUR)
+            rows[r, time_base + 1] = seconds_of_day
+            rows[r, time_base + 2] = np.floor(job.arrival / DAY) % 7
+            self._schedule(job)
+        return rows
 
 
 def extract_features(

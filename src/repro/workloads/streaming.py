@@ -76,6 +76,7 @@ __all__ = [
     "StreamedTrace",
     "open_trace_source",
     "materialize_trace",
+    "rechunk_blocks",
 ]
 
 #: Default jobs per block: large enough to amortize per-block numpy
@@ -376,6 +377,70 @@ def open_trace_source(
         f"cannot infer a trace source from {str(path)!r}: expected a .csv file, "
         "a .npz trace (save_trace output), a Trace, or a TraceSource"
     )
+
+
+def rechunk_blocks(
+    source: "TraceSource | Iterable[TraceBlock]", batch_jobs: int
+) -> Iterator[TraceBlock]:
+    """Re-slice a block stream into blocks of exactly ``batch_jobs`` jobs.
+
+    A source's natural block size is an ingestion detail (file-reader
+    buffering); consumers that need a *submission* granularity — the
+    online load generator's micro-batches, a service driving fixed-size
+    admission windows — re-chunk through this adapter.  Oversized
+    blocks are split, undersized runs are merged across block
+    boundaries, and the final partial batch is emitted as-is.  Identity
+    columns missing from some blocks are filled with the loader
+    defaults, exactly as :meth:`StreamedTrace.from_source` fills them.
+    """
+    if batch_jobs < 1:
+        raise ValueError("batch_jobs must be >= 1")
+    cols: dict[str, list[np.ndarray]] = {c: [] for c in BLOCK_COLUMNS}
+    pipelines: list[str] = []
+    users: list[str] = []
+    any_pipelines = any_users = False
+    held = 0
+
+    def _emit(take: int) -> TraceBlock:
+        nonlocal held, any_pipelines, any_users
+        joined = {c: np.concatenate(cols[c]) for c in BLOCK_COLUMNS}
+        block = TraceBlock(
+            **{c: joined[c][:take] for c in BLOCK_COLUMNS},
+            pipelines=tuple(pipelines[:take]) if any_pipelines else None,
+            users=tuple(users[:take]) if any_users else None,
+        )
+        for c in BLOCK_COLUMNS:
+            rest = joined[c][take:]
+            cols[c].clear()
+            if rest.size:
+                cols[c].append(rest)
+        del pipelines[:take]
+        del users[:take]
+        held -= take
+        if held == 0:
+            any_pipelines = any_users = False
+        return block
+
+    for block in source:
+        if len(block) == 0:
+            continue
+        for c in BLOCK_COLUMNS:
+            cols[c].append(getattr(block, c))
+        if block.pipelines is not None:
+            any_pipelines = True
+            pipelines.extend(block.pipelines)
+        else:
+            pipelines.extend([_DEFAULT_PIPELINE] * len(block))
+        if block.users is not None:
+            any_users = True
+            users.extend(block.users)
+        else:
+            users.extend([_DEFAULT_USER] * len(block))
+        held += len(block)
+        while held >= batch_jobs:
+            yield _emit(batch_jobs)
+    if held:
+        yield _emit(held)
 
 
 def materialize_trace(

@@ -1,0 +1,203 @@
+"""Load generator: pacing, burst shapes, re-chunking, graceful stop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FirstFitPolicy
+from repro.serve import LoadGenerator, PlacementService
+from repro.units import GIB
+from repro.workloads import InMemoryTraceSource, Trace
+from repro.workloads.streaming import TraceBlock, rechunk_blocks
+
+from helpers import make_job
+
+
+def small_trace(n=60, seed=0, span=600.0):
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, span, n))
+    jobs = [
+        make_job(i, arrival=float(arrivals[i]), duration=30.0, size=1 * GIB,
+                 pipeline=f"p{i % 5}")
+        for i in range(n)
+    ]
+    return Trace(jobs, name="lg")
+
+
+class FakeClock:
+    """Deterministic clock + sleep pair for pacing tests."""
+
+    def __init__(self):
+        self.t = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.t
+
+    def sleep(self, dt: float) -> None:
+        self.sleeps.append(dt)
+        self.t += dt
+
+
+def make_service(trace, capacity=100 * GIB):
+    svc = PlacementService(FirstFitPolicy(), capacity, mode="batch")
+    svc.open(trace)
+    return svc
+
+
+class TestRechunk:
+    def _blocks(self, trace, block_size):
+        return InMemoryTraceSource(trace, block_size=block_size)
+
+    @pytest.mark.parametrize("src_block,batch", [(7, 16), (64, 10), (16, 16)])
+    def test_resliced_jobs_identical(self, src_block, batch):
+        trace = small_trace(50)
+        out = list(rechunk_blocks(self._blocks(trace, src_block), batch))
+        assert all(len(b) == batch for b in out[:-1])
+        assert sum(len(b) for b in out) == len(trace)
+        arrivals = np.concatenate([b.arrivals for b in out])
+        np.testing.assert_array_equal(arrivals, trace.arrivals)
+        pipelines = [p for b in out for p in b.pipelines]
+        assert pipelines == trace.pipelines
+
+    def test_empty_source(self):
+        assert list(rechunk_blocks(iter(()), 8)) == []
+
+    def test_skips_empty_blocks(self):
+        empty = TraceBlock(*[np.empty(0)] * 6)
+        trace = small_trace(10)
+        blocks = [empty] + list(self._blocks(trace, 4)) + [empty]
+        out = list(rechunk_blocks(iter(blocks), 6))
+        assert sum(len(b) for b in out) == 10
+
+    def test_validates_batch_size(self):
+        with pytest.raises(ValueError, match="batch_jobs"):
+            list(rechunk_blocks(iter(()), 0))
+
+
+class TestPacing:
+    def test_unpaced_never_sleeps(self):
+        trace = small_trace()
+        fake = FakeClock()
+        gen = LoadGenerator(
+            trace, rate=None, batch_jobs=16, clock=fake.clock, sleep=fake.sleep
+        )
+        report = gen.run(make_service(trace))
+        assert fake.sleeps == []
+        assert report.n_jobs == len(trace)
+        assert report.n_decisions == len(trace)
+        assert report.offered_rate is None
+
+    def test_uniform_rate_schedules_sleeps(self):
+        trace = small_trace(40)
+        fake = FakeClock()
+        gen = LoadGenerator(
+            trace, rate=10.0, shape="uniform", batch_jobs=10,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(make_service(trace))
+        # Batches release at t = 0, 1, 2, 3 (10 jobs at 10 jobs/s each).
+        assert len(fake.sleeps) == 3
+        np.testing.assert_allclose(fake.sleeps, [1.0, 1.0, 1.0], atol=1e-9)
+        assert report.n_jobs == 40
+        assert report.lag_seconds == 0.0
+
+    def test_poisson_rate_deterministic_under_seed(self):
+        trace = small_trace(30)
+        runs = []
+        for _ in range(2):
+            fake = FakeClock()
+            gen = LoadGenerator(
+                trace, rate=50.0, shape="poisson", batch_jobs=8, seed=3,
+                clock=fake.clock, sleep=fake.sleep,
+            )
+            gen.run(make_service(trace))
+            runs.append(tuple(fake.sleeps))
+        assert runs[0] == runs[1]
+        assert len(runs[0]) > 0
+
+    def test_trace_shape_scales_interarrivals(self):
+        trace = small_trace(40, span=400.0)
+        fake = FakeClock()
+        gen = LoadGenerator(
+            trace, rate=1000.0, shape="trace", batch_jobs=10,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(make_service(trace))
+        # The natural rate is ~0.1 job/s; at 1000 jobs/s the whole trace
+        # compresses to ~40ms of schedule.
+        assert report.n_jobs == 40
+        assert fake.t < 1.0
+
+    def test_limit_caps_released_jobs(self):
+        trace = small_trace(50)
+        gen = LoadGenerator(trace, batch_jobs=16)
+        svc = make_service(trace)
+        report = gen.run(svc, limit=20)
+        assert report.n_jobs == 20
+        assert svc.n_decided == 20
+
+    def test_lag_recorded_when_service_slow(self):
+        trace = small_trace(30)
+        fake = FakeClock()
+
+        class SlowService:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def submit_block(self, block):
+                fake.t += 5.0  # each batch takes 5 wall-clock seconds
+                return self.inner.submit_block(block)
+
+            def drain(self):
+                return self.inner.drain()
+
+        gen = LoadGenerator(
+            trace, rate=100.0, shape="uniform", batch_jobs=10,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(SlowService(make_service(trace)))
+        assert report.lag_seconds > 0  # open loop: lag, not throttling
+
+    def test_validation(self):
+        trace = small_trace(10)
+        with pytest.raises(ValueError, match="burst shape"):
+            LoadGenerator(trace, shape="sawtooth")
+        with pytest.raises(ValueError, match="rate"):
+            LoadGenerator(trace, rate=0.0)
+        with pytest.raises(ValueError, match="batch_jobs"):
+            LoadGenerator(trace, batch_jobs=0)
+
+
+class TestGracefulStop:
+    def test_keyboard_interrupt_drains_and_reports(self):
+        trace = small_trace(40)
+        svc = make_service(trace)
+        calls = {"n": 0}
+        real = svc.submit_block
+
+        def flaky(block):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real(block)
+
+        svc.submit_block = flaky
+        gen = LoadGenerator(trace, batch_jobs=10)
+        report = gen.run(svc)
+        assert report.interrupted
+        assert report.n_jobs == 10  # one successful batch released
+        res = svc.result()  # partial roll-up still works
+        assert res.n_jobs == svc.n_decided
+
+    def test_report_percentiles(self):
+        trace = small_trace(30)
+        gen = LoadGenerator(trace, batch_jobs=10)
+        report = gen.run(make_service(trace))
+        p50 = report.latency_percentile(50)
+        p99 = report.latency_percentile(99)
+        assert 0 < p50 <= p99
+        assert report.achieved_rate > 0
+        empty = small_trace(0)
+        assert LoadGenerator(empty).run(
+            make_service(empty)
+        ).latency_percentile(50) == 0.0

@@ -1,0 +1,263 @@
+"""Online model-driven serving: incremental features, prediction, policy.
+
+The offline BYOM pipeline extracts a whole week's features and predicts
+every category before the replay starts; the online path must do both
+on the admission path, incrementally — and land on the same numbers:
+
+1. :class:`OnlineFeatureExtractor` rows are bit-identical to
+   :func:`extract_features` over the same jobs, at any push
+   granularity, including the ``warm_start`` seeding that makes a
+   served week see training-week history.
+2. :class:`OnlineCategorizer` predictions are bit-identical to the
+   offline ``model.predict`` over the same features.
+3. A :class:`PlacementService` with the online policy + categorizer,
+   fed request-at-a-time, is bit-identical to the offline legacy-engine
+   replay with offline-predicted categories (micro-batch mode matches
+   the chunked engine's numbers to float-roundoff — chunk boundaries at
+   the submission horizon are the one legitimate difference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveCategoryPolicy, ByomPipeline, prepare_cluster
+from repro.serve import OnlineAdaptivePolicy, OnlineCategorizer, PlacementService
+from repro.storage import simulate
+from repro.units import DAY
+from repro.workloads import ClusterSpec, extract_features, generate_cluster_trace
+from repro.workloads.features import OnlineFeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    spec = ClusterSpec(
+        name="serve",
+        archetype_weights={"dbquery": 2, "logproc": 1, "streaming": 1},
+        n_pipelines=8,
+        n_users=4,
+        seed=7,
+    )
+    return prepare_cluster(generate_cluster_trace(spec, duration=14 * DAY))
+
+
+@pytest.fixture(scope="module")
+def pipe(cluster):
+    return ByomPipeline().train(cluster.train, cluster.features_train)
+
+
+class TestOnlineFeatures:
+    def test_rows_match_offline_per_job(self, cluster):
+        offline = extract_features(cluster.test)
+        ex = OnlineFeatureExtractor()
+        rows = np.vstack([ex.push([j]) for j in cluster.test])
+        assert np.array_equal(rows, offline.X)
+
+    def test_rows_match_offline_batched(self, cluster):
+        """Push granularity must not matter (1, a few, the rest)."""
+        offline = extract_features(cluster.test)
+        ex = OnlineFeatureExtractor()
+        jobs = list(cluster.test)
+        rows = np.vstack(
+            [ex.push(jobs[:1]), ex.push(jobs[1:40]), ex.push(jobs[40:])]
+        )
+        assert np.array_equal(rows, offline.X)
+
+    def test_warm_start_matches_combined_extraction(self, cluster):
+        """A served test week with warm-started history must see exactly
+        the history rows a combined-trace extraction gives test jobs."""
+        full = extract_features(cluster.full)
+        split = cluster.test.arrivals[0]
+        test_idx = np.flatnonzero(cluster.full.arrivals >= split)
+        ex = OnlineFeatureExtractor().warm_start(cluster.train)
+        rows = ex.push(list(cluster.test))
+        assert np.array_equal(rows, full.X[test_idx])
+
+    def test_jobs_without_metadata_zero_group_bc(self, cluster):
+        """Streamed/synthesized jobs (no metadata) produce zero hashed
+        and resource columns — never an error."""
+        from repro.workloads import InMemoryTraceSource, StreamedTrace
+
+        streamed = StreamedTrace.from_source(
+            InMemoryTraceSource(cluster.test, block_size=64)
+        )
+        ex = OnlineFeatureExtractor()
+        rows = ex.push([streamed[0]])
+        offline = extract_features(cluster.test)
+        meta_cols = [i for i, g in enumerate(offline.groups) if g in ("B", "C")]
+        assert (rows[0, meta_cols] == 0.0).all()
+        # Groups A and T survive (numeric columns are intact).
+        t_cols = [i for i, g in enumerate(offline.groups) if g == "T"]
+        assert np.array_equal(rows[0, t_cols], offline.X[0, t_cols])
+
+
+class TestOnlineCategorizer:
+    def test_matches_offline_predict(self, cluster, pipe):
+        feats = extract_features(cluster.test)
+        offline = pipe.model.predict(feats)
+        cz = OnlineCategorizer(pipe.model)
+        jobs = list(cluster.test)
+        parts = [cz([j]) for j in jobs[:25]]  # request-at-a-time path
+        parts.append(cz(jobs[25:]))  # micro-batch path
+        assert np.array_equal(np.concatenate(parts), offline)
+
+    def test_rejects_unfitted_model(self):
+        from repro.ml import GBTClassifier
+
+        with pytest.raises(ValueError, match="fitted"):
+            OnlineCategorizer(GBTClassifier())
+
+    def test_single_class_model(self, cluster):
+        from repro.ml import GBTClassifier
+
+        feats = extract_features(cluster.test)
+        gbt = GBTClassifier(n_rounds=2).fit(
+            feats.X[:50], np.full(50, 3)
+        )
+        cz = OnlineCategorizer(gbt)
+        out = cz(list(cluster.test)[:5])
+        assert np.array_equal(out, np.full(5, 3))
+
+
+class TestPackedSingleSample:
+    def test_decision_scores_one_matches_batch(self, cluster, pipe):
+        gbt = pipe.model.model
+        feats = extract_features(cluster.test)
+        Xb = gbt.binner_.transform(feats.X[:32])
+        k = len(gbt.classes_)
+        batch = gbt.packed_.decision_scores(
+            Xb, gbt.base_score_, gbt.learning_rate, k
+        )
+        for i in range(Xb.shape[0]):
+            one = gbt.packed_.decision_scores_one(
+                Xb[i], gbt.base_score_, gbt.learning_rate, k
+            )
+            assert np.array_equal(one, batch[i]), i
+
+    def test_rejects_matrix_input(self, pipe):
+        gbt = pipe.model.model
+        with pytest.raises(ValueError, match="one sample"):
+            gbt.packed_.decision_scores_one(
+                np.zeros((2, 4), dtype=np.uint8), 0.0, 0.1, 1
+            )
+
+
+class TestOnlineService:
+    def _offline(self, cluster, pipe, cap, engine):
+        cats = pipe.model.predict(extract_features(cluster.test))
+        policy = AdaptiveCategoryPolicy(
+            cats, pipe.model_params.n_categories, pipe.adaptive_params
+        )
+        return simulate(cluster.test, policy, cap, engine=engine)
+
+    def test_request_at_a_time_bit_identical(self, cluster, pipe):
+        cap = 0.05 * cluster.test.peak_ssd_usage()
+        off = self._offline(cluster, pipe, cap, "legacy")
+        svc = PlacementService(
+            OnlineAdaptivePolicy(
+                pipe.model_params.n_categories, pipe.adaptive_params
+            ),
+            cap, mode="scalar", categorizer=OnlineCategorizer(pipe.model),
+        )
+        for j in cluster.test:
+            assert len(svc.submit(j)) == 1
+        res = svc.result()
+        assert np.array_equal(res.ssd_fraction, off.ssd_fraction)
+        assert res.realized_tco == off.realized_tco
+        assert res.n_spilled == off.n_spilled
+
+    def test_micro_batch_matches_chunked_to_roundoff(self, cluster, pipe):
+        cap = 0.05 * cluster.test.peak_ssd_usage()
+        off = self._offline(cluster, pipe, cap, "chunked")
+        svc = PlacementService(
+            OnlineAdaptivePolicy(
+                pipe.model_params.n_categories, pipe.adaptive_params
+            ),
+            cap, mode="batch", categorizer=OnlineCategorizer(pipe.model),
+        )
+        svc.open()
+        jobs = list(cluster.test)
+        for lo in range(0, len(jobs), 64):
+            svc.submit_jobs(jobs[lo : lo + 64])
+        res = svc.result()
+        # Chunk boundaries clamp at the submission horizon online, so
+        # vectorized summation order may differ by float roundoff —
+        # nothing else.
+        np.testing.assert_allclose(
+            res.ssd_fraction, off.ssd_fraction, atol=1e-9, rtol=1e-9
+        )
+        assert res.n_ssd_requested == off.n_ssd_requested
+        assert res.n_spilled == off.n_spilled
+        assert res.realized_tco == pytest.approx(off.realized_tco, rel=1e-12)
+
+    def test_online_policy_requires_log(self, cluster):
+        policy = OnlineAdaptivePolicy(8)
+        with pytest.raises(ValueError, match="live JobLog"):
+            policy.on_simulation_start(cluster.test, 1.0, None)
+
+    def test_category_range_validated(self):
+        policy = OnlineAdaptivePolicy(4)
+        with pytest.raises(ValueError, match="out of range"):
+            policy.extend_categories(np.array([0, 4]))
+
+    def test_per_shard_act_online(self, cluster, pipe):
+        """Per-shard thresholds work against the live log's routing."""
+        cap = 0.05 * cluster.test.peak_ssd_usage()
+        svc = PlacementService(
+            OnlineAdaptivePolicy(
+                pipe.model_params.n_categories, pipe.adaptive_params,
+                per_shard_act=True,
+            ),
+            cap, 4, mode="batch", categorizer=OnlineCategorizer(pipe.model),
+        )
+        svc.open()
+        jobs = list(cluster.test)
+        for lo in range(0, len(jobs), 128):
+            svc.submit_jobs(jobs[lo : lo + 128])
+        res = svc.result()
+        assert res.n_jobs == len(jobs)
+        assert svc.policy.act_lanes is not None
+        assert len(svc.policy.act_lanes) == 4
+        assert any(e.shard >= 0 for e in svc.policy.trajectory)
+
+
+class TestPipelineServe:
+    def test_serve_returns_opened_service(self, cluster, pipe):
+        peak = cluster.peak_ssd_usage
+        svc = pipe.serve(0.05, peak, history=cluster.train)
+        jobs = list(cluster.test)
+        for lo in range(0, len(jobs), 256):
+            svc.submit_jobs(jobs[lo : lo + 256])
+        res = svc.result()
+        assert res.n_jobs == len(jobs)
+        assert res.policy_name == "Adaptive Online"
+        # Model-driven serving beats nothing-on-SSD by construction on
+        # this workload: some savings are realized.
+        assert res.tco_savings_pct > 0
+
+    def test_serve_warm_start_matches_deploy_categories(self, cluster, pipe):
+        """Warm-started online serving reproduces deploy()'s placements:
+        the same combined-trace history, the same model, the same
+        adaptive algorithm — request-at-a-time."""
+        peak = cluster.peak_ssd_usage
+        off = pipe.deploy(
+            cluster.test, cluster.features_test, 0.05, peak, engine="legacy"
+        )
+        svc = pipe.serve(0.05, peak, mode="scalar", history=cluster.train)
+        for j in cluster.test:
+            svc.submit(j)
+        res = svc.result()
+        assert np.array_equal(res.ssd_fraction, off.ssd_fraction)
+        assert res.realized_tco == off.realized_tco
+
+    def test_serve_shard_weights(self, cluster, pipe):
+        svc = pipe.serve(
+            0.05, cluster.peak_ssd_usage, n_shards=4,
+            shard_weights=(2.0, 1.0, 1.0, 0.5),
+        )
+        total = svc.capacity
+        np.testing.assert_allclose(
+            svc.lane_capacities,
+            total * np.array([2.0, 1.0, 1.0, 0.5]) / 4.5,
+        )
+        with pytest.raises(ValueError, match="shard_weights"):
+            pipe.serve(0.05, 1.0, n_shards=4, shard_weights=(1.0, 2.0))
