@@ -10,12 +10,20 @@ Subcommands:
 - ``replay``    — stream a CSV/npz trace through the simulator without
   materializing per-job objects (see ``repro.workloads.streaming``)
 - ``serve``     — replay a trace request-at-a-time (or in micro-batches)
-  through the online ``PlacementService`` (see ``repro.serve``)
+  through the online ``PlacementService`` (see ``repro.serve``); with
+  ``--wal``/``--checkpoint`` the run is durable, with ``--fault-plan``
+  a scripted fault plan fires mid-stream, and ``--recover`` resumes a
+  crashed run from its checkpoint + WAL to the exact pre-crash state
 - ``loadgen``   — open-loop timed load generation against the service at
   a configurable rate and burst shape
+- ``chaos``     — the named chaos scenario suite: adaptive vs baseline
+  under lane loss/shrink, quota cuts, categorizer outages, completion
+  chaos (see ``repro.serve.scenarios``)
 
 ``serve`` and ``loadgen`` handle Ctrl-C gracefully: queued jobs are
 drained, the partial roll-up is printed, and the process exits 130.
+An injected ``crash`` fault point exits hard with status 137 (the WAL
+and the last checkpoint survive; ``--recover`` picks them up).
 
 Examples::
 
@@ -26,7 +34,12 @@ Examples::
     python -m repro.cli deploy --cluster 0 --quota 0.01
     python -m repro.cli replay --trace /tmp/trace.csv --quota 0.05 --shards 4
     python -m repro.cli serve --trace /tmp/trace.csv --quota 0.05 --batch 512
+    python -m repro.cli serve --trace /tmp/c0 --wal /tmp/c0.wal \\
+        --checkpoint /tmp/c0.ckpt --fault-plan /tmp/faults.json
+    python -m repro.cli serve --trace /tmp/c0 --wal /tmp/c0.wal \\
+        --checkpoint /tmp/c0.ckpt --recover
     python -m repro.cli loadgen --trace /tmp/trace.csv --rate 20000 --burst poisson
+    python -m repro.cli chaos --jobs 3000 --scenario lane_loss
 """
 
 from __future__ import annotations
@@ -116,6 +129,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="backpressure bound on the admission queue")
     serve.add_argument("--aggregate", action="store_true",
                        help="keep aggregates only in the final roll-up")
+    serve.add_argument("--wal", default=None,
+                       help="write-ahead log path: every mutating call is "
+                            "logged before it applies")
+    serve.add_argument("--checkpoint", default=None,
+                       help="checkpoint path: a snapshot is pickled here at "
+                            "start and every --checkpoint-every batches")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="micro-batches between periodic checkpoints "
+                            "(0 = only the initial one)")
+    serve.add_argument("--fault-plan", default=None,
+                       help="JSON fault plan fired at submission boundaries "
+                            "(see repro.serve.faults); an injected crash "
+                            "exits hard with status 137")
+    serve.add_argument("--recover", action="store_true",
+                       help="resume from --checkpoint + --wal instead of "
+                            "starting fresh, then serve the remaining trace")
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -142,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop after this many jobs")
     loadgen.add_argument("--seed", type=int, default=0,
                          help="seed of the poisson gap sampler")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos scenario suite: adaptive vs baseline under faults",
+    )
+    chaos.add_argument("--trace", default=None,
+                       help="trace to serve (default: generate a cluster "
+                            "trace and take the first --jobs jobs)")
+    chaos.add_argument("--cluster", type=int, default=0,
+                       help="default-cluster index for the generated trace")
+    chaos.add_argument("--jobs", type=int, default=3000,
+                       help="job count of the generated trace")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="trace-generation and completion-lottery seed")
+    chaos.add_argument("--quota", type=float, default=0.05,
+                       help="SSD capacity as a fraction of the trace's peak usage")
+    chaos.add_argument("--shards", type=int, default=4,
+                       help="number of caching servers")
+    chaos.add_argument("--batch", type=int, default=64,
+                       help="jobs per submitted micro-batch")
+    chaos.add_argument("--scenario", default="all",
+                       help="one scenario name, or 'all' for the full suite")
     return parser
 
 
@@ -286,68 +337,105 @@ def _service_summary(res, stats, interrupted: bool = False) -> None:
           f"completions: {stats.n_completions}")
 
 
+def _hard_exit() -> None:
+    """Injected-crash hook: die like a killed process (WAL survives)."""
+    import os
+
+    sys.stdout.flush()
+    sys.stderr.flush()
+    os._exit(137)
+
+
 def _cmd_serve(args) -> int:
     import time
 
     import numpy as np
 
     from .core import AdaptiveCategoryPolicy, hash_categories
-    from .serve import PlacementService
+    from .serve import FaultInjector, FaultPlan, PlacementService
     from .workloads.streaming import materialize_trace
 
     trace = materialize_trace(args.trace)
     if len(trace) == 0:
         print(f"trace {trace.name}: 0 jobs, nothing to serve")
         return 0
-    capacity = args.quota * trace.peak_ssd_usage()
-    policy = AdaptiveCategoryPolicy(
-        hash_categories(trace, args.categories), args.categories,
-        name="Adaptive Hash",
-    )
-    service = PlacementService(
-        policy, capacity, args.shards, mode=args.mode,
-        max_pending=args.max_pending,
-    )
-    service.open(trace)
+    if args.recover:
+        if not (args.checkpoint and args.wal):
+            print("serve: --recover needs --checkpoint and --wal",
+                  file=sys.stderr)
+            return 2
+        service = PlacementService.recover(args.checkpoint, args.wal)
+        start = service.stats.n_submitted
+        print(f"recovered from {args.checkpoint} + {args.wal}: "
+              f"{start} submissions replayed to WAL seq {service.wal_seq}")
+    else:
+        capacity = args.quota * trace.peak_ssd_usage()
+        policy = AdaptiveCategoryPolicy(
+            hash_categories(trace, args.categories), args.categories,
+            name="Adaptive Hash",
+        )
+        service = PlacementService(
+            policy, capacity, args.shards, mode=args.mode,
+            max_pending=args.max_pending, wal=args.wal,
+        )
+        service.open(trace)
+        if args.checkpoint:
+            service.checkpoint(args.checkpoint)
+        start = 0
+    target = service
+    if args.fault_plan:
+        plan = FaultPlan.from_file(args.fault_plan)
+        target = FaultInjector(service, plan, crash=_hard_exit)
     n = len(trace)
-    step = 1 if args.mode == "scalar" else max(args.batch, 1)
+    mode = service.mode
+    step = 1 if mode == "scalar" else max(args.batch, 1)
     pipelines = trace.pipelines
     lat: list[float] = []
     interrupted = False
+    batches = 0
     t_start = time.perf_counter()
     try:
-        for lo in range(0, n, step):
+        for lo in range(start, n, step):
             hi = min(lo + step, n)
             t0 = time.perf_counter()
-            if args.mode == "scalar":
-                service.submit(
+            if mode == "scalar":
+                target.submit(
                     arrival=trace.arrivals[lo], duration=trace.durations[lo],
                     size=trace.sizes[lo], read_bytes=trace.read_bytes[lo],
                     write_bytes=trace.write_bytes[lo],
                     read_ops=trace.read_ops[lo], pipeline=pipelines[lo],
                 )
             else:
-                service.submit_batch(
+                target.submit_batch(
                     trace.arrivals[lo:hi], trace.durations[lo:hi],
                     trace.sizes[lo:hi], trace.read_bytes[lo:hi],
                     trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
                     pipelines=pipelines[lo:hi],
                 )
             lat.append(time.perf_counter() - t0)
+            batches += 1
+            if (args.checkpoint and args.checkpoint_every
+                    and batches % args.checkpoint_every == 0):
+                service.checkpoint(args.checkpoint)
     except KeyboardInterrupt:
         interrupted = True
         print("\ninterrupted — flushing queued jobs", file=sys.stderr)
     elapsed = time.perf_counter() - t_start
     res = service.result(aggregate_only=args.aggregate)  # drains the queue
-    unit = "request" if args.mode == "scalar" else f"batch of {step}"
+    unit = "request" if mode == "scalar" else f"batch of {step}"
     print(f"served {res.n_jobs} of {n} jobs from {args.trace} "
-          f"({args.mode} mode, one {unit} per submission)")
+          f"({mode} mode, one {unit} per submission)")
     if lat and elapsed > 0:
         p50, p99 = np.percentile(np.asarray(lat), [50, 99])
         print(f"  decision latency: p50 {p50 * 1e6:,.0f} us, "
               f"p99 {p99 * 1e6:,.0f} us per submission")
         print(f"  throughput:       {res.n_jobs / elapsed:,.0f} decisions/s")
     _service_summary(res, service.stats, interrupted)
+    st = service.stats
+    if st.n_shocks or st.degraded_jobs or st.n_evicted:
+        print(f"  faults: {st.n_shocks} shocks, {st.n_evicted} evicted "
+              f"({fmt_bytes(st.evicted_bytes)}), "
+              f"{st.degraded_jobs} jobs decided degraded")
     return 130 if interrupted else 0
 
 
@@ -387,6 +475,40 @@ def _cmd_loadgen(args) -> int:
     return 130 if report.interrupted else 0
 
 
+def _cmd_chaos(args) -> int:
+    from .serve.scenarios import SCENARIOS, format_rows, get_scenario, run_suite
+    from .workloads.streaming import materialize_trace
+
+    if args.trace:
+        trace = materialize_trace(args.trace)
+    else:
+        from .workloads import Trace, default_cluster_specs, generate_cluster_trace
+
+        spec = default_cluster_specs(10)[args.cluster]
+        full = generate_cluster_trace(spec, duration=WEEK, seed=args.seed)
+        trace = Trace(full.jobs[: args.jobs], name=f"{full.name}[:{args.jobs}]")
+    if len(trace) == 0:
+        print("chaos: empty trace, nothing to run")
+        return 0
+    try:
+        scenarios = (
+            SCENARIOS if args.scenario == "all"
+            else (get_scenario(args.scenario),)
+        )
+    except KeyError as exc:
+        print(f"chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+    capacity = args.quota * trace.peak_ssd_usage()
+    rows = run_suite(
+        trace, capacity=capacity, n_shards=args.shards,
+        batch_jobs=max(args.batch, 1), scenarios=scenarios, seed=args.seed,
+    )
+    print(f"chaos suite on {trace.name}: {len(trace)} jobs, "
+          f"{fmt_bytes(capacity)} over {args.shards} caching servers")
+    print(format_rows(rows))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -396,6 +518,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -146,6 +146,15 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         Counters are pre-sized to the lane count so scalar and batch
         feedback can never disagree on their shape; per-shard-ACT runs
         additionally seed one threshold per lane at the initial ACT.
+
+        The runtime may call this again mid-run after a capacity shock
+        (:meth:`repro.serve.PlacementService.apply_shock`): lane
+        thresholds and their counter marks are then *preserved* — the
+        per-shard signal keeps adapting from where it was, reacting to
+        the new layout through its spill rates rather than restarting
+        cold.  Re-seeding only happens on the first call of a run (or
+        if the lane count itself changed), anchored at the current
+        counter values.
         """
         n_lanes = len(lane_capacities)
         self._grow_shard_counters(n_lanes)
@@ -154,9 +163,10 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         # keep the paper's global spillover-TCIO algorithm rather than
         # silently switching an unsharded run to the counter-rate rule.
         if self.per_shard_act and n_lanes > 1:
-            self.act_lanes = np.full(n_lanes, self.act, dtype=int)
-            self._req_mark = np.zeros(n_lanes, dtype=np.int64)
-            self._spill_mark = np.zeros(n_lanes, dtype=np.int64)
+            if self.act_lanes is None or self.act_lanes.size != n_lanes:
+                self.act_lanes = np.full(n_lanes, self.act, dtype=int)
+                self._req_mark = self.shard_ssd_requested[:n_lanes].copy()
+                self._spill_mark = self.shard_spills[:n_lanes].copy()
 
     @property
     def history(self):

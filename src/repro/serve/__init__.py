@@ -17,29 +17,50 @@ space:
   plus packed-forest GBT prediction on the admission path.
 - :class:`LoadGenerator` — open-loop timed arrival streams from any
   trace source, with configurable rate and burst shape, for
-  latency/throughput measurement.
+  latency/throughput measurement; retries transient submit failures
+  with bounded backoff.
+- :class:`WriteAheadLog` / :meth:`PlacementService.recover` — crash
+  durability: checkpoint + WAL-suffix replay to the exact pre-crash
+  state (see :mod:`repro.serve.wal`).
+- :class:`FaultPlan` / :class:`FaultInjector` — scripted chaos (lane
+  loss/shrink/restore, quota changes, categorizer outages, lost or
+  duplicated completions, transient errors, crash points); named
+  scenarios and the adaptive-vs-baseline runner live in
+  :mod:`repro.serve.scenarios`.
 
 Replaying a trace through the service is bit-identical to the offline
 ``simulate``/``simulate_sharded`` run with the matching engine — the
 service drives the same kernels; see :mod:`repro.serve.service`.
 """
 
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    TransientSubmitError,
+)
 from .loadgen import LoadGenerator, LoadReport
 from .log import ColumnView, GrowArray, JobLog
 from .policy import OnlineAdaptivePolicy
 from .predict import OnlineCategorizer
+from .scenarios import SCENARIOS, ChaosScenario, ScenarioRow
 from .service import (
     PlacementDecision,
     PlacementService,
     ServiceSnapshot,
     ServiceStats,
+    ShockReport,
 )
+from .wal import WalCorruption, WriteAheadLog
 
 __all__ = [
     "PlacementService",
     "PlacementDecision",
     "ServiceSnapshot",
     "ServiceStats",
+    "ShockReport",
     "OnlineAdaptivePolicy",
     "OnlineCategorizer",
     "LoadGenerator",
@@ -47,4 +68,15 @@ __all__ = [
     "JobLog",
     "GrowArray",
     "ColumnView",
+    "WriteAheadLog",
+    "WalCorruption",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "TransientSubmitError",
+    "InjectedCrash",
+    "ChaosScenario",
+    "ScenarioRow",
+    "SCENARIOS",
 ]

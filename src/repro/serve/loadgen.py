@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..workloads.streaming import open_trace_source, rechunk_blocks
+from .faults import TransientSubmitError
 
 __all__ = ["LoadReport", "LoadGenerator"]
 
@@ -53,6 +54,7 @@ class LoadReport:
     offered_rate: float | None = None
     lag_seconds: float = 0.0
     interrupted: bool = False
+    n_retries: int = 0
     batch_seconds: list[float] = field(default_factory=list)
 
     @property
@@ -84,6 +86,13 @@ class LoadGenerator:
     seed:
         Seed of the ``"poisson"`` gap sampler (schedules are
         deterministic for a fixed seed and batch size).
+    max_retries, retry_backoff:
+        A submission failing with
+        :class:`~repro.serve.faults.TransientSubmitError` is retried up
+        to ``max_retries`` times with exponential backoff starting at
+        ``retry_backoff`` seconds; exhaustion re-raises.  Any other
+        exception propagates immediately (an injected crash is a crash,
+        not a retry).
     clock, sleep:
         Injectable time source and sleeper (tests pass fakes; defaults
         are ``time.perf_counter`` / ``time.sleep``).
@@ -103,6 +112,8 @@ class LoadGenerator:
         shape: str = "trace",
         batch_jobs: int = 256,
         seed: int = 0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
         clock=time.perf_counter,
         sleep=time.sleep,
     ):
@@ -112,11 +123,15 @@ class LoadGenerator:
             raise ValueError("rate must be positive")
         if batch_jobs < 1:
             raise ValueError("batch_jobs must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.source = open_trace_source(trace)
         self.rate = rate
         self.shape = shape
         self.batch_jobs = batch_jobs
         self.seed = seed
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.clock = clock
         self.sleep = sleep
 
@@ -182,7 +197,7 @@ class LoadGenerator:
                     else:
                         report.lag_seconds = float(-ahead)
                 t0 = self.clock()
-                decisions = service.submit_block(block)
+                decisions = self._submit_with_retry(service, block, report)
                 report.batch_seconds.append(self.clock() - t0)
                 report.n_decisions += len(decisions)
                 sent += len(block)
@@ -193,6 +208,17 @@ class LoadGenerator:
         report.n_jobs = sent
         report.elapsed = self.clock() - start
         return report
+
+    def _submit_with_retry(self, service, block, report):
+        """One submission with bounded retry on transient failures."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                return service.submit_block(block)
+            except TransientSubmitError:
+                report.n_retries += 1
+                if attempt == self.max_retries:
+                    raise
+                self.sleep(self.retry_backoff * (2 ** attempt))
 
 
 def _clip_block(block, take: int):

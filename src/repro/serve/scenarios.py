@@ -1,0 +1,270 @@
+"""Named chaos scenarios and the adaptive-vs-baseline runner.
+
+One :class:`ChaosScenario` is a reproducible fault script scaled to the
+trace: its builder receives ``(n_jobs, n_shards)`` and returns the
+:class:`~repro.serve.faults.FaultPlan` to fire.  The runner drives the
+same trace, the same micro-batch slicing, the same deterministic
+completion stream, and the same plan through each competing policy, so
+the per-scenario rows isolate exactly one variable — how the placement
+policy copes with the faults.
+
+Used by the ``chaos`` CLI subcommand and
+``benchmarks/bench_chaos_scenarios.py`` (fixed seeds; the committed
+baseline lives in ``benchmarks/results/chaos_scenarios.txt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.metadata import stable_hash
+from .faults import FaultEvent, FaultInjector, FaultPlan, TransientSubmitError
+
+__all__ = [
+    "ChaosScenario",
+    "ScenarioRow",
+    "SCENARIOS",
+    "default_policies",
+    "run_scenario",
+    "run_suite",
+    "format_rows",
+]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, trace-scaled fault script."""
+
+    name: str
+    description: str
+    builder: object  # (n_jobs, n_shards) -> FaultPlan
+
+    def plan(self, n_jobs: int, n_shards: int) -> FaultPlan:
+        return self.builder(n_jobs, n_shards)
+
+
+def _lane(n_shards: int) -> int:
+    return min(1, n_shards - 1)
+
+
+def _nofault(n, s):
+    return FaultPlan()
+
+
+def _lane_loss(n, s):
+    return FaultPlan((
+        FaultEvent(at=int(0.3 * n), kind="lane_loss", lane=_lane(s)),
+        FaultEvent(at=int(0.7 * n), kind="lane_restore", lane=_lane(s)),
+    ))
+
+
+def _lane_shrink(n, s):
+    return FaultPlan((
+        FaultEvent(at=int(0.25 * n), kind="lane_shrink", lane=0, scale=0.25),
+        FaultEvent(at=int(0.25 * n), kind="lane_shrink", lane=_lane(s), scale=0.25),
+        FaultEvent(at=int(0.75 * n), kind="lane_restore", lane=0),
+        FaultEvent(at=int(0.75 * n), kind="lane_restore", lane=_lane(s)),
+    ))
+
+
+def _quota_cut(n, s):
+    # 0.5 then 2.0 are powers of two: the restore is float-exact.
+    return FaultPlan((
+        FaultEvent(at=int(0.4 * n), kind="quota", scale=0.5),
+        FaultEvent(at=int(0.8 * n), kind="quota", scale=2.0),
+    ))
+
+
+def _cat_outage(n, s):
+    return FaultPlan((
+        FaultEvent(at=int(0.2 * n), kind="cat_fail"),
+        FaultEvent(at=int(0.6 * n), kind="cat_recover"),
+    ))
+
+
+def _complete_chaos(n, s):
+    return FaultPlan((
+        FaultEvent(at=int(0.3 * n), kind="drop_complete", count=40),
+        FaultEvent(at=int(0.5 * n), kind="dup_complete", count=40),
+        FaultEvent(at=int(0.6 * n), kind="submit_error", count=2),
+    ))
+
+
+SCENARIOS = (
+    ChaosScenario("nofault", "clean run (reference row)", _nofault),
+    ChaosScenario("lane_loss", "one caching server dies, later returns", _lane_loss),
+    ChaosScenario("lane_shrink", "two lanes shrink to 25%, later restore", _lane_shrink),
+    ChaosScenario("quota_cut", "fleet quota halved, later restored", _quota_cut),
+    ChaosScenario("cat_outage", "categorizer down for 40% of the stream", _cat_outage),
+    ChaosScenario(
+        "complete_chaos",
+        "lost + duplicated completions, transient submit failures",
+        _complete_chaos,
+    ),
+)
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    for sc in SCENARIOS:
+        if sc.name == name:
+            return sc
+    raise KeyError(
+        f"unknown scenario {name!r}; pick from "
+        f"{', '.join(sc.name for sc in SCENARIOS)}"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One (scenario, policy) outcome."""
+
+    scenario: str
+    policy: str
+    tco_savings_pct: float
+    n_spilled: int
+    n_evicted: int
+    n_shocks: int
+    degraded_jobs: int
+    dropped_completes: int
+    duplicate_completes: int
+    n_retries: int
+
+
+def default_policies(n_categories: int = 15):
+    """The standard adaptive-vs-baseline contenders.
+
+    ``adaptive`` is the serve-native Algorithm-1 policy fed by a
+    seeded-hash categorizer (a different seed than the degraded-mode
+    fallback, so categorizer outages visibly change admission);
+    ``baseline`` is first-fit with no categorizer.  Each builder
+    returns ``(policy, categorizer)``.
+    """
+
+    def build_adaptive():
+        from .policy import OnlineAdaptivePolicy
+
+        def categorizer(jobs):
+            return np.array(
+                [1 + stable_hash(j.pipeline, seed=1) % (n_categories - 1)
+                 for j in jobs],
+                dtype=np.int64,
+            )
+
+        return (
+            OnlineAdaptivePolicy(n_categories, per_shard_act=True),
+            categorizer,
+        )
+
+    def build_baseline():
+        from ..baselines import FirstFitPolicy
+
+        return FirstFitPolicy(), None
+
+    return {"adaptive": build_adaptive, "baseline": build_baseline}
+
+
+def run_scenario(
+    scenario: ChaosScenario,
+    trace,
+    *,
+    capacity,
+    n_shards: int = 4,
+    batch_jobs: int = 64,
+    policies=None,
+    complete_fraction: float = 0.25,
+    seed: int = 0,
+    max_retries: int = 5,
+) -> list[ScenarioRow]:
+    """Run one scenario through every contender; returns one row each.
+
+    Every contender sees the identical stream: the same micro-batch
+    slicing, the same fault plan, and the same deterministic completion
+    lottery (each decided job completes early with probability
+    ``complete_fraction``, drawn from ``seed`` independently of the
+    policy's decisions).  Injected transient submit errors are retried
+    up to ``max_retries`` times, mirroring the load generator.
+    """
+    policies = default_policies() if policies is None else policies
+    n = len(trace)
+    rows = []
+    for pname, build in policies.items():
+        policy, categorizer = build()
+        from .service import PlacementService
+
+        svc = PlacementService(
+            policy, capacity, n_shards, mode="batch", categorizer=categorizer
+        )
+        if categorizer is None:
+            svc.open(trace)
+        inj = FaultInjector(svc, scenario.plan(n, n_shards))
+        rng = np.random.default_rng(seed)
+        n_retries = 0
+        for lo in range(0, n, batch_jobs):
+            hi = min(lo + batch_jobs, n)
+            for attempt in range(max_retries + 1):
+                try:
+                    decisions = inj.submit_batch(
+                        trace.arrivals[lo:hi], trace.durations[lo:hi],
+                        trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                        trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                        pipelines=trace.pipelines[lo:hi],
+                    )
+                    break
+                except TransientSubmitError:
+                    n_retries += 1
+                    if attempt == max_retries:
+                        raise
+            # The completion lottery draws per *submitted batch*, not per
+            # decision, so every contender consumes the same randomness.
+            lottery = rng.random(hi - lo)
+            for k, d in enumerate(decisions[: hi - lo]):
+                if lottery[k] < complete_fraction:
+                    inj.complete(d.job_id)
+        inj.drain()
+        res = svc.result()
+        st = svc.stats
+        rows.append(ScenarioRow(
+            scenario=scenario.name,
+            policy=pname,
+            tco_savings_pct=float(res.tco_savings_pct),
+            n_spilled=int(res.n_spilled),
+            n_evicted=int(st.n_evicted),
+            n_shocks=int(st.n_shocks),
+            degraded_jobs=int(st.degraded_jobs),
+            dropped_completes=int(inj.n_dropped_completes),
+            duplicate_completes=int(st.duplicate_completes),
+            n_retries=n_retries,
+        ))
+    return rows
+
+
+def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
+              scenarios=SCENARIOS, policies=None, seed: int = 0) -> list[ScenarioRow]:
+    """Run every scenario; returns all rows in suite order."""
+    rows = []
+    for sc in scenarios:
+        rows.extend(run_scenario(
+            sc, trace, capacity=capacity, n_shards=n_shards,
+            batch_jobs=batch_jobs, policies=policies, seed=seed,
+        ))
+    return rows
+
+
+def format_rows(rows) -> str:
+    """Render scenario rows as the fixed-width table the bench commits."""
+    head = (
+        f"{'scenario':<16} {'policy':<10} {'tco_sav%':>9} {'spilled':>8} "
+        f"{'evicted':>8} {'shocks':>7} {'degraded':>9} {'dropped':>8} "
+        f"{'dup':>5} {'retries':>8}"
+    )
+    lines = [head, "-" * len(head)]
+    for r in rows:
+        lines.append(
+            f"{r.scenario:<16} {r.policy:<10} {r.tco_savings_pct:>9.2f} "
+            f"{r.n_spilled:>8} {r.n_evicted:>8} {r.n_shocks:>7} "
+            f"{r.degraded_jobs:>9} {r.dropped_completes:>8} "
+            f"{r.duplicate_completes:>5} {r.n_retries:>8}"
+        )
+    return "\n".join(lines)

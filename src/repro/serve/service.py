@@ -42,13 +42,37 @@ chunk still incomplete), the service force-closes chunks at the
 available horizon, trading the offline-equal chunk boundaries for
 bounded decision latency — the same trade a production frontend makes
 when it refuses to hold requests for a full decision interval.
+
+Fault tolerance
+---------------
+Three mechanisms (see ``docs/robustness.md`` for the full fault model):
+
+- **Capacity shocks** — :meth:`PlacementService.apply_shock` resizes
+  lanes mid-stream (loss, shrink, restore, quota changes).  Queued
+  decisions are flushed first (the shock lands on a chunk boundary),
+  residents that no longer fit are evicted through the kernel
+  (counted as spills and in ``ServiceStats``), the live-job table is
+  purged, and ``on_shard_topology`` re-fires so per-shard adaptive
+  thresholds re-adapt to the new layout.
+- **Durability** — construct with a
+  :class:`~repro.serve.wal.WriteAheadLog` and every mutating call is
+  logged before it applies; :meth:`checkpoint` pickles periodic
+  snapshots and :meth:`recover` rebuilds the exact pre-crash state
+  from a checkpoint plus the WAL suffix.
+- **Degraded mode** — a categorizer failure never takes the service
+  down: admission falls back to the stable-hash heuristic (the
+  Adaptive Hash rule) and the degraded interval is recorded in
+  ``ServiceStats`` until the model recovers.
 """
 
 from __future__ import annotations
 
 import copy
 import heapq
+import os
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -64,9 +88,17 @@ from ..storage.engine import (
 )
 from ..storage.policy import PlacementContext, PlacementOutcome, PlacementPolicy
 from ..workloads.job import ShuffleJob, TraceBase
+from ..workloads.metadata import stable_hash
 from .log import GrowArray, JobLog
+from .wal import WalCorruption, WriteAheadLog, job_from_record, job_to_record
 
-__all__ = ["PlacementDecision", "ServiceSnapshot", "ServiceStats", "PlacementService"]
+__all__ = [
+    "PlacementDecision",
+    "ServiceSnapshot",
+    "ServiceStats",
+    "ShockReport",
+    "PlacementService",
+]
 
 
 @dataclass(frozen=True)
@@ -116,24 +148,70 @@ class ServiceSnapshot:
     original service may keep running and one snapshot may be restored
     any number of times.  Snapshots are picklable whenever the policy
     is, which is what makes on-disk checkpointing possible.
+
+    A snapshot may be taken while an open chunk has pending jobs: the
+    admission queue (``n_pending`` jobs and any cached chunk plan) is
+    carried inside the payload, so a restore resumes with the exact
+    same queue and the eventual chunk boundaries — and therefore every
+    later decision — match the uninterrupted run bit for bit.
+
+    ``wal_seq`` anchors the snapshot in its service's write-ahead log:
+    :meth:`PlacementService.recover` replays WAL records from this
+    sequence number on.  The WAL handle itself is never part of the
+    payload (a restored service attaches its own).
     """
 
     payload: dict = field(repr=False)
     n_submitted: int = 0
     n_decided: int = 0
+    n_pending: int = 0
+    wal_seq: int = 0
 
 
 @dataclass
 class ServiceStats:
-    """Running operational counters of one service instance."""
+    """Running operational counters of one service instance.
+
+    ``degraded_intervals`` holds closed ``(t_start, t_end)`` arrival
+    spans during which the categorizer was down and admission ran on
+    the heuristic fallback; an outage that has not ended yet is not in
+    the list (see :attr:`PlacementService.degraded_since`).
+    """
 
     n_submitted: int = 0
     n_decided: int = 0
     n_chunks: int = 0
     n_completions: int = 0
     duplicate_completes: int = 0
+    stale_completes: int = 0
     forced_chunks: int = 0
     max_pending_seen: int = 0
+    n_shocks: int = 0
+    n_evicted: int = 0
+    evicted_bytes: float = 0.0
+    categorizer_failures: int = 0
+    degraded_jobs: int = 0
+    degraded_intervals: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ShockReport:
+    """What one :meth:`PlacementService.apply_shock` call did.
+
+    ``decisions`` holds the queued decisions force-closed before the
+    shock landed (shocks apply on chunk boundaries — a caller that
+    normally collects decisions from ``submit`` returns picks the
+    flushed ones up here); ``n_evicted`` / ``evicted_bytes`` count the
+    resident allocations squeezed out by the new layout (each also
+    counted as a spill).
+    """
+
+    time: float
+    lane_capacities: np.ndarray
+    n_evicted: int
+    evicted_bytes: float
+    flushed: int
+    decisions: tuple = ()
 
 
 class PlacementService:
@@ -175,6 +253,14 @@ class PlacementService:
         Keep a live table of outstanding SSD allocations so
         :meth:`complete` can release space early.  On by default; turn
         off to shave bookkeeping from pure-replay benchmarks.
+    wal:
+        Optional :class:`~repro.serve.wal.WriteAheadLog` (or a path,
+        opened as one): every mutating call is appended before it
+        applies, enabling :meth:`recover` after a crash.
+    fallback_categorizer:
+        Optional ``jobs -> categories`` used while the primary
+        categorizer is failing.  Default: stable pipeline hash into
+        ``[1, n_categories)`` — the Adaptive Hash heuristic.
     """
 
     def __init__(
@@ -190,6 +276,8 @@ class PlacementService:
         categorizer=None,
         track_jobs: bool = True,
         name: str = "service",
+        wal: WriteAheadLog | str | None = None,
+        fallback_categorizer=None,
     ):
         if mode not in ("scalar", "batch"):
             raise ValueError(f"unknown service mode {mode!r}")
@@ -224,9 +312,25 @@ class PlacementService:
         self._decided = 0
         self._plan = None  # cached (BatchDecision for job index _decided)
         self._now = -np.inf
+        #: How far the kernel's release cursor may have advanced.  In
+        #: batch mode, opening a chunk to consult the policy applies
+        #: releases up to the first *queued* arrival — which can sit
+        #: ahead of ``_now`` (the last decided arrival) while the chunk
+        #: waits for more submissions.  ``complete`` must treat
+        #: releases at or before this point as already fired, or it
+        #: would re-free space the cursor already returned.
+        self._horizon = -np.inf
         self._opened = False
         self._live: dict = {}  # job_id -> (index, lane, alloc, release_time)
         self._live_sched: list[tuple[float, object]] = []  # (release_time, job_id)
+        self.wal = WriteAheadLog(wal) if isinstance(wal, (str, Path)) else wal
+        self.fallback_categorizer = fallback_categorizer
+        self._wal_seq = 0 if self.wal is None else self.wal.seq
+        self._wal_rec: dict | None = None  # record under construction
+        self._replaying = False  # True while recover() replays the WAL
+        self._replay_cats = None  # (cats, degraded) from the record
+        self._degraded_since: float | None = None  # open outage start
+        self._shards_ref = None  # routing vector for topology re-fires
 
     # -- lifecycle ------------------------------------------------------
 
@@ -263,12 +367,14 @@ class PlacementService:
             )
             policy.on_simulation_start(trace, self.capacity, self.rates)
             policy.on_shard_topology(shards, self.lane_capacities.copy())
+            self._shards_ref = shards
         else:
             if hasattr(policy, "bind_log"):
                 policy.bind_log(self.log)
             policy.on_simulation_start(self.log, self.capacity, self.rates)
             shards_view = self.log.column("lanes") if self.n_shards > 1 else None
             policy.on_shard_topology(shards_view, self.lane_capacities.copy())
+            self._shards_ref = shards_view
         return self
 
     def _ensure_open(self) -> None:
@@ -313,8 +419,23 @@ class PlacementService:
             pipeline, user, job_id,
         )
         self.stats.n_submitted += 1
+        if self.wal is not None and not self._replaying:
+            if job is not None:
+                jr = job_to_record(job)
+                jr["job_id"] = self.log.job_ids[i]
+                self._wal_rec = {"op": "jobs", "jobs": [jr]}
+            else:
+                self._wal_rec = {
+                    "op": "submit",
+                    "arrival": float(arrival), "duration": float(duration),
+                    "size": float(size), "read_bytes": float(read_bytes),
+                    "write_bytes": float(write_bytes),
+                    "read_ops": float(read_ops),
+                    "pipeline": pipeline, "user": user, "job_id": job_id,
+                }
         if self.categorizer is not None:
             self._categorize(i, i + 1, [job] if job is not None else None)
+        self._wal_append()
         if self.mode == "scalar":
             return [self._decide_scalar(i)]
         return self._pump()
@@ -348,8 +469,25 @@ class PlacementService:
             pipelines, users, job_ids,
         )
         self.stats.n_submitted += stop - first
+        if self.wal is not None and not self._replaying:
+            self._wal_rec = {
+                "op": "batch",
+                "arrivals": arrivals.tolist(),
+                "durations": np.asarray(durations, dtype=float).tolist(),
+                "sizes": np.asarray(sizes, dtype=float).tolist(),
+                "read_bytes": None if read_bytes is None
+                else np.asarray(read_bytes, dtype=float).tolist(),
+                "write_bytes": None if write_bytes is None
+                else np.asarray(write_bytes, dtype=float).tolist(),
+                "read_ops": None if read_ops is None
+                else np.asarray(read_ops, dtype=float).tolist(),
+                "pipelines": None if pipelines is None else list(pipelines),
+                "users": None if users is None else list(users),
+                "job_ids": None if job_ids is None else list(job_ids),
+            }
         if self.categorizer is not None:
             self._categorize(first, stop, None)
+        self._wal_append()
         if self.mode == "scalar":
             return [self._decide_scalar(i) for i in range(first, stop)]
         return self._pump()
@@ -378,8 +516,11 @@ class PlacementService:
             job_ids=[j.job_id for j in jobs],
         )
         self.stats.n_submitted += stop - first
+        if self.wal is not None and not self._replaying:
+            self._wal_rec = {"op": "jobs", "jobs": [job_to_record(j) for j in jobs]}
         if self.categorizer is not None:
             self._categorize(first, stop, jobs)
+        self._wal_append()
         if self.mode == "scalar":
             return [self._decide_scalar(i) for i in range(first, stop)]
         return self._pump()
@@ -401,16 +542,94 @@ class PlacementService:
         and then drains matches the offline run bit for bit.
         """
         self._ensure_open()
+        if self.pending and self.wal is not None and not self._replaying:
+            self.wal.append({"op": "drain"})
+            self._wal_seq += 1
         return self._pump(force=True)
 
+    def _wal_append(self) -> None:
+        """Flush the submission record built (and annotated) this call."""
+        rec, self._wal_rec = self._wal_rec, None
+        if rec is not None:
+            self.wal.append(rec)
+            self._wal_seq += 1
+
     def _categorize(self, first: int, stop: int, jobs) -> None:
-        """Run the on-the-fly categorizer over newly appended jobs."""
+        """Run the on-the-fly categorizer over newly appended jobs.
+
+        A categorizer failure degrades instead of raising: admission
+        falls back to :meth:`_fallback_categories` (stable-hash
+        heuristic by default), the failure and the affected jobs are
+        counted, and the open degraded interval is closed at the first
+        healthy call.  During WAL replay the record's categories are
+        authoritative — the model is still re-run on non-degraded
+        records so its rolling feature state matches the uninterrupted
+        run, but its output is discarded in favour of the recorded one.
+        """
+        log = self.log
         if jobs is None:
-            jobs = [self.log[i] for i in range(first, stop)]
-        cats = self.categorizer(jobs)
+            jobs = [log[i] for i in range(first, stop)]
+        replayed, self._replay_cats = self._replay_cats, None
+        degraded = False
+        if replayed is not None:
+            cats, degraded = replayed
+            cats = np.asarray(cats, dtype=np.int64)
+            if not degraded:
+                inner = getattr(self.categorizer, "inner", self.categorizer)
+                try:
+                    inner(jobs)
+                except Exception:
+                    pass
+        else:
+            try:
+                cats = np.asarray(self.categorizer(jobs), dtype=np.int64)
+            except Exception:
+                degraded = True
+                cats = self._fallback_categories(jobs)
+        t0 = float(log.arrivals[first])
+        if degraded:
+            self.stats.categorizer_failures += 1
+            self.stats.degraded_jobs += stop - first
+            if self._degraded_since is None:
+                self._degraded_since = t0
+        elif self._degraded_since is not None:
+            self.stats.degraded_intervals.append((self._degraded_since, t0))
+            self._degraded_since = None
+        if self._wal_rec is not None:
+            self._wal_rec["cats"] = [int(c) for c in cats]
+            if degraded:
+                self._wal_rec["degraded"] = True
         extend = getattr(self.policy, "extend_categories", None)
         if extend is not None:
             extend(cats)
+
+    def _fallback_categories(self, jobs) -> np.ndarray:
+        """Heuristic admission while the model is down.
+
+        Stable hash of each job's pipeline into ``[1, n_categories)`` —
+        the Adaptive Hash rule, so the adaptive threshold keeps
+        modulating *how much* is admitted even though job importance is
+        arbitrary.  A custom ``fallback_categorizer`` overrides this.
+        """
+        if self.fallback_categorizer is not None:
+            return np.asarray(self.fallback_categorizer(jobs), dtype=np.int64)
+        n_cat = getattr(self.policy, "n_categories", None)
+        if n_cat is None or n_cat < 2:
+            return np.zeros(len(jobs), dtype=np.int64)
+        return np.array(
+            [1 + stable_hash(j.pipeline) % (n_cat - 1) for j in jobs],
+            dtype=np.int64,
+        )
+
+    @property
+    def degraded_since(self) -> float | None:
+        """Arrival time the current categorizer outage began (or None)."""
+        return self._degraded_since
+
+    @property
+    def wal_seq(self) -> int:
+        """WAL records this service has written or replayed so far."""
+        return self._wal_seq
 
     # -- scalar mode ----------------------------------------------------
 
@@ -420,6 +639,8 @@ class PlacementService:
         t = log.arrivals[i]
         kern.release_until(t)
         self._advance_now(float(t))
+        if t > self._horizon:
+            self._horizon = float(t)
         s = int(log.lanes[i]) if self.n_shards > 1 else 0
         ctx = PlacementContext(
             time=t, free_ssd=float(kern.free[s]),
@@ -483,6 +704,11 @@ class PlacementService:
                 t0 = float(log.arrivals[first])
                 s0 = int(log.lanes[first]) if self.n_shards > 1 else 0
                 ctx = kern.open_chunk(t0, s0)
+                # The release cursor is now at t0, possibly ahead of
+                # _now while the chunk waits for more submissions; see
+                # _horizon and the complete() guard.
+                if t0 > self._horizon:
+                    self._horizon = t0
                 self._plan = self.policy.decide_batch(first, ctx)
             bd = self._plan
             want = max(1, int(bd.count))
@@ -571,24 +797,174 @@ class PlacementService:
         released by its scheduled timeout, or was already completed — a
         duplicate ``complete`` for the same id is a counted no-op, never
         a double-free.  ``time`` advances the service clock (defaults
-        to the last decision time).
+        to the last decision time); a timestamp *earlier* than the
+        current clock is clamped to it and counted in
+        ``ServiceStats.stale_completes`` — time never runs backwards.
         """
         self._ensure_open()
+        if self.wal is not None and not self._replaying:
+            self.wal.append(
+                {"op": "complete", "job_id": job_id,
+                 "time": None if time is None else float(time)}
+            )
+            self._wal_seq += 1
         if time is not None:
-            self._advance_now(float(time))
+            t = float(time)
+            if t < self._now:
+                self.stats.stale_completes += 1
+                t = self._now
+            self._advance_now(t)
         entry = self._live.pop(job_id, None)
         if entry is None:
             self.stats.duplicate_completes += 1
             return False
         index, lane, alloc, release = entry
-        if release <= self._now:
-            return False  # scheduled release already fired
+        if release <= self._now or release <= self._horizon:
+            # Scheduled release already fired — either the clock passed
+            # it, or an opened (still pending) chunk advanced the
+            # kernel's release cursor past it.  Cancelling now would
+            # free the space a second time.
+            return False
         if self.mode == "scalar":
             self.kernel.cancel(index, lane, alloc)
         else:
             self.kernel.cancel(lane, alloc, release)
         self.stats.n_completions += 1
         return True
+
+    # -- capacity shocks ------------------------------------------------
+
+    def apply_shock(
+        self,
+        capacity: float | np.ndarray | None = None,
+        *,
+        lane: int | None = None,
+        scale: float | None = None,
+    ) -> ShockReport:
+        """Change the lane capacity layout mid-stream.
+
+        Three spellings:
+
+        - ``apply_shock(bytes, lane=k)`` — resize one caching server
+          (``0`` = lane loss, its old capacity again = restore);
+        - ``apply_shock(vector)`` — set the full per-lane layout;
+        - ``apply_shock(total)`` / ``apply_shock(scale=f)`` — a quota
+          change: the current layout scales proportionally (an even
+          split if the fleet currently has zero capacity).
+
+        Queued decisions are flushed first — the shock lands on a chunk
+        boundary, never inside one.  Residents that no longer fit are
+        evicted latest-release-first through the kernel (each counted
+        as a spill and in ``ServiceStats``), their live-table entries
+        retired so a later ``complete`` cannot double-free, and
+        ``on_shard_topology`` re-fires with the new layout so per-shard
+        adaptive thresholds re-adapt; their accumulated state is
+        preserved (see
+        :meth:`~repro.core.AdaptiveCategoryPolicy.on_shard_topology`).
+        """
+        self._ensure_open()
+        new_caps = self._resolve_shock(capacity, lane, scale)
+        if self.wal is not None and not self._replaying:
+            self.wal.append({"op": "shock", "caps": new_caps.tolist()})
+            self._wal_seq += 1
+        flushed = self._pump(force=True) if self.mode == "batch" else []
+        kern = self.kernel
+        scalar_evicted: list[tuple[float, int, float]] = []
+        chunk_evicted: list[tuple[int, float, float]] = []
+        for L in range(self.n_shards):
+            if float(new_caps[L]) == float(self.lane_capacities[L]):
+                continue
+            entries = kern.resize_lane(L, float(new_caps[L]))
+            if self.mode == "scalar":
+                scalar_evicted.extend(entries)
+            else:
+                chunk_evicted.extend((L, r, a) for (r, a) in entries)
+        # lane_capacities is the very array the kernel mutates; only
+        # the scalar total needs re-syncing.
+        self.capacity = float(kern.capacity)
+        n_evicted = len(scalar_evicted) + len(chunk_evicted)
+        evicted_bytes = sum(a for (_, _, a) in scalar_evicted) + sum(
+            a for (_, _, a) in chunk_evicted
+        )
+        if n_evicted:
+            self._purge_live(scalar_evicted, chunk_evicted)
+        self.policy.on_shard_topology(
+            self._shards_ref, self.lane_capacities.copy()
+        )
+        self.stats.n_shocks += 1
+        self.stats.n_evicted += n_evicted
+        self.stats.evicted_bytes += evicted_bytes
+        return ShockReport(
+            time=float(self._now) if np.isfinite(self._now) else 0.0,
+            lane_capacities=self.lane_capacities.copy(),
+            n_evicted=n_evicted,
+            evicted_bytes=evicted_bytes,
+            flushed=len(flushed),
+            decisions=tuple(flushed),
+        )
+
+    def _resolve_shock(self, capacity, lane, scale) -> np.ndarray:
+        """Resolve one shock spelling to the new per-lane layout."""
+        cur = np.asarray(self.lane_capacities, dtype=float)
+        if scale is not None:
+            if capacity is not None or lane is not None:
+                raise ValueError("scale= excludes capacity=/lane=")
+            if scale < 0:
+                raise ValueError("scale must be >= 0")
+            return cur * float(scale)
+        if capacity is None:
+            raise ValueError("apply_shock needs capacity= or scale=")
+        if lane is not None:
+            if not 0 <= lane < self.n_shards:
+                raise ValueError(f"lane {lane} out of range")
+            cap = float(np.asarray(capacity, dtype=float))
+            if cap < 0:
+                raise ValueError("capacity must be >= 0")
+            new = cur.copy()
+            new[lane] = cap
+            return new
+        arr = np.asarray(capacity, dtype=float)
+        if arr.ndim == 0:
+            total = float(arr)
+            if total < 0:
+                raise ValueError("capacity must be >= 0")
+            cur_total = float(cur.sum())
+            if cur_total > 0:
+                return cur * (total / cur_total)
+            return np.full(self.n_shards, total / self.n_shards)
+        if arr.shape != (self.n_shards,):
+            raise ValueError(
+                f"capacity vector has {arr.size} entries for "
+                f"{self.n_shards} shards"
+            )
+        if (arr < 0).any():
+            raise ValueError("capacity must be >= 0")
+        return arr.astype(float)
+
+    def _purge_live(self, scalar_evicted, chunk_evicted) -> None:
+        """Retire evicted jobs from the live table.
+
+        Scalar evictions carry the job index; chunk evictions are
+        matched by ``(lane, release_time, alloc)`` — floats the table
+        carries verbatim, so matches are exact.  Stale ``_live_sched``
+        heap entries are skipped naturally when they surface.
+        """
+        if scalar_evicted:
+            gone = {i for (_, i, _) in scalar_evicted}
+            for jid in [j for j, v in self._live.items() if v[0] in gone]:
+                del self._live[jid]
+        if chunk_evicted:
+            want: dict[tuple[int, float, float], int] = {}
+            for L, r, a in chunk_evicted:
+                key = (L, r, a)
+                want[key] = want.get(key, 0) + 1
+            for jid in list(self._live):
+                _, lane_, alloc, release = self._live[jid]
+                key = (lane_, release, alloc)
+                c = want.get(key, 0)
+                if c:
+                    want[key] = c - 1
+                    del self._live[jid]
 
     # -- checkpointing --------------------------------------------------
 
@@ -598,22 +974,28 @@ class PlacementService:
     def snapshot(self) -> ServiceSnapshot:
         """Checkpoint the full mutable state of the service.
 
-        The policy, kernel, log, queue and live-job table are deep
-        copied as one object graph (shared references — e.g. a policy
-        bound to the service's log — stay shared inside the copy).  A
-        replay trace handed to :meth:`open` is not copied: it is
-        immutable input, and both the live service and every restore
-        keep referencing the original.
+        The policy, kernel, log, queue (including any pending jobs and
+        cached chunk plan) and live-job table are deep copied as one
+        object graph (shared references — e.g. a policy bound to the
+        service's log — stay shared inside the copy).  A replay trace
+        handed to :meth:`open` is not copied: it is immutable input,
+        and both the live service and every restore keep referencing
+        the original.  The write-ahead log handle is excluded — only
+        its sequence number travels, as the snapshot's WAL anchor.
         """
         memo: dict = {}
         trace = getattr(self.policy, "_trace", None)
         if trace is not None and trace is not self.log:
             memo[id(trace)] = trace
-        payload = copy.deepcopy(self.__dict__, memo)
+        payload = {k: v for k, v in self.__dict__.items() if k != "wal"}
+        payload = copy.deepcopy(payload, memo)
+        payload["wal"] = None
         return ServiceSnapshot(
             payload=payload,
             n_submitted=self.stats.n_submitted,
             n_decided=self._decided,
+            n_pending=self.pending,
+            wal_seq=self._wal_seq,
         )
 
     @classmethod
@@ -627,6 +1009,97 @@ class PlacementService:
         svc = object.__new__(cls)
         svc.__dict__ = copy.deepcopy(payload, memo)
         return svc
+
+    def checkpoint(self, path) -> ServiceSnapshot:
+        """Pickle a :meth:`snapshot` to ``path`` atomically.
+
+        Written to a temp file then renamed, so a crash mid-checkpoint
+        leaves the previous checkpoint intact.  Returns the snapshot.
+        """
+        snap = self.snapshot()
+        path = str(path)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(snap, fh)
+        os.replace(tmp, path)
+        return snap
+
+    @classmethod
+    def recover(cls, checkpoint, wal) -> "PlacementService":
+        """Rebuild the exact pre-crash service from checkpoint + WAL.
+
+        ``checkpoint`` is a :class:`ServiceSnapshot` or a path written
+        by :meth:`checkpoint`; ``wal`` a
+        :class:`~repro.serve.wal.WriteAheadLog` or its path.  The
+        snapshot is restored and every intact WAL record past its
+        ``wal_seq`` anchor is replayed through the normal entry points
+        (submissions at their original micro-batch granularity, with
+        their recorded categories; completes; shocks; drains) — the
+        same deterministic kernels run the same operations in the same
+        order, so the recovered state matches the uninterrupted run
+        bit for bit.  The WAL stays attached: the service keeps
+        appending where the crashed instance left off.
+        """
+        if not isinstance(checkpoint, ServiceSnapshot):
+            with open(checkpoint, "rb") as fh:
+                checkpoint = pickle.load(fh)
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        svc = cls.restore(checkpoint)
+        svc._replaying = True
+        try:
+            for seq, rec in wal.records(checkpoint.wal_seq):
+                svc._apply_wal_record(rec)
+                svc._wal_seq = seq + 1
+        finally:
+            svc._replaying = False
+            svc._replay_cats = None
+        svc.wal = wal
+        return svc
+
+    def _apply_wal_record(self, rec: dict) -> None:
+        """Replay one WAL record through the normal entry points."""
+        op = rec.get("op")
+        if op == "submit":
+            self._stash_replay_cats(rec)
+            self.submit(
+                arrival=rec["arrival"], duration=rec["duration"],
+                size=rec["size"], read_bytes=rec["read_bytes"],
+                write_bytes=rec["write_bytes"], read_ops=rec["read_ops"],
+                pipeline=rec["pipeline"], user=rec["user"],
+                job_id=rec["job_id"],
+            )
+        elif op == "batch":
+            self._stash_replay_cats(rec)
+            arrivals = np.asarray(rec["arrivals"], dtype=float)
+            k = arrivals.size
+            zeros = np.zeros(k)
+
+            def col(name):
+                v = rec[name]
+                return zeros if v is None else np.asarray(v, dtype=float)
+
+            self.submit_batch(
+                arrivals, col("durations"), col("sizes"),
+                col("read_bytes"), col("write_bytes"), col("read_ops"),
+                pipelines=rec["pipelines"], users=rec["users"],
+                job_ids=rec["job_ids"],
+            )
+        elif op == "jobs":
+            self._stash_replay_cats(rec)
+            self.submit_jobs([job_from_record(d) for d in rec["jobs"]])
+        elif op == "complete":
+            self.complete(rec["job_id"], time=rec["time"])
+        elif op == "drain":
+            self.drain()
+        elif op == "shock":
+            self.apply_shock(np.asarray(rec["caps"], dtype=float))
+        else:
+            raise WalCorruption(f"unknown WAL record op {op!r}")
+
+    def _stash_replay_cats(self, rec: dict) -> None:
+        if "cats" in rec:
+            self._replay_cats = (rec["cats"], bool(rec.get("degraded", False)))
 
     # -- results --------------------------------------------------------
 

@@ -327,11 +327,19 @@ class ScalarKernel:
     lazily skips the job's scheduled release when it later surfaces on
     the heap (no behaviour change when never called — the offline path
     never calls it).
+
+    ``resize_lane`` / ``drop_lane`` support capacity shocks (lane loss,
+    shrink, restore, quota changes): the lane's capacity moves and
+    resident allocations that no longer fit are *evicted* —
+    latest-scheduled-release first — with each eviction counted as a
+    spill (the job's remaining I/O falls back to HDD).  The offline
+    path never calls them either.
     """
 
     __slots__ = (
         "capacity", "lane_capacity", "free", "peak_used", "heap",
-        "n_ssd_requested", "n_spilled", "_cancelled",
+        "n_ssd_requested", "n_spilled", "n_evicted", "evicted_bytes",
+        "_cancelled",
     )
 
     def __init__(self, lane_caps: np.ndarray, total: float):
@@ -343,6 +351,8 @@ class ScalarKernel:
         self.heap: list[tuple[float, int, int, float]] = []
         self.n_ssd_requested = 0
         self.n_spilled = 0
+        self.n_evicted = 0
+        self.evicted_bytes = 0.0
         self._cancelled: set[int] = set()
 
     def release_until(self, t: float) -> None:
@@ -395,6 +405,56 @@ class ScalarKernel:
         """Return job ``i``'s outstanding allocation to its lane now."""
         self.free[lane] += alloc
         self._cancelled.add(i)
+
+    def resize_lane(
+        self, lane: int, new_capacity: float
+    ) -> list[tuple[float, int, float]]:
+        """Set ``lane``'s capacity, evicting residents that no longer fit.
+
+        Shrinking below the resident footprint evicts jobs
+        latest-scheduled-release first (the ones that would hold the
+        squeezed lane longest) until free space is non-negative again;
+        each eviction counts as a spill and is returned as a
+        ``(release_time, job_index, alloc)`` entry so the caller can
+        retire its own per-job tracking.  Growth never evicts.  The
+        total/free accounting moves by the same delta, so
+        ``used == capacity - free.sum()`` is invariant across shocks.
+        """
+        if not 0 <= lane < len(self.lane_capacity):
+            raise ValueError(f"lane {lane} out of range")
+        if new_capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        delta = float(new_capacity) - float(self.lane_capacity[lane])
+        self.lane_capacity[lane] = new_capacity
+        self.capacity += delta
+        self.free[lane] += delta
+        evicted: list[tuple[float, int, float]] = []
+        if self.free[lane] < 0.0:
+            resident = sorted(
+                (
+                    (r, i, a)
+                    for (r, i, l, a) in self.heap
+                    if l == lane and i not in self._cancelled
+                ),
+                reverse=True,
+            )
+            for r, i, a in resident:
+                if self.free[lane] >= 0.0:
+                    break
+                self.free[lane] += a
+                self._cancelled.add(i)
+                evicted.append((r, i, a))
+            if self.free[lane] < 0.0:
+                # Float summation residue after evicting everything.
+                self.free[lane] = 0.0
+            self.n_spilled += len(evicted)
+            self.n_evicted += len(evicted)
+            self.evicted_bytes += sum(a for _, _, a in evicted)
+        return evicted
+
+    def drop_lane(self, lane: int) -> list[tuple[float, int, float]]:
+        """Lane loss: capacity to zero, every resident evicted."""
+        return self.resize_lane(lane, 0.0)
 
 
 def _run_legacy(
@@ -566,12 +626,22 @@ class ChunkKernel:
     long as indices ``[first, stop)`` are populated.
     """
 
-    __slots__ = ("st", "n_ssd_requested", "n_spilled")
+    __slots__ = ("st", "n_ssd_requested", "n_spilled", "n_evicted", "evicted_bytes")
 
     def __init__(self, lane_caps: np.ndarray, total: float):
         self.st = _LaneState(lane_caps, total)
         self.n_ssd_requested = 0
         self.n_spilled = 0
+        self.n_evicted = 0
+        self.evicted_bytes = 0.0
+
+    @property
+    def capacity(self) -> float:
+        return self.st.capacity
+
+    @property
+    def lane_capacity(self) -> np.ndarray:
+        return self.st.lane_capacity
 
     @property
     def peak_used(self) -> float:
@@ -679,6 +749,87 @@ class ChunkKernel:
         st.new_a.append(-alloc)
         st.new_l.append(lane)
         st.merge_new()
+
+    def resize_lane(self, lane: int, new_capacity: float) -> list[tuple[float, float]]:
+        """Set ``lane``'s capacity, evicting residents that no longer fit.
+
+        The chunked counterpart of :meth:`ScalarKernel.resize_lane`:
+        live allocations are the lane's pending *positive* release
+        entries net of cancel pairs (a ``cancel`` leaves a matching
+        negative entry at the same timestamp).  Eviction removes the
+        latest-release entries outright — no compensating entry needed,
+        the space comes back immediately — until free space is
+        non-negative; each eviction counts as a spill.  Returns the
+        evicted ``(release_time, alloc)`` entries.
+        """
+        st = self.st
+        if not 0 <= lane < st.n_lanes:
+            raise ValueError(f"lane {lane} out of range")
+        if new_capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        st.merge_new()
+        delta = float(new_capacity) - float(st.lane_capacity[lane])
+        st.lane_capacity[lane] = new_capacity
+        st.capacity += delta
+        st.free[lane] += delta
+        evicted: list[tuple[float, float]] = []
+        if st.free[lane] < 0.0:
+            evicted = self._evict_lane(lane)
+        return evicted
+
+    def drop_lane(self, lane: int) -> list[tuple[float, float]]:
+        """Lane loss: capacity to zero, every resident evicted."""
+        return self.resize_lane(lane, 0.0)
+
+    def _evict_lane(self, lane: int) -> list[tuple[float, float]]:
+        """Evict the lane's live entries, latest release first, until
+        free space is non-negative again."""
+        st = self.st
+        pend = range(st.rel_pos, st.rel_t.size)
+        idxs = [k for k in pend if st.rel_l[k] == lane]
+        # Net out cancel pairs: each negative entry neutralizes one
+        # positive entry with the same (time, amount) on the lane.
+        negs: dict[tuple[float, float], int] = {}
+        for k in idxs:
+            a = float(st.rel_a[k])
+            if a < 0.0:
+                key = (float(st.rel_t[k]), -a)
+                negs[key] = negs.get(key, 0) + 1
+        live: list[int] = []
+        for k in idxs:
+            a = float(st.rel_a[k])
+            if a <= 0.0:
+                continue
+            key = (float(st.rel_t[k]), a)
+            if negs.get(key, 0) > 0:
+                negs[key] -= 1
+                continue
+            live.append(k)
+        live.sort(key=lambda k: (float(st.rel_t[k]), k), reverse=True)
+        evicted: list[tuple[float, float]] = []
+        drop: list[int] = []
+        for k in live:
+            if st.free[lane] >= 0.0:
+                break
+            a = float(st.rel_a[k])
+            st.free[lane] += a
+            drop.append(k)
+            evicted.append((float(st.rel_t[k]), a))
+        if st.free[lane] < 0.0:
+            # Float summation residue after evicting everything.
+            st.free[lane] = 0.0
+        if drop:
+            keep = np.ones(st.rel_t.size, dtype=bool)
+            keep[drop] = False
+            # Dropped entries all sit at >= rel_pos, so the consumed
+            # prefix (and the cursor) stay intact.
+            st.rel_t = st.rel_t[keep]
+            st.rel_a = st.rel_a[keep]
+            st.rel_l = st.rel_l[keep]
+        self.n_spilled += len(evicted)
+        self.n_evicted += len(evicted)
+        self.evicted_bytes += sum(a for _, a in evicted)
+        return evicted
 
 
 def _run_chunked(

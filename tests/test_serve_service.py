@@ -304,6 +304,37 @@ class TestCompleteEvents:
         svc.complete("a")
         assert float(svc.kernel.free.sum()) == free
 
+    def test_stale_complete_clamps_and_counts(self):
+        """A ``complete`` timestamped *earlier* than the service clock is
+        clamped to it (time never runs backwards) and counted."""
+        svc = self._two_job_service("batch")
+        svc.submit(arrival=0.0, duration=10_000.0, size=2 * GIB, job_id="a")
+        svc.submit(arrival=500.0, duration=10_000.0, size=2 * GIB, job_id="b")
+        svc.drain()  # clock is now at 500.0
+        assert svc.complete("a", time=100.0) is True  # stale but freed
+        assert svc.stats.stale_completes == 1
+        assert svc.stats.n_completions == 1
+        # The clock did not move back: a submission at t=200 (< 500)
+        # would be out of order and is still rejected.
+        with pytest.raises(ValueError, match="order"):
+            svc.submit(arrival=200.0, duration=10.0, size=1 * GIB)
+
+    def test_complete_between_now_and_open_chunk_horizon(self):
+        """Regression for the horizon guard: batch mode can advance the
+        kernel's release cursor past the service clock when a chunk
+        opens.  A ``complete`` for a job whose scheduled release falls
+        in that gap must be a no-op — the kernel already freed it when
+        the cursor swept by — never a second free."""
+        svc = self._two_job_service("batch")
+        svc.submit(arrival=0.0, duration=100.0, size=10 * GIB, job_id="a")
+        svc.drain()  # decided; scheduled release at t=100
+        # Queue a job at t=150: opening its chunk sweeps the release
+        # cursor (the horizon) past 150, releasing job a on the way.
+        svc.submit(arrival=150.0, duration=10.0, size=1 * GIB, job_id="b")
+        assert svc.complete("a") is False  # released by the sweep already
+        svc.drain()
+        assert float(svc.kernel.free.sum()) <= 10 * GIB + 1e-6
+
     def test_complete_routes_to_correct_lane(self):
         svc = PlacementService(FirstFitPolicy(), 8 * GIB, 4, mode="scalar")
         d = svc.submit(
@@ -474,6 +505,35 @@ class TestSnapshotRestore:
         svc_r = PlacementService.restore(pickle.loads(blob))
         self._submit_range(svc_r, trace, half, len(trace))
         assert_bit_identical(off, svc_r.result(), "pickled")
+
+    @pytest.mark.parametrize("frac", (0.25, 0.5, 0.9))
+    def test_snapshot_with_pending_jobs(self, frac):
+        """Snapshot semantics with undecided jobs in the queue: pending
+        submissions are part of the snapshot (``n_pending`` reports
+        them), and a restored service resumes — queue intact — to the
+        exact uninterrupted result without resubmitting them."""
+        trace, off, svc = self._setup(15)
+        # Cut at the first micro-batch boundary past ``frac`` where the
+        # service actually holds undecided jobs (chunk boundaries are
+        # policy-timed, so a fixed index could land on an empty queue).
+        cut = None
+        for a in range(0, len(trace), 37):
+            b = min(a + 37, len(trace))
+            self._submit_range(svc, trace, a, b, step=37)
+            if b >= frac * len(trace) and svc.pending > 0:
+                cut = b
+                break
+        assert cut is not None, "no pending-jobs cut point found"
+        snap = svc.snapshot()
+        assert snap.n_pending == svc.pending
+        assert snap.n_pending > 0  # the regime under test
+        assert snap.n_submitted == cut
+        assert snap.n_decided == cut - snap.n_pending
+
+        svc_r = PlacementService.restore(snap)
+        assert svc_r.pending == snap.n_pending
+        self._submit_range(svc_r, trace, cut, len(trace), step=37)
+        assert_bit_identical(off, svc_r.result(), f"pending cut {cut}")
 
     def test_scalar_mode_snapshot(self):
         trace, off, svc = self._setup(14, mode="scalar")
