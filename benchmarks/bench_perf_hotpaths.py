@@ -414,31 +414,40 @@ def test_perf_serve_latency():
             trace, AdaptiveCategoryPolicy(cats, N_CATEGORIES, params), capacity
         )
 
-        # Micro-batch mode: the sustained-throughput path.
-        service = PlacementService(
-            AdaptiveCategoryPolicy(cats, N_CATEGORIES, params), capacity,
-            mode="batch",
-        )
-        service.open(trace)
+        # Micro-batch mode: the sustained-throughput path, one row per
+        # engine tier (chunked always; compiled where numba exists —
+        # every tier must be bit-identical to the offline reference).
+        from repro.storage.compiled import HAVE_NUMBA
+
         pipelines = trace.pipelines
-        lat = np.empty(-(-n // batch_jobs))
-        t_start = time.perf_counter()
-        for b, lo in enumerate(range(0, n, batch_jobs)):
-            hi = min(lo + batch_jobs, n)
-            t0 = time.perf_counter()
-            service.submit_batch(
-                trace.arrivals[lo:hi], trace.durations[lo:hi],
-                trace.sizes[lo:hi], trace.read_bytes[lo:hi],
-                trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
-                pipelines=pipelines[lo:hi],
+        engines = ("chunked",) + (("compiled",) if HAVE_NUMBA else ())
+        batch_rows = []
+        rate = 0.0
+        for engine in engines:
+            service = PlacementService(
+                AdaptiveCategoryPolicy(cats, N_CATEGORIES, params), capacity,
+                mode="batch", engine=engine,
             )
-            lat[b] = time.perf_counter() - t0
-        res = service.result()
-        elapsed = time.perf_counter() - t_start
-        rate = n / elapsed
-        np.testing.assert_array_equal(res.ssd_fraction, offline.ssd_fraction)
-        assert res.realized_tco == offline.realized_tco
-        p50b, p99b = np.percentile(lat, [50, 99])
+            service.open(trace)
+            lat = np.empty(-(-n // batch_jobs))
+            t_start = time.perf_counter()
+            for b, lo in enumerate(range(0, n, batch_jobs)):
+                hi = min(lo + batch_jobs, n)
+                t0 = time.perf_counter()
+                service.submit_batch(
+                    trace.arrivals[lo:hi], trace.durations[lo:hi],
+                    trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                    trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                    pipelines=pipelines[lo:hi],
+                )
+                lat[b] = time.perf_counter() - t0
+            res = service.result()
+            elapsed = time.perf_counter() - t_start
+            rate = n / elapsed
+            np.testing.assert_array_equal(res.ssd_fraction, offline.ssd_fraction)
+            assert res.realized_tco == offline.realized_tco
+            p50b, p99b = np.percentile(lat, [50, 99])
+            batch_rows.append((f"batch/{engine}", p50b, p99b, rate))
 
         # Scalar mode: request-at-a-time latency floor on a subsample.
         n_scalar = min(n, 20_000)
@@ -464,16 +473,23 @@ def test_perf_serve_latency():
         lines = [
             f"Online-service latency smoke: {n:,} jobs micro-batched "
             f"({batch_jobs}/batch), {n_scalar:,} request-at-a-time "
-            "(adaptive policy; batch replay bit-identical to the chunked "
-            "engine)",
+            "(adaptive policy; every engine tier bit-identical to the "
+            "offline reference)",
             f"{'mode':<14} {'p50':>12} {'p99':>12} {'decisions/s':>13}",
-            f"{'micro-batch':<14} {p50b * 1e3:>9.2f} ms {p99b * 1e3:>9.2f} ms "
-            f"{rate:>13,.0f}",
+        ]
+        for label, p50b, p99b, r in batch_rows:
+            lines.append(
+                f"{label:<14} {p50b * 1e3:>9.2f} ms {p99b * 1e3:>9.2f} ms "
+                f"{r:>13,.0f}"
+            )
+        lines += [
             f"{'per-request':<14} {p50s * 1e6:>9.1f} us {p99s * 1e6:>9.1f} us "
             f"{rate_s:>13,.0f}",
             f"chunks: {service.stats.n_chunks}, peak queue: "
             f"{service.stats.max_pending_seen} jobs",
         ]
+        if not HAVE_NUMBA:
+            lines.append("batch/compiled: skipped (numba not installed)")
         emit("perf_serve_latency", "\n".join(lines))
 
         # The sustained-throughput bar is asserted only at full size.

@@ -119,6 +119,19 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self.act_lanes: np.ndarray | None = None
         self._req_mark: np.ndarray | None = None
         self._spill_mark: np.ndarray | None = None
+        # Category decision table (steady-state admission as a boolean
+        # gather); None until first use, rebuilt on every threshold
+        # mutation.  The *_key fields remember the threshold state the
+        # table was built from so a stale table can never be served.
+        self._admit_table: np.ndarray | None = None
+        self._table_act: int | None = None
+        self._table_lanes: np.ndarray | None = None
+        # The single-job fast paths replicate ``decide``/``observe``
+        # without their per-call objects; a subclass overriding either
+        # method must keep going through it.
+        cls = type(self)
+        self._decide_fast = cls.decide is AdaptiveCategoryPolicy.decide
+        self._observe_fast = cls.observe is AdaptiveCategoryPolicy.observe
 
     def on_simulation_start(self, trace: Trace, capacity: float, rates: CostRates) -> None:
         if len(trace) != len(self.categories):
@@ -137,6 +150,7 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         self.act_lanes = None
         self._req_mark = None
         self._spill_mark = None
+        self._rebuild_admit_table()
 
     def on_shard_topology(
         self, shards: np.ndarray | None, lane_capacities: np.ndarray
@@ -167,6 +181,10 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
                 self.act_lanes = np.full(n_lanes, self.act, dtype=int)
                 self._req_mark = self.shard_ssd_requested[:n_lanes].copy()
                 self._spill_mark = self.shard_spills[:n_lanes].copy()
+        # Every (re-)fire rebuilds the decision table, even when lane
+        # thresholds were preserved: a shock may have changed the lane
+        # count or routing, and the rebuild is O(lanes x categories).
+        self._rebuild_admit_table()
 
     @property
     def history(self):
@@ -190,6 +208,7 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
             self.act = min(self.n_categories - 1, self.act + 1)
         self._td = t
         self.trajectory.append(ThresholdEvent(time=t, act=self.act, spillover=h))
+        self._rebuild_admit_table()
 
     def _update_lane_thresholds(self, t: float) -> None:
         """Algorithm 1 applied lane-wise from the per-shard counters.
@@ -222,6 +241,40 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
                     shard=lane,
                 )
             )
+        self._rebuild_admit_table()
+
+    def _rebuild_admit_table(self) -> None:
+        """Rebuild the per-category admission lookup table.
+
+        Steady-state admission is ``category >= ACT`` — a pure function
+        of the category (and, per-shard, the lane) between threshold
+        updates — so it is precomputed into a boolean table and served
+        as a gather instead of a comparison per job.  The table is
+        rebuilt at every mutation of the threshold state: simulation
+        start, every :class:`ThresholdEvent`, and every
+        ``on_shard_topology`` (re-)fire.  As a backstop,
+        :meth:`_admit_table_current` re-checks the table's sources
+        (threshold value, lane-vector identity) before every use, so
+        even an out-of-band threshold mutation cannot serve a stale
+        table.
+        """
+        cat_range = np.arange(self.n_categories)
+        if self.act_lanes is not None:
+            self._admit_table = cat_range[None, :] >= self.act_lanes[:, None]
+        else:
+            self._admit_table = cat_range >= self.act
+        self._table_act = self.act
+        self._table_lanes = self.act_lanes
+
+    def _admit_table_current(self) -> np.ndarray:
+        """The admission table, rebuilt if its sources moved under it."""
+        if (
+            self._admit_table is None
+            or self._table_act != self.act
+            or self._table_lanes is not self.act_lanes
+        ):
+            self._rebuild_admit_table()
+        return self._admit_table
 
     def _lane_of(self, job_index: int) -> int:
         return int(self._shards[job_index]) if self._shards is not None else 0
@@ -230,11 +283,28 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         t = ctx.time
         if t >= self._td + self.params.decision_interval:
             self._update_threshold(t)
+        table = self._admit_table_current()
         if self.act_lanes is not None:
-            threshold = int(self.act_lanes[self._lane_of(job_index)])
+            want = table[self._lane_of(job_index), self.categories[job_index]]
         else:
-            threshold = self.act
-        return Decision(want_ssd=bool(self.categories[job_index] >= threshold))
+            want = table[self.categories[job_index]]
+        return Decision(want_ssd=bool(want))
+
+    def decide_one(
+        self, job_index: int, time: float, free_ssd: float, capacity: float
+    ) -> tuple[bool, float | None]:
+        """Single-request decision via the table gather — no context or
+        decision objects, same arithmetic as :meth:`decide`."""
+        if not self._decide_fast:
+            return super().decide_one(job_index, time, free_ssd, capacity)
+        if time >= self._td + self.params.decision_interval:
+            self._update_threshold(time)
+        table = self._admit_table_current()
+        if self.act_lanes is not None:
+            want = table[self._lane_of(job_index), self.categories[job_index]]
+        else:
+            want = table[self.categories[job_index]]
+        return bool(want), None
 
     def decide_batch(self, first: int, ctx: PlacementContext) -> BatchDecision:
         """Admission mask for every job up to the next ACT update.
@@ -252,13 +322,14 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
         stop = int(np.searchsorted(arrivals, deadline, side="left"))
         stop = min(max(stop, first + 1), len(arrivals))
         cats = self.categories[first:stop]
+        table = self._admit_table_current()
         if self.act_lanes is not None:
             if self._shards is None:
-                mask = cats >= int(self.act_lanes[0])
+                mask = table[0].take(cats)
             else:
-                mask = cats >= self.act_lanes[self._shards[first:stop]]
+                mask = table[self._shards[first:stop], cats]
         else:
-            mask = cats >= self.act
+            mask = table.take(cats)
         return BatchDecision(count=stop - first, want_ssd=mask)
 
     def _grow_shard_counters(self, n_shards: int) -> None:
@@ -283,6 +354,42 @@ class AdaptiveCategoryPolicy(PlacementPolicy):
             spilled_fraction=1.0 - outcome.ssd_space_fraction
             if outcome.requested_ssd
             else 0.0,
+        )
+
+    def observe_one(
+        self,
+        job_index: int,
+        time: float,
+        requested_ssd: bool,
+        ssd_space_fraction: float,
+        spill_time: float | None,
+        shard: int = 0,
+    ) -> None:
+        """Single-outcome feedback without the outcome object — the
+        same counter and window updates as :meth:`observe`."""
+        if not self._observe_fast:
+            super().observe_one(
+                job_index, time, requested_ssd, ssd_space_fraction,
+                spill_time, shard,
+            )
+            return
+        self._grow_shard_counters(shard + 1)
+        if requested_ssd:
+            self.shard_ssd_requested[shard] += 1
+            if spill_time is not None:
+                self.shard_spills[shard] += 1
+        # ``ends`` is elementwise ``arrivals + durations`` on every
+        # trace type, so the scalar sum is bit-identical and avoids
+        # materializing the whole ends column per request (a live
+        # JobLog does not cache it).
+        arrival = float(self._trace.arrivals[job_index])
+        self._window.append(
+            arrival,
+            arrival + float(self._trace.durations[job_index]),
+            float(self._tcio[job_index]),
+            requested_ssd,
+            spill_time,
+            1.0 - ssd_space_fraction if requested_ssd else 0.0,
         )
 
     def observe_batch(self, outcomes: BatchOutcomes) -> None:

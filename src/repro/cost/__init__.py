@@ -4,7 +4,7 @@ See Section 3 of the paper for the formula definitions.
 """
 
 from .rates import DEFAULT_RATES, CostRates
-from .tcio import cumulative_tcio, effective_disk_ops, tcio_rate
+from .tcio import cumulative_tcio, effective_disk_ops, tcio_rate, tcio_rate_scalar
 from .tco import JobCost, JobCostVector, hdd_cost, ssd_cost, tco_savings
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "DEFAULT_RATES",
     "effective_disk_ops",
     "tcio_rate",
+    "tcio_rate_scalar",
     "cumulative_tcio",
     "JobCost",
     "JobCostVector",

@@ -13,6 +13,8 @@ Jobs running entirely on SSD have a TCIO of zero.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..units import WRITE_GROUP_BYTES
@@ -21,6 +23,7 @@ from .rates import DEFAULT_RATES, CostRates
 __all__ = [
     "effective_disk_ops",
     "tcio_rate",
+    "tcio_rate_scalar",
     "cumulative_tcio",
 ]
 
@@ -68,6 +71,27 @@ def tcio_rate(
     if np.ndim(out) == 0:
         return float(out)
     return out
+
+
+def tcio_rate_scalar(
+    read_ops: float,
+    write_bytes: float,
+    duration: float,
+    rates: CostRates = DEFAULT_RATES,
+) -> float:
+    """:func:`tcio_rate` for one job, without array dispatch.
+
+    Python floats are IEEE doubles and ``math.ceil`` agrees with
+    ``np.ceil`` on the non-negative finite inputs job validation
+    admits, so the result is bit-identical to the vectorized path —
+    the online job log relies on that to keep its incrementally
+    appended TCIO column equal to a whole-trace recompute.
+    """
+    ops = read_ops * (1.0 - rates.dram_cache_hit_fraction) + float(
+        math.ceil(write_bytes / WRITE_GROUP_BYTES)
+    )
+    dur = duration if duration > 1.0 else 1.0
+    return ops / dur / rates.hdd_ops_per_second
 
 
 def cumulative_tcio(

@@ -28,6 +28,10 @@ class QuantileBinner:
             raise ValueError("n_bins must be in [2, 256]")
         self.n_bins = n_bins
         self.edges_: list[np.ndarray] | None = None
+        # Single-sample scratch (built lazily by transform_one).
+        self._edge_pad: np.ndarray | None = None
+        self._lt: np.ndarray | None = None
+        self._cnt: np.ndarray | None = None
 
     def fit(self, X: np.ndarray) -> "QuantileBinner":
         X = np.asarray(X, dtype=float)
@@ -51,8 +55,12 @@ class QuantileBinner:
         self.edges_ = edges
         return self
 
-    def transform(self, X: np.ndarray) -> np.ndarray:
-        """Quantize to uint8 bin codes; unseen values clip into end bins."""
+    def transform(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Quantize to uint8 bin codes; unseen values clip into end bins.
+
+        ``out`` optionally receives the codes (uint8, same shape as
+        ``X``), letting a serving loop reuse one code buffer per batch.
+        """
         if self.edges_ is None:
             raise RuntimeError("binner not fitted")
         X = np.asarray(X, dtype=float)
@@ -61,11 +69,43 @@ class QuantileBinner:
                 f"X has {X.shape[1] if X.ndim == 2 else '?'} columns, "
                 f"binner was fitted with {len(self.edges_)}"
             )
-        out = np.zeros(X.shape, dtype=np.uint8)
+        if out is None:
+            out = np.zeros(X.shape, dtype=np.uint8)
+        else:
+            if out.shape != X.shape or out.dtype != np.uint8:
+                raise ValueError("out must be uint8 with X's shape")
+            out[:] = 0
         for c, e in enumerate(self.edges_):
             if e.size == 0:
                 continue
             out[:, c] = np.searchsorted(e, X[:, c], side="left").astype(np.uint8)
+        return out
+
+    def transform_one(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Quantize one sample into a preallocated uint8 code vector.
+
+        The request-at-a-time path: one broadcast compare against a
+        +inf-padded edge matrix and a row count, with no per-call
+        allocations.  For finite inputs ``count(edges < v)`` equals
+        ``searchsorted(edges, v, side="left")``, so codes are
+        bit-identical to row 0 of :meth:`transform` on the sample (the
+        extractor only produces finite features; a NaN would bin to the
+        last bin there and bin 0 here).
+        """
+        if self.edges_ is None:
+            raise RuntimeError("binner not fitted")
+        p = len(self.edges_)
+        if getattr(self, "_edge_pad", None) is None:
+            width = max((e.size for e in self.edges_), default=0)
+            pad = np.full((p, max(width, 1)), np.inf)
+            for c, e in enumerate(self.edges_):
+                pad[c, : e.size] = e
+            self._edge_pad = pad
+            self._lt = np.empty(pad.shape, dtype=bool)
+            self._cnt = np.empty(p, dtype=np.intp)
+        np.less(self._edge_pad, x[:, None], out=self._lt)
+        self._lt.sum(axis=1, out=self._cnt)
+        np.copyto(out, self._cnt, casting="unsafe")
         return out
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:

@@ -91,6 +91,34 @@ class PackedForest:
         child2[1::2] = np.where(internal, base + 2 * local + 1, idx)
         self._child2 = child2
         self._value_flat = np.ascontiguousarray(self.value.ravel(), dtype=float)
+        #: per-tree root offsets into the flat node tables
+        self._roots = np.arange(n_trees, dtype=np.int32) * np.int32(n_nodes)
+        # Routing scratch, reused across chunks/calls (keyed by chunk
+        # shape); the hot loop then runs entirely in preallocated
+        # buffers via gather-with-out and in-place ufuncs.
+        self._bufs: dict = {}
+
+    def _chunk_bufs(self, m: int, p: int, xdtype) -> dict:
+        """Preallocated routing buffers for an ``(m, p)`` chunk."""
+        key = (m, p, np.dtype(xdtype).char)
+        bufs = self._bufs.get(key)
+        if bufs is None:
+            n_trees = self.feature.shape[0]
+            shape = (m, n_trees) if m else (self.n_trees,)
+            if len(self._bufs) > 6:
+                self._bufs.clear()
+            bufs = self._bufs[key] = {
+                "node": np.empty(shape, dtype=np.int32),
+                "f": np.empty(shape, dtype=np.int32),
+                "xb": np.empty(shape, dtype=xdtype),
+                "cut": np.empty(shape, dtype=np.int16),
+                "goes": np.empty(shape, dtype=bool),
+                "leaf": np.empty(shape, dtype=float),
+                "row_off": (np.arange(m, dtype=np.int32) * np.int32(p))[:, None]
+                if m
+                else None,
+            }
+        return bufs
 
     @classmethod
     def from_trees(cls, trees: Sequence[HistogramTree]) -> "PackedForest":
@@ -112,19 +140,30 @@ class PackedForest:
         return self.feature.shape[0]
 
     def _route_chunk(self, Xc: np.ndarray) -> np.ndarray:
-        """Leaf values for one row chunk, shape ``(len(Xc), n_trees)``."""
+        """Leaf values for one row chunk, shape ``(len(Xc), n_trees)``.
+
+        Runs in this forest's reusable scratch buffers: the returned
+        array is overwritten by the next routing call, so callers must
+        consume (or copy) it before routing again.
+        """
         m, p = Xc.shape
-        n_trees, n_nodes = self.feature.shape
         xflat = np.ascontiguousarray(Xc).reshape(-1)
-        row_off = (np.arange(m, dtype=np.int32) * p)[:, None]
-        roots = np.arange(n_trees, dtype=np.int32) * n_nodes
-        node = np.broadcast_to(roots, (m, n_trees)).astype(np.int32)
+        bufs = self._chunk_bufs(m, p, xflat.dtype)
+        node, f, xb = bufs["node"], bufs["f"], bufs["xb"]
+        cut, goes, row_off = bufs["cut"], bufs["goes"], bufs["row_off"]
+        node[:] = self._roots
         for _ in range(self.max_depth):
-            f = self._feat0[node]
-            xb = xflat[row_off + f]
-            goes_left = xb <= self._cut[node]
-            node = self._child2[(node << 1) + goes_left]
-        return self._value_flat[node]
+            np.take(self._feat0, node, out=f)
+            f += row_off
+            np.take(xflat, f, out=xb)
+            np.take(self._cut, node, out=cut)
+            np.less_equal(xb, cut, out=goes)
+            np.left_shift(node, 1, out=node)
+            np.add(node, goes, out=node)
+            np.take(self._child2, node, out=node)
+        leaf = bufs["leaf"]
+        np.take(self._value_flat, node, out=leaf)
+        return leaf
 
     def predict(
         self, X_binned: np.ndarray, chunk_size: int = _DEFAULT_CHUNK
@@ -147,6 +186,7 @@ class PackedForest:
         learning_rate: float,
         n_classes: int = 1,
         chunk_size: int = _DEFAULT_CHUNK,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Boosted raw scores ``base + lr * sum_r leaf_r``, shape ``(n, k)``.
 
@@ -155,6 +195,8 @@ class PackedForest:
         per-round accumulation runs inside the routing chunk, in fit
         order, so results are bit-identical to the legacy sequential
         per-tree loop while the leaf matrix is still cache-hot.
+        ``out`` optionally receives the scores (shape ``(n, k)``),
+        letting a serving loop reuse one result buffer across calls.
         """
         n = X_binned.shape[0]
         n_trees = self.n_trees
@@ -164,14 +206,17 @@ class PackedForest:
             )
         n_rounds = n_trees // n_classes
         base = np.broadcast_to(np.asarray(base_score, dtype=float), (n_classes,))
-        out = np.empty((n, n_classes), dtype=float)
+        if out is None:
+            out = np.empty((n, n_classes), dtype=float)
+        elif out.shape != (n, n_classes):
+            raise ValueError(f"out has shape {out.shape}, expected {(n, n_classes)}")
         for start in range(0, n, chunk_size):
             stop = min(start + chunk_size, n)
             leaf = self._route_chunk(X_binned[start:stop])
-            raw = np.tile(base, (stop - start, 1))
+            raw = out[start:stop]
+            raw[:] = base
             for r in range(n_rounds):
                 raw += learning_rate * leaf[:, r * n_classes : (r + 1) * n_classes]
-            out[start:stop] = raw
         return out
 
     def decision_scores_one(
@@ -180,12 +225,14 @@ class PackedForest:
         base_score: np.ndarray | float,
         learning_rate: float,
         n_classes: int = 1,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Boosted raw scores for a single sample, shape ``(n_classes,)``.
 
-        The request-at-a-time serving path: skips the batch machinery
-        (chunk loop, per-chunk tiling) while accumulating per round in
-        fit order, so the scores are bit-identical to row ``i`` of
+        The request-at-a-time serving path: routes the sample through
+        1-D scratch buffers (no per-call allocations beyond the result
+        when ``out`` is omitted) while accumulating per round in fit
+        order, so the scores are bit-identical to row ``i`` of
         :meth:`decision_scores` on a batch containing the sample.
         """
         n_trees = self.n_trees
@@ -196,10 +243,35 @@ class PackedForest:
         x = np.asarray(x_binned)
         if x.ndim != 1:
             raise ValueError("decision_scores_one routes exactly one sample")
-        leaf = self._route_chunk(x.reshape(1, -1))[0]
-        raw = np.array(
-            np.broadcast_to(np.asarray(base_score, dtype=float), (n_classes,))
-        )
-        for r in range(n_trees // n_classes):
-            raw += learning_rate * leaf[r * n_classes : (r + 1) * n_classes]
-        return raw
+        bufs = self._chunk_bufs(0, x.size, x.dtype)
+        node, f, xb = bufs["node"], bufs["f"], bufs["xb"]
+        cut, goes = bufs["cut"], bufs["goes"]
+        feat0, cut_tab, child2 = self._feat0, self._cut, self._child2
+        node[:] = self._roots
+        for _ in range(self.max_depth):
+            feat0.take(node, out=f)
+            x.take(f, out=xb)
+            cut_tab.take(node, out=cut)
+            np.less_equal(xb, cut, out=goes)
+            np.left_shift(node, 1, out=node)
+            np.add(node, goes, out=node)
+            child2.take(node, out=node)
+        leaf = bufs["leaf"]
+        self._value_flat.take(node, out=leaf)
+        if out is None:
+            out = np.empty(n_classes, dtype=float)
+        # Accumulate in python floats (IEEE doubles): per class, the
+        # addition sequence is exactly the vectorized per-round loop of
+        # decision_scores, so the scores stay bit-identical without
+        # n_rounds tiny ufunc dispatches.
+        base = np.broadcast_to(
+            np.asarray(base_score, dtype=float), (n_classes,)
+        ).tolist()
+        values = leaf.tolist()
+        n_rounds = n_trees // n_classes
+        for c in range(n_classes):
+            acc = base[c]
+            for r in range(n_rounds):
+                acc += learning_rate * values[r * n_classes + c]
+            out[c] = acc
+        return out

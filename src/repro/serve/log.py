@@ -21,7 +21,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..cost import CostRates, DEFAULT_RATES, tcio_rate
+from ..cost import CostRates, DEFAULT_RATES, tcio_rate, tcio_rate_scalar
 from ..workloads.job import ShuffleJob, TraceBase
 from ..workloads.metadata import stable_hash
 
@@ -61,9 +61,11 @@ class GrowArray:
             self._buf = new
 
     def append(self, value) -> None:
-        self.ensure(self.n + 1)
-        self._buf[self.n] = value
-        self.n += 1
+        n = self.n
+        if n >= self._buf.size:
+            self.ensure(n + 1)
+        self._buf[n] = value
+        self.n = n + 1
 
     def extend(self, values: np.ndarray) -> None:
         values = np.asarray(values)
@@ -271,7 +273,7 @@ class JobLog(TraceBase):
         self._read_bytes.append(read_bytes)
         self._write_bytes.append(write_bytes)
         self._read_ops.append(read_ops)
-        self._tcio.append(tcio_rate(read_ops, write_bytes, duration, self.rates))
+        self._tcio.append(tcio_rate_scalar(read_ops, write_bytes, duration, self.rates))
         self._lanes.append(self._lane_of(pipeline))
         self._pipelines.append(pipeline)
         self._users.append(user)

@@ -93,3 +93,4 @@ class OnlineAdaptivePolicy(AdaptiveCategoryPolicy):
         self.act_lanes = None
         self._req_mark = None
         self._spill_mark = None
+        self._rebuild_admit_table()

@@ -58,6 +58,11 @@ class OnlineCategorizer:
             raise ValueError("categorizer needs a fitted model")
         self.gbt = gbt
         self.extractor = OnlineFeatureExtractor(rates, n_hash_buckets)
+        # Serving scratch, reused across calls (grown on demand).
+        self._xb: np.ndarray | None = None
+        self._raw: np.ndarray | None = None
+        self._xb_one: np.ndarray | None = None
+        self._raw_one: np.ndarray | None = None
 
     def warm_start(self, trace: Trace) -> "OnlineCategorizer":
         """Seed feature history from already-observed jobs (e.g. the
@@ -67,19 +72,55 @@ class OnlineCategorizer:
 
     def __call__(self, jobs) -> np.ndarray:
         """Predicted importance category per arriving job."""
-        gbt = self.gbt
         X = self.extractor.push(jobs)
+        return self._predict_rows(X)
+
+    def predict_block(self, log, first: int, stop: int) -> np.ndarray:
+        """Categories for jobs ``[first, stop)`` of a columnar job log.
+
+        The fused serving path: feature extraction
+        (:meth:`OnlineFeatureExtractor.push_block`), binning and
+        packed-forest scoring all run over the log's columns directly,
+        through scratch buffers reused across calls — no per-job
+        objects and no intermediate matrices crossing this boundary.
+        Bit-identical to ``self([log[i] for i in range(first, stop)])``
+        because column-submitted jobs carry empty metadata/resources.
+        """
+        X = self.extractor.push_block(
+            log.arrivals[first:stop],
+            log.durations[first:stop],
+            log.sizes[first:stop],
+            log.read_bytes[first:stop],
+            log.write_bytes[first:stop],
+            log.read_ops[first:stop],
+            log.pipelines[first:stop],
+        )
+        return self._predict_rows(X)
+
+    def _predict_rows(self, X: np.ndarray) -> np.ndarray:
+        gbt = self.gbt
+        n = X.shape[0]
         k = len(gbt.classes_)
         if gbt.packed_ is None:
             # Single-class fit: every prediction is that class.
-            return np.full(X.shape[0], int(gbt.classes_[0]), dtype=int)
-        Xb = gbt.binner_.transform(X)
-        if Xb.shape[0] == 1:
+            return np.full(n, int(gbt.classes_[0]), dtype=int)
+        if n == 1:
+            # Request-at-a-time: 1-D scratch end to end.
+            xb = self._xb_one
+            if xb is None or xb.size != X.shape[1]:
+                xb = self._xb_one = np.empty(X.shape[1], dtype=np.uint8)
+                self._raw_one = np.empty(k)
+            gbt.binner_.transform_one(X[0], out=xb)
             raw = gbt.packed_.decision_scores_one(
-                Xb[0], gbt.base_score_, gbt.learning_rate, k
+                xb, gbt.base_score_, gbt.learning_rate, k, out=self._raw_one
             ).reshape(1, -1)
         else:
+            xb = self._xb
+            if xb is None or xb.shape[0] < n or xb.shape[1] != X.shape[1]:
+                xb = self._xb = np.zeros((max(n, 256), X.shape[1]), dtype=np.uint8)
+                self._raw = np.empty((xb.shape[0], k))
+            gbt.binner_.transform(X, out=xb[:n])
             raw = gbt.packed_.decision_scores(
-                Xb, gbt.base_score_, gbt.learning_rate, k
+                xb[:n], gbt.base_score_, gbt.learning_rate, k, out=self._raw[:n]
             )
         return gbt.classes_[np.argmax(raw, axis=1)].astype(int)

@@ -68,12 +68,11 @@ Three mechanisms (see ``docs/robustness.md`` for the full fault model):
 from __future__ import annotations
 
 import copy
-import heapq
 import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -86,7 +85,7 @@ from ..storage.engine import (
     _normalize_capacity,
     assign_shards,
 )
-from ..storage.policy import PlacementContext, PlacementOutcome, PlacementPolicy
+from ..storage.policy import PlacementPolicy
 from ..workloads.job import ShuffleJob, TraceBase
 from ..workloads.metadata import stable_hash
 from .log import GrowArray, JobLog
@@ -101,9 +100,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class PlacementDecision:
+class PlacementDecision(NamedTuple):
     """The service's verdict for one submitted job.
+
+    A named tuple rather than a dataclass: the service mints one per
+    decided job on the hot path, and tuple construction is several
+    times cheaper than dataclass ``__init__``.
 
     Attributes
     ----------
@@ -136,6 +138,97 @@ class PlacementDecision:
     ssd_space_fraction: float
     spill_time: float | None
     release_time: float
+
+
+class _DecisionBatch(Sequence):
+    """One chunk's decisions, materialized lazily.
+
+    Batch submissions resolve whole chunks at once, and many callers
+    (replay drivers, throughput benchmarks) never read the per-job
+    decision objects.  This sequence holds the chunk's column arrays
+    and builds the :class:`PlacementDecision` tuples only when indexed
+    or iterated — callers that discard the return pay nothing, and
+    callers that read it get one vectorized ``tolist`` conversion
+    instead of per-element array scalars.
+    """
+
+    __slots__ = ("_outcomes", "_alloc", "_rel", "_job_ids", "_items")
+
+    def __init__(self, outcomes, alloc_buf, rel_buf, job_ids):
+        self._outcomes = outcomes
+        self._alloc = alloc_buf
+        self._rel = rel_buf
+        self._job_ids = job_ids
+        self._items: list[PlacementDecision] | None = None
+
+    def _materialize(self) -> list[PlacementDecision]:
+        if self._items is None:
+            o = self._outcomes
+            first = o.first
+            n = len(o)
+            times = o.times.tolist()
+            req = o.requested_ssd.tolist()
+            space = o.ssd_space_fraction.tolist()
+            spills = o.spill_time.tolist()
+            rels = times if self._rel is None else self._rel.tolist()
+            lanes = [0] * n if o.shards is None else o.shards.tolist()
+            ids = self._job_ids
+            self._items = [
+                PlacementDecision(
+                    first + k, ids[first + k], times[k], lanes[k], req[k],
+                    space[k],
+                    # NaN-encoded "no spill" (NaN != NaN).
+                    spills[k] if spills[k] == spills[k] else None,
+                    rels[k],
+                )
+                for k in range(n)
+            ]
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __getitem__(self, k):
+        return self._materialize()[k]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __add__(self, other):
+        return self._materialize() + list(other)
+
+    def __radd__(self, other):
+        return list(other) + self._materialize()
+
+
+class _DecisionConcat(Sequence):
+    """Several chunks' decisions as one lazy sequence."""
+
+    __slots__ = ("_batches", "_items")
+
+    def __init__(self, batches: list[_DecisionBatch]):
+        self._batches = batches
+        self._items: list[PlacementDecision] | None = None
+
+    def _materialize(self) -> list[PlacementDecision]:
+        if self._items is None:
+            self._items = [d for b in self._batches for d in b]
+        return self._items
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._batches)
+
+    def __getitem__(self, k):
+        return self._materialize()[k]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __add__(self, other):
+        return self._materialize() + list(other)
+
+    def __radd__(self, other):
+        return list(other) + self._materialize()
 
 
 @dataclass(frozen=True)
@@ -237,6 +330,12 @@ class PlacementService:
         ``"scalar"`` (decide per submission, legacy-engine arithmetic)
         or ``"batch"`` (queue and decide in policy chunks,
         chunked-engine arithmetic).
+    engine:
+        Kernel arithmetic for ``mode="batch"``: ``"auto"``/``"chunked"``
+        (the NumPy chunked kernel, default) or ``"compiled"`` (the same
+        kernel with numba-jitted trajectory loops — bit-identical,
+        requires the optional numba dependency).  ``"scalar"`` mode
+        always runs the legacy per-job kernel.
     max_pending:
         Backpressure bound on the admission queue (``"batch"`` mode):
         exceeding it force-closes chunks at the available horizon.
@@ -270,6 +369,7 @@ class PlacementService:
         n_shards: int = 1,
         *,
         mode: str = "batch",
+        engine: str = "auto",
         rates: CostRates = DEFAULT_RATES,
         shard_seed: int = 0,
         max_pending: int | None = None,
@@ -281,6 +381,10 @@ class PlacementService:
     ):
         if mode not in ("scalar", "batch"):
             raise ValueError(f"unknown service mode {mode!r}")
+        if engine not in ("auto", "chunked", "compiled"):
+            raise ValueError(f"unknown service engine {engine!r}")
+        if engine == "compiled" and mode != "batch":
+            raise ValueError("engine='compiled' requires mode='batch'")
         if n_shards < 1:
             raise ValueError("need at least one shard")
         if mode == "batch" and not callable(getattr(policy, "decide_batch", None)):
@@ -293,6 +397,7 @@ class PlacementService:
         self.policy = policy
         self.n_shards = n_shards
         self.mode = mode
+        self.engine = engine
         self.rates = rates
         self.shard_seed = shard_seed
         self.max_pending = max_pending
@@ -305,7 +410,7 @@ class PlacementService:
         self.kernel = (
             ScalarKernel(lane_caps, total)
             if mode == "scalar"
-            else ChunkKernel(lane_caps, total)
+            else ChunkKernel(lane_caps, total, compiled=(engine == "compiled"))
         )
         self.stats = ServiceStats()
         self._frac = GrowArray(float)
@@ -322,7 +427,7 @@ class PlacementService:
         self._horizon = -np.inf
         self._opened = False
         self._live: dict = {}  # job_id -> (index, lane, alloc, release_time)
-        self._live_sched: list[tuple[float, object]] = []  # (release_time, job_id)
+        self._live_sweep_at = 64  # amortized prune threshold, see _maybe_sweep_live
         self.wal = WriteAheadLog(wal) if isinstance(wal, (str, Path)) else wal
         self.fallback_categorizer = fallback_categorizer
         self._wal_seq = 0 if self.wal is None else self.wal.seq
@@ -396,7 +501,7 @@ class PlacementService:
         pipeline: str = "pipeline0",
         user: str = "user0",
         job_id=None,
-    ) -> list[PlacementDecision]:
+    ) -> Sequence[PlacementDecision]:
         """Submit one job; returns the decisions this submission resolved.
 
         In ``"scalar"`` mode the returned list holds exactly this job's
@@ -451,7 +556,7 @@ class PlacementService:
         pipelines: Sequence[str] | None = None,
         users: Sequence[str] | None = None,
         job_ids: Sequence | None = None,
-    ) -> list[PlacementDecision]:
+    ) -> Sequence[PlacementDecision]:
         """Submit one arrival-ordered micro-batch of jobs as columns.
 
         Returns every decision the batch resolved (see :meth:`submit`);
@@ -492,7 +597,7 @@ class PlacementService:
             return [self._decide_scalar(i) for i in range(first, stop)]
         return self._pump()
 
-    def submit_jobs(self, jobs: Sequence[ShuffleJob]) -> list[PlacementDecision]:
+    def submit_jobs(self, jobs: Sequence[ShuffleJob]) -> Sequence[PlacementDecision]:
         """Submit one arrival-ordered micro-batch of rich job objects.
 
         Unlike :meth:`submit_batch` (bare columns), the original jobs —
@@ -525,7 +630,7 @@ class PlacementService:
             return [self._decide_scalar(i) for i in range(first, stop)]
         return self._pump()
 
-    def submit_block(self, block) -> list[PlacementDecision]:
+    def submit_block(self, block) -> Sequence[PlacementDecision]:
         """Submit one :class:`~repro.workloads.streaming.TraceBlock`."""
         return self.submit_batch(
             block.arrivals, block.durations, block.sizes,
@@ -534,7 +639,7 @@ class PlacementService:
             job_ids=None if block.job_ids is None else list(block.job_ids),
         )
 
-    def drain(self) -> list[PlacementDecision]:
+    def drain(self) -> Sequence[PlacementDecision]:
         """Decide every queued job now, closing partial chunks.
 
         The final-chunk clamping is exactly the offline engine's
@@ -567,8 +672,6 @@ class PlacementService:
         run, but its output is discarded in favour of the recorded one.
         """
         log = self.log
-        if jobs is None:
-            jobs = [log[i] for i in range(first, stop)]
         replayed, self._replay_cats = self._replay_cats, None
         degraded = False
         if replayed is not None:
@@ -577,14 +680,39 @@ class PlacementService:
             if not degraded:
                 inner = getattr(self.categorizer, "inner", self.categorizer)
                 try:
-                    inner(jobs)
+                    # Columnar submissions take the fused path when the
+                    # categorizer supports it; output is discarded here,
+                    # only the rolling feature state matters.
+                    block = (
+                        getattr(inner, "predict_block", None)
+                        if jobs is None
+                        else None
+                    )
+                    if block is not None:
+                        block(log, first, stop)
+                    else:
+                        if jobs is None:
+                            jobs = [log[i] for i in range(first, stop)]
+                        inner(jobs)
                 except Exception:
                     pass
         else:
             try:
-                cats = np.asarray(self.categorizer(jobs), dtype=np.int64)
+                block = (
+                    getattr(self.categorizer, "predict_block", None)
+                    if jobs is None
+                    else None
+                )
+                if block is not None:
+                    cats = np.asarray(block(log, first, stop), dtype=np.int64)
+                else:
+                    if jobs is None:
+                        jobs = [log[i] for i in range(first, stop)]
+                    cats = np.asarray(self.categorizer(jobs), dtype=np.int64)
             except Exception:
                 degraded = True
+                if jobs is None:
+                    jobs = [log[i] for i in range(first, stop)]
                 cats = self._fallback_categories(jobs)
         t0 = float(log.arrivals[first])
         if degraded:
@@ -634,61 +762,56 @@ class PlacementService:
     # -- scalar mode ----------------------------------------------------
 
     def _decide_scalar(self, i: int) -> PlacementDecision:
+        """One request-at-a-time decision (the serving latency path).
+
+        Same kernel arithmetic as before, but allocation-free around
+        it: the policy round-trip goes through the scalar
+        ``decide_one``/``observe_one`` protocol (no context, decision,
+        or outcome objects) and the log columns are read directly.
+        """
         log = self.log
         kern = self.kernel
-        t = log.arrivals[i]
+        t = log._arrivals.data.item(i)
         kern.release_until(t)
-        self._advance_now(float(t))
+        if t > self._now:
+            self._now = t
         if t > self._horizon:
-            self._horizon = float(t)
-        s = int(log.lanes[i]) if self.n_shards > 1 else 0
-        ctx = PlacementContext(
-            time=t, free_ssd=float(kern.free[s]),
-            capacity=float(kern.lane_capacity[s]),
+            self._horizon = t
+        s = int(log._lanes.data[i]) if self.n_shards > 1 else 0
+        want_ssd, ssd_ttl = self.policy.decide_one(
+            i, t, kern.free.item(s), kern.lane_capacity.item(s)
         )
-        decision = self.policy.decide(i, ctx)
         space_frac, frac, spill_time, alloc, release = kern.admit(
-            i, t, log.sizes[i], log.durations[i], s,
-            decision.want_ssd, decision.ssd_ttl,
+            i, t, log._sizes.data.item(i), log._durations.data.item(i), s,
+            want_ssd, ssd_ttl,
         )
-        self._frac.append(frac if decision.want_ssd else 0.0)
-        self.policy.observe(
-            PlacementOutcome(
-                job_index=i,
-                time=t,
-                requested_ssd=decision.want_ssd,
-                ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
-                spill_time=spill_time,
-                shard=s,
-            )
-        )
+        self._frac.append(frac)
+        self.policy.observe_one(i, t, want_ssd, space_frac, spill_time, s)
         job_id = log.job_ids[i]
         if self.track_jobs and alloc > 0 and release > self._now:
-            self._track_live(job_id, i, s, float(alloc), float(release))
+            self._live[job_id] = (i, s, float(alloc), float(release))
+            self._maybe_sweep_live()
         self._decided += 1
         self.stats.n_decided += 1
         return PlacementDecision(
-            index=i,
-            job_id=job_id,
-            time=float(t),
-            shard=s,
-            requested_ssd=decision.want_ssd,
-            ssd_space_fraction=space_frac if decision.want_ssd else 0.0,
-            spill_time=spill_time,
-            release_time=float(release),
+            i, job_id, t, s, want_ssd, space_frac, spill_time, float(release),
         )
 
     # -- batch mode -----------------------------------------------------
 
-    def _pump(self, force: bool = False) -> list[PlacementDecision]:
+    def _pump(self, force: bool = False) -> Sequence[PlacementDecision]:
         """Process every policy chunk the queue can close.
 
         A chunk closes when the policy's declared run of jobs is fully
         buffered; ``force`` (drain / backpressure) closes it at the
         available horizon instead, mirroring the offline engine's
         end-of-trace clamp.
+
+        Returns the resolved decisions as a lazy sequence (``[]`` when
+        nothing resolved): per-job decision objects are built only if
+        the caller actually reads them.
         """
-        out: list[PlacementDecision] = []
+        out: list[_DecisionBatch] = []
         log = self.log
         kern = self.kernel
         n = len(log)
@@ -736,58 +859,58 @@ class PlacementService:
             self._frac.n = stop
             self.policy.observe_batch(outcomes)
             self._advance_now(float(log.arrivals[stop - 1]))
-            out.extend(self._chunk_decisions(outcomes, alloc_buf, rel_buf))
+            if self.track_jobs:
+                self._track_live_chunk(outcomes, alloc_buf, rel_buf)
+            out.append(_DecisionBatch(outcomes, alloc_buf, rel_buf, log.job_ids))
             self._decided = stop
             self.stats.n_decided += count
             self.stats.n_chunks += 1
             self._plan = None
             n = len(log)
-        return out
-
-    def _chunk_decisions(self, outcomes, alloc_buf, rel_buf) -> list[PlacementDecision]:
-        first = outcomes.first
-        job_ids = self.log.job_ids
-        lanes = outcomes.shards
-        decisions = []
-        for k in range(len(outcomes)):
-            i = first + k
-            st = outcomes.spill_time[k]
-            alloc = 0.0 if alloc_buf is None else float(alloc_buf[k])
-            release = float(outcomes.times[k]) if rel_buf is None else float(rel_buf[k])
-            job_id = job_ids[i]
-            if self.track_jobs and alloc > 0 and release > self._now:
-                self._track_live(job_id, i, 0 if lanes is None else int(lanes[k]),
-                                 alloc, release)
-            decisions.append(
-                PlacementDecision(
-                    index=i,
-                    job_id=job_id,
-                    time=float(outcomes.times[k]),
-                    shard=0 if lanes is None else int(lanes[k]),
-                    requested_ssd=bool(outcomes.requested_ssd[k]),
-                    ssd_space_fraction=float(outcomes.ssd_space_fraction[k]),
-                    spill_time=None if np.isnan(st) else float(st),
-                    release_time=release,
-                )
-            )
-        return decisions
+        if not out:
+            return []
+        if len(out) == 1:
+            return out[0]
+        return _DecisionConcat(out)
 
     # -- completion events ----------------------------------------------
 
-    def _track_live(self, job_id, index, lane, alloc, release) -> None:
-        self._live[job_id] = (index, lane, alloc, release)
-        heapq.heappush(self._live_sched, (release, index, job_id))
+    def _track_live_chunk(self, outcomes, alloc_buf, rel_buf) -> None:
+        """Vectorized live-table insert for one decided chunk."""
+        live = np.flatnonzero((alloc_buf > 0.0) & (rel_buf > self._now))
+        if not live.size:
+            return
+        first = outcomes.first
+        lanes = outcomes.shards
+        job_ids = self.log.job_ids
+        table = self._live
+        allocs = alloc_buf[live].tolist()
+        rels = rel_buf[live].tolist()
+        lanes_l = [0] * live.size if lanes is None else lanes[live].tolist()
+        for k, alloc, release, lane in zip(live.tolist(), allocs, rels, lanes_l):
+            i = first + k
+            table[job_ids[i]] = (i, lane, alloc, release)
+        self._maybe_sweep_live()
+
+    def _maybe_sweep_live(self) -> None:
+        """Amortized prune of naturally-released live-table entries.
+
+        An entry whose scheduled release has passed is dead weight —
+        ``complete`` for it is already a guarded no-op — so instead of
+        a per-decision release heap, the table is swept whenever it
+        doubles past its post-sweep size.  O(live jobs) memory, O(1)
+        amortized per decision.
+        """
+        if len(self._live) < self._live_sweep_at:
+            return
+        now = self._now
+        self._live = {j: e for j, e in self._live.items() if e[3] > now}
+        self._live_sweep_at = max(64, 2 * len(self._live))
 
     def _advance_now(self, t: float) -> None:
-        """Move the service clock and prune naturally-released jobs."""
+        """Move the service clock (never backwards)."""
         if t > self._now:
             self._now = t
-        sched = self._live_sched
-        while sched and sched[0][0] <= self._now:
-            _, _, job_id = heapq.heappop(sched)
-            entry = self._live.get(job_id)
-            if entry is not None and entry[3] <= self._now:
-                del self._live[job_id]
 
     def complete(self, job_id, time: float | None = None) -> bool:
         """Signal that a job finished early, releasing its SSD space now.
@@ -967,9 +1090,6 @@ class PlacementService:
                     del self._live[jid]
 
     # -- checkpointing --------------------------------------------------
-
-    _SHARED_ATTRS = ("policy", "log", "kernel", "stats", "_frac", "_live",
-                     "_live_sched", "_plan")
 
     def snapshot(self) -> ServiceSnapshot:
         """Checkpoint the full mutable state of the service.

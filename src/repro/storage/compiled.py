@@ -1,0 +1,107 @@
+"""Opt-in compiled inner loops for the chunked engine (``engine="compiled"``).
+
+The chunked engine's per-chunk cost is dominated by the capacity
+trajectory: gather the event deltas into sorted order, running-sum them,
+and scan for the minimum.  NumPy does this as three passes with one
+temporary (``deltas[order]``, ``cumsum``, ``min``); the kernels here fuse
+them into a single compiled loop with no temporaries.
+
+Everything in this module is **bit-identity-critical**: a compiled
+kernel may only replace NumPy arithmetic whose floating-point operation
+*order* it replicates exactly.  ``np.cumsum`` is a strictly sequential
+left-to-right accumulation, and NumPy evaluates ``f0 + np.cumsum(d)``
+as the sequential partial sum *then* one add of ``f0`` per element —
+so the loops below accumulate the deltas alone and add ``f0`` at store
+time, never fold ``f0`` into the accumulator.  Reductions whose NumPy
+implementation is *not* sequential (``ndarray.sum`` uses pairwise
+blocking) are deliberately not compiled.
+
+numba is optional: importing this module never fails, and
+:data:`HAVE_NUMBA` gates the ``engine="compiled"`` switch.  When numba
+is absent the ``*_seq`` names fall back to the NumPy expressions they
+replace, so the module is importable (and testable) everywhere; the
+engine refuses ``engine="compiled"`` up front rather than silently
+running the fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "require_numba", "traj_seq", "masked_min_seq"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the NumPy-only environment
+    njit = None
+    HAVE_NUMBA = False
+
+
+def require_numba() -> None:
+    """Raise the canonical error when ``engine="compiled"`` lacks numba."""
+    if not HAVE_NUMBA:
+        raise RuntimeError(
+            "engine='compiled' needs the optional numba dependency; "
+            "install numba or use engine='chunked' (the default NumPy "
+            "fast path, bit-identical to the compiled one)"
+        )
+
+
+def _traj_seq_py(deltas: np.ndarray, order: np.ndarray, f0: float) -> np.ndarray:
+    """NumPy reference: ``f0 + np.cumsum(deltas[order])``."""
+    return f0 + np.cumsum(deltas[order])
+
+
+def _masked_min_seq_py(
+    deltas: np.ndarray, order: np.ndarray, f0: float, mask: np.ndarray
+) -> float:
+    """NumPy reference: ``(f0 + np.cumsum(deltas[order]))[mask].min()``.
+
+    ``mask`` selects positions of the *sorted* timeline; the caller
+    guarantees it has at least one True entry.
+    """
+    return float((f0 + np.cumsum(deltas[order]))[mask].min())
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def traj_seq(deltas, order, f0):
+        """Fused gather + sequential cumsum: ``f0 + cumsum(deltas[order])``.
+
+        Bit-identical to the NumPy expression: the accumulator sums the
+        ordered deltas sequentially and ``f0`` is added per element at
+        store time, exactly as NumPy broadcasts it over the cumsum.
+        """
+        n = order.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        acc = 0.0
+        for i in range(n):
+            acc += deltas[order[i]]
+            out[i] = f0 + acc
+        return out
+
+    @njit(cache=True)
+    def masked_min_seq(deltas, order, f0, mask):
+        """Minimum of the trajectory over masked positions, no temporaries.
+
+        Same accumulation as :func:`traj_seq`; ``min`` is
+        order-independent over identical values, so skipping the
+        materialized array cannot change the result.
+        """
+        n = order.shape[0]
+        acc = 0.0
+        low = np.inf
+        for i in range(n):
+            acc += deltas[order[i]]
+            if mask[i]:
+                v = f0 + acc
+                if v < low:
+                    low = v
+        return low
+
+else:
+    traj_seq = _traj_seq_py
+    masked_min_seq = _masked_min_seq_py

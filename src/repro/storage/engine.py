@@ -35,6 +35,10 @@ the same two engines:
   replayed through the exact scalar loop, and the remainder re-enters
   the vectorized check.  Binding chunks therefore no longer fall back
   wholesale to the per-candidate loop.
+- ``compiled``: the chunked engine with its trajectory inner loops
+  (gather + sequential cumsum, masked trajectory minimum) numba-jitted
+  via :mod:`repro.storage.compiled` — bit-identical to ``chunked`` by
+  construction, opt-in because numba is an optional dependency.
 
 Peak-usage accounting stays global (the fleet-level metric) and is
 sampled at admission events exactly as the legacy loop samples it.
@@ -75,6 +79,7 @@ from ..cost import CostRates, DEFAULT_RATES
 from ..workloads.job import TraceBase
 from ..workloads.metadata import stable_hash
 from ..workloads.streaming import TraceSource, materialize_trace
+from .compiled import masked_min_seq, require_numba, traj_seq
 from .policy import (
     BatchOutcomes,
     PlacementContext,
@@ -90,11 +95,20 @@ __all__ = [
     "ChunkKernel",
 ]
 
-#: Minimum number of candidates replayed through the exact scalar loop
-#: around a binding point before the vectorized check re-enters.  The
-#: window also scales with the remaining chunk (1/8th) so a chunk that
-#: binds everywhere degenerates to the scalar loop with only O(log)
-#: vectorized re-checks, not O(n) of them.
+#: Initial number of candidates replayed through the exact scalar loop
+#: around a binding point before the vectorized check re-enters.  Most
+#: binding chunks bind at a single oversized candidate, so the window
+#: starts small; it doubles whenever a retry round makes no vectorized
+#: progress (the candidate right at the cursor bound again), so a chunk
+#: that binds everywhere degenerates to the scalar loop with only
+#: O(log) vectorized re-checks, not O(n) of them.
+_SCALAR_WINDOW_INIT = 8
+
+#: In multi-lane runs, a binding lane with at most this many candidates
+#: in the chunk is cheaper to replay through one merged scalar loop
+#: than to rebuild a per-lane event timeline for.  A single-lane run
+#: never takes the merged loop: its chunk timeline already exists, so
+#: the windowed retry keeps everything but the window vectorized.
 _SCALAR_WINDOW_MIN = 64
 
 
@@ -241,7 +255,10 @@ def run_placement(
     engine:
         Event-loop implementation: ``"auto"`` (chunked fast path when
         the policy implements ``decide_batch``, legacy otherwise),
-        ``"chunked"``, or ``"legacy"``.
+        ``"chunked"``, ``"legacy"``, or ``"compiled"`` (the chunked
+        engine with its trajectory inner loops numba-jitted —
+        bit-identical to ``"chunked"``, requires the optional numba
+        dependency).
     shard_seed:
         Seed of the pipeline-to-shard routing hash.
     aggregate_only:
@@ -254,10 +271,12 @@ def run_placement(
     # engine name must not cost a full pass over an out-of-core source.
     if n_shards < 1:
         raise ValueError("need at least one shard")
-    if engine not in ("auto", "chunked", "legacy"):
+    if engine not in ("auto", "chunked", "legacy", "compiled"):
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "compiled":
+        require_numba()
     batched = callable(getattr(policy, "decide_batch", None))
-    if engine == "chunked" and not batched:
+    if engine in ("chunked", "compiled") and not batched:
         raise ValueError(f"policy {policy.name!r} does not implement decide_batch")
     lane_caps, total = _normalize_capacity(capacity, n_shards)
     trace = materialize_trace(trace)
@@ -266,7 +285,8 @@ def run_placement(
     policy.on_shard_topology(shards, lane_caps.copy())
     if batched and engine != "legacy":
         return _run_chunked(
-            trace, policy, lane_caps, total, rates, shards, n_shards, aggregate_only
+            trace, policy, lane_caps, total, rates, shards, n_shards,
+            aggregate_only, compiled=(engine == "compiled"),
         )
     return _run_legacy(
         trace, policy, lane_caps, total, rates, shards, n_shards, aggregate_only
@@ -382,12 +402,17 @@ class ScalarKernel:
             return 0.0, 0.0, None, 0.0, t
         free = self.free
         self.n_ssd_requested += 1
-        alloc = min(size, free[lane])
+        # Pure-Python float arithmetic on the hot serving path: item()
+        # round-trips are exact, so every value below matches the numpy
+        # scalar math bit for bit.
+        f = free.item(lane)
+        alloc = size if size < f else f
         if alloc < size:
             self.n_spilled += 1
             spill_time = t
-        free[lane] -= alloc
-        used = self.capacity - float(free.sum())
+        f -= alloc
+        free[lane] = f
+        used = self.capacity - (f if free.size == 1 else float(free.sum()))
         if used > self.peak_used:
             self.peak_used = used
         if ssd_ttl is not None and ssd_ttl < duration:
@@ -626,10 +651,16 @@ class ChunkKernel:
     long as indices ``[first, stop)`` are populated.
     """
 
-    __slots__ = ("st", "n_ssd_requested", "n_spilled", "n_evicted", "evicted_bytes")
+    __slots__ = (
+        "st", "compiled", "n_ssd_requested", "n_spilled", "n_evicted",
+        "evicted_bytes",
+    )
 
-    def __init__(self, lane_caps: np.ndarray, total: float):
+    def __init__(self, lane_caps: np.ndarray, total: float, compiled: bool = False):
+        if compiled:
+            require_numba()
         self.st = _LaneState(lane_caps, total)
+        self.compiled = compiled
         self.n_ssd_requested = 0
         self.n_spilled = 0
         self.n_evicted = 0
@@ -715,7 +746,7 @@ class ChunkKernel:
                 spilled = _run_mask_chunk(
                     st, first, t_last, arrivals, durations, sizes, chunk_lanes,
                     bd.ssd_ttl, cand, space, spill_col, ssd_fraction,
-                    alloc_out, release_out,
+                    alloc_out, release_out, compiled=self.compiled,
                 )
                 self.n_ssd_requested += cand.size
                 self.n_spilled += spilled
@@ -841,6 +872,7 @@ def _run_chunked(
     shards: np.ndarray | None,
     n_shards: int,
     aggregate_only: bool = False,
+    compiled: bool = False,
 ) -> SimResult:
     """Chunked engine: one policy round-trip per decision interval.
 
@@ -853,7 +885,7 @@ def _run_chunked(
     durations = trace.durations
     sizes = trace.sizes
 
-    kern = ChunkKernel(lane_caps, capacity)
+    kern = ChunkKernel(lane_caps, capacity, compiled=compiled)
     ssd_fraction = np.zeros(n)
 
     i = 0
@@ -892,6 +924,7 @@ def _run_mask_chunk(
     ssd_fraction: np.ndarray,
     alloc_out: np.ndarray | None = None,
     release_out: np.ndarray | None = None,
+    compiled: bool = False,
 ) -> int:
     """Process one mask-mode chunk; returns the number of spilled jobs.
 
@@ -901,6 +934,10 @@ def _run_mask_chunk(
     vectorized pass; a lane where capacity binds goes through
     :func:`_admit_lane_binding`'s re-entrant retry.  Peak usage is then
     sampled globally over the realized allocations.
+
+    ``compiled`` swaps the trajectory inner loops (gather + sequential
+    cumsum, masked trajectory minimum) for the numba kernels of
+    :mod:`repro.storage.compiled` — bit-identical by construction.
     """
     idx = first + cand
     ct = arrivals[idx]
@@ -936,7 +973,10 @@ def _run_mask_chunk(
     total_free_start = float(st.free.sum())
 
     if st.n_lanes == 1:
-        traj = st.free[0] + np.cumsum(ev_d[order])
+        if compiled:
+            traj = traj_seq(ev_d, order, float(st.free[0]))
+        else:
+            traj = st.free[0] + np.cumsum(ev_d[order])
         if traj.size and float(traj.min()) >= 0.0:
             # Capacity never binds: every candidate fits in full.
             ko = ev_k[order]
@@ -972,7 +1012,10 @@ def _run_mask_chunk(
         for a, b in zip(bounds, ends):
             seg = order_l[a:b]
             L = int(lo[a])
-            traj_L = st.free[L] + np.cumsum(ev_d[seg])
+            if compiled:
+                traj_L = traj_seq(ev_d, seg, float(st.free[L]))
+            else:
+                traj_L = st.free[L] + np.cumsum(ev_d[seg])
             if float(traj_L.min()) >= 0.0:
                 clean[L] = True
                 st.free[L] = float(traj_L[-1])
@@ -995,16 +1038,22 @@ def _run_mask_chunk(
         st.new_a.extend(cs[out].tolist())
         st.new_l.extend(lane[out].tolist())
 
-    # Binding lanes.  Large lanes get the re-entrant vectorized retry
-    # around each binding candidate; lanes with only a handful of
-    # candidates in this chunk (the common case at high shard counts)
-    # are cheaper to replay together through one merged scalar loop
-    # than to rebuild per-lane event timelines for.
+    # Binding lanes.  The re-entrant vectorized retry replays only a
+    # small window around each binding candidate; in multi-lane runs,
+    # lanes with only a handful of candidates in this chunk (the common
+    # case at high shard counts) are cheaper to replay together through
+    # one merged scalar loop than to rebuild per-lane event timelines
+    # for.  A single-lane run always takes the retry — its timeline is
+    # already built, so the merged loop would only add scalar work.
     if binding_lanes:
         counts = np.bincount(lane, minlength=st.n_lanes)
-        small = [L for L in binding_lanes if counts[L] <= _SCALAR_WINDOW_MIN]
+        merge_small = st.n_lanes > 1
+        small = [
+            L for L in binding_lanes
+            if merge_small and counts[L] <= _SCALAR_WINDOW_MIN
+        ]
         for L in binding_lanes:
-            if counts[L] <= _SCALAR_WINDOW_MIN:
+            if merge_small and counts[L] <= _SCALAR_WINDOW_MIN:
                 continue
             lpos = np.flatnonzero(lane == L)
             if st.n_lanes == 1:
@@ -1016,6 +1065,7 @@ def _run_mask_chunk(
                 st, L, lpos, pend_t, pend_a, t_last,
                 ct, cs, release, time_frac, cand, idx,
                 space, spill_col, ssd_fraction, alloc_arr,
+                compiled=compiled,
             )
         if small:
             n_spilled += _admit_lanes_scalar(
@@ -1031,12 +1081,14 @@ def _run_mask_chunk(
 
     # Global peak over the realized allocations, sampled at admissions
     # exactly as the legacy loop samples it.
-    ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
-    ptraj = total_free_start + np.cumsum(ev_pd[order])
     ko = ev_k[order]
     arr_pos = (ko >= 0) & ((ko & 1) == 0)
     if arr_pos.any():
-        low = float(ptraj[arr_pos].min())
+        ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
+        if compiled:
+            low = masked_min_seq(ev_pd, order, total_free_start, arr_pos)
+        else:
+            low = float((total_free_start + np.cumsum(ev_pd[order]))[arr_pos].min())
         st.peak_used = max(st.peak_used, st.capacity - low)
     return n_spilled
 
@@ -1136,6 +1188,7 @@ def _admit_lane_binding(
     spill_col: np.ndarray,
     ssd_fraction: np.ndarray,
     alloc_arr: np.ndarray,
+    compiled: bool = False,
 ) -> int:
     """Re-entrant admission for one lane where capacity binds.
 
@@ -1144,10 +1197,14 @@ def _admit_lane_binding(
     hold the not-yet-applied releases.  Each round builds the assumed
     event timeline for the remaining candidates; if it stays
     non-negative the remainder is accepted vectorized, otherwise the
-    clean prefix is accepted vectorized, the next ``>= _SCALAR_WINDOW_MIN``
-    candidates are replayed through the exact per-candidate loop
-    (spill/partial-fit semantics identical to the legacy engine), and
-    the check re-enters on what is left.  Returns the spill count.
+    clean prefix is accepted vectorized, a window of candidates
+    starting at the binding one is replayed through the exact
+    per-candidate loop (spill/partial-fit semantics identical to the
+    legacy engine), and the check re-enters on what is left.  The
+    window starts at ``_SCALAR_WINDOW_INIT`` and doubles whenever a
+    round makes no vectorized progress, so the scalar tax stays small
+    on chunks that bind once and the re-check count stays O(log) on
+    chunks that bind everywhere.  Returns the spill count.
     """
     f = float(st.free[L])
     pend_i = 0
@@ -1155,6 +1212,7 @@ def _admit_lane_binding(
     p = 0
     n_lane = lpos.size
     n_spilled = 0
+    w = _SCALAR_WINDOW_INIT
 
     while p < n_lane:
         rem = lpos[p:]
@@ -1174,7 +1232,10 @@ def _admit_lane_binding(
             ]
         )
         order = np.lexsort((ev_k, ev_t))
-        traj = f + np.cumsum(ev_d[order])
+        if compiled:
+            traj = traj_seq(ev_d, order, f)
+        else:
+            traj = f + np.cumsum(ev_d[order])
         viol = np.flatnonzero(traj < 0.0)
 
         if viol.size == 0:
@@ -1227,14 +1288,16 @@ def _admit_lane_binding(
                         st.buffer_release(rt, amt, L)
 
         # Exact scalar replay of a bounded window starting at the
-        # binding candidate.
-        window = rem[j : j + max(_SCALAR_WINDOW_MIN, (n_lane - p) // 8)]
+        # binding candidate.  Pending releases apply one at a time, in
+        # time order — the same float operation order as the legacy
+        # loop's heap pops.
+        window = rem[j : j + w]
+        pend_n = pend_t.size
         for wq in window:
             t = float(ct[wq])
-            k2 = int(np.searchsorted(pend_t[pend_i:], t, side="right"))
-            if k2:
-                f += float(pend_a[pend_i : pend_i + k2].sum())
-                pend_i += k2
+            while pend_i < pend_n and pend_t[pend_i] <= t:
+                f += float(pend_a[pend_i])
+                pend_i += 1
             while heap and heap[0][0] <= t:
                 f += heapq.heappop(heap)[1]
             size = float(cs[wq])
@@ -1255,6 +1318,10 @@ def _admit_lane_binding(
             alloc_arr[wq] = alloc
         st.n_scalar += len(window)
         p += j + len(window)
+        # No vectorized progress means the candidate right at the
+        # cursor bound again; widen the next window.  Any prefix
+        # progress resets it.
+        w = w * 2 if j == 0 else _SCALAR_WINDOW_INIT
 
     # Chunk epilogue: every in-chunk release (<= t_last) is applied to
     # the lane now; the next chunk starts at t >= t_last, so this is

@@ -215,6 +215,53 @@ class PlacementPolicy(ABC):
     def observe(self, outcome: PlacementOutcome) -> None:
         """Receive the applied outcome (default: ignore feedback)."""
 
+    def decide_one(
+        self, job_index: int, time: float, free_ssd: float, capacity: float
+    ) -> tuple[bool, float | None]:
+        """Allocation-free single-job decision (the serving fast path).
+
+        Semantically :meth:`decide` with the context unpacked into
+        scalars; returns ``(want_ssd, ssd_ttl)``.  The default wraps
+        ``decide``, so a policy overriding ``decide`` alone stays
+        correct; hot policies override this to skip the per-request
+        context and decision objects.
+        """
+        d = self.decide(
+            job_index,
+            PlacementContext(time=time, free_ssd=free_ssd, capacity=capacity),
+        )
+        return d.want_ssd, d.ssd_ttl
+
+    def observe_one(
+        self,
+        job_index: int,
+        time: float,
+        requested_ssd: bool,
+        ssd_space_fraction: float,
+        spill_time: float | None,
+        shard: int = 0,
+    ) -> None:
+        """Allocation-free single-outcome feedback (the serving fast path).
+
+        Semantically :meth:`observe` with the outcome unpacked into
+        scalars.  The default wraps ``observe`` (and, like
+        ``observe_batch``, is a no-op when ``observe`` was never
+        overridden), so a policy overriding ``observe`` alone stays
+        correct.
+        """
+        if type(self).observe is PlacementPolicy.observe:
+            return
+        self.observe(
+            PlacementOutcome(
+                job_index=job_index,
+                time=time,
+                requested_ssd=requested_ssd,
+                ssd_space_fraction=ssd_space_fraction,
+                spill_time=spill_time,
+                shard=shard,
+            )
+        )
+
     def observe_batch(self, outcomes: BatchOutcomes) -> None:
         """Receive one chunk of outcomes from the chunked engine.
 

@@ -101,7 +101,9 @@ def simulate(
     engine:
         Event-loop implementation: ``"auto"`` (chunked fast path when
         the policy implements ``decide_batch``, legacy otherwise),
-        ``"chunked"``, or ``"legacy"``.
+        ``"chunked"``, ``"legacy"``, or ``"compiled"`` (chunked with
+        numba-jitted inner loops; requires the optional numba
+        dependency, bit-identical to ``"chunked"``).
     aggregate_only:
         Constant-memory results: keep only the scalar aggregates and
         drop the per-job arrays (:attr:`SimResult.ssd_fraction` is
