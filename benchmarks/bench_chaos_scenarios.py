@@ -2,7 +2,7 @@
 
 Runs every named scenario in :data:`repro.serve.scenarios.SCENARIOS` —
 clean reference, lane loss + restore, lane shrink, fleet quota cut,
-categorizer outage, completion chaos — against both contenders
+categorizer outage, completion chaos, worker kill — against both contenders
 (serve-native adaptive with an online categorizer, and first-fit) over
 one generated cluster trace with fixed seeds.  Every contender sees the
 identical stream: same micro-batch slicing, same fault plan, same
@@ -87,6 +87,15 @@ def test_chaos_scenarios(benchmark):
         # Completion chaos: drops recorded, transient errors retried.
         assert by[("complete_chaos", p)].dropped_completes > 0
         assert by[("complete_chaos", p)].n_retries == 2
+    # Worker kills run against a 3-worker FleetRouter whose per-worker
+    # WAL/checkpoint failover is bit-exact, so the row must match the
+    # clean reference exactly — the only thing the fault can change is
+    # whether the run survives.
+    for p in policies:
+        wk, nf = by[("worker_kill", p)], by[("nofault", p)]
+        assert wk.tco_savings_pct == nf.tco_savings_pct, p
+        assert wk.n_spilled == nf.n_spilled, p
+        assert wk.n_shocks == 0, p
     # The categorizer outage degrades the adaptive contender only (the
     # baseline has no categorizer to lose) and covers the scripted 40%
     # of the stream.

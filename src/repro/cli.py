@@ -145,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--recover", action="store_true",
                        help="resume from --checkpoint + --wal instead of "
                             "starting fresh, then serve the remaining trace")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker fleet size (>1 serves through the "
+                            "scatter-gather FleetRouter; decisions stay "
+                            "bit-identical to one process)")
+    serve.add_argument("--transport", choices=("inprocess", "subprocess"),
+                       default="inprocess",
+                       help="fleet transport: in-process workers or forked "
+                            "child processes")
+    serve.add_argument("--worker-dir", default=None,
+                       help="directory for per-worker WAL/checkpoint files; "
+                            "enables transparent worker failover")
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -171,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop after this many jobs")
     loadgen.add_argument("--seed", type=int, default=0,
                          help="seed of the poisson gap sampler")
+    loadgen.add_argument("--workers", type=int, default=1,
+                         help="worker fleet size (>1 uses the FleetRouter)")
+    loadgen.add_argument("--transport", choices=("inprocess", "subprocess"),
+                         default="inprocess",
+                         help="fleet transport: in-process workers or forked "
+                              "child processes")
 
     chaos = sub.add_parser(
         "chaos",
@@ -193,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="jobs per submitted micro-batch")
     chaos.add_argument("--scenario", default="all",
                        help="one scenario name, or 'all' for the full suite")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="worker fleet size (>1 runs scenarios through "
+                            "the FleetRouter; worker_kill faults need >1)")
+    chaos.add_argument("--transport", choices=("inprocess", "subprocess"),
+                       default="inprocess",
+                       help="fleet transport: in-process workers or forked "
+                            "child processes")
     return parser
 
 
@@ -352,19 +376,21 @@ def _cmd_serve(args) -> int:
     import numpy as np
 
     from .core import AdaptiveCategoryPolicy, hash_categories
-    from .serve import FaultInjector, FaultPlan, PlacementService
+    from .serve import FaultInjector, FaultPlan, FleetRouter, PlacementService
     from .workloads.streaming import materialize_trace
 
     trace = materialize_trace(args.trace)
     if len(trace) == 0:
         print(f"trace {trace.name}: 0 jobs, nothing to serve")
         return 0
+    fleet = args.workers > 1
     if args.recover:
         if not (args.checkpoint and args.wal):
             print("serve: --recover needs --checkpoint and --wal",
                   file=sys.stderr)
             return 2
-        service = PlacementService.recover(args.checkpoint, args.wal)
+        cls = FleetRouter if fleet else PlacementService
+        service = cls.recover(args.checkpoint, args.wal)
         start = service.stats.n_submitted
         print(f"recovered from {args.checkpoint} + {args.wal}: "
               f"{start} submissions replayed to WAL seq {service.wal_seq}")
@@ -374,10 +400,18 @@ def _cmd_serve(args) -> int:
             hash_categories(trace, args.categories), args.categories,
             name="Adaptive Hash",
         )
-        service = PlacementService(
-            policy, capacity, args.shards, mode=args.mode,
-            max_pending=args.max_pending, wal=args.wal,
-        )
+        if fleet:
+            service = FleetRouter(
+                policy, capacity, args.shards, mode=args.mode,
+                max_pending=args.max_pending, wal=args.wal,
+                n_workers=args.workers, transport=args.transport,
+                worker_dir=args.worker_dir,
+            )
+        else:
+            service = PlacementService(
+                policy, capacity, args.shards, mode=args.mode,
+                max_pending=args.max_pending, wal=args.wal,
+            )
         service.open(trace)
         if args.checkpoint:
             service.checkpoint(args.checkpoint)
@@ -436,12 +470,16 @@ def _cmd_serve(args) -> int:
         print(f"  faults: {st.n_shocks} shocks, {st.n_evicted} evicted "
               f"({fmt_bytes(st.evicted_bytes)}), "
               f"{st.degraded_jobs} jobs decided degraded")
+    if isinstance(service, FleetRouter):
+        print(f"  fleet: {service.n_workers} workers over "
+              f"{service.pool.transport_kind} transport")
+        service.close()
     return 130 if interrupted else 0
 
 
 def _cmd_loadgen(args) -> int:
     from .core import AdaptiveCategoryPolicy, hash_categories
-    from .serve import LoadGenerator, PlacementService
+    from .serve import FleetRouter, LoadGenerator, PlacementService
     from .workloads.streaming import materialize_trace
 
     trace = materialize_trace(args.trace)
@@ -453,7 +491,13 @@ def _cmd_loadgen(args) -> int:
         hash_categories(trace, args.categories), args.categories,
         name="Adaptive Hash",
     )
-    service = PlacementService(policy, capacity, args.shards, mode="batch")
+    if args.workers > 1:
+        service = FleetRouter(
+            policy, capacity, args.shards, mode="batch",
+            n_workers=args.workers, transport=args.transport,
+        )
+    else:
+        service = PlacementService(policy, capacity, args.shards, mode="batch")
     service.open(trace)
     gen = LoadGenerator(
         trace, rate=args.rate, shape=args.burst,
@@ -472,6 +516,10 @@ def _cmd_loadgen(args) -> int:
           f"p99 {report.latency_percentile(99) * 1e6:,.0f} us per batch")
     res = service.result()
     _service_summary(res, service.stats, report.interrupted)
+    if isinstance(service, FleetRouter):
+        print(f"  fleet: {service.n_workers} workers over "
+              f"{service.pool.transport_kind} transport")
+        service.close()
     return 130 if report.interrupted else 0
 
 
@@ -502,6 +550,7 @@ def _cmd_chaos(args) -> int:
     rows = run_suite(
         trace, capacity=capacity, n_shards=args.shards,
         batch_jobs=max(args.batch, 1), scenarios=scenarios, seed=args.seed,
+        n_workers=args.workers, transport=args.transport,
     )
     print(f"chaos suite on {trace.name}: {len(trace)} jobs, "
           f"{fmt_bytes(capacity)} over {args.shards} caching servers")

@@ -22,6 +22,11 @@ space:
 - :class:`WriteAheadLog` / :meth:`PlacementService.recover` — crash
   durability: checkpoint + WAL-suffix replay to the exact pre-crash
   state (see :mod:`repro.serve.wal`).
+- :class:`FleetRouter` / :class:`PlacementWorker` /
+  :mod:`repro.serve.transport` — fleet-scale serving: the same service
+  surface scatter-gathered over N workers (in-process or forked
+  children), bit-identical to one process for any worker count, with
+  per-worker WAL/checkpoint failover (see :mod:`repro.serve.router`).
 - :class:`FaultPlan` / :class:`FaultInjector` — scripted chaos (lane
   loss/shrink/restore, quota changes, categorizer outages, lost or
   duplicated completions, transient errors, crash points); named
@@ -45,6 +50,7 @@ from .loadgen import LoadGenerator, LoadReport
 from .log import ColumnView, GrowArray, JobLog
 from .policy import OnlineAdaptivePolicy
 from .predict import OnlineCategorizer
+from .router import FleetRouter, worker_lanes
 from .scenarios import SCENARIOS, ChaosScenario, ScenarioRow
 from .service import (
     PlacementDecision,
@@ -53,7 +59,15 @@ from .service import (
     ServiceStats,
     ShockReport,
 )
+from .transport import (
+    InProcessTransport,
+    SubprocessTransport,
+    WorkerDied,
+    WorkerTransport,
+)
+from .types import SnapshotMismatch
 from .wal import WalCorruption, WriteAheadLog
+from .worker import PlacementWorker
 
 __all__ = [
     "PlacementService",
@@ -61,6 +75,14 @@ __all__ = [
     "ServiceSnapshot",
     "ServiceStats",
     "ShockReport",
+    "SnapshotMismatch",
+    "FleetRouter",
+    "PlacementWorker",
+    "worker_lanes",
+    "WorkerTransport",
+    "InProcessTransport",
+    "SubprocessTransport",
+    "WorkerDied",
     "OnlineAdaptivePolicy",
     "OnlineCategorizer",
     "LoadGenerator",

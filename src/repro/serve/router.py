@@ -1,0 +1,986 @@
+"""Fleet front door: one placement service scaled across N workers.
+
+:class:`FleetRouter` is a :class:`~repro.serve.PlacementService` whose
+kernel is a *facade*: admission arithmetic runs on N
+:class:`~repro.serve.worker.PlacementWorker` instances (in-process
+objects or forked children, see :mod:`repro.serve.transport`), each
+owning the round-robin lane subset ``lane % n_workers == w``.  The
+policy, job log, admission queue, service WAL, shock and snapshot
+machinery are all inherited unchanged — the refactor swaps only the
+kernel seam (:meth:`PlacementService._make_kernel`), which is what
+keeps the fleet's decision stream bit-identical to one process:
+
+- **Batch mode** — :class:`FleetChunkKernel` scatters each micro-batch
+  chunk to the owning workers as SoA column blocks and gathers their
+  outcome columns back into one
+  :class:`~repro.storage.policy.BatchOutcomes`.  A full-lane *ledger*
+  kernel tracks global free state (needed for the global peak sample
+  and for catch-up arithmetic the workers cannot see), overwritten
+  lane-by-lane with each worker's authoritative values at gather.
+- **Scalar mode** — :class:`FleetScalarKernel` forwards each admit to
+  the owning worker and mirrors the result into a full-lane
+  :class:`~repro.storage.engine.ScalarKernel` replica.
+
+Fault tolerance is per worker: every mutating op is appended to that
+worker's write-ahead log *before* dispatch, workers checkpoint
+periodically (``worker_checkpoint_every`` logged ops), and a dead
+worker is rebuilt as checkpoint + WAL-suffix replay while the rest of
+the fleet keeps serving — including the op that was in flight when the
+worker died, which is always the WAL tail.  See ``docs/fleet.md`` for
+the full walkthrough.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+
+import numpy as np
+
+from ..storage.engine import (
+    ChunkKernel,
+    ScalarKernel,
+    SimResult,
+    _ttl_release_fracs,
+)
+from ..storage.policy import BatchOutcomes
+from .service import PlacementService
+from .transport import InProcessTransport, SubprocessTransport, WorkerDied
+from .types import WORKER_SNAPSHOT_SCHEMA, SnapshotMismatch
+from .wal import WriteAheadLog
+from .worker import PlacementWorker
+
+__all__ = ["FleetRouter", "worker_lanes"]
+
+#: Worker ops that mutate kernel state — exactly these are WAL-logged
+#: (and therefore replayed during worker recovery).
+_MUTATING_OPS = frozenset(
+    {"open", "chunk", "fit", "sync", "admit", "cancel", "resize"}
+)
+
+#: Op-dict keys that carry arrays, and the dtype each restores to when
+#: a WAL record (JSON lists) is replayed.
+_ARRAY_KEYS = {
+    "t": float, "dur": float, "size": float, "ttl": float, "lane": np.intp,
+}
+
+
+def worker_lanes(n_shards: int, n_workers: int) -> list[np.ndarray]:
+    """Round-robin lane ownership: worker ``w`` owns ``w, w+N, w+2N...``
+
+    Round-robin (not contiguous blocks) so every worker count divides
+    any shard count without remainder special-casing, and the
+    global→local translation is arithmetic: ``owner = lane % N``,
+    ``local = lane // N``.  Workers past ``n_shards`` own zero lanes.
+    """
+    return [
+        np.arange(w, n_shards, n_workers, dtype=np.intp)
+        for w in range(n_workers)
+    ]
+
+
+def _op_to_record(op: dict) -> dict:
+    """An op dict as a JSON-serializable WAL record."""
+    rec = {}
+    for k, v in op.items():
+        rec[k] = v.tolist() if isinstance(v, np.ndarray) else v
+    return rec
+
+
+def _op_from_record(rec: dict) -> dict:
+    """Rebuild a dispatchable op from a WAL record (lists → arrays)."""
+    op = dict(rec)
+    for k, dtype in _ARRAY_KEYS.items():
+        v = op.get(k)
+        if isinstance(v, list):
+            op[k] = np.asarray(v, dtype=dtype)
+    return op
+
+
+class _WorkerPool:
+    """The fleet's workers: transports, per-worker WALs, counter cache.
+
+    Owns everything per-worker so the two kernel facades stay pure
+    arithmetic: spawning (by transport kind), WAL-before-dispatch
+    logging, periodic checkpointing, crash detection and recovery, and
+    the running counter cache every reply refreshes (so results never
+    need an extra round-trip to a worker — or a live worker at all).
+
+    Picklable/deep-copyable: ``__getstate__`` swaps the live transports
+    for point-in-time worker payloads; a restored pool respawns workers
+    lazily on first dispatch, so snapshots of a subprocess fleet do not
+    fork children just by existing.  Restored pools run without
+    per-worker durability (their WAL handles are not carried).
+    """
+
+    _COUNTER_KEYS = (
+        "n_ssd_requested", "n_spilled", "n_evicted", "evicted_bytes",
+        "n_scalar", "peak",
+    )
+
+    def __init__(
+        self, *, n_shards, lane_caps, total, mode, compiled,
+        n_workers, transport, worker_dir, checkpoint_every,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if transport not in ("inprocess", "subprocess"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("worker_checkpoint_every must be >= 1")
+        self.n_shards = int(n_shards)
+        self.n_workers = int(n_workers)
+        self.transport_kind = transport
+        self.worker_dir = None if worker_dir is None else os.fspath(worker_dir)
+        self.checkpoint_every = checkpoint_every
+        self.lanes_by_worker = worker_lanes(self.n_shards, self.n_workers)
+        caps = np.asarray(lane_caps, dtype=float)
+        self.specs = []
+        for w, lw in enumerate(self.lanes_by_worker):
+            sub = caps[lw].copy()
+            self.specs.append({
+                "worker_id": w,
+                "mode": mode,
+                "compiled": bool(compiled),
+                "lane_caps": sub,
+                "lanes": lw,
+                "path_lanes": self.n_shards,
+                # A single-worker fleet is the whole pool: it tracks
+                # the global peak itself and uses the exact capacity
+                # scalar; with more workers the router samples the
+                # peak and each worker runs on its subset total.
+                "track_peak": self.n_workers == 1,
+                "total": float(total) if self.n_workers == 1
+                else float(sub.sum()),
+            })
+        self.wals: list = [None] * self.n_workers
+        if self.worker_dir is not None:
+            os.makedirs(self.worker_dir, exist_ok=True)
+            self.wals = [
+                WriteAheadLog(self._wal_path(w))
+                for w in range(self.n_workers)
+            ]
+        self.counters = [self._zero_counters() for _ in range(self.n_workers)]
+        self._pending_payloads = None
+        self.transports = [self._spawn(w) for w in range(self.n_workers)]
+
+    @staticmethod
+    def _zero_counters() -> dict:
+        return {
+            "n_ssd_requested": 0, "n_spilled": 0, "n_evicted": 0,
+            "evicted_bytes": 0.0, "n_scalar": 0, "peak": 0.0,
+        }
+
+    def _wal_path(self, w: int) -> str:
+        return os.path.join(self.worker_dir, f"worker{w}.wal")
+
+    def _ckpt_path(self, w: int) -> str:
+        return os.path.join(self.worker_dir, f"worker{w}.ckpt")
+
+    def _spawn(self, w: int):
+        if self.transport_kind == "subprocess":
+            return SubprocessTransport(w, self.specs[w])
+        return InProcessTransport(w, PlacementWorker(self.specs[w]))
+
+    def _ensure(self) -> None:
+        """Respawn workers after an unpickle/restore (lazily)."""
+        if self.transports is not None:
+            return
+        payloads = self._pending_payloads
+        self._pending_payloads = None
+        self.transports = []
+        for w in range(self.n_workers):
+            tr = self._spawn(w)
+            if payloads is not None:
+                tr.request({"op": "restore", "payload": payloads[w]})
+            self.transports.append(tr)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _log_op(self, w: int, op: dict) -> bool:
+        """WAL-before-dispatch; returns whether the op was logged."""
+        wal = self.wals[w]
+        if wal is None or op.get("op") not in _MUTATING_OPS:
+            return False
+        wal.append(_op_to_record(op))
+        return True
+
+    def _update(self, w: int, reply: dict) -> None:
+        c = self.counters[w]
+        for k in self._COUNTER_KEYS:
+            if k in reply:
+                c[k] = reply[k]
+
+    def _maybe_checkpoint(self, w: int) -> None:
+        every = self.checkpoint_every
+        wal = self.wals[w]
+        if not every or wal is None or wal.seq % every:
+            return
+        try:
+            self.transports[w].request({
+                "op": "checkpoint",
+                "path": self._ckpt_path(w),
+                "anchor": wal.seq,
+            })
+        except WorkerDied:
+            # The next real op notices and recovers; this checkpoint
+            # simply did not advance the anchor.
+            pass
+
+    def request(self, w: int, op: dict) -> dict:
+        """One op to worker ``w``, with transparent crash recovery.
+
+        A mutating op is in the WAL before dispatch, so when the worker
+        dies mid-op the replay's last reply *is* this op's reply; a
+        non-mutating op is re-issued against the recovered worker.
+        """
+        self._ensure()
+        logged = self._log_op(w, op)
+        try:
+            reply = self.transports[w].request(op)
+        except WorkerDied:
+            last = self.recover(w)
+            reply = last if logged else self.transports[w].request(op)
+        self._update(w, reply)
+        if logged:
+            self._maybe_checkpoint(w)
+        return reply
+
+    def scatter(self, ops: dict) -> dict:
+        """Send every op before receiving any reply (workers overlap).
+
+        ``ops`` maps worker id → op dict; returns worker id → reply.
+        Dead workers are recovered exactly as in :meth:`request`.
+        """
+        self._ensure()
+        logged = {w: self._log_op(w, op) for w, op in ops.items()}
+        failed = set()
+        for w, op in ops.items():
+            try:
+                self.transports[w].send(op)
+            except WorkerDied:
+                failed.add(w)
+        replies = {}
+        for w, op in ops.items():
+            if w not in failed:
+                try:
+                    replies[w] = self.transports[w].recv()
+                except WorkerDied:
+                    failed.add(w)
+            if w in failed:
+                last = self.recover(w)
+                replies[w] = (
+                    last if logged[w] else self.transports[w].request(op)
+                )
+            self._update(w, replies[w])
+            if logged[w]:
+                self._maybe_checkpoint(w)
+        return replies
+
+    # -- lifecycle ------------------------------------------------------
+
+    def kill(self, w: int) -> None:
+        self._ensure()
+        self.transports[w].kill()
+
+    def alive(self, w: int) -> bool:
+        self._ensure()
+        return self.transports[w].alive
+
+    def recover(self, w: int) -> dict | None:
+        """Rebuild worker ``w`` as checkpoint + WAL-suffix replay.
+
+        Returns the last replayed reply (``None`` when nothing needed
+        replaying) — which, when recovery was triggered by a mutating
+        op's dispatch failure, is that op's reply: the op went to the
+        WAL before the wire.
+        """
+        self._ensure()
+        if self.wals[w] is None:
+            raise WorkerDied(
+                w,
+                "no worker_dir was configured, so there is no checkpoint "
+                "or WAL to recover from",
+            )
+        try:
+            self.transports[w].kill()
+        except Exception:
+            pass
+        payload = None
+        anchor = 0
+        ckpt = self._ckpt_path(w)
+        if os.path.exists(ckpt):
+            with open(ckpt, "rb") as fh:
+                payload = pickle.load(fh)
+            schema = (
+                payload.get("__schema__") if isinstance(payload, dict)
+                else None
+            )
+            if schema != WORKER_SNAPSHOT_SCHEMA:
+                raise SnapshotMismatch(
+                    f"worker {w} checkpoint has schema {schema!r}, this "
+                    f"library restores schema {WORKER_SNAPSHOT_SCHEMA}"
+                )
+            anchor = int(payload.get("anchor", 0))
+        tr = self._spawn(w)
+        self.transports[w] = tr
+        if payload is not None:
+            tr.request({"op": "restore", "payload": payload})
+        last = None
+        for _seq, rec in WriteAheadLog.read(self._wal_path(w), anchor):
+            last = tr.request(_op_from_record(rec))
+        if last is not None:
+            self._update(w, last)
+        return last
+
+    def close(self) -> None:
+        if self.transports is not None:
+            for tr in self.transports:
+                try:
+                    tr.close()
+                except Exception:
+                    pass
+        for wal in self.wals:
+            if wal is not None:
+                wal.close()
+
+    # -- aggregates -----------------------------------------------------
+
+    def total(self, key: str):
+        return sum(c[key] for c in self.counters)
+
+    # -- pickling / deep copy -------------------------------------------
+
+    def __getstate__(self):
+        if self.transports is None and self._pending_payloads is not None:
+            payloads = list(self._pending_payloads)
+        else:
+            self._ensure()
+            payloads = [
+                self.request(w, {"op": "state"})["payload"]
+                for w in range(self.n_workers)
+            ]
+        state = self.__dict__.copy()
+        state["transports"] = None
+        state["wals"] = [None] * self.n_workers
+        state["worker_dir"] = None
+        state["checkpoint_every"] = None
+        state["_pending_payloads"] = payloads
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class FleetChunkKernel:
+    """Scatter-gather facade over per-worker :class:`ChunkKernel` s.
+
+    Presents the exact ``ChunkKernel`` surface the service drives
+    (``open_chunk`` / ``run_chunk`` / ``cancel`` / ``resize_lane`` plus
+    the counter properties) while the admission arithmetic runs on the
+    workers.  The *ledger* — a full-lane ``ChunkKernel`` that never
+    runs a chunk itself — tracks the global release schedule and free
+    vector: the global peak sample needs cross-worker event
+    interleaving, and cancel/resize catch-up needs the fleet-wide
+    release cursor, neither of which any single worker can see.
+    """
+
+    def __init__(self, lane_caps, total, pool: _WorkerPool):
+        self.pool = pool
+        self.ledger = ChunkKernel(
+            lane_caps, total, compiled=False, track_peak=False
+        )
+        self._peak = 0.0
+        self._cursor = -np.inf
+
+    # -- passthrough state ----------------------------------------------
+
+    @property
+    def capacity(self):
+        return self.ledger.capacity
+
+    @property
+    def lane_capacity(self):
+        return self.ledger.lane_capacity
+
+    @property
+    def free(self):
+        return self.ledger.free
+
+    @property
+    def peak_used(self) -> float:
+        if self.pool.n_workers == 1:
+            return self.pool.counters[0]["peak"]
+        return self._peak
+
+    @property
+    def n_ssd_requested(self) -> int:
+        return self.pool.total("n_ssd_requested")
+
+    @property
+    def n_spilled(self) -> int:
+        return self.pool.total("n_spilled")
+
+    @property
+    def n_evicted(self) -> int:
+        return self.pool.total("n_evicted")
+
+    @property
+    def evicted_bytes(self) -> float:
+        return self.pool.total("evicted_bytes")
+
+    @property
+    def scalar_fallback_jobs(self) -> int:
+        return self.pool.total("n_scalar")
+
+    @property
+    def st(self):
+        return self.ledger.st
+
+    def _catch(self):
+        # JSON WALs cannot carry -inf portably; None means "no chunk
+        # has run yet, nothing to catch up".
+        return None if self._cursor == -np.inf else float(self._cursor)
+
+    # -- chunk lifecycle ------------------------------------------------
+
+    def open_chunk(self, t0: float, lane: int):
+        st = self.ledger.st
+        j = st.rel_pos + int(np.searchsorted(
+            st.rel_t[st.rel_pos:], t0, side="right"
+        ))
+        if j > st.rel_pos:
+            # The single-process kernel pops everything matured by t0
+            # as one release_until call per open, and the pop
+            # granularity is part of the float association (pairwise
+            # np.sum on single-lane pools).  Mirror each boundary that
+            # pops entries to the owning workers, then adopt their
+            # authoritative free values before snapshotting the
+            # context the policy plans against.
+            owners = np.unique(st.rel_l[st.rel_pos:j] % self.pool.n_workers)
+            replies = self.pool.scatter(
+                {int(w): {"op": "open", "t0": float(t0)} for w in owners}
+            )
+            st.release_until(t0)
+            for w, reply in replies.items():
+                st.free[self.pool.lanes_by_worker[w]] = reply["free"]
+        ctx = self.ledger.open_chunk(t0, lane)
+        if t0 > self._cursor:
+            self._cursor = t0
+        return ctx
+
+    def run_chunk(
+        self, bd, first, stop, arrivals, durations, sizes, shards,
+        ssd_fraction, alloc_out=None, release_out=None, t_last=None,
+    ):
+        count = stop - first
+        chunk_t = arrivals[first:stop]
+        if t_last is None:
+            t_last = float(chunk_t[count - 1])
+        chunk_lanes = shards[first:stop] if shards is not None else None
+        space = np.zeros(count)
+        spill_col = np.full(count, np.nan)
+        if bd.fit_check:
+            requested = self._run_fit(
+                bd, first, stop, t_last, arrivals, durations, sizes,
+                chunk_lanes, space, spill_col, ssd_fraction,
+                alloc_out, release_out,
+            )
+        else:
+            requested = np.asarray(bd.want_ssd, dtype=bool)[:count].copy()
+            cand = np.flatnonzero(requested)
+            if cand.size:
+                self._run_mask(
+                    bd, first, cand, t_last, arrivals, durations, sizes,
+                    chunk_lanes, space, spill_col, ssd_fraction,
+                    alloc_out, release_out,
+                )
+        outcomes = BatchOutcomes(
+            first=first,
+            times=chunk_t,
+            requested_ssd=requested,
+            ssd_space_fraction=np.where(requested, space, 0.0),
+            spill_time=spill_col,
+            shards=chunk_lanes,
+        )
+        self.ledger.st.merge_new()
+        return outcomes
+
+    def _run_mask(
+        self, bd, first, cand, t_last, arrivals, durations, sizes,
+        chunk_lanes, space, spill_col, ssd_fraction, alloc_out, release_out,
+    ):
+        pool = self.pool
+        W = pool.n_workers
+        st = self.ledger.st
+        idx = first + cand
+        ct = arrivals[idx]
+        cs = sizes[idx]
+        cdur = durations[idx]
+        ttl_vals = (
+            None if bd.ssd_ttl is None
+            else np.asarray(bd.ssd_ttl, dtype=float)[cand]
+        )
+        release, _ = _ttl_release_fracs(ct, cdur, ttl_vals)
+        if chunk_lanes is None:
+            lane = np.zeros(cand.size, dtype=np.intp)
+        else:
+            lane = chunk_lanes[cand]
+        t0 = float(arrivals[first])
+
+        # The ledger's pending-release window for this chunk (entries
+        # past t0 — open_chunk consumed everything at or before it —
+        # and at or before t_last), viewed before consumption: the
+        # global peak pass below interleaves these with the chunk's
+        # own events exactly as the single-process kernel does.
+        j2 = st.rel_pos + int(np.searchsorted(
+            st.rel_t[st.rel_pos:], t_last, side="right"
+        ))
+        old_t = st.rel_t[st.rel_pos:j2]
+        old_a = st.rel_a[st.rel_pos:j2]
+        old_l = st.rel_l[st.rel_pos:j2]
+        inside = release <= t_last
+        total_free_start = float(st.free.sum())
+
+        owner = lane % W
+        ops = {}
+        parts = {}
+        for w in range(W):
+            pw = np.flatnonzero(owner == w)
+            if pw.size:
+                parts[w] = pw
+                ops[w] = {
+                    "op": "chunk", "t0": t0, "t_last": t_last,
+                    "t": ct[pw], "dur": cdur[pw], "size": cs[pw],
+                    "lane": lane[pw] // W,
+                    "ttl": None if ttl_vals is None else ttl_vals[pw],
+                }
+        if old_l.size and len(parts) < W:
+            # A worker with no candidates this chunk but releases
+            # maturing inside the window must still consume them with
+            # the clean-lane (sum-then-add) float association — the
+            # single-process run consumed those entries through lane
+            # trajectories, and leaving them for a later release_until
+            # catch-up would change the association.
+            win_owner = old_l % W
+            for w in range(W):
+                if w not in ops and np.any(win_owner == w):
+                    ops[w] = {"op": "sync", "t0": t0, "t_last": t_last}
+        replies = pool.scatter(ops)
+
+        # Ledger roll-forward: consume the window clean for every lane,
+        # then overwrite each replying worker's lanes with its
+        # authoritative free vector (a worker whose lane bound mid-
+        # chunk followed the binding replay, which the clean
+        # consumption cannot reproduce).
+        st.consume_window_clean(t_last)
+        alloc_arr = np.zeros(cand.size)
+        for w, reply in replies.items():
+            st.free[pool.lanes_by_worker[w]] = reply["free"]
+            pw = parts.get(w)
+            if pw is None:
+                continue
+            space[cand[pw]] = reply["space"]
+            spill_col[cand[pw]] = reply["spill"]
+            ssd_fraction[idx[pw]] = reply["frac"]
+            alloc_arr[pw] = reply["alloc"]
+        # Releases maturing past the chunk buffer in global candidate
+        # order.  The single-process kernel buffers per lane as it
+        # processes them; at exactly-equal release timestamps across
+        # lanes the pending-heap order can differ (docs/fleet.md).
+        for k in np.flatnonzero((alloc_arr > 0.0) & ~inside):
+            st.buffer_release(float(release[k]), float(alloc_arr[k]),
+                              int(lane[k]))
+        if alloc_out is not None:
+            alloc_out[cand] = alloc_arr
+            release_out[cand] = release
+        if W > 1:
+            # Global peak: replay the fleet-wide event timeline —
+            # window releases, candidate arrivals (allocations), and
+            # in-chunk releases — in the single-process event order
+            # and sample free at each arrival.
+            pos = np.arange(cand.size)
+            ev_t = np.concatenate([old_t, ct, release[inside]])
+            ev_k = np.concatenate(
+                [np.full(old_t.size, -1), 2 * pos, 2 * pos[inside] + 1]
+            )
+            order = np.lexsort((ev_k, ev_t))
+            ko = ev_k[order]
+            arr_pos = (ko >= 0) & ((ko & 1) == 0)
+            ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
+            low = float(
+                (total_free_start + np.cumsum(ev_pd[order]))[arr_pos].min()
+            )
+            peak = st.capacity - low
+            if peak > self._peak:
+                self._peak = peak
+        if t_last > self._cursor:
+            self._cursor = t_last
+
+    def _run_fit(
+        self, bd, first, stop, t_last, arrivals, durations, sizes,
+        chunk_lanes, space, spill_col, ssd_fraction, alloc_out, release_out,
+    ):
+        pool = self.pool
+        W = pool.n_workers
+        st = self.ledger.st
+        count = stop - first
+        t0 = float(arrivals[first])
+        chunk_t = arrivals[first:stop]
+        chunk_dur = durations[first:stop]
+        chunk_size = sizes[first:stop]
+        ttl_vals = (
+            None if bd.ssd_ttl is None
+            else np.asarray(bd.ssd_ttl, dtype=float)
+        )
+        release, time_frac = _ttl_release_fracs(chunk_t, chunk_dur, ttl_vals)
+        if chunk_lanes is None:
+            lane = np.zeros(count, dtype=np.intp)
+        else:
+            lane = chunk_lanes
+
+        # Fit verdicts depend only on the job's own lane, so each
+        # worker runs the per-job loop over its share and the verdict
+        # columns come back exact.
+        owner = lane % W
+        ops = {}
+        parts = {}
+        for w in range(W):
+            pw = np.flatnonzero(owner == w)
+            if pw.size:
+                parts[w] = pw
+                ops[w] = {
+                    "op": "fit", "t0": t0, "t_last": t_last,
+                    "t": chunk_t[pw], "dur": chunk_dur[pw],
+                    "size": chunk_size[pw], "lane": lane[pw] // W,
+                    "ttl": None if ttl_vals is None else ttl_vals[pw],
+                }
+        replies = pool.scatter(ops)
+        requested = np.zeros(count, dtype=bool)
+        for w, pw in parts.items():
+            requested[pw] = replies[w]["requested"]
+
+        # Replay the single-process per-job loop on the ledger with the
+        # workers' verdicts substituted for the fit test — same release
+        # pops, same subtractions, same in-chunk local heap — for the
+        # global free vector, release schedule, and peak samples.
+        track = W > 1
+        local_heap: list = []
+        for k in range(count):
+            gi = first + k
+            t = float(arrivals[gi])
+            st.release_until(t)
+            while local_heap and local_heap[0][0] <= t:
+                _, hl, amt = heapq.heappop(local_heap)
+                st.free[hl] += amt
+            if not requested[k]:
+                continue
+            L = int(lane[k])
+            size = float(chunk_size[k])
+            st.free[L] -= size
+            if track:
+                used = st.capacity - float(st.free.sum())
+                if used > self._peak:
+                    self._peak = used
+            if size > 0:
+                rt = float(release[k])
+                if rt <= t_last:
+                    heapq.heappush(local_heap, (rt, L, size))
+                else:
+                    st.buffer_release(rt, size, L)
+            space[k] = 1.0
+            ssd_fraction[gi] = float(time_frac[k])
+            if alloc_out is not None:
+                alloc_out[k] = size
+                release_out[k] = float(release[k])
+        for rt, hl, amt in local_heap:
+            st.buffer_release(rt, amt, hl)
+        if t_last > self._cursor:
+            self._cursor = t_last
+        return requested
+
+    # -- out-of-band mutations ------------------------------------------
+
+    def cancel(self, lane: int, alloc: float, release_time: float) -> None:
+        W = self.pool.n_workers
+        self.pool.request(int(lane) % W, {
+            "op": "cancel", "catch": self._catch(),
+            "lane": int(lane) // W, "alloc": float(alloc),
+            "release": float(release_time),
+        })
+        self.ledger.cancel(lane, alloc, release_time)
+
+    def resize_lane(self, lane: int, new_capacity: float):
+        W = self.pool.n_workers
+        self.pool.request(int(lane) % W, {
+            "op": "resize", "catch": self._catch(),
+            "lane": int(lane) // W, "cap": float(new_capacity),
+        })
+        return self.ledger.resize_lane(lane, new_capacity)
+
+
+class FleetScalarKernel:
+    """Scatter facade over per-worker :class:`ScalarKernel` s.
+
+    Each admit goes to the lane's owner; the returned free value and
+    release entry are mirrored into a full-lane ``ScalarKernel``
+    replica, whose heap and free vector stay bit-identical to a
+    single-process run — that is what makes cancel/resize (which the
+    mirror executes locally, forwarding to the worker for its copy)
+    and the global peak sample exact.
+    """
+
+    def __init__(self, lane_caps, total, pool: _WorkerPool):
+        self.pool = pool
+        self.mirror = ScalarKernel(lane_caps, total, track_peak=False)
+        self._peak = 0.0
+        self._cursor = -np.inf
+
+    @property
+    def capacity(self):
+        return self.mirror.capacity
+
+    @property
+    def lane_capacity(self):
+        return self.mirror.lane_capacity
+
+    @property
+    def free(self):
+        return self.mirror.free
+
+    @property
+    def peak_used(self) -> float:
+        if self.pool.n_workers == 1:
+            return self.pool.counters[0]["peak"]
+        return self._peak
+
+    @property
+    def n_ssd_requested(self) -> int:
+        return self.pool.total("n_ssd_requested")
+
+    @property
+    def n_spilled(self) -> int:
+        return self.pool.total("n_spilled")
+
+    @property
+    def n_evicted(self) -> int:
+        return self.pool.total("n_evicted")
+
+    @property
+    def evicted_bytes(self) -> float:
+        return self.pool.total("evicted_bytes")
+
+    def _catch(self):
+        return None if self._cursor == -np.inf else float(self._cursor)
+
+    def release_until(self, t: float) -> None:
+        self.mirror.release_until(t)
+        if t > self._cursor:
+            self._cursor = t
+
+    def admit(self, i, t, size, duration, lane, want_ssd, ssd_ttl=None):
+        if not want_ssd:
+            # Same early return as ScalarKernel.admit — no counters
+            # move, so no worker round-trip is needed.
+            return 0.0, 0.0, None, 0.0, t
+        pool = self.pool
+        W = pool.n_workers
+        reply = pool.request(int(lane) % W, {
+            "op": "admit", "i": int(i), "t": float(t),
+            "size": float(size), "dur": float(duration),
+            "lane": int(lane) // W,
+            "ttl": None if ssd_ttl is None else float(ssd_ttl),
+        })
+        space_frac, frac, spill_time, alloc, release = reply["res"]
+        mirror = self.mirror
+        f = reply["free"]
+        mirror.free[lane] = f
+        if alloc > 0:
+            heapq.heappush(mirror.heap, (release, int(i), int(lane), alloc))
+        if W > 1:
+            used = mirror.capacity - (
+                f if mirror.free.size == 1 else float(mirror.free.sum())
+            )
+            if used > self._peak:
+                self._peak = used
+        return space_frac, frac, spill_time, alloc, release
+
+    def cancel(self, i: int, lane: int, alloc: float) -> None:
+        W = self.pool.n_workers
+        self.pool.request(int(lane) % W, {
+            "op": "cancel", "catch": self._catch(), "i": int(i),
+            "lane": int(lane) // W, "alloc": float(alloc),
+        })
+        self.mirror.cancel(i, lane, alloc)
+
+    def resize_lane(self, lane: int, new_capacity: float):
+        W = self.pool.n_workers
+        self.pool.request(int(lane) % W, {
+            "op": "resize", "catch": self._catch(),
+            "lane": int(lane) // W, "cap": float(new_capacity),
+        })
+        return self.mirror.resize_lane(lane, new_capacity)
+
+
+class FleetRouter(PlacementService):
+    """The fleet front door: a :class:`PlacementService` over N workers.
+
+    Drop-in for the single-process service — same ``open`` / ``submit``
+    / ``submit_batch`` / ``complete`` / ``apply_shock`` / ``drain`` /
+    ``result`` surface, same WAL/checkpoint/recover machinery — with
+    the kernel swapped for a scatter-gather facade.  Every aggregate it
+    reports is bit-identical to the single-process run on the same
+    inputs, for any worker count and either transport.
+
+    Parameters beyond :class:`PlacementService`:
+
+    n_workers:
+        Fleet size (1 = a single worker owning every lane, still
+        behind the transport seam).
+    transport:
+        ``"inprocess"`` (worker objects in this process, the default)
+        or ``"subprocess"`` (forked children behind pipes).
+    worker_dir:
+        Directory for per-worker WALs and checkpoints.  Required for
+        worker crash recovery: with it, a dead worker is rebuilt
+        transparently on the next op that touches it (or explicitly
+        via :meth:`recover_worker`); without it a dead worker raises
+        :class:`~repro.serve.transport.WorkerDied`.
+    worker_checkpoint_every:
+        Checkpoint a worker every this many logged ops (default 64; a
+        recovery then replays at most this much WAL suffix).
+    """
+
+    def __init__(
+        self, policy, capacity, n_shards: int = 1, *,
+        n_workers: int = 1, transport: str = "inprocess",
+        worker_dir=None, worker_checkpoint_every: int | None = 64,
+        **kwargs,
+    ):
+        # _make_kernel runs inside super().__init__, so the fleet
+        # config must exist first.
+        self._fleet_config = {
+            "n_workers": int(n_workers),
+            "transport": transport,
+            "worker_dir": worker_dir,
+            "checkpoint_every": worker_checkpoint_every,
+        }
+        self.pool = None
+        super().__init__(policy, capacity, n_shards, **kwargs)
+
+    def _make_kernel(self, lane_caps, total):
+        cfg = self._fleet_config
+        pool = _WorkerPool(
+            n_shards=self.n_shards,
+            lane_caps=lane_caps,
+            total=total,
+            mode=self.mode,
+            compiled=self.engine == "compiled",
+            n_workers=cfg["n_workers"],
+            transport=cfg["transport"],
+            worker_dir=cfg["worker_dir"],
+            checkpoint_every=cfg["checkpoint_every"],
+        )
+        self.pool = pool
+        if self.mode == "scalar":
+            return FleetScalarKernel(lane_caps, total, pool)
+        return FleetChunkKernel(lane_caps, total, pool)
+
+    # -- fleet surface --------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    def worker_alive(self, w: int) -> bool:
+        return self.pool.alive(w)
+
+    def kill_worker(self, w: int) -> None:
+        """Crash worker ``w`` (SIGKILL / dropped state) — chaos hook."""
+        self.pool.kill(w)
+
+    def recover_worker(self, w: int) -> None:
+        """Rebuild worker ``w`` from its checkpoint + WAL suffix now.
+
+        Recovery also happens transparently on the next op routed to a
+        dead worker; this forces it eagerly (e.g. from a chaos scenario
+        or an operator console).  Requires ``worker_dir``.
+        """
+        self.pool.recover(w)
+
+    def close(self) -> None:
+        """Shut the fleet down (stop workers, close per-worker WALs)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    # -- roll-up --------------------------------------------------------
+
+    def result(
+        self, drain: bool = True, aggregate_only: bool = False
+    ) -> SimResult:
+        """Scatter-gather roll-up: per-worker partial results, merged.
+
+        Each worker's part carries its counters and its jobs' decision
+        fractions (sliced from the router's log by lane ownership);
+        :meth:`SimResult.merge` reassembles the per-job array and
+        recomputes the cost roll-up over the full trace, so the merged
+        result is bit-identical to the single-process service's.
+        Counters come from the router's reply-refreshed cache — no
+        worker round-trip, so a roll-up works even mid-outage.
+        """
+        self._ensure_open()
+        if drain:
+            self.drain()
+        elif self.pending:
+            raise RuntimeError(
+                f"{self.pending} submitted jobs still queued; drain() first "
+                "or call result(drain=True)"
+            )
+        pool = self.pool
+        n = len(self.log)
+        frac = self._frac.view()
+        lanes_col = self.log.lanes if self.n_shards > 1 else None
+        parts = []
+        for w in range(pool.n_workers):
+            lw = pool.lanes_by_worker[w]
+            c = pool.counters[w]
+            if lanes_col is None:
+                ji = (
+                    np.arange(n, dtype=np.intp) if w == 0
+                    else np.empty(0, dtype=np.intp)
+                )
+            else:
+                ji = np.flatnonzero(np.isin(lanes_col, lw))
+            parts.append(SimResult(
+                policy_name=self.policy.name,
+                capacity=(
+                    float(self.lane_capacities[lw].sum()) if lw.size else 0.0
+                ),
+                n_jobs=int(ji.size),
+                baseline_tco=0.0,
+                realized_tco=0.0,
+                baseline_tcio=0.0,
+                realized_hdd_tcio=0.0,
+                n_ssd_requested=int(c["n_ssd_requested"]),
+                n_spilled=int(c["n_spilled"]),
+                peak_ssd_used=float(c["peak"]),
+                ssd_fraction=frac[ji].copy(),
+                n_shards=max(int(lw.size), 1),
+                scalar_fallback_jobs=int(c["n_scalar"]),
+                lane_capacities=self.lane_capacities[lw].copy(),
+                job_indices=ji,
+                lane_indices=lw.copy(),
+            ))
+        return SimResult.merge(
+            parts,
+            trace=self.log,
+            rates=self.rates,
+            policy_name=self.policy.name,
+            capacity=float(self.capacity),
+            n_shards=self.n_shards,
+            lane_capacities=self.lane_capacities.copy(),
+            peak_ssd_used=float(self.kernel.peak_used),
+            n_jobs=n,
+            aggregate_only=aggregate_only,
+        )

@@ -15,6 +15,8 @@ baseline lives in ``benchmarks/results/chaos_scenarios.txt``).
 
 from __future__ import annotations
 
+import contextlib
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,11 +37,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """A named, trace-scaled fault script."""
+    """A named, trace-scaled fault script.
+
+    ``min_workers > 1`` marks a scenario that only makes sense against
+    a worker fleet (``worker_kill``): the runner raises its effective
+    worker count to at least this, standing up a
+    :class:`~repro.serve.FleetRouter` where a plain service would do.
+    """
 
     name: str
     description: str
     builder: object  # (n_jobs, n_shards) -> FaultPlan
+    min_workers: int = 1
 
     def plan(self, n_jobs: int, n_shards: int) -> FaultPlan:
         return self.builder(n_jobs, n_shards)
@@ -92,6 +101,15 @@ def _complete_chaos(n, s):
     ))
 
 
+def _worker_kill(n, s):
+    # Two kills of the same worker exercise repeated WAL/checkpoint
+    # recovery; failover is bit-exact, so this row must match nofault.
+    return FaultPlan((
+        FaultEvent(at=int(0.35 * n), kind="worker_kill", lane=1),
+        FaultEvent(at=int(0.65 * n), kind="worker_kill", lane=1),
+    ))
+
+
 SCENARIOS = (
     ChaosScenario("nofault", "clean run (reference row)", _nofault),
     ChaosScenario("lane_loss", "one caching server dies, later returns", _lane_loss),
@@ -102,6 +120,12 @@ SCENARIOS = (
         "complete_chaos",
         "lost + duplicated completions, transient submit failures",
         _complete_chaos,
+    ),
+    ChaosScenario(
+        "worker_kill",
+        "a fleet worker dies twice, failover replays it back",
+        _worker_kill,
+        min_workers=3,
     ),
 )
 
@@ -165,6 +189,53 @@ def default_policies(n_categories: int = 15):
     return {"adaptive": build_adaptive, "baseline": build_baseline}
 
 
+def _drive_contender(
+    svc, scenario, trace, *, scenario_name, pname, batch_jobs,
+    complete_fraction, seed, max_retries, n_shards,
+) -> ScenarioRow:
+    """Stream the trace through one contender under the scenario's plan."""
+    n = len(trace)
+    inj = FaultInjector(svc, scenario.plan(n, n_shards))
+    rng = np.random.default_rng(seed)
+    n_retries = 0
+    for lo in range(0, n, batch_jobs):
+        hi = min(lo + batch_jobs, n)
+        for attempt in range(max_retries + 1):
+            try:
+                decisions = inj.submit_batch(
+                    trace.arrivals[lo:hi], trace.durations[lo:hi],
+                    trace.sizes[lo:hi], trace.read_bytes[lo:hi],
+                    trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
+                    pipelines=trace.pipelines[lo:hi],
+                )
+                break
+            except TransientSubmitError:
+                n_retries += 1
+                if attempt == max_retries:
+                    raise
+        # The completion lottery draws per *submitted batch*, not per
+        # decision, so every contender consumes the same randomness.
+        lottery = rng.random(hi - lo)
+        for k, d in enumerate(decisions[: hi - lo]):
+            if lottery[k] < complete_fraction:
+                inj.complete(d.job_id)
+    inj.drain()
+    res = svc.result()
+    st = svc.stats
+    return ScenarioRow(
+        scenario=scenario_name,
+        policy=pname,
+        tco_savings_pct=float(res.tco_savings_pct),
+        n_spilled=int(res.n_spilled),
+        n_evicted=int(st.n_evicted),
+        n_shocks=int(st.n_shocks),
+        degraded_jobs=int(st.degraded_jobs),
+        dropped_completes=int(inj.n_dropped_completes),
+        duplicate_completes=int(st.duplicate_completes),
+        n_retries=n_retries,
+    )
+
+
 def run_scenario(
     scenario: ChaosScenario,
     trace,
@@ -176,6 +247,9 @@ def run_scenario(
     complete_fraction: float = 0.25,
     seed: int = 0,
     max_retries: int = 5,
+    n_workers: int = 1,
+    transport: str = "inprocess",
+    worker_dir: "str | None" = None,
 ) -> list[ScenarioRow]:
     """Run one scenario through every contender; returns one row each.
 
@@ -185,69 +259,74 @@ def run_scenario(
     ``complete_fraction``, drawn from ``seed`` independently of the
     policy's decisions).  Injected transient submit errors are retried
     up to ``max_retries`` times, mirroring the load generator.
+
+    The effective fleet size is ``max(n_workers, scenario.min_workers)``;
+    above 1 the contender is a :class:`~repro.serve.FleetRouter` with
+    per-worker durability under ``worker_dir`` (a temporary directory
+    when not given), so ``worker_kill`` events recover transparently.
+    Fleet decisions are bit-identical to single-process, so the only
+    thing a fleet row can change is surviving the kills.
     """
     policies = default_policies() if policies is None else policies
-    n = len(trace)
+    eff_workers = max(int(n_workers), scenario.min_workers)
     rows = []
     for pname, build in policies.items():
         policy, categorizer = build()
-        from .service import PlacementService
+        if eff_workers > 1:
+            from .router import FleetRouter
 
-        svc = PlacementService(
-            policy, capacity, n_shards, mode="batch", categorizer=categorizer
-        )
-        if categorizer is None:
-            svc.open(trace)
-        inj = FaultInjector(svc, scenario.plan(n, n_shards))
-        rng = np.random.default_rng(seed)
-        n_retries = 0
-        for lo in range(0, n, batch_jobs):
-            hi = min(lo + batch_jobs, n)
-            for attempt in range(max_retries + 1):
+            ctx = (
+                tempfile.TemporaryDirectory()
+                if worker_dir is None
+                else contextlib.nullcontext(worker_dir)
+            )
+            with ctx as wdir:
+                svc = FleetRouter(
+                    policy, capacity, n_shards, mode="batch",
+                    categorizer=categorizer, n_workers=eff_workers,
+                    transport=transport, worker_dir=wdir,
+                )
+                if categorizer is None:
+                    svc.open(trace)
                 try:
-                    decisions = inj.submit_batch(
-                        trace.arrivals[lo:hi], trace.durations[lo:hi],
-                        trace.sizes[lo:hi], trace.read_bytes[lo:hi],
-                        trace.write_bytes[lo:hi], trace.read_ops[lo:hi],
-                        pipelines=trace.pipelines[lo:hi],
+                    row = _drive_contender(
+                        svc, scenario, trace, scenario_name=scenario.name,
+                        pname=pname, batch_jobs=batch_jobs,
+                        complete_fraction=complete_fraction, seed=seed,
+                        max_retries=max_retries, n_shards=n_shards,
                     )
-                    break
-                except TransientSubmitError:
-                    n_retries += 1
-                    if attempt == max_retries:
-                        raise
-            # The completion lottery draws per *submitted batch*, not per
-            # decision, so every contender consumes the same randomness.
-            lottery = rng.random(hi - lo)
-            for k, d in enumerate(decisions[: hi - lo]):
-                if lottery[k] < complete_fraction:
-                    inj.complete(d.job_id)
-        inj.drain()
-        res = svc.result()
-        st = svc.stats
-        rows.append(ScenarioRow(
-            scenario=scenario.name,
-            policy=pname,
-            tco_savings_pct=float(res.tco_savings_pct),
-            n_spilled=int(res.n_spilled),
-            n_evicted=int(st.n_evicted),
-            n_shocks=int(st.n_shocks),
-            degraded_jobs=int(st.degraded_jobs),
-            dropped_completes=int(inj.n_dropped_completes),
-            duplicate_completes=int(st.duplicate_completes),
-            n_retries=n_retries,
-        ))
+                finally:
+                    svc.close()
+        else:
+            from .service import PlacementService
+
+            svc = PlacementService(
+                policy, capacity, n_shards, mode="batch",
+                categorizer=categorizer,
+            )
+            if categorizer is None:
+                svc.open(trace)
+            row = _drive_contender(
+                svc, scenario, trace, scenario_name=scenario.name,
+                pname=pname, batch_jobs=batch_jobs,
+                complete_fraction=complete_fraction, seed=seed,
+                max_retries=max_retries, n_shards=n_shards,
+            )
+        rows.append(row)
     return rows
 
 
 def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
-              scenarios=SCENARIOS, policies=None, seed: int = 0) -> list[ScenarioRow]:
+              scenarios=SCENARIOS, policies=None, seed: int = 0,
+              n_workers: int = 1, transport: str = "inprocess",
+              worker_dir: "str | None" = None) -> list[ScenarioRow]:
     """Run every scenario; returns all rows in suite order."""
     rows = []
     for sc in scenarios:
         rows.extend(run_scenario(
             sc, trace, capacity=capacity, n_shards=n_shards,
             batch_jobs=batch_jobs, policies=policies, seed=seed,
+            n_workers=n_workers, transport=transport, worker_dir=worker_dir,
         ))
     return rows
 

@@ -70,12 +70,12 @@ from __future__ import annotations
 import copy
 import os
 import pickle
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import NamedTuple, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from .. import __version__
 from ..cost import CostRates, DEFAULT_RATES
 from ..storage.engine import (
     ChunkKernel,
@@ -89,6 +89,16 @@ from ..storage.policy import PlacementPolicy
 from ..workloads.job import ShuffleJob, TraceBase
 from ..workloads.metadata import stable_hash
 from .log import GrowArray, JobLog
+from .types import (
+    SNAPSHOT_SCHEMA,
+    PlacementDecision,
+    ServiceSnapshot,
+    ServiceStats,
+    ShockReport,
+    SnapshotMismatch,
+    _DecisionBatch,
+    _DecisionConcat,
+)
 from .wal import WalCorruption, WriteAheadLog, job_from_record, job_to_record
 
 __all__ = [
@@ -96,215 +106,9 @@ __all__ = [
     "ServiceSnapshot",
     "ServiceStats",
     "ShockReport",
+    "SnapshotMismatch",
     "PlacementService",
 ]
-
-
-class PlacementDecision(NamedTuple):
-    """The service's verdict for one submitted job.
-
-    A named tuple rather than a dataclass: the service mints one per
-    decided job on the hot path, and tuple construction is several
-    times cheaper than dataclass ``__init__``.
-
-    Attributes
-    ----------
-    index:
-        Submission index (position in the service's job log).
-    job_id:
-        Caller-supplied identity (submission index when omitted); the
-        key ``complete`` events use.
-    time:
-        Arrival time the decision was applied at.
-    shard:
-        Caching server the job was routed to (0 with one global pool).
-    requested_ssd:
-        Whether the policy asked for SSD placement.
-    ssd_space_fraction:
-        Fraction of the footprint that fit on SSD (0.0 when HDD-routed
-        or fully spilled).
-    spill_time:
-        When spillover began, or ``None`` if nothing spilled.
-    release_time:
-        Scheduled release of the job's SSD allocation (arrival +
-        residency), meaningful when some space was allocated.
-    """
-
-    index: int
-    job_id: object
-    time: float
-    shard: int
-    requested_ssd: bool
-    ssd_space_fraction: float
-    spill_time: float | None
-    release_time: float
-
-
-class _DecisionBatch(Sequence):
-    """One chunk's decisions, materialized lazily.
-
-    Batch submissions resolve whole chunks at once, and many callers
-    (replay drivers, throughput benchmarks) never read the per-job
-    decision objects.  This sequence holds the chunk's column arrays
-    and builds the :class:`PlacementDecision` tuples only when indexed
-    or iterated — callers that discard the return pay nothing, and
-    callers that read it get one vectorized ``tolist`` conversion
-    instead of per-element array scalars.
-    """
-
-    __slots__ = ("_outcomes", "_alloc", "_rel", "_job_ids", "_items")
-
-    def __init__(self, outcomes, alloc_buf, rel_buf, job_ids):
-        self._outcomes = outcomes
-        self._alloc = alloc_buf
-        self._rel = rel_buf
-        self._job_ids = job_ids
-        self._items: list[PlacementDecision] | None = None
-
-    def _materialize(self) -> list[PlacementDecision]:
-        if self._items is None:
-            o = self._outcomes
-            first = o.first
-            n = len(o)
-            times = o.times.tolist()
-            req = o.requested_ssd.tolist()
-            space = o.ssd_space_fraction.tolist()
-            spills = o.spill_time.tolist()
-            rels = times if self._rel is None else self._rel.tolist()
-            lanes = [0] * n if o.shards is None else o.shards.tolist()
-            ids = self._job_ids
-            self._items = [
-                PlacementDecision(
-                    first + k, ids[first + k], times[k], lanes[k], req[k],
-                    space[k],
-                    # NaN-encoded "no spill" (NaN != NaN).
-                    spills[k] if spills[k] == spills[k] else None,
-                    rels[k],
-                )
-                for k in range(n)
-            ]
-        return self._items
-
-    def __len__(self) -> int:
-        return len(self._outcomes)
-
-    def __getitem__(self, k):
-        return self._materialize()[k]
-
-    def __iter__(self):
-        return iter(self._materialize())
-
-    def __add__(self, other):
-        return self._materialize() + list(other)
-
-    def __radd__(self, other):
-        return list(other) + self._materialize()
-
-
-class _DecisionConcat(Sequence):
-    """Several chunks' decisions as one lazy sequence."""
-
-    __slots__ = ("_batches", "_items")
-
-    def __init__(self, batches: list[_DecisionBatch]):
-        self._batches = batches
-        self._items: list[PlacementDecision] | None = None
-
-    def _materialize(self) -> list[PlacementDecision]:
-        if self._items is None:
-            self._items = [d for b in self._batches for d in b]
-        return self._items
-
-    def __len__(self) -> int:
-        return sum(len(b) for b in self._batches)
-
-    def __getitem__(self, k):
-        return self._materialize()[k]
-
-    def __iter__(self):
-        return iter(self._materialize())
-
-    def __add__(self, other):
-        return self._materialize() + list(other)
-
-    def __radd__(self, other):
-        return list(other) + self._materialize()
-
-
-@dataclass(frozen=True)
-class ServiceSnapshot:
-    """A deep-copied checkpoint of a :class:`PlacementService`.
-
-    Produced by :meth:`PlacementService.snapshot`; consumed by
-    :meth:`PlacementService.restore`.  The payload owns copies of all
-    mutable state (kernel, policy, log, queue bookkeeping), so the
-    original service may keep running and one snapshot may be restored
-    any number of times.  Snapshots are picklable whenever the policy
-    is, which is what makes on-disk checkpointing possible.
-
-    A snapshot may be taken while an open chunk has pending jobs: the
-    admission queue (``n_pending`` jobs and any cached chunk plan) is
-    carried inside the payload, so a restore resumes with the exact
-    same queue and the eventual chunk boundaries — and therefore every
-    later decision — match the uninterrupted run bit for bit.
-
-    ``wal_seq`` anchors the snapshot in its service's write-ahead log:
-    :meth:`PlacementService.recover` replays WAL records from this
-    sequence number on.  The WAL handle itself is never part of the
-    payload (a restored service attaches its own).
-    """
-
-    payload: dict = field(repr=False)
-    n_submitted: int = 0
-    n_decided: int = 0
-    n_pending: int = 0
-    wal_seq: int = 0
-
-
-@dataclass
-class ServiceStats:
-    """Running operational counters of one service instance.
-
-    ``degraded_intervals`` holds closed ``(t_start, t_end)`` arrival
-    spans during which the categorizer was down and admission ran on
-    the heuristic fallback; an outage that has not ended yet is not in
-    the list (see :attr:`PlacementService.degraded_since`).
-    """
-
-    n_submitted: int = 0
-    n_decided: int = 0
-    n_chunks: int = 0
-    n_completions: int = 0
-    duplicate_completes: int = 0
-    stale_completes: int = 0
-    forced_chunks: int = 0
-    max_pending_seen: int = 0
-    n_shocks: int = 0
-    n_evicted: int = 0
-    evicted_bytes: float = 0.0
-    categorizer_failures: int = 0
-    degraded_jobs: int = 0
-    degraded_intervals: list = field(default_factory=list)
-
-
-@dataclass(frozen=True)
-class ShockReport:
-    """What one :meth:`PlacementService.apply_shock` call did.
-
-    ``decisions`` holds the queued decisions force-closed before the
-    shock landed (shocks apply on chunk boundaries — a caller that
-    normally collects decisions from ``submit`` returns picks the
-    flushed ones up here); ``n_evicted`` / ``evicted_bytes`` count the
-    resident allocations squeezed out by the new layout (each also
-    counted as a spill).
-    """
-
-    time: float
-    lane_capacities: np.ndarray
-    n_evicted: int
-    evicted_bytes: float
-    flushed: int
-    decisions: tuple = ()
 
 
 class PlacementService:
@@ -407,11 +211,7 @@ class PlacementService:
         self.lane_capacities = lane_caps
         self.capacity = total
         self.log = JobLog(rates=rates, n_shards=n_shards, shard_seed=shard_seed, name=name)
-        self.kernel = (
-            ScalarKernel(lane_caps, total)
-            if mode == "scalar"
-            else ChunkKernel(lane_caps, total, compiled=(engine == "compiled"))
-        )
+        self.kernel = self._make_kernel(lane_caps, total)
         self.stats = ServiceStats()
         self._frac = GrowArray(float)
         self._decided = 0
@@ -436,6 +236,19 @@ class PlacementService:
         self._replay_cats = None  # (cats, degraded) from the record
         self._degraded_since: float | None = None  # open outage start
         self._shards_ref = None  # routing vector for topology re-fires
+
+    def _make_kernel(self, lane_caps: np.ndarray, total: float):
+        """Build the admission kernel this service drives.
+
+        The seam the fleet layer plugs into:
+        :class:`~repro.serve.router.FleetRouter` overrides this to
+        return a scatter-gather kernel over worker processes while
+        inheriting every other mechanism (log, WAL, categorizer, queue
+        pump, shocks) unchanged.
+        """
+        if self.mode == "scalar":
+            return ScalarKernel(lane_caps, total)
+        return ChunkKernel(lane_caps, total, compiled=(self.engine == "compiled"))
 
     # -- lifecycle ------------------------------------------------------
 
@@ -1110,6 +923,8 @@ class PlacementService:
         payload = {k: v for k, v in self.__dict__.items() if k != "wal"}
         payload = copy.deepcopy(payload, memo)
         payload["wal"] = None
+        payload["__schema__"] = SNAPSHOT_SCHEMA
+        payload["__version__"] = __version__
         return ServiceSnapshot(
             payload=payload,
             n_submitted=self.stats.n_submitted,
@@ -1118,16 +933,43 @@ class PlacementService:
             wal_seq=self._wal_seq,
         )
 
+    @staticmethod
+    def _check_schema(payload: dict, expected: int, what: str) -> None:
+        """Refuse a payload this library version cannot restore."""
+        schema = payload.get("__schema__")
+        if schema != expected:
+            wrote = payload.get("__version__")
+            wrote = (
+                f"library version {wrote}" if wrote is not None
+                else "an older library version (no schema tag)"
+            )
+            raise SnapshotMismatch(
+                f"{what} has schema {schema!r}, this library "
+                f"(version {__version__}) restores schema {expected}; "
+                f"it was written by {wrote} — re-create the checkpoint "
+                "with a matching version"
+            )
+
     @classmethod
     def restore(cls, snapshot: ServiceSnapshot) -> "PlacementService":
-        """Rebuild a service from a snapshot (the snapshot stays intact)."""
+        """Rebuild a service from a snapshot (the snapshot stays intact).
+
+        Raises :class:`~repro.serve.types.SnapshotMismatch` when the
+        snapshot's schema tag does not match this library's — e.g. a
+        checkpoint written by an incompatible version — instead of
+        silently rebuilding a service with missing or misshapen state.
+        """
         payload = snapshot.payload
+        cls._check_schema(payload, SNAPSHOT_SCHEMA, "service snapshot")
         trace = getattr(payload["policy"], "_trace", None)
         memo: dict = {}
         if trace is not None and trace is not payload["log"]:
             memo[id(trace)] = trace
         svc = object.__new__(cls)
-        svc.__dict__ = copy.deepcopy(payload, memo)
+        state = copy.deepcopy(payload, memo)
+        state.pop("__schema__", None)
+        state.pop("__version__", None)
+        svc.__dict__ = state
         return svc
 
     def checkpoint(self, path) -> ServiceSnapshot:
@@ -1162,7 +1004,14 @@ class PlacementService:
         """
         if not isinstance(checkpoint, ServiceSnapshot):
             with open(checkpoint, "rb") as fh:
-                checkpoint = pickle.load(fh)
+                loaded = pickle.load(fh)
+            if not isinstance(loaded, ServiceSnapshot):
+                raise SnapshotMismatch(
+                    f"checkpoint file holds a {type(loaded).__name__}, "
+                    "not a ServiceSnapshot — wrong file or incompatible "
+                    "library version"
+                )
+            checkpoint = loaded
         if not isinstance(wal, WriteAheadLog):
             wal = WriteAheadLog(wal)
         svc = cls.restore(checkpoint)

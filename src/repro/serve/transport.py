@@ -1,0 +1,228 @@
+"""Block transports: how the fleet router talks to its workers.
+
+A :class:`~repro.serve.router.FleetRouter` scatter-gathers micro-batch
+chunks to N :class:`~repro.serve.worker.PlacementWorker` instances.
+The *transport* is the seam between them: an object that carries one
+worker's op dicts (SoA column blocks, admission ops, checkpoint
+requests) to wherever the worker runs and brings its replies back.
+
+Two implementations:
+
+- :class:`InProcessTransport` — the worker lives in this process and
+  ops execute synchronously on :meth:`request`.  Zero copies, zero
+  serialization; the default, and the reference the subprocess
+  transport is tested bit-identical against.
+- :class:`SubprocessTransport` — the worker runs in a forked
+  ``multiprocessing`` child connected by a duplex pipe.  NumPy column
+  blocks pickle across natively.  A dead child (crash, kill, exit)
+  surfaces as :class:`WorkerDied` on the next request, which is the
+  router's signal to run per-worker recovery.
+
+Both expose the same tiny surface — ``request`` (send one op, wait for
+its reply), split ``send``/``recv`` halves (the router *scatters* one
+chunk's ops to every worker before *gathering* any reply, which is
+where subprocess workers overlap their compute), ``kill`` (hard-stop
+the worker, simulating a crash), ``close`` (orderly shutdown),
+``alive`` — so the router and the chaos suite never branch on which
+one they hold.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "WorkerDied",
+    "WorkerTransport",
+    "InProcessTransport",
+    "SubprocessTransport",
+]
+
+
+class WorkerDied(RuntimeError):
+    """The worker behind a transport is gone (crashed, killed, exited).
+
+    Carries the worker id so the router knows which lane subset lost
+    its owner; the op that hit the failure was logged to the worker's
+    WAL before dispatch, so recovery replays it.
+    """
+
+    def __init__(self, worker_id: int, detail: str = ""):
+        self.worker_id = worker_id
+        msg = f"worker {worker_id} died"
+        super().__init__(f"{msg}: {detail}" if detail else msg)
+
+
+class WorkerTransport(ABC):
+    """One router-to-worker channel; see the module docstring."""
+
+    #: Router-assigned worker id, for error attribution.
+    worker_id: int
+
+    @abstractmethod
+    def send(self, op: dict) -> None:
+        """Dispatch one op dict without waiting for the reply.
+
+        Pair with :meth:`recv`; the router scatters a chunk by calling
+        ``send`` on every participating transport before ``recv`` on
+        any, so subprocess workers compute concurrently.
+        """
+
+    @abstractmethod
+    def recv(self) -> dict:
+        """Block for the reply to the oldest unanswered :meth:`send`.
+
+        Raises :class:`WorkerDied` when the worker cannot answer.
+        """
+
+    def request(self, op: dict) -> dict:
+        """Send one op dict, block for the worker's reply dict.
+
+        Raises :class:`WorkerDied` when the worker cannot answer.
+        """
+        self.send(op)
+        return self.recv()
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Hard-stop the worker (no drain, no checkpoint) — a crash."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Orderly shutdown: deliver a ``stop`` op and reap the worker."""
+
+    @property
+    @abstractmethod
+    def alive(self) -> bool:
+        """Whether the worker can still answer requests."""
+
+
+class InProcessTransport(WorkerTransport):
+    """The worker object lives here; ops run synchronously.
+
+    ``kill`` flips a dead flag and drops the worker, so crash/recover
+    choreography (and its tests) run identically to the subprocess
+    transport — just without a second process.
+    """
+
+    def __init__(self, worker_id: int, worker):
+        self.worker_id = worker_id
+        self._worker = worker
+        self._dead = False
+        self._replies: list[dict] = []
+
+    def send(self, op: dict) -> None:
+        if self._dead or self._worker is None:
+            raise WorkerDied(self.worker_id, "killed (in-process)")
+        # Synchronous execution; the reply queues until recv.
+        self._replies.append(self._worker.handle(op))
+
+    def recv(self) -> dict:
+        if not self._replies:
+            raise WorkerDied(self.worker_id, "recv with no pending send")
+        return self._replies.pop(0)
+
+    def kill(self) -> None:
+        self._dead = True
+        self._worker = None
+        self._replies.clear()
+
+    def close(self) -> None:
+        self._worker = None
+        self._dead = True
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self._worker is not None
+
+
+def _child_main(conn, spec: dict) -> None:
+    """Entry point of a forked worker child: serve ops until stop/EOF."""
+    # Import here: the child only needs the worker, and a top-level
+    # import would make transport <-> worker circular.
+    from .worker import PlacementWorker
+
+    worker = PlacementWorker.from_spec(spec)
+    try:
+        while True:
+            try:
+                op = conn.recv()
+            except EOFError:
+                break
+            try:
+                reply = worker.handle(op)
+            except Exception as exc:  # surface, don't kill the child
+                reply = {"error": f"{type(exc).__name__}: {exc}"}
+            conn.send(reply)
+            if op.get("op") == "stop":
+                break
+    finally:
+        conn.close()
+
+
+class SubprocessTransport(WorkerTransport):
+    """A forked ``multiprocessing`` child behind a duplex pipe.
+
+    Fork (not spawn): the child inherits the parent's imports, so
+    startup is milliseconds, and the worker spec — plain dict of
+    scalars and small arrays — still travels explicitly so a recovery
+    respawn builds the identical worker.  Every broken-pipe condition
+    is normalized to :class:`WorkerDied`.
+    """
+
+    def __init__(self, worker_id: int, spec: dict):
+        self.worker_id = worker_id
+        self._spec = spec
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_child_main, args=(child_conn, spec), daemon=True
+        )
+        self._proc.start()
+        child_conn.close()
+
+    def send(self, op: dict) -> None:
+        if not self.alive:
+            raise WorkerDied(self.worker_id, "process not running")
+        try:
+            self._conn.send(op)
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerDied(self.worker_id, str(exc)) from None
+
+    def recv(self) -> dict:
+        try:
+            reply = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerDied(self.worker_id, str(exc)) from None
+        if "error" in reply:
+            raise RuntimeError(
+                f"worker {self.worker_id}: {reply['error']}"
+            )
+        return reply
+
+    def kill(self) -> None:
+        """SIGKILL the child — the hardest crash a process can have."""
+        if self._proc.is_alive():
+            os.kill(self._proc.pid, signal.SIGKILL)
+            self._proc.join(timeout=5.0)
+        self._conn.close()
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.send({"op": "stop"})
+                self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=5.0)
+        self._conn.close()
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()

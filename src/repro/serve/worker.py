@@ -1,0 +1,367 @@
+"""Fleet worker: one lane subset's admission kernel behind an op protocol.
+
+A :class:`PlacementWorker` owns the kernel state for a subset of the
+fleet's lanes — the same :class:`~repro.storage.engine.ChunkKernel` /
+:class:`~repro.storage.engine.ScalarKernel` the single-process
+:class:`~repro.serve.PlacementService` drives, constructed with the
+global→local lane map and ``path_lanes`` set to the *fleet's* lane
+count so every arithmetic-path choice matches the single-process run.
+The worker holds no policy, no log, and no queue: those stay at the
+:class:`~repro.serve.router.FleetRouter`, which is what keeps the
+fleet's decision stream bit-identical to one process.
+
+The protocol is op dicts in, reply dicts out (see :meth:`handle`), the
+shape a :class:`~repro.serve.transport.WorkerTransport` carries.  Ops
+that ship job columns carry plain numpy arrays (pickled natively over
+a pipe) or lists (round-tripped through a JSON write-ahead log); the
+worker normalizes either.  Lane ids on the wire are *local* indices —
+the router translates from global ids when routing.
+
+Every mutating op is deterministic given the worker's state, which is
+what makes crash recovery a replay: the router logs each op to the
+worker's WAL before dispatch, checkpoints the worker periodically
+(versioned, schema-tagged payloads — see ``WORKER_SNAPSHOT_SCHEMA``),
+and rebuilds a crashed worker as checkpoint + WAL suffix.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+import numpy as np
+
+from .. import __version__
+from ..storage.engine import ChunkKernel, ScalarKernel
+from ..storage.policy import BatchDecision
+from .types import WORKER_SNAPSHOT_SCHEMA, SnapshotMismatch
+
+__all__ = ["PlacementWorker"]
+
+
+def _arr(x, dtype=float) -> np.ndarray:
+    return np.asarray(x, dtype=dtype)
+
+
+class PlacementWorker:
+    """One fleet worker: a lane-subset kernel plus its op dispatcher.
+
+    Built from a *spec* dict (see :meth:`from_spec`) so the identical
+    worker can be constructed in-process, in a forked child, or from a
+    checkpoint payload during recovery:
+
+    - ``worker_id`` — fleet position, for error attribution;
+    - ``mode`` — ``"scalar"`` or ``"batch"`` (which kernel class);
+    - ``lane_caps`` / ``lanes`` — the owned lanes' capacities and
+      global ids;
+    - ``path_lanes`` — the fleet's total lane count (keys every
+      arithmetic-path choice, see :class:`~repro.storage.engine._LaneState`);
+    - ``track_peak`` — only a single-worker fleet tracks the global
+      peak locally; with more workers the router samples it;
+    - ``total`` — the kernel's capacity scalar (the fleet total for a
+      single-worker fleet, the subset sum otherwise);
+    - ``compiled`` — use the numba chunk kernels.
+    """
+
+    def __init__(self, spec: dict):
+        spec = dict(spec)
+        spec["lane_caps"] = _arr(spec["lane_caps"])
+        spec["lanes"] = _arr(spec["lanes"], dtype=np.intp)
+        self.spec = spec
+        self.worker_id = int(spec.get("worker_id", 0))
+        self.mode = spec["mode"]
+        if self.mode not in ("scalar", "batch"):
+            raise ValueError(f"unknown worker mode {self.mode!r}")
+        self.kernel = self._build_kernel(spec)
+
+    @staticmethod
+    def _build_kernel(spec: dict):
+        lane_caps = spec["lane_caps"].copy()
+        lanes = spec["lanes"]
+        total = float(spec.get("total", lane_caps.sum()))
+        track_peak = bool(spec.get("track_peak", False))
+        if spec["mode"] == "scalar":
+            return ScalarKernel(
+                lane_caps, total, lanes=lanes, track_peak=track_peak
+            )
+        return ChunkKernel(
+            lane_caps, total,
+            compiled=bool(spec.get("compiled", False)),
+            lanes=lanes,
+            path_lanes=int(spec["path_lanes"]),
+            track_peak=track_peak,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "PlacementWorker":
+        return cls(spec)
+
+    # -- op dispatch ----------------------------------------------------
+
+    def handle(self, op: dict) -> dict:
+        """Apply one op dict, return its reply dict.
+
+        Every reply carries the worker's running counters (admission /
+        spill / eviction totals and its peak sample), so the router's
+        per-worker counter cache stays current without extra
+        round-trips.
+        """
+        kind = op.get("op")
+        handler = getattr(self, f"_op_{kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown worker op {kind!r}")
+        return handler(op)
+
+    def _counters(self) -> dict:
+        kern = self.kernel
+        return {
+            "n_ssd_requested": int(kern.n_ssd_requested),
+            "n_spilled": int(kern.n_spilled),
+            "n_evicted": int(kern.n_evicted),
+            "evicted_bytes": float(kern.evicted_bytes),
+            "n_scalar": int(getattr(kern, "scalar_fallback_jobs", 0)),
+            "peak": float(kern.peak_used),
+        }
+
+    # -- batch-mode ops -------------------------------------------------
+
+    def _chunk_arrays(self, op: dict):
+        t = _arr(op["t"])
+        dur = _arr(op["dur"])
+        size = _arr(op["size"])
+        lane = _arr(op["lane"], dtype=np.intp)
+        ttl = op.get("ttl")
+        return t, dur, size, lane, None if ttl is None else _arr(ttl)
+
+    def _op_chunk(self, op: dict) -> dict:
+        """One mask-mode chunk restricted to this worker's candidates.
+
+        ``t0`` / ``t_last`` are the *fleet-wide* chunk boundaries: the
+        release cursor advances to ``t0`` first (exactly as the
+        single-process ``open_chunk`` would) and ``t_last`` decides
+        which releases are consumed in-chunk, so the worker's float
+        sequence is the single-process one restricted to its lanes.
+        """
+        kern = self.kernel
+        t, dur, size, lane, ttl = self._chunk_arrays(op)
+        c = t.size
+        kern.open_chunk(float(op["t0"]), 0)
+        bd = BatchDecision(
+            count=c, want_ssd=np.ones(c, dtype=bool), ssd_ttl=ttl,
+            fit_check=False,
+        )
+        frac = np.zeros(c)
+        alloc = np.zeros(c)
+        rel = np.zeros(c)
+        out = kern.run_chunk(
+            bd, 0, c, t, dur, size,
+            lane if kern.st.path_lanes > 1 else None,
+            frac, alloc, rel, t_last=float(op["t_last"]),
+        )
+        return {
+            "space": out.ssd_space_fraction,
+            "spill": out.spill_time,
+            "frac": frac,
+            "alloc": alloc,
+            "free": kern.free.copy(),
+            **self._counters(),
+        }
+
+    def _op_fit(self, op: dict) -> dict:
+        """One fit-check chunk over this worker's share of the jobs.
+
+        Fit decisions depend only on the job's own lane, so each
+        worker's per-job loop is the single-process loop restricted to
+        its lanes; the router replays the returned ``requested`` mask
+        against its full-lane ledger for the global bookkeeping.
+        """
+        kern = self.kernel
+        t, dur, size, lane, ttl = self._chunk_arrays(op)
+        c = t.size
+        kern.open_chunk(float(op["t0"]), 0)
+        bd = BatchDecision(count=c, want_ssd=None, ssd_ttl=ttl, fit_check=True)
+        frac = np.zeros(c)
+        out = kern.run_chunk(
+            bd, 0, c, t, dur, size,
+            lane if kern.st.path_lanes > 1 else None,
+            frac, None, None, t_last=float(op["t_last"]),
+        )
+        return {
+            "requested": out.requested_ssd,
+            "free": kern.free.copy(),
+            **self._counters(),
+        }
+
+    def _op_open(self, op: dict) -> dict:
+        """Advance the release cursor to a chunk boundary (``t0``).
+
+        The single-process kernel pops matured releases at every chunk
+        open as one ``release_until`` call, and the pop granularity is
+        part of the float association on single-lane pools (one
+        pairwise ``np.sum`` per call).  The router mirrors every open
+        boundary that actually pops entries on this worker's lanes, so
+        the call sequence — and therefore every bit of ``free`` —
+        matches the single-process run.
+        """
+        self.kernel.st.release_until(float(op["t0"]))
+        return {"free": self.kernel.free.copy(), **self._counters()}
+
+    def _op_sync(self, op: dict) -> dict:
+        """Consume a chunk window this worker had no candidates in.
+
+        The worker's lanes still had releases maturing inside the
+        window; the single-process run consumed them through the
+        clean-lane trajectory, so the catch-up must use
+        ``consume_window_clean`` (sum-then-add association), not
+        ``release_until``.
+        """
+        st = self.kernel.st
+        st.release_until(float(op["t0"]))
+        st.consume_window_clean(float(op["t_last"]))
+        return {"free": self.kernel.free.copy(), **self._counters()}
+
+    # -- scalar-mode ops ------------------------------------------------
+
+    def _op_admit(self, op: dict) -> dict:
+        kern = self.kernel
+        t = float(op["t"])
+        lane = int(op["lane"])
+        kern.release_until(t)
+        ttl = op.get("ttl")
+        space_frac, frac, spill_time, alloc, release = kern.admit(
+            int(op["i"]), t, float(op["size"]), float(op["dur"]), lane,
+            True, None if ttl is None else float(ttl),
+        )
+        return {
+            "res": (space_frac, frac, spill_time, alloc, release),
+            "free": float(kern.free[lane]),
+            **self._counters(),
+        }
+
+    # -- shared mutating ops --------------------------------------------
+
+    def _catch_up(self, catch) -> None:
+        """Advance the release cursor to the router's (``catch``).
+
+        Cancel/resize ops apply relative to how far the single-process
+        kernel's cursor had advanced — entries at or before it are
+        popped (the single-process run popped them at earlier global
+        admissions or at the chunk open), entries after it must stay
+        pending (a scalar resize deliberately evicts matured-but-
+        unpopped residents, warts reproduced faithfully).  Only entries
+        the single-process run consumed through element-at-a-time pops
+        can be lagging here, so ``release_until`` is the right
+        association.
+        """
+        if catch is None:
+            return
+        t = float(catch)
+        if self.mode == "scalar":
+            self.kernel.release_until(t)
+        else:
+            self.kernel.st.release_until(t)
+
+    def _op_cancel(self, op: dict) -> dict:
+        kern = self.kernel
+        self._catch_up(op.get("catch"))
+        lane = int(op["lane"])
+        if self.mode == "scalar":
+            kern.cancel(int(op["i"]), lane, float(op["alloc"]))
+        else:
+            kern.cancel(lane, float(op["alloc"]), float(op["release"]))
+        return {"free": float(kern.free[lane]), **self._counters()}
+
+    def _op_resize(self, op: dict) -> dict:
+        kern = self.kernel
+        self._catch_up(op.get("catch"))
+        lane = int(op["lane"])
+        evicted = kern.resize_lane(lane, float(op["cap"]))
+        return {
+            "evicted": [tuple(e) for e in evicted],
+            "free": float(kern.free[lane]),
+            "capacity": float(kern.capacity),
+            **self._counters(),
+        }
+
+    # -- checkpoint / recovery ------------------------------------------
+
+    def payload(self, anchor: int = 0) -> dict:
+        """Versioned snapshot payload: spec + kernel + WAL anchor."""
+        return {
+            "__schema__": WORKER_SNAPSHOT_SCHEMA,
+            "__version__": __version__,
+            "spec": self.spec,
+            "kernel": self.kernel,
+            "anchor": int(anchor),
+        }
+
+    def _op_state(self, op: dict) -> dict:
+        """The live payload, for fleet snapshots.
+
+        Over a pipe this pickles a point-in-time copy; in-process the
+        caller receives live references and must deep-copy before
+        mutating (the router's snapshot path does).
+        """
+        return {"payload": self.payload(int(op.get("anchor", 0)))}
+
+    def _op_checkpoint(self, op: dict) -> dict:
+        """Atomically pickle the payload to ``op["path"]``."""
+        path = op["path"]
+        payload = self.payload(int(op.get("anchor", 0)))
+        d = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=d, prefix=".worker-ckpt-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return {"ok": 1, "anchor": int(op.get("anchor", 0)), **self._counters()}
+
+    def install(self, payload: dict) -> None:
+        """Adopt a checkpoint payload's kernel state (schema-checked)."""
+        schema = payload.get("__schema__") if isinstance(payload, dict) else None
+        if schema != WORKER_SNAPSHOT_SCHEMA:
+            raise SnapshotMismatch(
+                f"worker checkpoint schema {schema!r} does not match this "
+                f"library's schema {WORKER_SNAPSHOT_SCHEMA} "
+                f"(written by version {payload.get('__version__', '?') if isinstance(payload, dict) else '?'}, "
+                f"this is {__version__})"
+            )
+        spec = dict(payload["spec"])
+        spec["lane_caps"] = _arr(spec["lane_caps"])
+        spec["lanes"] = _arr(spec["lanes"], dtype=np.intp)
+        self.spec = spec
+        self.worker_id = int(spec.get("worker_id", 0))
+        self.mode = spec["mode"]
+        self.kernel = payload["kernel"]
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PlacementWorker":
+        if not isinstance(payload, dict) or "__schema__" not in payload:
+            raise SnapshotMismatch(
+                "not a worker checkpoint payload (no schema tag)"
+            )
+        worker = cls.__new__(cls)
+        worker.install(payload)
+        return worker
+
+    def _op_restore(self, op: dict) -> dict:
+        self.install(op["payload"])
+        return {"ok": 1, **self._counters()}
+
+    # -- control ops ----------------------------------------------------
+
+    def _op_counters(self, op: dict) -> dict:
+        return self._counters()
+
+    def _op_ping(self, op: dict) -> dict:
+        return {"ok": 1, "worker_id": self.worker_id}
+
+    def _op_stop(self, op: dict) -> dict:
+        return {"ok": 1}

@@ -131,6 +131,14 @@ class SimResult:
     keeps only the constant-size aggregates above and drops every
     per-job array, so holding many results (quota sweeps, long-running
     services) costs O(1) memory per result instead of O(n_jobs).
+
+    A result may also describe a **partial** run — one worker's share
+    of a fleet run, covering only a subset of the trace's jobs and
+    lanes.  ``job_indices`` (global indices of the jobs this part
+    decided, parallel to its ``ssd_fraction``) and ``lane_indices``
+    (global ids of the lanes behind its ``lane_capacities``) mark such
+    parts; :meth:`merge` folds a complete partition of parts back into
+    one whole-trace result.
     """
 
     policy_name: str
@@ -147,11 +155,147 @@ class SimResult:
     n_shards: int = 1
     scalar_fallback_jobs: int = 0
     lane_capacities: np.ndarray | None = field(default=None, repr=False)
+    job_indices: np.ndarray | None = field(default=None, repr=False)
+    lane_indices: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def aggregate_only(self) -> bool:
         """True when per-job arrays were dropped at finalize time."""
         return self.ssd_fraction is None
+
+    @classmethod
+    def merge(
+        cls,
+        parts: "list[SimResult]",
+        *,
+        trace: TraceBase | None = None,
+        rates: CostRates = DEFAULT_RATES,
+        policy_name: str | None = None,
+        capacity: float | None = None,
+        n_shards: int | None = None,
+        lane_capacities: np.ndarray | None = None,
+        peak_ssd_used: float | None = None,
+        n_jobs: int | None = None,
+        aggregate_only: bool = False,
+    ) -> "SimResult":
+        """Fold per-worker partial results into one whole-run result.
+
+        Integer counters (``n_ssd_requested``, ``n_spilled``,
+        ``scalar_fallback_jobs``) sum exactly; ``peak_ssd_used`` takes
+        the max unless the caller supplies the globally-sampled value
+        (per-part peaks are lane-local and under-estimate a global
+        pool's peak, which is why the fleet router tracks it itself).
+
+        When every part carries ``job_indices`` + ``ssd_fraction``
+        (a complete, disjoint partition of ``[0, n_jobs)``) the per-job
+        fraction array is reassembled by scatter — pure element copies
+        — and, given ``trace``, the cost roll-up is recomputed over the
+        full array with the exact arithmetic of a single-process run,
+        so the merged aggregates are bit-identical to the unpartitioned
+        result.  Without per-job arrays the cost fields fall back to
+        per-part sums, which are subject to float summation order.
+        """
+        if not parts:
+            raise ValueError("nothing to merge")
+        n_requested = sum(p.n_ssd_requested for p in parts)
+        n_spilled = sum(p.n_spilled for p in parts)
+        n_scalar = sum(p.scalar_fallback_jobs for p in parts)
+        if peak_ssd_used is None:
+            peak_ssd_used = max(p.peak_ssd_used for p in parts)
+
+        indexed = all(
+            p.job_indices is not None and p.ssd_fraction is not None
+            for p in parts
+        )
+        if n_jobs is None:
+            if indexed:
+                n_jobs = int(sum(p.job_indices.size for p in parts))
+            else:
+                n_jobs = sum(p.n_jobs for p in parts)
+
+        laned = all(
+            p.lane_indices is not None and p.lane_capacities is not None
+            for p in parts
+        )
+        if n_shards is None:
+            n_shards = (
+                int(sum(p.lane_indices.size for p in parts))
+                if laned else sum(p.n_shards for p in parts)
+            )
+        if lane_capacities is None and laned:
+            lane_capacities = np.zeros(n_shards)
+            seen_l = np.zeros(n_shards, dtype=bool)
+            for p in parts:
+                li = p.lane_indices
+                if li.size and (li.min() < 0 or li.max() >= n_shards):
+                    raise ValueError("part lane_indices out of range")
+                if seen_l[li].any():
+                    raise ValueError("parts overlap in lane_indices")
+                seen_l[li] = True
+                lane_capacities[li] = p.lane_capacities
+        if capacity is None:
+            capacity = (
+                float(lane_capacities.sum()) if lane_capacities is not None
+                else sum(p.capacity for p in parts)
+            )
+
+        fraction: np.ndarray | None = None
+        if indexed:
+            fraction = np.zeros(n_jobs)
+            seen = np.zeros(n_jobs, dtype=bool)
+            for p in parts:
+                ji = p.job_indices
+                if ji.size != p.ssd_fraction.size:
+                    raise ValueError(
+                        "part job_indices and ssd_fraction lengths differ"
+                    )
+                if ji.size and (ji.min() < 0 or ji.max() >= n_jobs):
+                    raise ValueError("part job_indices out of range")
+                if seen[ji].any():
+                    raise ValueError("parts overlap in job_indices")
+                seen[ji] = True
+                fraction[ji] = p.ssd_fraction
+            if not seen.all():
+                raise ValueError(
+                    f"parts cover {int(seen.sum())} of {n_jobs} jobs; "
+                    "merge needs a complete partition"
+                )
+
+        if trace is not None:
+            if fraction is None:
+                raise ValueError(
+                    "cost roll-up over a trace needs every part to carry "
+                    "job_indices + ssd_fraction"
+                )
+            if len(trace) != n_jobs:
+                raise ValueError(
+                    f"trace has {len(trace)} jobs, parts cover {n_jobs}"
+                )
+            b_tco, r_tco, b_tcio, r_tcio = _cost_rollup(trace, rates, fraction)
+        else:
+            b_tco = sum(p.baseline_tco for p in parts)
+            r_tco = sum(p.realized_tco for p in parts)
+            b_tcio = sum(p.baseline_tcio for p in parts)
+            r_tcio = sum(p.realized_hdd_tcio for p in parts)
+
+        return cls(
+            policy_name=(
+                policy_name if policy_name is not None else parts[0].policy_name
+            ),
+            capacity=float(capacity),
+            n_jobs=n_jobs,
+            baseline_tco=b_tco,
+            realized_tco=r_tco,
+            baseline_tcio=b_tcio,
+            realized_hdd_tcio=r_tcio,
+            n_ssd_requested=n_requested,
+            n_spilled=n_spilled,
+            peak_ssd_used=peak_ssd_used,
+            ssd_fraction=None if aggregate_only else fraction,
+            n_shards=n_shards,
+            scalar_fallback_jobs=n_scalar,
+            lane_capacities=lane_capacities,
+        )
 
     @property
     def tco_savings_pct(self) -> float:
@@ -293,6 +437,28 @@ def run_placement(
     )
 
 
+def _cost_rollup(
+    trace: TraceBase, rates: CostRates, ssd_fraction: np.ndarray
+) -> tuple[float, float, float, float]:
+    """The run-level cost aggregates over a realized fraction array.
+
+    Returns ``(baseline_tco, realized_tco, baseline_tcio,
+    realized_hdd_tcio)``.  Factored out of :func:`_finalize` so
+    :meth:`SimResult.merge` reproduces the exact same float operation
+    sequence over a reassembled fraction array.
+    """
+    costs = trace.costs(rates)
+    tcio_integral = trace.tcio(rates) * np.maximum(trace.durations, 1.0)
+    return (
+        float(costs.c_hdd.sum()),
+        float(
+            (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
+        ),
+        float(tcio_integral.sum()),
+        float(((1.0 - ssd_fraction) * tcio_integral).sum()),
+    )
+
+
 def _finalize(
     trace: TraceBase,
     policy: PlacementPolicy,
@@ -308,18 +474,15 @@ def _finalize(
     aggregate_only: bool = False,
 ) -> SimResult:
     """Common cost roll-up shared by both engines (and the service)."""
-    costs = trace.costs(rates)
-    tcio_integral = trace.tcio(rates) * np.maximum(trace.durations, 1.0)
+    b_tco, r_tco, b_tcio, r_tcio = _cost_rollup(trace, rates, ssd_fraction)
     return SimResult(
         policy_name=policy.name,
         capacity=capacity,
         n_jobs=len(trace),
-        baseline_tco=float(costs.c_hdd.sum()),
-        realized_tco=float(
-            (ssd_fraction * costs.c_ssd + (1.0 - ssd_fraction) * costs.c_hdd).sum()
-        ),
-        baseline_tcio=float(tcio_integral.sum()),
-        realized_hdd_tcio=float(((1.0 - ssd_fraction) * tcio_integral).sum()),
+        baseline_tco=b_tco,
+        realized_tco=r_tco,
+        baseline_tcio=b_tcio,
+        realized_hdd_tcio=r_tcio,
         n_ssd_requested=n_ssd_requested,
         n_spilled=n_spilled,
         peak_ssd_used=peak_used,
@@ -354,19 +517,47 @@ class ScalarKernel:
     latest-scheduled-release first — with each eviction counted as a
     spill (the job's remaining I/O falls back to HDD).  The offline
     path never calls them either.
+
+    A kernel may cover a **lane subset** of a larger fleet: ``lanes``
+    records the global id of each local lane and ``lane_index`` maps
+    global id back to local position (identity over the full lane set
+    by default).  Lane arguments to every method are *local* indices.
+    A subset kernel usually runs with ``track_peak=False``: the peak
+    metric is global across the fleet, so a worker's local sample
+    would both under-count the true peak and diverge from the
+    single-process float sequence — the fleet router samples it
+    instead.
     """
 
     __slots__ = (
         "capacity", "lane_capacity", "free", "peak_used", "heap",
         "n_ssd_requested", "n_spilled", "n_evicted", "evicted_bytes",
-        "_cancelled",
+        "_cancelled", "lanes", "lane_index", "track_peak",
     )
 
-    def __init__(self, lane_caps: np.ndarray, total: float):
+    def __init__(
+        self,
+        lane_caps: np.ndarray,
+        total: float,
+        *,
+        lanes: np.ndarray | None = None,
+        track_peak: bool = True,
+    ):
         self.capacity = total
         self.lane_capacity = lane_caps
         self.free = lane_caps.copy()
         self.peak_used = 0.0
+        self.track_peak = track_peak
+        if lanes is None:
+            lanes = np.arange(len(lane_caps), dtype=np.intp)
+        else:
+            lanes = np.asarray(lanes, dtype=np.intp)
+            if lanes.size != len(lane_caps):
+                raise ValueError(
+                    f"{lanes.size} global lane ids for {len(lane_caps)} lanes"
+                )
+        self.lanes = lanes
+        self.lane_index = {int(g): k for k, g in enumerate(lanes)}
         #: (release_time, job_index, lane, bytes) min-heap.
         self.heap: list[tuple[float, int, int, float]] = []
         self.n_ssd_requested = 0
@@ -412,9 +603,10 @@ class ScalarKernel:
             spill_time = t
         f -= alloc
         free[lane] = f
-        used = self.capacity - (f if free.size == 1 else float(free.sum()))
-        if used > self.peak_used:
-            self.peak_used = used
+        if self.track_peak:
+            used = self.capacity - (f if free.size == 1 else float(free.sum()))
+            if used > self.peak_used:
+                self.peak_used = used
         if ssd_ttl is not None and ssd_ttl < duration:
             release = t + max(ssd_ttl, 0.0)
             time_frac = (release - t) / duration if duration > 0 else 1.0
@@ -549,17 +741,33 @@ class _LaneState:
     a lane column, consumed by a moving cursor; each chunk's freshly
     created releases are buffered and merged back with one vectorized
     stable sort, replacing the legacy per-job heap pushes.
+
+    ``path_lanes`` is the lane count of the *run* this state is part
+    of — equal to ``n_lanes`` for a whole-fleet kernel, larger for a
+    worker covering a lane subset.  Every arithmetic-path choice that
+    single- vs multi-lane runs make differently (batched release sums,
+    the single-lane chunk fast path, the merged-small-lanes scalar
+    loop) keys on ``path_lanes``, so a subset worker follows the exact
+    float operation sequence of the full run it is a slice of.
     """
 
     __slots__ = (
         "capacity", "lane_capacity", "n_lanes", "free", "peak_used",
         "rel_t", "rel_a", "rel_l", "rel_pos", "new_t", "new_a", "new_l",
-        "n_scalar",
+        "n_scalar", "path_lanes", "track_peak",
     )
 
-    def __init__(self, lane_caps: np.ndarray, total: float):
+    def __init__(
+        self,
+        lane_caps: np.ndarray,
+        total: float,
+        path_lanes: int | None = None,
+        track_peak: bool = True,
+    ):
         self.capacity = total
         self.n_lanes = len(lane_caps)
+        self.path_lanes = self.n_lanes if path_lanes is None else int(path_lanes)
+        self.track_peak = track_peak
         self.lane_capacity = lane_caps
         self.free = lane_caps.copy()
         self.peak_used = 0.0
@@ -578,7 +786,7 @@ class _LaneState:
             np.searchsorted(self.rel_t[self.rel_pos :], t, side="right")
         )
         if j > self.rel_pos:
-            if self.n_lanes == 1:
+            if self.path_lanes == 1:
                 self.free[0] += float(self.rel_a[self.rel_pos : j].sum())
             else:
                 np.add.at(
@@ -612,6 +820,36 @@ class _LaneState:
         self.new_t.clear()
         self.new_a.clear()
         self.new_l.clear()
+
+    def consume_window_clean(self, t_last: float) -> None:
+        """Consume pending releases at or before ``t_last`` the way a
+        candidate-less lane of :func:`_run_mask_chunk` would.
+
+        A lane with in-window releases but no candidates is always
+        *clean* (cancel pairs keep its trajectory non-negative), and
+        the clean path assigns ``free[L] = float(free[L] + cumsum[-1])``
+        — the release amounts sum *first*, then add to the lane's free
+        space once.  That association differs from
+        :meth:`release_until`'s element-at-a-time ``np.add.at``, so a
+        fleet participant replaying a chunk window it had no candidates
+        in (the router's ledger for unrouted lanes, a synced worker)
+        must use this method, not ``release_until``, to land on the
+        single-process float bit for bit.
+        """
+        j2 = self.rel_pos + int(
+            np.searchsorted(self.rel_t[self.rel_pos :], t_last, side="right")
+        )
+        if j2 == self.rel_pos:
+            return
+        wa = self.rel_a[self.rel_pos : j2]
+        wl = self.rel_l[self.rel_pos : j2]
+        if self.n_lanes == 1:
+            self.free[0] = float(self.free[0] + np.cumsum(wa)[-1])
+        else:
+            for L in np.unique(wl):
+                m = wl == L
+                self.free[L] = float(self.free[L] + np.cumsum(wa[m])[-1])
+        self.rel_pos = j2
 
 
 def _ttl_release_fracs(
@@ -649,17 +887,46 @@ class ChunkKernel:
     The column arrays passed to :meth:`run_chunk` are indexed with
     global job indices; callers may pass views over a growing log as
     long as indices ``[first, stop)`` are populated.
+
+    Like :class:`ScalarKernel`, a chunk kernel may cover a **lane
+    subset** of a larger fleet (``lanes`` / ``lane_index`` give the
+    global↔local mapping; lane arguments and the chunk's lane column
+    are local).  ``path_lanes`` must then be the fleet's total lane
+    count so every arithmetic-path choice matches the single-process
+    run (see :class:`_LaneState`), and ``track_peak=False`` leaves the
+    global peak metric to the fleet router.
     """
 
     __slots__ = (
         "st", "compiled", "n_ssd_requested", "n_spilled", "n_evicted",
-        "evicted_bytes",
+        "evicted_bytes", "lanes", "lane_index",
     )
 
-    def __init__(self, lane_caps: np.ndarray, total: float, compiled: bool = False):
+    def __init__(
+        self,
+        lane_caps: np.ndarray,
+        total: float,
+        compiled: bool = False,
+        *,
+        lanes: np.ndarray | None = None,
+        path_lanes: int | None = None,
+        track_peak: bool = True,
+    ):
         if compiled:
             require_numba()
-        self.st = _LaneState(lane_caps, total)
+        self.st = _LaneState(
+            lane_caps, total, path_lanes=path_lanes, track_peak=track_peak
+        )
+        if lanes is None:
+            lanes = np.arange(len(lane_caps), dtype=np.intp)
+        else:
+            lanes = np.asarray(lanes, dtype=np.intp)
+            if lanes.size != len(lane_caps):
+                raise ValueError(
+                    f"{lanes.size} global lane ids for {len(lane_caps)} lanes"
+                )
+        self.lanes = lanes
+        self.lane_index = {int(g): k for k, g in enumerate(lanes)}
         self.compiled = compiled
         self.n_ssd_requested = 0
         self.n_spilled = 0
@@ -713,6 +980,7 @@ class ChunkKernel:
         ssd_fraction: np.ndarray,
         alloc_out: np.ndarray | None = None,
         release_out: np.ndarray | None = None,
+        t_last: float | None = None,
     ) -> BatchOutcomes:
         """Process jobs ``[first, stop)`` under one
         :class:`~repro.storage.policy.BatchDecision`.
@@ -722,11 +990,19 @@ class ChunkKernel:
         ``release_out`` (length ``stop - first``) optionally receive
         each job's realized allocation and scheduled release time, for
         callers tracking live jobs (the service's ``complete`` events).
+
+        ``t_last`` overrides the chunk-end boundary (default: the last
+        arrival).  A lane-subset worker passes the *fleet-wide* chunk
+        end here: the boundary decides which releases are consumed
+        in-chunk versus buffered for later, and it must be the same
+        instant on every worker for the fleet run to reproduce the
+        single-process event order.
         """
         st = self.st
         count = stop - first
         chunk_t = arrivals[first:stop]
-        t_last = float(chunk_t[-1])
+        if t_last is None:
+            t_last = float(chunk_t[-1])
         chunk_lanes = shards[first:stop] if shards is not None else None
         space = np.zeros(count)
         spill_col = np.full(count, np.nan)
@@ -972,17 +1248,21 @@ def _run_mask_chunk(
     order = np.lexsort((ev_k, ev_t))
     total_free_start = float(st.free.sum())
 
-    if st.n_lanes == 1:
+    if st.path_lanes == 1:
         if compiled:
             traj = traj_seq(ev_d, order, float(st.free[0]))
         else:
             traj = st.free[0] + np.cumsum(ev_d[order])
         if traj.size and float(traj.min()) >= 0.0:
             # Capacity never binds: every candidate fits in full.
-            ko = ev_k[order]
-            arr_pos = (ko >= 0) & ((ko & 1) == 0)
-            low = float(traj[arr_pos].min()) if arr_pos.any() else float(st.free[0])
-            st.peak_used = max(st.peak_used, st.capacity - low)
+            if st.track_peak:
+                ko = ev_k[order]
+                arr_pos = (ko >= 0) & ((ko & 1) == 0)
+                low = (
+                    float(traj[arr_pos].min()) if arr_pos.any()
+                    else float(st.free[0])
+                )
+                st.peak_used = max(st.peak_used, st.capacity - low)
             st.free[0] = float(traj[-1])
             st.rel_pos = j2
             outside = ~inside
@@ -1047,7 +1327,7 @@ def _run_mask_chunk(
     # already built, so the merged loop would only add scalar work.
     if binding_lanes:
         counts = np.bincount(lane, minlength=st.n_lanes)
-        merge_small = st.n_lanes > 1
+        merge_small = st.path_lanes > 1
         small = [
             L for L in binding_lanes
             if merge_small and counts[L] <= _SCALAR_WINDOW_MIN
@@ -1081,15 +1361,18 @@ def _run_mask_chunk(
 
     # Global peak over the realized allocations, sampled at admissions
     # exactly as the legacy loop samples it.
-    ko = ev_k[order]
-    arr_pos = (ko >= 0) & ((ko & 1) == 0)
-    if arr_pos.any():
-        ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
-        if compiled:
-            low = masked_min_seq(ev_pd, order, total_free_start, arr_pos)
-        else:
-            low = float((total_free_start + np.cumsum(ev_pd[order]))[arr_pos].min())
-        st.peak_used = max(st.peak_used, st.capacity - low)
+    if st.track_peak:
+        ko = ev_k[order]
+        arr_pos = (ko >= 0) & ((ko & 1) == 0)
+        if arr_pos.any():
+            ev_pd = np.concatenate([old_a, -alloc_arr, alloc_arr[inside]])
+            if compiled:
+                low = masked_min_seq(ev_pd, order, total_free_start, arr_pos)
+            else:
+                low = float(
+                    (total_free_start + np.cumsum(ev_pd[order]))[arr_pos].min()
+                )
+            st.peak_used = max(st.peak_used, st.capacity - low)
     return n_spilled
 
 
@@ -1377,9 +1660,10 @@ def _run_fit_check_chunk(
             continue
         requested[k] = True
         st.free[L] -= size
-        used = st.capacity - float(st.free.sum())
-        if used > st.peak_used:
-            st.peak_used = used
+        if st.track_peak:
+            used = st.capacity - float(st.free.sum())
+            if used > st.peak_used:
+                st.peak_used = used
         if size > 0:
             rt = float(release[k])
             if rt <= t_last:

@@ -101,9 +101,10 @@ class TestInjectorFires:
         assert inj.n_submitted_through == 40
 
     def test_every_kind_fires(self):
-        """One plan touching all ten kinds runs to completion (the crash
-        kind, last, surfaces as InjectedCrash — the one deliberate
-        process-death signal)."""
+        """One plan touching all eleven kinds runs to completion (the
+        crash kind, last, surfaces as InjectedCrash — the one deliberate
+        process-death signal; worker_kill is a counted no-op against a
+        single-process service)."""
         svc = _adaptive_service()
         events = [
             FaultEvent(at=5, kind="lane_loss", lane=1),
@@ -115,6 +116,7 @@ class TestInjectorFires:
             FaultEvent(at=35, kind="drop_complete", count=1),
             FaultEvent(at=35, kind="dup_complete", count=1),
             FaultEvent(at=40, kind="submit_error", count=1),
+            FaultEvent(at=45, kind="worker_kill", lane=0),
             FaultEvent(at=50, kind="crash"),
         ]
         inj = FaultInjector(svc, FaultPlan(tuple(events)))
@@ -311,7 +313,8 @@ class TestRandomPlansProperty:
         for _ in range(n_events):
             kind = self.KINDS[rng.integers(0, len(self.KINDS))]
             kw = {"at": int(rng.integers(0, n_jobs)), "kind": kind}
-            if kind in ("lane_loss", "lane_shrink", "lane_restore"):
+            if kind in ("lane_loss", "lane_shrink", "lane_restore",
+                        "worker_kill"):
                 kw["lane"] = int(rng.integers(0, n_shards))
                 if kind == "lane_shrink":
                     kw["scale"] = float(rng.uniform(0.1, 0.9))
