@@ -102,6 +102,14 @@ def test_chaos_scenarios(benchmark):
     assert by[("cat_outage", "baseline")].degraded_jobs == 0
     degraded = by[("cat_outage", "adaptive")].degraded_jobs
     assert abs(degraded - 0.4 * len(trace)) <= 2 * BATCH_JOBS
+    # degraded_intervals is read from the metrics surface
+    # (serve_degraded_intervals_total), so this pins scrape == roll-up:
+    # exactly one closed outage interval where jobs degraded, zero
+    # everywhere else.
+    for r in rows:
+        assert (r.degraded_intervals > 0) == (r.degraded_jobs > 0), r
+    assert by[("cat_outage", "adaptive")].degraded_intervals == 1
+    assert by[("cat_outage", "baseline")].degraded_intervals == 0
 
 
 @pytest.mark.benchmark(group="chaos")

@@ -1,22 +1,48 @@
-"""Figure 14: application-level run-time savings on the mixed workload.
+"""Figure 14: application-level run-time savings, plus the serving
+saturation curve behind them.
 
 Paper claim: application performance improves on top of the storage
 savings, and — critically — no workload shows any regression (jobs are
 written against HDD performance, so SSD time is opportunistic upside).
+
+The saturation test measures the runtime side of that story: a
+closed-loop :class:`~repro.serve.LoadGenerator` first probes the
+service's unpaced capacity, then sweeps offered load across multiples
+of it, recording achieved decisions/s and per-batch decision latency
+percentiles at each point.  Pacing must never change a decision —
+every sweep point's roll-up is asserted bit-identical to the unpaced
+probe's.  ``BENCH_CLOSEDLOOP_JOBS`` overrides the trace size, as in
+CI.  The committed baseline table lives in
+``benchmarks/results/serving_saturation.txt``.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.analysis import render_table
-from repro.core import prepare_cluster
+from repro.core import AdaptiveCategoryPolicy, hash_categories, prepare_cluster
 from repro.prototype import (
     application_runtime_savings,
     build_mixed_workload,
     run_prototype,
 )
+from repro.units import WEEK
+from repro.workloads import (
+    InMemoryTraceSource,
+    Trace,
+    default_cluster_specs,
+    generate_cluster_trace,
+)
 
 from bench_utils import emit
+
+N_SAT_JOBS = int(os.environ.get("BENCH_CLOSEDLOOP_JOBS", "20000"))
+SAT_BATCH_JOBS = 256
+SAT_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0)
+SAT_QUOTA = 0.05
+SAT_SEED = 0
 
 
 @pytest.mark.benchmark(group="fig14")
@@ -60,3 +86,91 @@ def test_fig14_runtime_savings(benchmark):
     ar_1 = rows[0][2] + rows[0][3]
     ar_20 = rows[2][2] + rows[2][3]
     assert ar_20 > ar_1
+
+
+def _sat_trace() -> Trace:
+    spec = default_cluster_specs(10)[0]
+    full = generate_cluster_trace(spec, duration=2 * WEEK, seed=SAT_SEED)
+    if len(full) <= N_SAT_JOBS:
+        return full
+    return Trace(full.jobs[:N_SAT_JOBS], name=f"{full.name}[:{N_SAT_JOBS}]")
+
+
+def _sat_run(trace, capacity, rate, warmup):
+    """One closed-loop pass at ``rate`` (None = saturation probe)."""
+    from repro.serve import LoadGenerator, PlacementService
+
+    policy = AdaptiveCategoryPolicy(
+        hash_categories(trace, 15), 15, name="Adaptive Hash"
+    )
+    svc = PlacementService(policy, capacity, 4, mode="batch")
+    svc.open(trace)
+    gen = LoadGenerator(
+        InMemoryTraceSource(trace, block_size=SAT_BATCH_JOBS),
+        rate=rate,
+        batch_jobs=SAT_BATCH_JOBS,
+        mode="closed",
+        max_in_flight=4 * SAT_BATCH_JOBS,
+        warmup=warmup,
+    )
+    rep = gen.run(svc)
+    return rep, svc.result()
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_serving_saturation(benchmark):
+    trace = _sat_trace()
+    capacity = SAT_QUOTA * trace.peak_ssd_usage()
+    warmup = len(trace) // 5
+
+    def run():
+        probe_rep, probe_res = _sat_run(trace, capacity, None, warmup)
+        cap = probe_rep.measured_rate
+        points = []
+        for m in SAT_MULTIPLIERS:
+            rep, res = _sat_run(trace, capacity, cap * m, warmup)
+            points.append((m, rep, res))
+        return probe_rep, probe_res, cap, points
+
+    probe_rep, probe_res, cap, points = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    assert cap > 0
+    assert probe_rep.n_jobs == len(trace)
+    offered = [cap * m for m, _, _ in points]
+    assert all(b > a for a, b in zip(offered, offered[1:]))
+
+    rows = []
+    for m, rep, res in points:
+        assert rep.n_jobs == len(trace)
+        # Pacing never changes a decision: every sweep point's roll-up
+        # is bit-identical to the unpaced probe's.
+        for f in ("n_ssd_requested", "n_spilled", "realized_tco",
+                  "realized_hdd_tcio", "peak_ssd_used", "baseline_tco"):
+            a, b = getattr(probe_res, f), getattr(res, f)
+            assert a == b, f"{m}x: {f} {a!r} != {b!r}"
+        assert np.array_equal(probe_res.ssd_fraction, res.ssd_fraction), m
+        p50 = rep.measured_latency_percentile(50)
+        p99 = rep.measured_latency_percentile(99)
+        assert 0.0 <= p50 <= p99
+        rows.append([
+            f"{m:.2f}x",
+            f"{cap * m:,.0f}",
+            f"{rep.measured_rate:,.0f}",
+            f"{p50 * 1e3:.3f}",
+            f"{p99 * 1e3:.3f}",
+            rep.n_forced_drains,
+        ])
+    emit(
+        "serving_saturation",
+        render_table(
+            ["offered (x capacity)", "offered jobs/s", "achieved jobs/s",
+             "batch p50 ms", "batch p99 ms", "forced drains"],
+            rows,
+            title=(
+                f"Serving saturation: {len(trace)} jobs, closed loop, "
+                f"capacity probe {cap:,.0f} jobs/s"
+            ),
+        ),
+    )

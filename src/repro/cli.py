@@ -14,11 +14,16 @@ Subcommands:
   ``--wal``/``--checkpoint`` the run is durable, with ``--fault-plan``
   a scripted fault plan fires mid-stream, and ``--recover`` resumes a
   crashed run from its checkpoint + WAL to the exact pre-crash state
-- ``loadgen``   — open-loop timed load generation against the service at
-  a configurable rate and burst shape
+- ``loadgen``   — timed load generation against the service: open loop
+  (fixed rate and burst shape) or closed loop (latency-aware pacing
+  with a bounded in-flight window and a warmup/measure split)
 - ``chaos``     — the named chaos scenario suite: adaptive vs baseline
   under lane loss/shrink, quota cuts, categorizer outages, completion
   chaos (see ``repro.serve.scenarios``)
+
+``serve``, ``loadgen``, and ``chaos`` accept ``--metrics-port N`` to
+expose a Prometheus-format scrape endpoint while running (0 picks a
+free port; see ``docs/observability.md``).
 
 ``serve`` and ``loadgen`` handle Ctrl-C gracefully: queued jobs are
 drained, the partial roll-up is printed, and the process exits 130.
@@ -156,10 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-dir", default=None,
                        help="directory for per-worker WAL/checkpoint files; "
                             "enables transparent worker failover")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve Prometheus-format metrics on this local "
+                            "port while running (0 = pick a free port)")
 
     loadgen = sub.add_parser(
         "loadgen",
-        help="open-loop timed load generation against the placement service",
+        help="open- or closed-loop timed load generation against the "
+             "placement service",
     )
     loadgen.add_argument(
         "--trace", required=True,
@@ -188,6 +197,19 @@ def build_parser() -> argparse.ArgumentParser:
                          default="inprocess",
                          help="fleet transport: in-process workers or forked "
                               "child processes")
+    loadgen.add_argument("--mode", choices=("open", "closed"), default="open",
+                         help="open loop (send on schedule regardless of "
+                              "service speed) or closed loop (latency-aware "
+                              "pacing with a warmup/measure split)")
+    loadgen.add_argument("--max-in-flight", type=int, default=None,
+                         help="closed-loop bound on undecided jobs; exceeding "
+                              "it forces a drain charged to that batch")
+    loadgen.add_argument("--warmup", type=int, default=0,
+                         help="jobs excluded from the closed-loop measured "
+                              "window")
+    loadgen.add_argument("--metrics-port", type=int, default=None,
+                         help="serve Prometheus-format metrics on this local "
+                              "port while running (0 = pick a free port)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -217,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="inprocess",
                        help="fleet transport: in-process workers or forked "
                             "child processes")
+    chaos.add_argument("--metrics-port", type=int, default=None,
+                       help="serve Prometheus-format metrics on this local "
+                            "port while running (0 = pick a free port)")
     return parser
 
 
@@ -361,6 +386,39 @@ def _service_summary(res, stats, interrupted: bool = False) -> None:
           f"completions: {stats.n_completions}")
 
 
+def _metrics_line(service) -> None:
+    """Deterministic counters from the metrics surface (no latency)."""
+    m = service.metrics()
+    print(f"  metrics: {m['serve_decided_total']} decided, "
+          f"{m['serve_chunks_total']} chunks, "
+          f"{m['serve_spilled_total']} spilled, "
+          f"{m['serve_evictions_total']} evicted "
+          f"(scrape with --metrics-port)")
+
+
+def _metrics_endpoint(port):
+    """Stand up the scrape endpoint; returns ``(refresh, close)``.
+
+    The endpoint serves text cached by the main loop — fleet transports
+    are not thread-safe, so the scrape thread must never touch the
+    service itself.  ``refresh(service)`` re-renders the cache; call it
+    from the submission loop.  Returns ``(None, None)`` when ``port``
+    is None (endpoint disabled).
+    """
+    if port is None:
+        return None, lambda: None
+    from .serve import MetricsServer
+
+    cache = [""]
+    server = MetricsServer(lambda: cache[0], port=port)
+
+    def refresh(service) -> None:
+        cache[0] = service.metrics_text()
+
+    print(f"metrics endpoint: {server.url}", file=sys.stderr)
+    return refresh, server.close
+
+
 def _hard_exit() -> None:
     """Injected-crash hook: die like a killed process (WAL survives)."""
     import os
@@ -420,6 +478,9 @@ def _cmd_serve(args) -> int:
     if args.fault_plan:
         plan = FaultPlan.from_file(args.fault_plan)
         target = FaultInjector(service, plan, crash=_hard_exit)
+    refresh, close_metrics = _metrics_endpoint(args.metrics_port)
+    if refresh:
+        refresh(service)
     n = len(trace)
     mode = service.mode
     step = 1 if mode == "scalar" else max(args.batch, 1)
@@ -451,6 +512,8 @@ def _cmd_serve(args) -> int:
             if (args.checkpoint and args.checkpoint_every
                     and batches % args.checkpoint_every == 0):
                 service.checkpoint(args.checkpoint)
+            if refresh:
+                refresh(service)
     except KeyboardInterrupt:
         interrupted = True
         print("\ninterrupted — flushing queued jobs", file=sys.stderr)
@@ -465,11 +528,15 @@ def _cmd_serve(args) -> int:
               f"p99 {p99 * 1e6:,.0f} us per submission")
         print(f"  throughput:       {res.n_jobs / elapsed:,.0f} decisions/s")
     _service_summary(res, service.stats, interrupted)
+    _metrics_line(service)
     st = service.stats
     if st.n_shocks or st.degraded_jobs or st.n_evicted:
         print(f"  faults: {st.n_shocks} shocks, {st.n_evicted} evicted "
               f"({fmt_bytes(st.evicted_bytes)}), "
               f"{st.degraded_jobs} jobs decided degraded")
+    if refresh:
+        refresh(service)
+    close_metrics()
     if isinstance(service, FleetRouter):
         print(f"  fleet: {service.n_workers} workers over "
               f"{service.pool.transport_kind} transport")
@@ -502,20 +569,38 @@ def _cmd_loadgen(args) -> int:
     gen = LoadGenerator(
         trace, rate=args.rate, shape=args.burst,
         batch_jobs=max(args.batch, 1), seed=args.seed,
+        mode=args.mode, max_in_flight=args.max_in_flight,
+        warmup=args.warmup,
     )
-    report = gen.run(service, limit=args.limit)
+    refresh, close_metrics = _metrics_endpoint(args.metrics_port)
+    on_batch = (lambda _report: refresh(service)) if refresh else None
+    if refresh:
+        refresh(service)
+    report = gen.run(service, limit=args.limit, on_batch=on_batch)
     if report.interrupted:
         print("\ninterrupted — flushing queued jobs", file=sys.stderr)
     offered = "unpaced" if args.rate is None else f"{args.rate:,.0f} jobs/s"
     print(f"offered {report.n_jobs} jobs from {args.trace} "
-          f"({offered}, burst shape {args.burst!r}, "
+          f"({args.mode} loop, {offered}, burst shape {args.burst!r}, "
           f"batches of {gen.batch_jobs})")
     print(f"  achieved:  {report.achieved_rate:,.0f} decisions/s over "
           f"{report.elapsed:.2f}s (lag {report.lag_seconds:.3f}s)")
     print(f"  latency:   p50 {report.latency_percentile(50) * 1e6:,.0f} us, "
           f"p99 {report.latency_percentile(99) * 1e6:,.0f} us per batch")
+    if report.mode == "closed":
+        print(f"  measured:  {report.measured_rate:,.0f} decisions/s over "
+              f"{report.n_measured_jobs} jobs "
+              f"(warmup {report.warmup_jobs}), "
+              f"p50 {report.measured_latency_percentile(50) * 1e6:,.0f} us, "
+              f"p99 {report.measured_latency_percentile(99) * 1e6:,.0f} us, "
+              f"{report.n_forced_drains} forced drains, "
+              f"peak in-flight {report.in_flight_peak}")
     res = service.result()
     _service_summary(res, service.stats, report.interrupted)
+    _metrics_line(service)
+    if refresh:
+        refresh(service)
+    close_metrics()
     if isinstance(service, FleetRouter):
         print(f"  fleet: {service.n_workers} workers over "
               f"{service.pool.transport_kind} transport")
@@ -547,11 +632,16 @@ def _cmd_chaos(args) -> int:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2
     capacity = args.quota * trace.peak_ssd_usage()
-    rows = run_suite(
-        trace, capacity=capacity, n_shards=args.shards,
-        batch_jobs=max(args.batch, 1), scenarios=scenarios, seed=args.seed,
-        n_workers=args.workers, transport=args.transport,
-    )
+    refresh, close_metrics = _metrics_endpoint(args.metrics_port)
+    try:
+        rows = run_suite(
+            trace, capacity=capacity, n_shards=args.shards,
+            batch_jobs=max(args.batch, 1), scenarios=scenarios,
+            seed=args.seed, n_workers=args.workers, transport=args.transport,
+            metrics_hook=refresh,
+        )
+    finally:
+        close_metrics()
     print(f"chaos suite on {trace.name}: {len(trace)} jobs, "
           f"{fmt_bytes(capacity)} over {args.shards} caching servers")
     print(format_rows(rows))

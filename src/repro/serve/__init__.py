@@ -15,10 +15,18 @@ space:
   categories, anchored on the service's live :class:`~repro.serve.log.JobLog`.
 - :class:`OnlineCategorizer` — on-the-fly Table-2 feature extraction
   plus packed-forest GBT prediction on the admission path.
-- :class:`LoadGenerator` — open-loop timed arrival streams from any
-  trace source, with configurable rate and burst shape, for
-  latency/throughput measurement; retries transient submit failures
-  with bounded backoff.
+- :class:`LoadGenerator` — timed arrival streams from any trace
+  source, for latency/throughput measurement; open-loop (fixed offered
+  rate with burst shapes) or closed-loop (latency-aware pacing with a
+  bounded in-flight window and warmup/measure split); retries
+  transient submit failures with bounded backoff.
+- :class:`MetricsRegistry` / :meth:`PlacementService.metrics` — a
+  dependency-free Prometheus-style metrics surface (counters pinned to
+  the roll-up sources, per-lane gauges, exact-merge histograms), with
+  text exposition and an optional :class:`MetricsServer` scrape
+  endpoint; the fleet router aggregates per-worker partials through
+  the same scatter-gather seam (see :mod:`repro.serve.metrics` and
+  ``docs/observability.md``).
 - :class:`WriteAheadLog` / :meth:`PlacementService.recover` — crash
   durability: checkpoint + WAL-suffix replay to the exact pre-crash
   state (see :mod:`repro.serve.wal`).
@@ -48,6 +56,14 @@ from .faults import (
 )
 from .loadgen import LoadGenerator, LoadReport
 from .log import ColumnView, GrowArray, JobLog
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    merge_states,
+)
 from .policy import OnlineAdaptivePolicy
 from .predict import OnlineCategorizer
 from .router import FleetRouter, worker_lanes
@@ -87,6 +103,12 @@ __all__ = [
     "OnlineCategorizer",
     "LoadGenerator",
     "LoadReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "merge_states",
     "JobLog",
     "GrowArray",
     "ColumnView",

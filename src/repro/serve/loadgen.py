@@ -1,16 +1,33 @@
-"""Open-loop load generation for the online placement service.
+"""Open- and closed-loop load generation for the placement service.
 
 A :class:`LoadGenerator` turns any trace input — an in-memory trace, a
 :class:`~repro.workloads.streaming.TraceSource`, or a ``.csv``/``.npz``
 path — into a *timed* arrival stream: micro-batches of jobs released
 at wall-clock instants derived from the trace's arrival process, at a
-configurable offered rate and burst shape.  It is open-loop (the
-arrival schedule never waits for the service), which is the honest way
-to measure a serving system: a slow service falls behind the schedule
-instead of silently slowing the offered load.
+configurable offered rate and burst shape.
 
-Burst shapes
-------------
+Two loop disciplines:
+
+- ``mode="open"`` (default) — the arrival schedule never waits for the
+  service, which is the honest way to measure a serving system: a slow
+  service falls behind the schedule (recorded as ``lag_seconds``)
+  instead of silently slowing the offered load.
+- ``mode="closed"`` — the schedule is latency-aware: each batch's send
+  time is ``max(previous target + batch/rate, now)``, so a service
+  slower than the offered rate slips the schedule instead of
+  accumulating unbounded lag, exactly as a bounded client population
+  (the Locust-style closed system) would.  ``max_in_flight`` bounds
+  the undecided backlog — when a submission leaves more than that
+  queued, the generator blocks on ``drain()`` (the forced drain is
+  timed into that batch's latency and counted).  ``warmup`` jobs are
+  excluded from the measured window, so the reported
+  ``measured_rate`` / ``measured_latency_percentile`` describe the
+  steady state, not the cold start.  With ``rate=None`` a closed-loop
+  run is a *saturation* probe: back-to-back submissions whose measured
+  rate is the service's capacity.
+
+Burst shapes (open loop; the closed loop paces uniformly)
+---------------------------------------------------------
 - ``"trace"`` — preserve the trace's own inter-arrival structure,
   time-scaled to the offered rate (diurnal waves, natural bursts);
 - ``"uniform"`` — constant spacing at the offered rate (the smoothest
@@ -21,6 +38,12 @@ Burst shapes
 With ``rate=None`` the generator never sleeps and the stream degrades
 to as-fast-as-possible replay — the mode the throughput benchmark and
 the tests use.
+
+Pacing never changes decisions: the service's decision stream is a
+pure function of the submitted jobs and micro-batch boundaries, so two
+sweeps at different offered rates produce bit-identical roll-ups —
+``bench_fig14_runtime.py`` asserts exactly that across its saturation
+sweep.
 """
 
 from __future__ import annotations
@@ -45,6 +68,14 @@ class LoadReport:
     when a categorizer is wired, kernel admission).  ``lag_seconds`` is
     how far the sender fell behind the open-loop schedule at the last
     batch (0 when the service keeps up or no rate was set).
+
+    Closed-loop runs additionally split the stream into a warmup and a
+    measured window: ``measured_batch_seconds`` / ``n_measured_jobs``
+    / ``measured_elapsed`` cover only batches past ``warmup_jobs``, so
+    :attr:`measured_rate` and :meth:`measured_latency_percentile`
+    describe the steady state.  ``n_forced_drains`` counts the times
+    the ``max_in_flight`` bound blocked the sender on a drain, and
+    ``in_flight_peak`` the largest undecided backlog observed.
     """
 
     n_jobs: int = 0
@@ -56,11 +87,29 @@ class LoadReport:
     interrupted: bool = False
     n_retries: int = 0
     batch_seconds: list[float] = field(default_factory=list)
+    mode: str = "open"
+    warmup_jobs: int = 0
+    n_measured_jobs: int = 0
+    measured_elapsed: float = 0.0
+    measured_batch_seconds: list[float] = field(default_factory=list)
+    n_forced_drains: int = 0
+    in_flight_peak: int = 0
 
     @property
     def achieved_rate(self) -> float:
         """Decisions per wall-clock second over the whole run."""
         return self.n_decisions / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def measured_rate(self) -> float:
+        """Jobs per second over the measured (post-warmup) window.
+
+        Falls back to :attr:`achieved_rate` when the run had no warmup
+        split (open loop, or warmup covered the whole stream).
+        """
+        if self.measured_elapsed > 0 and self.n_measured_jobs > 0:
+            return self.n_measured_jobs / self.measured_elapsed
+        return self.achieved_rate
 
     def latency_percentile(self, q: float) -> float:
         """Percentile (0-100) of the per-micro-batch decision latency."""
@@ -68,9 +117,15 @@ class LoadReport:
             return 0.0
         return float(np.percentile(np.asarray(self.batch_seconds), q))
 
+    def measured_latency_percentile(self, q: float) -> float:
+        """Like :meth:`latency_percentile`, post-warmup batches only."""
+        if not self.measured_batch_seconds:
+            return self.latency_percentile(q)
+        return float(np.percentile(np.asarray(self.measured_batch_seconds), q))
+
 
 class LoadGenerator:
-    """Replay a trace as a timed open-loop arrival stream.
+    """Replay a trace as a timed arrival stream (open or closed loop).
 
     Parameters
     ----------
@@ -78,7 +133,22 @@ class LoadGenerator:
         Anything :func:`~repro.workloads.streaming.open_trace_source`
         accepts.
     rate:
-        Offered load in jobs/second; ``None`` disables pacing.
+        Offered load in jobs/second; ``None`` disables pacing (open
+        loop: as-fast-as-possible replay; closed loop: a saturation
+        probe).
+    mode:
+        ``"open"`` (fixed schedule, lag recorded) or ``"closed"``
+        (latency-aware schedule that slips with service completions,
+        bounded in-flight window, warmup/measure split) — see the
+        module docstring.
+    max_in_flight:
+        Closed-loop bound on the undecided backlog: a submission that
+        leaves more than this many jobs queued blocks on ``drain()``
+        (timed into that batch's latency, counted in
+        ``n_forced_drains``).  ``None`` never forces.
+    warmup:
+        Number of leading jobs excluded from the measured window
+        (closed loop; ``measured_*`` report fields).
     shape:
         Burst shape: ``"trace"``, ``"uniform"`` or ``"poisson"``.
     batch_jobs:
@@ -109,6 +179,9 @@ class LoadGenerator:
         trace,
         *,
         rate: float | None = None,
+        mode: str = "open",
+        max_in_flight: int | None = None,
+        warmup: int = 0,
         shape: str = "trace",
         batch_jobs: int = 256,
         seed: int = 0,
@@ -117,6 +190,8 @@ class LoadGenerator:
         clock=time.perf_counter,
         sleep=time.sleep,
     ):
+        if mode not in ("open", "closed"):
+            raise ValueError(f"unknown loadgen mode {mode!r}")
         if shape not in ("trace", "uniform", "poisson"):
             raise ValueError(f"unknown burst shape {shape!r}")
         if rate is not None and rate <= 0:
@@ -125,8 +200,15 @@ class LoadGenerator:
             raise ValueError("batch_jobs must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
         self.source = open_trace_source(trace)
         self.rate = rate
+        self.mode = mode
+        self.max_in_flight = max_in_flight
+        self.warmup = int(warmup)
         self.shape = shape
         self.batch_jobs = batch_jobs
         self.seed = seed
@@ -168,45 +250,89 @@ class LoadGenerator:
             self._trace_scale = natural / self.rate
         return (arrivals - self._t0) * self._trace_scale
 
-    def run(self, service, limit: int | None = None) -> LoadReport:
+    def run(self, service, limit: int | None = None, on_batch=None) -> LoadReport:
         """Drive ``service`` with the timed stream; returns the report.
 
         ``limit`` caps the number of jobs released (handy for smoke
-        runs over large traces).  A ``KeyboardInterrupt`` mid-stream
-        stops the run gracefully: queued jobs are drained, the partial
-        report is returned with ``interrupted=True``, and the service
-        keeps its state — callers can still take ``service.result()``.
+        runs over large traces).  ``on_batch`` is an optional callback
+        invoked with the live report after every batch (the CLI hangs
+        its metrics-endpoint refresh on it).  A ``KeyboardInterrupt``
+        mid-stream stops the run gracefully: queued jobs are drained,
+        the partial report is returned with ``interrupted=True``, and
+        the service keeps its state — callers can still take
+        ``service.result()``.
         """
-        report = LoadReport(offered_rate=self.rate)
+        report = LoadReport(
+            offered_rate=self.rate, mode=self.mode, warmup_jobs=self.warmup
+        )
         self._t0 = None
         self._trace_scale = None
         self._poisson_clock = 0.0
         start = self.clock()
         sent = 0
+        closed = self.mode == "closed"
+        next_send = 0.0  # closed-loop schedule target, offset from start
+        measure_t0 = None
         try:
             for block in rechunk_blocks(self.source, self.batch_jobs):
                 if limit is not None and sent >= limit:
                     break
                 if limit is not None and sent + len(block) > limit:
                     block = _clip_block(block, limit - sent)
-                offsets = self._send_offsets(block.arrivals, sent)
                 if self.rate is not None:
-                    ahead = offsets[0] - (self.clock() - start)
+                    if closed:
+                        ahead = next_send - (self.clock() - start)
+                    else:
+                        offsets = self._send_offsets(block.arrivals, sent)
+                        ahead = offsets[0] - (self.clock() - start)
                     if ahead > 0:
                         self.sleep(ahead)
                     else:
                         report.lag_seconds = float(-ahead)
+                measured = closed and sent >= self.warmup
                 t0 = self.clock()
+                if measured and measure_t0 is None:
+                    measure_t0 = t0
                 decisions = self._submit_with_retry(service, block, report)
-                report.batch_seconds.append(self.clock() - t0)
-                report.n_decisions += len(decisions)
+                n_dec = len(decisions)
+                pending = getattr(service, "pending", 0)
+                if pending > report.in_flight_peak:
+                    report.in_flight_peak = pending
+                if (
+                    self.max_in_flight is not None
+                    and pending > self.max_in_flight
+                ):
+                    # The in-flight window is full: block on the
+                    # service until the backlog clears, charged to this
+                    # batch — a closed system waits on its requests.
+                    n_dec += len(service.drain())
+                    report.n_forced_drains += 1
+                dt = self.clock() - t0
+                report.batch_seconds.append(dt)
+                if measured:
+                    report.measured_batch_seconds.append(dt)
+                    report.n_measured_jobs += len(block)
+                report.n_decisions += n_dec
                 sent += len(block)
                 report.n_batches += 1
+                if closed and self.rate is not None:
+                    # Latency-aware pacing: the next target keeps the
+                    # offered gap when the service keeps up, and slips
+                    # to "now" when it does not — offered load adapts
+                    # to service speed instead of piling up lag.
+                    next_send = max(
+                        next_send + len(block) / self.rate,
+                        self.clock() - start,
+                    )
+                if on_batch is not None:
+                    on_batch(report)
         except KeyboardInterrupt:
             report.interrupted = True
         report.n_decisions += len(service.drain())
         report.n_jobs = sent
         report.elapsed = self.clock() - start
+        if measure_t0 is not None:
+            report.measured_elapsed = self.clock() - measure_t0
         return report
 
     def _submit_with_retry(self, service, block, report):

@@ -45,6 +45,7 @@ from ..storage.engine import (
     _ttl_release_fracs,
 )
 from ..storage.policy import BatchOutcomes
+from .metrics import merge_states
 from .service import PlacementService
 from .transport import InProcessTransport, SubprocessTransport, WorkerDied
 from .types import WORKER_SNAPSHOT_SCHEMA, SnapshotMismatch
@@ -434,6 +435,17 @@ class FleetChunkKernel:
     def scalar_fallback_jobs(self) -> int:
         return self.pool.total("n_scalar")
 
+    def counters(self) -> dict:
+        """Fleet-wide admission counters (cache sums; no round-trips)."""
+        return {
+            "n_ssd_requested": int(self.n_ssd_requested),
+            "n_spilled": int(self.n_spilled),
+            "n_evicted": int(self.n_evicted),
+            "evicted_bytes": float(self.evicted_bytes),
+            "scalar_fallback_jobs": int(self.scalar_fallback_jobs),
+            "peak_used": float(self.peak_used),
+        }
+
     @property
     def st(self):
         return self.ledger.st
@@ -771,6 +783,17 @@ class FleetScalarKernel:
     def evicted_bytes(self) -> float:
         return self.pool.total("evicted_bytes")
 
+    def counters(self) -> dict:
+        """Fleet-wide admission counters (cache sums; no round-trips)."""
+        return {
+            "n_ssd_requested": int(self.n_ssd_requested),
+            "n_spilled": int(self.n_spilled),
+            "n_evicted": int(self.n_evicted),
+            "evicted_bytes": float(self.evicted_bytes),
+            "scalar_fallback_jobs": int(self.pool.total("n_scalar")),
+            "peak_used": float(self.peak_used),
+        }
+
     def _catch(self):
         return None if self._cursor == -np.inf else float(self._cursor)
 
@@ -913,6 +936,41 @@ class FleetRouter(PlacementService):
         """Shut the fleet down (stop workers, close per-worker WALs)."""
         if self.pool is not None:
             self.pool.close()
+
+    # -- metrics --------------------------------------------------------
+
+    def _sync_metrics(self) -> None:
+        """Fleet metrics: the service sync plus a worker gather.
+
+        The serve-side counters come from the reply-refreshed counter
+        cache (via ``kernel.counters()``), so they are exact even with
+        dead workers.  On top of that, each live worker's partial op
+        metrics are fetched and folded — counter sums, exact histogram
+        bucket merges, order-independent — then installed by overwrite,
+        so repeated gathers never double count.  A worker that is down
+        and unrecoverable simply drops out of this round's gather.
+        """
+        super()._sync_metrics()
+        reg = self.registry
+        pool = self.pool
+        reg.gauge(
+            "serve_workers", help="Configured fleet width"
+        ).set(pool.n_workers)
+        states = []
+        alive = 0
+        for w in range(pool.n_workers):
+            try:
+                reply = pool.request(w, {"op": "metrics"})
+            except WorkerDied:
+                continue
+            alive += 1
+            states.append(reply["state"])
+        reg.gauge(
+            "serve_workers_alive",
+            help="Workers that answered the last metrics gather",
+        ).set(alive)
+        if states:
+            reg.load_state(merge_states(states))
 
     # -- roll-up --------------------------------------------------------
 

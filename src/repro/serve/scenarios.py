@@ -142,7 +142,13 @@ def get_scenario(name: str) -> ChaosScenario:
 
 @dataclass(frozen=True)
 class ScenarioRow:
-    """One (scenario, policy) outcome."""
+    """One (scenario, policy) outcome.
+
+    ``degraded_intervals`` is read from the service's live metrics
+    surface (``serve_degraded_intervals_total``) rather than the stats
+    object — the bench asserts the two agree, so the scrape endpoint
+    can never drift from the roll-up.
+    """
 
     scenario: str
     policy: str
@@ -154,6 +160,7 @@ class ScenarioRow:
     dropped_completes: int
     duplicate_completes: int
     n_retries: int
+    degraded_intervals: int = 0
 
 
 def default_policies(n_categories: int = 15):
@@ -191,7 +198,7 @@ def default_policies(n_categories: int = 15):
 
 def _drive_contender(
     svc, scenario, trace, *, scenario_name, pname, batch_jobs,
-    complete_fraction, seed, max_retries, n_shards,
+    complete_fraction, seed, max_retries, n_shards, metrics_hook=None,
 ) -> ScenarioRow:
     """Stream the trace through one contender under the scenario's plan."""
     n = len(trace)
@@ -219,7 +226,10 @@ def _drive_contender(
         for k, d in enumerate(decisions[: hi - lo]):
             if lottery[k] < complete_fraction:
                 inj.complete(d.job_id)
+        if metrics_hook is not None:
+            metrics_hook(svc)
     inj.drain()
+    metrics = svc.metrics()
     res = svc.result()
     st = svc.stats
     return ScenarioRow(
@@ -233,6 +243,7 @@ def _drive_contender(
         dropped_completes=int(inj.n_dropped_completes),
         duplicate_completes=int(st.duplicate_completes),
         n_retries=n_retries,
+        degraded_intervals=int(metrics["serve_degraded_intervals_total"]),
     )
 
 
@@ -250,8 +261,13 @@ def run_scenario(
     n_workers: int = 1,
     transport: str = "inprocess",
     worker_dir: "str | None" = None,
+    metrics_hook=None,
 ) -> list[ScenarioRow]:
     """Run one scenario through every contender; returns one row each.
+
+    ``metrics_hook`` (optional) is called with the live service after
+    every submitted batch — the ``chaos`` CLI hangs its scrape-endpoint
+    refresh on it.
 
     Every contender sees the identical stream: the same micro-batch
     slicing, the same fault plan, and the same deterministic completion
@@ -294,6 +310,7 @@ def run_scenario(
                         pname=pname, batch_jobs=batch_jobs,
                         complete_fraction=complete_fraction, seed=seed,
                         max_retries=max_retries, n_shards=n_shards,
+                        metrics_hook=metrics_hook,
                     )
                 finally:
                     svc.close()
@@ -311,6 +328,7 @@ def run_scenario(
                 pname=pname, batch_jobs=batch_jobs,
                 complete_fraction=complete_fraction, seed=seed,
                 max_retries=max_retries, n_shards=n_shards,
+                metrics_hook=metrics_hook,
             )
         rows.append(row)
     return rows
@@ -319,7 +337,8 @@ def run_scenario(
 def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
               scenarios=SCENARIOS, policies=None, seed: int = 0,
               n_workers: int = 1, transport: str = "inprocess",
-              worker_dir: "str | None" = None) -> list[ScenarioRow]:
+              worker_dir: "str | None" = None,
+              metrics_hook=None) -> list[ScenarioRow]:
     """Run every scenario; returns all rows in suite order."""
     rows = []
     for sc in scenarios:
@@ -327,6 +346,7 @@ def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
             sc, trace, capacity=capacity, n_shards=n_shards,
             batch_jobs=batch_jobs, policies=policies, seed=seed,
             n_workers=n_workers, transport=transport, worker_dir=worker_dir,
+            metrics_hook=metrics_hook,
         ))
     return rows
 
@@ -335,15 +355,16 @@ def format_rows(rows) -> str:
     """Render scenario rows as the fixed-width table the bench commits."""
     head = (
         f"{'scenario':<16} {'policy':<10} {'tco_sav%':>9} {'spilled':>8} "
-        f"{'evicted':>8} {'shocks':>7} {'degraded':>9} {'dropped':>8} "
-        f"{'dup':>5} {'retries':>8}"
+        f"{'evicted':>8} {'shocks':>7} {'degraded':>9} {'d_ivals':>8} "
+        f"{'dropped':>8} {'dup':>5} {'retries':>8}"
     )
     lines = [head, "-" * len(head)]
     for r in rows:
         lines.append(
             f"{r.scenario:<16} {r.policy:<10} {r.tco_savings_pct:>9.2f} "
             f"{r.n_spilled:>8} {r.n_evicted:>8} {r.n_shocks:>7} "
-            f"{r.degraded_jobs:>9} {r.dropped_completes:>8} "
-            f"{r.duplicate_completes:>5} {r.n_retries:>8}"
+            f"{r.degraded_jobs:>9} {r.degraded_intervals:>8} "
+            f"{r.dropped_completes:>8} {r.duplicate_completes:>5} "
+            f"{r.n_retries:>8}"
         )
     return "\n".join(lines)

@@ -71,6 +71,7 @@ import copy
 import os
 import pickle
 from pathlib import Path
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -89,6 +90,7 @@ from ..storage.policy import PlacementPolicy
 from ..workloads.job import ShuffleJob, TraceBase
 from ..workloads.metadata import stable_hash
 from .log import GrowArray, JobLog
+from .metrics import SIZE_BUCKETS_JOBS, MetricsRegistry
 from .types import (
     SNAPSHOT_SCHEMA,
     PlacementDecision,
@@ -213,6 +215,10 @@ class PlacementService:
         self.log = JobLog(rates=rates, n_shards=n_shards, shard_seed=shard_seed, name=name)
         self.kernel = self._make_kernel(lane_caps, total)
         self.stats = ServiceStats()
+        self.registry = MetricsRegistry()
+        self._metrics_t0 = perf_counter()
+        self._m_cat: dict = {}  # category -> admission Counter cache
+        self._init_metrics()
         self._frac = GrowArray(float)
         self._decided = 0
         self._plan = None  # cached (BatchDecision for job index _decided)
@@ -249,6 +255,177 @@ class PlacementService:
         if self.mode == "scalar":
             return ScalarKernel(lane_caps, total)
         return ChunkKernel(lane_caps, total, compiled=(self.engine == "compiled"))
+
+    # -- metrics --------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Register the natively-observed instruments.
+
+        Everything else (the pinned counters and gauges) is created
+        lazily by :meth:`_sync_metrics`; the histograms and the
+        per-category admission counters accumulate on the hot path and
+        must exist from the first submission.
+        """
+        reg = self.registry
+        self._m_request = reg.histogram(
+            "serve_request_seconds",
+            help="Wall-clock latency of one submit() call",
+        )
+        self._m_batch = reg.histogram(
+            "serve_batch_seconds",
+            help="Wall-clock latency of one micro-batch submission",
+        )
+        self._m_chunk_jobs = reg.histogram(
+            "serve_chunk_jobs", buckets=SIZE_BUCKETS_JOBS,
+            help="Jobs decided per policy chunk",
+        )
+
+    def _cat_counter(self, cat: int):
+        c = self._m_cat.get(cat)
+        if c is None:
+            c = self.registry.counter(
+                "serve_admitted_by_category_total",
+                labels={"category": str(cat)},
+                help="SSD admissions by job category",
+            )
+            self._m_cat[cat] = c
+        return c
+
+    def _count_admissions(self, first: int, stop: int, requested) -> None:
+        """Per-category admission counting for one decided chunk.
+
+        Categories come from the policy's ``categories`` column (full
+        trace in replay mode, the streamed prefix under an online
+        categorizer); policies without one skip the breakdown.
+        """
+        cats = getattr(self.policy, "categories", None)
+        if cats is None or len(cats) < stop:
+            return
+        sel = np.asarray(cats[first:stop])[requested]
+        if sel.size:
+            for cat, cnt in zip(*np.unique(sel, return_counts=True)):
+                self._cat_counter(int(cat)).inc(int(cnt))
+
+    def _sync_metrics(self) -> None:
+        """Pin every derived metric to its authoritative source.
+
+        Counters mirror ``ServiceStats`` and the kernel's admission
+        counters *by assignment*, so a metrics snapshot can never
+        disagree with the end-of-run roll-up — the bit-identity
+        contract extends to the metrics surface.  Called by
+        :meth:`metrics` / :meth:`metrics_text`, never on the hot path.
+        """
+        reg = self.registry
+        st = self.stats
+        kc = self.kernel.counters()
+        for name, value, help_ in (
+            ("serve_submitted_total", st.n_submitted,
+             "Jobs submitted to the service"),
+            ("serve_decided_total", st.n_decided,
+             "Placement decisions made"),
+            ("serve_chunks_total", st.n_chunks,
+             "Policy chunks decided (batch mode)"),
+            ("serve_forced_chunks_total", st.forced_chunks,
+             "Chunks force-closed by backpressure"),
+            ("serve_completions_total", st.n_completions,
+             "Early completions that freed space"),
+            ("serve_duplicate_completes_total", st.duplicate_completes,
+             "complete() calls for unknown or already-completed jobs"),
+            ("serve_stale_completes_total", st.stale_completes,
+             "complete() timestamps clamped forward to the service clock"),
+            ("serve_shocks_total", st.n_shocks,
+             "Capacity shocks applied"),
+            ("serve_evictions_total", st.n_evicted,
+             "Residents evicted by capacity shocks"),
+            ("serve_evicted_bytes_total", st.evicted_bytes,
+             "Bytes evicted by capacity shocks"),
+            ("serve_degraded_jobs_total", st.degraded_jobs,
+             "Jobs categorized by the fallback heuristic"),
+            ("serve_degraded_intervals_total", len(st.degraded_intervals),
+             "Closed categorizer outage intervals"),
+            ("serve_categorizer_failures_total", st.categorizer_failures,
+             "Categorizer calls that raised"),
+            ("serve_ssd_requested_total", kc["n_ssd_requested"],
+             "Jobs the policy sent to SSD"),
+            ("serve_spilled_total", kc["n_spilled"],
+             "SSD admissions that spilled to HDD"),
+            ("serve_kernel_evictions_total", kc["n_evicted"],
+             "Kernel-level shock evictions"),
+            ("serve_scalar_fallback_total", kc["scalar_fallback_jobs"],
+             "Chunk jobs that took the scalar arithmetic path"),
+            ("serve_wal_records_total", self._wal_seq,
+             "Write-ahead log records written or replayed"),
+        ):
+            reg.counter(name, help=help_).set(value)
+        reg.gauge(
+            "serve_pending_jobs", help="Submitted jobs awaiting a decision"
+        ).set(self.pending)
+        reg.gauge(
+            "serve_max_pending_seen", help="Peak admission-queue depth"
+        ).set(st.max_pending_seen)
+        reg.gauge(
+            "serve_capacity_bytes", help="Total SSD capacity"
+        ).set(float(self.capacity))
+        reg.gauge(
+            "serve_peak_ssd_used_bytes", help="Peak SSD bytes in use"
+        ).set(kc["peak_used"])
+        reg.gauge(
+            "serve_degraded",
+            help="1 while the categorizer outage is open, else 0",
+        ).set(1 if self._degraded_since is not None else 0)
+        free = np.asarray(self.kernel.free, dtype=float)
+        caps = np.asarray(self.lane_capacities, dtype=float)
+        for L in range(self.n_shards):
+            lbl = {"lane": str(L)}
+            cap = float(caps[L])
+            reg.gauge(
+                "serve_lane_capacity_bytes", labels=lbl,
+                help="Per-lane SSD capacity",
+            ).set(cap)
+            reg.gauge(
+                "serve_lane_free_bytes", labels=lbl,
+                help="Per-lane free SSD bytes",
+            ).set(float(free[L]))
+            reg.gauge(
+                "serve_lane_occupancy_ratio", labels=lbl,
+                help="Per-lane occupied fraction",
+            ).set(1.0 - float(free[L]) / cap if cap > 0 else 0.0)
+        act = getattr(self.policy, "act", None)
+        if act is not None:
+            reg.gauge(
+                "serve_act_position",
+                help="Global adaptive category threshold",
+            ).set(int(act))
+        act_lanes = getattr(self.policy, "act_lanes", None)
+        if act_lanes is not None:
+            for L, a in enumerate(np.asarray(act_lanes)):
+                reg.gauge(
+                    "serve_act_lane_position", labels={"lane": str(L)},
+                    help="Per-shard adaptive category threshold",
+                ).set(int(a))
+        dt = perf_counter() - self._metrics_t0
+        reg.gauge(
+            "serve_uptime_seconds", help="Seconds since service construction"
+        ).set(dt)
+        reg.gauge(
+            "serve_decisions_per_second",
+            help="Lifetime mean decision throughput",
+        ).set(st.n_decided / dt if dt > 0 else 0.0)
+
+    def metrics(self) -> dict:
+        """A point-in-time snapshot of every metric.
+
+        Syncs the pinned counters/gauges from their authoritative
+        sources first, then returns the registry's plain-dict snapshot
+        (sample name → value; histograms as bucket/percentile dicts).
+        """
+        self._sync_metrics()
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (0.0.4) of :meth:`metrics`."""
+        self._sync_metrics()
+        return self.registry.render()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -324,6 +501,7 @@ class PlacementService:
         arrival closed a chunk covering earlier queued jobs).
         """
         self._ensure_open()
+        t_req = perf_counter()
         if job is not None:
             arrival, duration, size = job.arrival, job.duration, job.size
             read_bytes, write_bytes = job.read_bytes, job.write_bytes
@@ -355,8 +533,11 @@ class PlacementService:
             self._categorize(i, i + 1, [job] if job is not None else None)
         self._wal_append()
         if self.mode == "scalar":
-            return [self._decide_scalar(i)]
-        return self._pump()
+            out = [self._decide_scalar(i)]
+        else:
+            out = self._pump()
+        self._m_request.observe(perf_counter() - t_req)
+        return out
 
     def submit_batch(
         self,
@@ -377,6 +558,7 @@ class PlacementService:
         :meth:`drain`.
         """
         self._ensure_open()
+        t_req = perf_counter()
         arrivals = np.asarray(arrivals, dtype=float)
         zeros = np.zeros(arrivals.size)
         first, stop = self.log.append_block(
@@ -407,8 +589,11 @@ class PlacementService:
             self._categorize(first, stop, None)
         self._wal_append()
         if self.mode == "scalar":
-            return [self._decide_scalar(i) for i in range(first, stop)]
-        return self._pump()
+            out = [self._decide_scalar(i) for i in range(first, stop)]
+        else:
+            out = self._pump()
+        self._m_batch.observe(perf_counter() - t_req)
+        return out
 
     def submit_jobs(self, jobs: Sequence[ShuffleJob]) -> Sequence[PlacementDecision]:
         """Submit one arrival-ordered micro-batch of rich job objects.
@@ -419,6 +604,7 @@ class PlacementService:
         Table-2 feature groups exactly as an offline extraction would.
         """
         self._ensure_open()
+        t_req = perf_counter()
         jobs = list(jobs)
         if not jobs:
             return self._pump() if self.mode == "batch" else []
@@ -440,8 +626,11 @@ class PlacementService:
             self._categorize(first, stop, jobs)
         self._wal_append()
         if self.mode == "scalar":
-            return [self._decide_scalar(i) for i in range(first, stop)]
-        return self._pump()
+            out = [self._decide_scalar(i) for i in range(first, stop)]
+        else:
+            out = self._pump()
+        self._m_batch.observe(perf_counter() - t_req)
+        return out
 
     def submit_block(self, block) -> Sequence[PlacementDecision]:
         """Submit one :class:`~repro.workloads.streaming.TraceBlock`."""
@@ -606,6 +795,10 @@ class PlacementService:
             self._maybe_sweep_live()
         self._decided += 1
         self.stats.n_decided += 1
+        if want_ssd:
+            cats = getattr(self.policy, "categories", None)
+            if cats is not None and len(cats) > i:
+                self._cat_counter(int(cats[i])).inc()
         return PlacementDecision(
             i, job_id, t, s, want_ssd, space_frac, spill_time, float(release),
         )
@@ -678,6 +871,8 @@ class PlacementService:
             self._decided = stop
             self.stats.n_decided += count
             self.stats.n_chunks += 1
+            self._count_admissions(first, stop, outcomes.requested_ssd)
+            self._m_chunk_jobs.observe(count)
             self._plan = None
             n = len(log)
         if not out:
@@ -970,6 +1165,9 @@ class PlacementService:
         state.pop("__schema__", None)
         state.pop("__version__", None)
         svc.__dict__ = state
+        # Wall-clock gauges restart with the restored instance; the
+        # checkpointed perf_counter origin belongs to a dead process.
+        svc._metrics_t0 = perf_counter()
         return svc
 
     def checkpoint(self, path) -> ServiceSnapshot:

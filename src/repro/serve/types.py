@@ -39,7 +39,9 @@ __all__ = [
 #: Schema tag written into every :class:`ServiceSnapshot` payload (and
 #: pickled checkpoint).  Bump when the snapshot layout changes shape in
 #: a way an older/newer library cannot restore.
-SNAPSHOT_SCHEMA = 1
+#: 2: the payload carries the service's metrics registry (so recovered
+#: counters continue instead of resetting).
+SNAPSHOT_SCHEMA = 2
 
 #: Schema tag of a :class:`~repro.serve.worker.PlacementWorker`
 #: checkpoint payload.

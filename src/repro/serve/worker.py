@@ -35,6 +35,7 @@ import numpy as np
 from .. import __version__
 from ..storage.engine import ChunkKernel, ScalarKernel
 from ..storage.policy import BatchDecision
+from .metrics import SIZE_BUCKETS_JOBS, MetricsRegistry
 from .types import WORKER_SNAPSHOT_SCHEMA, SnapshotMismatch
 
 __all__ = ["PlacementWorker"]
@@ -74,6 +75,32 @@ class PlacementWorker:
         if self.mode not in ("scalar", "batch"):
             raise ValueError(f"unknown worker mode {self.mode!r}")
         self.kernel = self._build_kernel(spec)
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Worker-local op metrics, gathered by the fleet router.
+
+        Auxiliary transport telemetry (not part of the bit-exact
+        contract): it lives outside the checkpoint payload, so a
+        recovered worker's op counts restart at zero while the
+        authoritative kernel counters replay to their exact values.
+        """
+        self.registry = MetricsRegistry()
+        self._m_ops: dict = {}
+        self._m_batch_jobs = self.registry.histogram(
+            "worker_batch_jobs", buckets=SIZE_BUCKETS_JOBS,
+            help="Jobs per admission op handled by a worker",
+        )
+
+    def _count_op(self, kind: str) -> None:
+        c = self._m_ops.get(kind)
+        if c is None:
+            c = self.registry.counter(
+                "worker_ops_total", labels={"op": kind},
+                help="Ops handled, by kind",
+            )
+            self._m_ops[kind] = c
+        c.inc()
 
     @staticmethod
     def _build_kernel(spec: dict):
@@ -111,17 +138,18 @@ class PlacementWorker:
         handler = getattr(self, f"_op_{kind}", None)
         if handler is None:
             raise ValueError(f"unknown worker op {kind!r}")
+        self._count_op(str(kind))
         return handler(op)
 
     def _counters(self) -> dict:
-        kern = self.kernel
+        c = self.kernel.counters()
         return {
-            "n_ssd_requested": int(kern.n_ssd_requested),
-            "n_spilled": int(kern.n_spilled),
-            "n_evicted": int(kern.n_evicted),
-            "evicted_bytes": float(kern.evicted_bytes),
-            "n_scalar": int(getattr(kern, "scalar_fallback_jobs", 0)),
-            "peak": float(kern.peak_used),
+            "n_ssd_requested": c["n_ssd_requested"],
+            "n_spilled": c["n_spilled"],
+            "n_evicted": c["n_evicted"],
+            "evicted_bytes": c["evicted_bytes"],
+            "n_scalar": c["scalar_fallback_jobs"],
+            "peak": c["peak_used"],
         }
 
     # -- batch-mode ops -------------------------------------------------
@@ -146,6 +174,7 @@ class PlacementWorker:
         kern = self.kernel
         t, dur, size, lane, ttl = self._chunk_arrays(op)
         c = t.size
+        self._m_batch_jobs.observe(c)
         kern.open_chunk(float(op["t0"]), 0)
         bd = BatchDecision(
             count=c, want_ssd=np.ones(c, dtype=bool), ssd_ttl=ttl,
@@ -179,6 +208,7 @@ class PlacementWorker:
         kern = self.kernel
         t, dur, size, lane, ttl = self._chunk_arrays(op)
         c = t.size
+        self._m_batch_jobs.observe(c)
         kern.open_chunk(float(op["t0"]), 0)
         bd = BatchDecision(count=c, want_ssd=None, ssd_ttl=ttl, fit_check=True)
         frac = np.zeros(c)
@@ -227,6 +257,7 @@ class PlacementWorker:
         kern = self.kernel
         t = float(op["t"])
         lane = int(op["lane"])
+        self._m_batch_jobs.observe(1)
         kern.release_until(t)
         ttl = op.get("ttl")
         space_frac, frac, spill_time, alloc, release = kern.admit(
@@ -340,6 +371,8 @@ class PlacementWorker:
         self.worker_id = int(spec.get("worker_id", 0))
         self.mode = spec["mode"]
         self.kernel = payload["kernel"]
+        # Op telemetry is not checkpointed; a restored worker starts over.
+        self._init_metrics()
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PlacementWorker":
@@ -359,6 +392,10 @@ class PlacementWorker:
 
     def _op_counters(self, op: dict) -> dict:
         return self._counters()
+
+    def _op_metrics(self, op: dict) -> dict:
+        """The worker's partial metrics, for the router's fleet gather."""
+        return {"state": self.registry.state(), **self._counters()}
 
     def _op_ping(self, op: dict) -> dict:
         return {"ok": 1, "worker_id": self.worker_id}

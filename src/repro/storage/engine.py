@@ -566,6 +566,22 @@ class ScalarKernel:
         self.evicted_bytes = 0.0
         self._cancelled: set[int] = set()
 
+    def counters(self) -> dict:
+        """The kernel's monotonic admission counters, uniformly keyed.
+
+        The same schema :meth:`ChunkKernel.counters` returns (and the
+        fleet facades aggregate), so the serving metrics layer reads
+        one shape regardless of engine or fleet width.
+        """
+        return {
+            "n_ssd_requested": int(self.n_ssd_requested),
+            "n_spilled": int(self.n_spilled),
+            "n_evicted": int(self.n_evicted),
+            "evicted_bytes": float(self.evicted_bytes),
+            "scalar_fallback_jobs": 0,
+            "peak_used": float(self.peak_used),
+        }
+
     def release_until(self, t: float) -> None:
         """Pop and apply every release due at or before ``t``."""
         heap = self.heap
@@ -952,6 +968,17 @@ class ChunkKernel:
     @property
     def free(self) -> np.ndarray:
         return self.st.free
+
+    def counters(self) -> dict:
+        """Monotonic admission counters (see :meth:`ScalarKernel.counters`)."""
+        return {
+            "n_ssd_requested": int(self.n_ssd_requested),
+            "n_spilled": int(self.n_spilled),
+            "n_evicted": int(self.n_evicted),
+            "evicted_bytes": float(self.evicted_bytes),
+            "scalar_fallback_jobs": int(self.st.n_scalar),
+            "peak_used": float(self.st.peak_used),
+        }
 
     def open_chunk(self, t0: float, lane: int) -> PlacementContext:
         """Advance releases to ``t0`` and snapshot the opening context.

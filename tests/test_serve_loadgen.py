@@ -168,6 +168,132 @@ class TestPacing:
             LoadGenerator(trace, batch_jobs=0)
 
 
+class TestClosedLoop:
+    def test_validation(self):
+        trace = small_trace(10)
+        with pytest.raises(ValueError, match="mode"):
+            LoadGenerator(trace, mode="half-open")
+        with pytest.raises(ValueError, match="max_in_flight"):
+            LoadGenerator(trace, max_in_flight=0)
+        with pytest.raises(ValueError, match="warmup"):
+            LoadGenerator(trace, warmup=-1)
+
+    def test_paced_schedule_keeps_offered_gap(self):
+        """A fast service sees the plain offered gap: batch/rate."""
+        trace = small_trace(40)
+        fake = FakeClock()
+        gen = LoadGenerator(
+            trace, rate=10.0, mode="closed", batch_jobs=10,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(make_service(trace))
+        assert len(fake.sleeps) == 3
+        np.testing.assert_allclose(fake.sleeps, [1.0, 1.0, 1.0], atol=1e-9)
+        assert report.mode == "closed"
+        assert report.lag_seconds == 0.0
+
+    def test_slow_service_slips_schedule_instead_of_lagging(self):
+        """Latency-aware pacing: the target slips to "now" when the
+        service is slower than the offered rate, so the closed loop
+        never accumulates the unbounded lag the open loop records."""
+        trace = small_trace(30)
+        fake = FakeClock()
+
+        class SlowService:
+            def __init__(self, inner):
+                self.inner = inner
+                self.pending = 0
+
+            def submit_block(self, block):
+                fake.t += 5.0  # each batch takes 5 wall-clock seconds
+                return self.inner.submit_block(block)
+
+            def drain(self):
+                return self.inner.drain()
+
+        gen = LoadGenerator(
+            trace, rate=100.0, mode="closed", batch_jobs=10,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(SlowService(make_service(trace)))
+        assert fake.sleeps == []  # schedule slipped, never slept
+        assert report.lag_seconds == 0.0
+
+    def test_warmup_measure_split(self):
+        trace = small_trace(60)
+        fake = FakeClock()
+        gen = LoadGenerator(
+            trace, rate=None, mode="closed", batch_jobs=10, warmup=25,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        report = gen.run(make_service(trace))
+        # Measurement starts at the first batch released at sent >= 25:
+        # sent = 0, 10, 20, [30, 40, 50] — three measured batches.
+        assert report.warmup_jobs == 25
+        assert report.n_measured_jobs == 30
+        assert len(report.measured_batch_seconds) == 3
+        assert report.n_jobs == 60
+        assert 0.0 <= report.measured_elapsed <= report.elapsed
+
+    def test_warmup_beyond_trace_falls_back(self):
+        trace = small_trace(20)
+        gen = LoadGenerator(trace, mode="closed", batch_jobs=10, warmup=999)
+        report = gen.run(make_service(trace))
+        assert report.n_measured_jobs == 0
+        assert report.measured_elapsed == 0.0
+        # Fallbacks report whole-run numbers rather than zeros.
+        assert report.measured_rate == report.achieved_rate
+        assert (report.measured_latency_percentile(50)
+                == report.latency_percentile(50))
+
+    def test_max_in_flight_forces_drains(self):
+        trace = small_trace(64)
+        svc = make_service(trace)
+        gen = LoadGenerator(
+            trace, rate=None, mode="closed", batch_jobs=8, max_in_flight=4
+        )
+        report = gen.run(svc)
+        assert report.n_forced_drains > 0
+        assert report.in_flight_peak > 4
+        assert svc.pending == 0
+        assert report.n_decisions == len(trace)
+
+    def test_pacing_never_changes_decisions(self):
+        """Open unpaced, open paced, and closed paced runs produce
+        bit-identical roll-ups — pacing is pure timing."""
+        trace = small_trace(60)
+        results = []
+        for kw in (
+            {"rate": None, "mode": "open"},
+            {"rate": 25.0, "mode": "open", "shape": "uniform"},
+            {"rate": 25.0, "mode": "closed", "warmup": 16,
+             "max_in_flight": 32},
+        ):
+            fake = FakeClock()
+            svc = make_service(trace)
+            gen = LoadGenerator(
+                trace, batch_jobs=8, clock=fake.clock, sleep=fake.sleep, **kw
+            )
+            gen.run(svc)
+            results.append(svc.result())
+        base = results[0]
+        for res in results[1:]:
+            assert res.n_ssd_requested == base.n_ssd_requested
+            assert res.n_spilled == base.n_spilled
+            assert res.realized_tco == base.realized_tco
+            np.testing.assert_array_equal(res.ssd_fraction, base.ssd_fraction)
+
+    def test_on_batch_callback_sees_live_report(self):
+        trace = small_trace(30)
+        seen = []
+        gen = LoadGenerator(trace, batch_jobs=10)
+        report = gen.run(
+            make_service(trace), on_batch=lambda r: seen.append(r.n_batches)
+        )
+        assert seen == [1, 2, 3]
+        assert report.n_batches == 3
+
+
 class TestGracefulStop:
     def test_keyboard_interrupt_drains_and_reports(self):
         trace = small_trace(40)

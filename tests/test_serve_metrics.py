@@ -1,0 +1,507 @@
+"""Live metrics surface: histogram math, registry, scrape endpoint,
+and the property that the snapshot equals the roll-up.
+
+The load-bearing claim: every counter the service exposes is *pinned*
+to the same authoritative sources the end-of-run
+:class:`~repro.storage.engine.SimResult` is computed from, so after
+``drain()`` the metrics snapshot is field-for-field consistent with the
+roll-up — across policy x engine mode x worker count x transport,
+through a mid-run capacity shock, and across WAL recovery.  Histogram
+bucket counts are integers, so fleet merge is exact, associative and
+commutative regardless of worker reply order.
+"""
+
+import pickle
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FleetRouter,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    PlacementService,
+    merge_states,
+)
+from repro.serve.metrics import LATENCY_BUCKETS_SECONDS, SIZE_BUCKETS_JOBS
+
+from test_serve_service import make_policy_builders, random_trace
+
+CAP = 55e9
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_trace(21, n=240)
+
+
+@pytest.fixture(scope="module")
+def builders(trace):
+    return make_policy_builders(trace, 21)
+
+
+def _hist(buckets=(1.0, 2.0, 5.0)) -> Histogram:
+    return Histogram("h", buckets=buckets)
+
+
+class TestHistogramMath:
+    def test_edge_placement_is_le(self):
+        """Prometheus le semantics: a value exactly on an edge belongs
+        to that edge's bucket."""
+        h = _hist()
+        for v in (0.5, 1.0):
+            h.observe(v)
+        assert h.counts == [2, 0, 0, 0]
+        h.observe(1.0000001)
+        assert h.counts == [2, 1, 0, 0]
+        h.observe(2.0)
+        h.observe(5.0)
+        assert h.counts == [2, 2, 1, 0]
+        h.observe(7.5)  # overflow bucket
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.max == 7.5
+
+    def test_cumulative_snapshot_buckets(self):
+        h = _hist()
+        for v in (0.5, 1.5, 1.5, 3.0, 99.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == [
+            (1.0, 1), (2.0, 3), (5.0, 4), (float("inf"), 5)
+        ]
+        assert snap["count"] == 5
+        assert snap["max"] == 99.0
+
+    def test_percentiles_return_bucket_edges(self):
+        h = _hist()
+        for _ in range(99):
+            h.observe(0.5)
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 1.0
+        h.observe(4.0)  # the 100th observation, rank 100 = p100..p99.5
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 1.0
+        assert h.percentile(100) == 5.0
+
+    def test_overflow_percentile_reports_tracked_max(self):
+        h = _hist()
+        h.observe(123.0)
+        assert h.percentile(50) == 123.0
+        assert h.percentile(99) == 123.0
+
+    def test_empty_histogram(self):
+        h = _hist()
+        assert h.percentile(50) == 0.0
+        assert h.snapshot()["count"] == 0
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_trailing_inf_bucket_is_implicit(self):
+        a = Histogram("h", buckets=(1.0, 2.0, float("inf")))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        assert a.edges == b.edges
+        assert len(a.counts) == 3
+
+    def test_merge_hand_built(self):
+        a, b = _hist(), _hist()
+        for v in (0.1, 1.5, 9.0):
+            a.observe(v)
+        for v in (1.5, 4.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.counts == [1, 2, 1, 1]
+        assert a.count == 5
+        assert a.sum == pytest.approx(0.1 + 1.5 + 9.0 + 1.5 + 4.0)
+        assert a.max == 9.0
+
+    def test_merge_rejects_different_edges(self):
+        a = _hist((1.0, 2.0))
+        b = _hist((1.0, 3.0))
+        with pytest.raises(ValueError, match="edges differ"):
+            a.merge(b)
+
+    def test_merge_associative_commutative_randomized(self):
+        """Any grouping and order of partial merges yields identical
+        bucket counts and percentiles (integer arithmetic)."""
+        rng = np.random.default_rng(0)
+        edges = tuple(sorted(rng.uniform(1e-6, 10.0, 6)))
+        for _ in range(20):
+            parts = []
+            for _ in range(4):
+                h = Histogram("h", buckets=edges)
+                # Log-uniform values spanning under/over the edge range.
+                for v in 10.0 ** rng.uniform(-7, 2, rng.integers(0, 40)):
+                    h.observe(float(v))
+                parts.append(h)
+
+            def fold(order):
+                acc = Histogram("h", buckets=edges)
+                for i in order:
+                    acc.merge(parts[i])
+                return acc
+
+            left = fold([0, 1, 2, 3])
+            # ((0+1)+(2+3)) — a different association.
+            ab = fold([0, 1])
+            cd = fold([2, 3])
+            ab.merge(cd)
+            shuffled = fold(list(rng.permutation(4)))
+            for other in (ab, shuffled):
+                assert other.counts == left.counts
+                assert other.count == left.count
+                assert other.max == left.max
+                for q in (0, 25, 50, 90, 99, 100):
+                    assert other.percentile(q) == left.percentile(q)
+
+
+class TestRegistry:
+    def test_counter_is_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        c.set(9)
+        with pytest.raises(ValueError, match="backwards"):
+            c.set(8)
+
+    def test_get_or_create_and_kind_conflict(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x", labels={"lane": 0})
+        assert reg.counter("x", labels={"lane": 0}) is c
+        assert reg.counter("x", labels={"lane": 1}) is not c
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x", labels={"lane": 0})
+        assert reg.get("x", labels={"lane": 1}) is not None
+        assert reg.get("missing") is None
+        assert len(reg) == 2
+
+    def test_render_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", help="requests").inc(3)
+        reg.gauge("depth", labels={"lane": 2}).set(1.5)
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = reg.render()
+        assert "# HELP req_total requests\n# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert '# TYPE depth gauge' in text
+        assert 'depth{lane="2"} 1.5' in text
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_state_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(7)
+        reg.gauge("g", labels={"shard": 1}).set(0.25)
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(42.0)
+        clone = MetricsRegistry()
+        clone.load_state(pickle.loads(pickle.dumps(reg.state())))
+        assert clone.render() == reg.render()
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_load_state_overwrites_not_adds(self):
+        """Repeated installs of the same gather never double count."""
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(7)
+        state = reg.state()
+        target = MetricsRegistry()
+        target.load_state(state)
+        target.load_state(state)
+        assert target.counter("a_total").value == 7
+
+    def test_merge_states_sums_and_merges(self):
+        regs = []
+        for n in (3, 5):
+            r = MetricsRegistry()
+            r.counter("ops_total").inc(n)
+            r.gauge("depth").set(n)
+            h = r.histogram("lat", buckets=(1.0, 2.0))
+            for _ in range(n):
+                h.observe(1.5)
+            regs.append(r)
+        merged = MetricsRegistry()
+        merged.load_state(merge_states([r.state() for r in regs]))
+        assert merged.counter("ops_total").value == 8
+        assert merged.gauge("depth").value == 8
+        assert merged.get("lat").counts == [0, 8, 0]
+
+
+def _feed(svc, trace, *, shock=True, complete_every=13, batch=17):
+    """Deterministic stream: micro-batches, completes, one mid-run
+    shock pair (halve then restore — powers of two, float-exact)."""
+    jobs = trace.jobs
+    n = len(jobs)
+    shock_at = n // 2 if shock else None
+    for lo in range(0, n, batch):
+        hi = min(lo + batch, n)
+        svc.submit_jobs(list(jobs[lo:hi]))
+        if shock_at is not None and lo <= shock_at < hi:
+            svc.apply_shock(scale=0.5)
+            svc.apply_shock(scale=2.0)
+        for k in range(lo, hi):
+            if k % complete_every == 0:
+                svc.complete(jobs[k].job_id)
+    svc.drain()
+
+
+def assert_snapshot_matches_rollup(svc, trace, label=""):
+    """The satellite property: metrics snapshot == end-of-run roll-up,
+    field for field, bit for bit."""
+    m = svc.metrics()
+    res = svc.result()
+    st = svc.stats
+    expected = {
+        "serve_submitted_total": st.n_submitted,
+        "serve_decided_total": st.n_decided,
+        "serve_chunks_total": st.n_chunks,
+        "serve_forced_chunks_total": st.forced_chunks,
+        "serve_completions_total": st.n_completions,
+        "serve_duplicate_completes_total": st.duplicate_completes,
+        "serve_stale_completes_total": st.stale_completes,
+        "serve_shocks_total": st.n_shocks,
+        "serve_evictions_total": st.n_evicted,
+        "serve_evicted_bytes_total": st.evicted_bytes,
+        "serve_degraded_jobs_total": st.degraded_jobs,
+        "serve_degraded_intervals_total": len(st.degraded_intervals),
+        "serve_ssd_requested_total": res.n_ssd_requested,
+        "serve_spilled_total": res.n_spilled,
+    }
+    for key, want in expected.items():
+        assert m[key] == want, (label, key, m[key], want)
+    assert m["serve_decided_total"] == res.n_jobs == len(trace), label
+    # Admissions-by-category counters partition the SSD requests.
+    cats = {k: v for k, v in m.items()
+            if k.startswith("serve_admitted_by_category_total")}
+    if cats:
+        assert sum(cats.values()) == res.n_ssd_requested, label
+    # Latency histograms observed every submission wrapper call.
+    assert m["serve_batch_seconds"]["count"] > 0, label
+    return m, res
+
+
+class TestSnapshotEqualsRollup:
+    """policy x engine mode x worker count x transport."""
+
+    @pytest.mark.parametrize("pname", ("adaptive", "firstfit"))
+    @pytest.mark.parametrize("mode", ("batch", "scalar"))
+    def test_single_process(self, trace, builders, pname, mode):
+        svc = PlacementService(builders[pname](), CAP, 4, mode=mode)
+        svc.open(trace)
+        _feed(svc, trace)
+        m, _ = assert_snapshot_matches_rollup(svc, trace, f"{pname}/{mode}")
+        assert m["serve_shocks_total"] == 2
+
+    @pytest.mark.parametrize("pname", ("adaptive", "firstfit"))
+    @pytest.mark.parametrize("mode", ("batch", "scalar"))
+    @pytest.mark.parametrize("workers,transport", [
+        (1, "inprocess"), (3, "inprocess"), (3, "subprocess"),
+    ])
+    def test_fleet(self, trace, builders, pname, mode, workers, transport):
+        if transport == "subprocess" and mode == "scalar":
+            pytest.skip("scalar-over-subprocess sweep covered in-process")
+        svc = FleetRouter(
+            builders[pname](), CAP, 4, mode=mode,
+            n_workers=workers, transport=transport,
+        )
+        svc.open(trace)
+        _feed(svc, trace)
+        label = f"{pname}/{mode}/W{workers}/{transport}"
+        m, _ = assert_snapshot_matches_rollup(svc, trace, label)
+        # Fleet-only surface: gather coverage and worker op telemetry.
+        assert m["serve_workers"] == workers, label
+        assert m["serve_workers_alive"] == workers, label
+        ops = {k: v for k, v in m.items()
+               if k.startswith("worker_ops_total")}
+        assert sum(ops.values()) > 0, label
+        svc.close()
+
+    @pytest.mark.parametrize("pname", ("adaptive", "firstfit"))
+    def test_fleet_matches_single_process_counters(
+        self, trace, builders, pname
+    ):
+        """The aggregated fleet snapshot equals the single-process one
+        on every pinned counter — scatter-gather adds nothing, loses
+        nothing."""
+        one = PlacementService(builders[pname](), CAP, 4, mode="batch")
+        one.open(trace)
+        _feed(one, trace)
+        m1, _ = assert_snapshot_matches_rollup(one, trace, "single")
+        fleet = FleetRouter(
+            builders[pname](), CAP, 4, mode="batch", n_workers=3
+        )
+        fleet.open(trace)
+        _feed(fleet, trace)
+        m3, _ = assert_snapshot_matches_rollup(fleet, trace, "fleet")
+        fleet.close()
+        for key, want in m1.items():
+            if key.startswith(("serve_admitted_by_category", "serve_")) \
+                    and key.endswith("_total"):
+                assert m3[key] == want, key
+
+    def test_repeated_snapshots_do_not_double_count(self, trace, builders):
+        """metrics() is idempotent between submissions, including the
+        fleet gather path (load_state overwrites)."""
+        svc = FleetRouter(builders["adaptive"](), CAP, 4, mode="batch",
+                          n_workers=3)
+        svc.open(trace)
+        _feed(svc, trace)
+        a = svc.metrics()
+        b = svc.metrics()
+        for key, v in a.items():
+            if key.endswith("_total"):
+                assert b[key] == v, key
+        svc.close()
+
+    def test_wal_recovery_continues_counters(self, trace, builders, tmp_path):
+        """Counters resume from checkpoint + WAL replay: no resets, no
+        double counting — the recovered snapshot equals the roll-up AND
+        the uninterrupted run's counters."""
+        ref = PlacementService(builders["adaptive"](), CAP, 4, mode="batch")
+        ref.open(trace)
+        _feed(ref, trace)
+        m_ref, _ = assert_snapshot_matches_rollup(ref, trace, "ref")
+
+        wal = str(tmp_path / "m.wal")
+        ckpt = str(tmp_path / "m.ckpt")
+        svc = PlacementService(
+            builders["adaptive"](), CAP, 4, mode="batch", wal=wal
+        )
+        svc.open(trace)
+        jobs = trace.jobs
+        n = len(jobs)
+        # Crash on a batch boundary so the recovered run's micro-batch
+        # slicing matches the uninterrupted reference stream exactly.
+        crash_at = 17 * (n // (3 * 17))
+        shock_at = n // 2
+        for lo in range(0, crash_at, 17):
+            hi = min(lo + 17, crash_at)
+            svc.submit_jobs(list(jobs[lo:hi]))
+            for k in range(lo, hi):
+                if k % 13 == 0:
+                    svc.complete(jobs[k].job_id)
+        svc.checkpoint(ckpt)
+        pinned_at_ckpt = svc.metrics()["serve_decided_total"]
+        svc.wal.close()  # crash
+
+        rec = PlacementService.recover(ckpt, wal)
+        assert rec.metrics()["serve_decided_total"] >= 0
+        for lo in range(crash_at, n, 17):
+            hi = min(lo + 17, n)
+            rec.submit_jobs(list(jobs[lo:hi]))
+            if lo <= shock_at < hi:
+                rec.apply_shock(scale=0.5)
+                rec.apply_shock(scale=2.0)
+            for k in range(lo, hi):
+                if k % 13 == 0:
+                    rec.complete(jobs[k].job_id)
+        rec.drain()
+        m_rec, _ = assert_snapshot_matches_rollup(rec, trace, "recovered")
+        assert m_rec["serve_decided_total"] >= pinned_at_ckpt
+        for key, want in m_ref.items():
+            if key.endswith("_total") and key != "serve_wal_records_total":
+                assert m_rec[key] == want, key
+        # The WAL itself is metered.
+        assert m_rec["serve_wal_records_total"] == rec.wal_seq > 0
+
+    def test_snapshot_schema_carries_registry(self, trace, builders):
+        svc = PlacementService(builders["firstfit"](), CAP, 1, mode="batch")
+        svc.open(trace)
+        svc.submit_jobs(list(trace.jobs[:40]))
+        svc.drain()
+        clone = PlacementService.restore(
+            pickle.loads(pickle.dumps(svc.snapshot()))
+        )
+        assert (clone.metrics()["serve_decided_total"]
+                == svc.metrics()["serve_decided_total"])
+
+
+class TestGaugesAndText:
+    def test_lane_gauges_track_kernel_free(self, trace, builders):
+        svc = PlacementService(builders["adaptive"](), CAP, 4, mode="batch")
+        svc.open(trace)
+        _feed(svc, trace, shock=False)
+        m = svc.metrics()
+        free = np.asarray(svc.kernel.free, dtype=float)
+        caps = np.asarray(svc.lane_capacities, dtype=float)
+        for lane in range(4):
+            assert m[f'serve_lane_free_bytes{{lane="{lane}"}}'] == free[lane]
+            assert (m[f'serve_lane_capacity_bytes{{lane="{lane}"}}']
+                    == caps[lane])
+            occ = m[f'serve_lane_occupancy_ratio{{lane="{lane}"}}']
+            assert 0.0 <= occ <= 1.0
+
+    def test_act_position_exposed(self, trace, builders):
+        svc = PlacementService(builders["adaptive"](), CAP, 4, mode="batch")
+        svc.open(trace)
+        _feed(svc, trace, shock=False)
+        m = svc.metrics()
+        assert m["serve_act_position"] == svc.policy.act
+
+    def test_metrics_text_parses_as_exposition(self, trace, builders):
+        svc = PlacementService(builders["adaptive"](), CAP, 2, mode="batch")
+        svc.open(trace)
+        _feed(svc, trace, shock=False)
+        text = svc.metrics_text()
+        assert "# TYPE serve_request_seconds histogram" in text
+        assert "# TYPE serve_decided_total counter" in text
+        assert 'serve_lane_free_bytes{lane="1"}' in text
+        m = svc.metrics()
+        assert f"serve_decided_total {m['serve_decided_total']}" in text
+
+
+class TestScrapeEndpoint:
+    def test_scrape_round_trip(self, trace, builders):
+        svc = PlacementService(builders["firstfit"](), CAP, 1, mode="batch")
+        svc.open(trace)
+        svc.submit_jobs(list(trace.jobs[:60]))
+        svc.drain()
+        cache = [svc.metrics_text()]
+        with MetricsServer(lambda: cache[0], port=0) as server:
+            assert server.url.endswith(f":{server.port}/metrics")
+            with urllib.request.urlopen(server.url, timeout=10) as resp:
+                assert resp.status == 200
+                ctype = resp.headers["Content-Type"]
+                body = resp.read().decode()
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert body == cache[0]
+        assert "serve_decided_total 60" in body
+
+    def test_scrape_failure_is_500_not_fatal(self):
+        def boom():
+            raise RuntimeError("no cache")
+
+        with MetricsServer(boom, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(server.url, timeout=10)
+            assert exc_info.value.code == 500
+            # The server survives a failed scrape.
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(server.url, timeout=10)
+
+    def test_default_buckets_are_sane(self):
+        assert LATENCY_BUCKETS_SECONDS[0] == 1e-6
+        assert LATENCY_BUCKETS_SECONDS[-1] == 10.0
+        assert list(LATENCY_BUCKETS_SECONDS) == sorted(LATENCY_BUCKETS_SECONDS)
+        assert list(SIZE_BUCKETS_JOBS) == sorted(SIZE_BUCKETS_JOBS)

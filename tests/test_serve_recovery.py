@@ -107,6 +107,21 @@ class TestWriteAheadLog:
         assert job_from_record(job_to_record(job)) == job
 
 
+# Monotonic counters that must be identical between a recovered run and
+# the uninterrupted reference (serve_wal_records_total is excluded: the
+# reference run has no WAL).
+METRIC_COUNTER_KEYS = (
+    "serve_submitted_total", "serve_decided_total", "serve_chunks_total",
+    "serve_forced_chunks_total", "serve_completions_total",
+    "serve_duplicate_completes_total", "serve_stale_completes_total",
+    "serve_shocks_total", "serve_evictions_total",
+    "serve_evicted_bytes_total", "serve_degraded_jobs_total",
+    "serve_degraded_intervals_total", "serve_categorizer_failures_total",
+    "serve_ssd_requested_total", "serve_spilled_total",
+    "serve_kernel_evictions_total", "serve_scalar_fallback_total",
+)
+
+
 def _drive(svc_or_inj, trace, lo, hi, *, batch, complete_every, shock_at):
     """Feed ``trace[lo:hi]`` deterministically: micro-batches via
     ``submit_jobs`` plus scripted completes and one capacity shock, so
@@ -180,6 +195,21 @@ class TestRecoveryBitIdentity:
                 assert_bit_identical(off_res, on_res, label)
                 assert on_svc.stats.n_evicted == off_svc.stats.n_evicted, label
                 assert on_svc.stats.n_shocks == off_svc.stats.n_shocks, label
+                # The metrics surface continues across recovery: every
+                # monotonic counter resumes from its checkpoint + WAL
+                # replay value — no resets, no double counting.
+                m_off, m_on = off_svc.metrics(), on_svc.metrics()
+                for key in METRIC_COUNTER_KEYS:
+                    assert m_on[key] == m_off[key], (label, key)
+                cats_off = {k: v for k, v in m_off.items()
+                            if k.startswith("serve_admitted_by_category")}
+                cats_on = {k: v for k, v in m_on.items()
+                           if k.startswith("serve_admitted_by_category")}
+                assert cats_on == cats_off, label
+                # Latency histogram *counts* replay exactly too (sums
+                # are wall-clock and may differ).
+                assert (m_on["serve_batch_seconds"]["count"]
+                        == m_off["serve_batch_seconds"]["count"]), label
                 # Per-shard counters and ACT positions survive recovery.
                 off_p, on_p = off_svc.policy, on_svc.policy
                 for attr in ("shard_ssd_requested", "shard_spills",
@@ -305,4 +335,9 @@ class TestCrashKill:
         )
         assert recovered.returncode == 0, recovered.stderr
         assert "recovered from" in recovered.stdout
+        # The roll-up filter includes the CLI's metrics line (it names
+        # "chunks" and "spilled"), so recovered counters must equal the
+        # uninterrupted run's counter for counter — no resets after the
+        # crash, no double counting from the WAL replay.
+        assert any("metrics:" in ln for ln in self._rollup(ref.stdout))
         assert self._rollup(recovered.stdout) == self._rollup(ref.stdout)
