@@ -13,7 +13,11 @@ number: every scenario finishes (no injected fault escapes as an
 unhandled exception), shocks fire and evictions are accounted, the
 categorizer outage degrades exactly the scripted span of the stream,
 completion chaos is absorbed, and kernel capacity accounting stays
-exact (no negative free space) at the end of every run.
+exact (no negative free space) at the end of every run.  Every run
+also carries the standard alert rules (``alerts=True``): each row must
+fire exactly the scripted alert set for its scenario and the clean
+rows must emit zero alert transition events — the no-false-positives
+bar, visible in the committed table's ``alerts`` column.
 
 ``BENCH_CHAOS_JOBS`` overrides the trace size, as in CI.  The committed
 baseline table lives in ``benchmarks/results/chaos_scenarios.txt``.
@@ -26,7 +30,12 @@ import os
 import numpy as np
 import pytest
 
-from repro.serve.scenarios import SCENARIOS, format_rows, run_scenario
+from repro.serve.scenarios import (
+    SCENARIOS,
+    expected_alerts,
+    format_rows,
+    run_scenario,
+)
 from repro.workloads import Trace, default_cluster_specs, generate_cluster_trace
 from repro.units import WEEK
 
@@ -55,7 +64,7 @@ def test_chaos_scenarios(benchmark):
         for sc in SCENARIOS:
             rows.extend(run_scenario(
                 sc, trace, capacity=capacity, n_shards=N_SHARDS,
-                batch_jobs=BATCH_JOBS, seed=SEED,
+                batch_jobs=BATCH_JOBS, seed=SEED, alerts=True,
             ))
         return rows
 
@@ -110,6 +119,17 @@ def test_chaos_scenarios(benchmark):
         assert (r.degraded_intervals > 0) == (r.degraded_jobs > 0), r
     assert by[("cat_outage", "adaptive")].degraded_intervals == 1
     assert by[("cat_outage", "baseline")].degraded_intervals == 0
+    # Alerting rides the same determinism contract as the roll-ups:
+    # every row fires exactly the scripted alert set (the baseline has
+    # no categorizer, so cat_outage expects nothing from it), and the
+    # clean rows emit zero transition events — no false positives.
+    for r in rows:
+        assert set(r.alerts_fired) == expected_alerts(
+            r.scenario, categorizer=(r.policy == "adaptive")
+        ), (r.scenario, r.policy, r.alerts_fired)
+    for p in policies:
+        assert by[("nofault", p)].alert_events == 0
+        assert by[("complete_chaos", p)].alert_events == 0
 
 
 @pytest.mark.benchmark(group="chaos")

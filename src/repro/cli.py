@@ -164,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="serve Prometheus-format metrics on this local "
                             "port while running (0 = pick a free port)")
+    _add_observability_args(serve)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -210,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--metrics-port", type=int, default=None,
                          help="serve Prometheus-format metrics on this local "
                               "port while running (0 = pick a free port)")
+    _add_observability_args(loadgen)
 
     chaos = sub.add_parser(
         "chaos",
@@ -242,7 +244,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics-port", type=int, default=None,
                        help="serve Prometheus-format metrics on this local "
                             "port while running (0 = pick a free port)")
+    _add_observability_args(chaos)
+    chaos.add_argument("--no-alerts", action="store_true",
+                       help="disable the default chaos alert rules")
     return parser
+
+
+def _add_observability_args(p) -> None:
+    """The alerting/SLO/tracing flags shared by serve, loadgen, chaos."""
+    p.add_argument("--alert-rules", default=None,
+                   help="JSON alert config: {\"rules\": [...], \"slos\": "
+                        "[...]} or a bare rule list (see repro.serve.alerts)")
+    p.add_argument("--slo", default=None,
+                   help="JSON SLO config, same format as --alert-rules "
+                        "(both files may carry rules and SLOs; they merge)")
+    p.add_argument("--alert-log", default=None,
+                   help="append one JSON line per alert transition to this "
+                        "file")
+    p.add_argument("--trace-out", default=None,
+                   help="export sampled request spans as JSONL to this file "
+                        "at the end of the run (enables tracing)")
+    p.add_argument("--trace-sample", type=float, default=1.0,
+                   help="fraction of jobs traced, by deterministic job-id "
+                        "hash (default 1.0)")
 
 
 def _cmd_generate(args) -> int:
@@ -419,6 +443,60 @@ def _metrics_endpoint(port):
     return refresh, server.close
 
 
+def _build_observability(args):
+    """``(AlertManager | None, Tracer | None)`` from the shared flags."""
+    from .serve import AlertManager, Tracer, load_alert_config
+
+    rules, slos = [], []
+    for path in (args.alert_rules, args.slo):
+        if path:
+            r, s = load_alert_config(path)
+            rules.extend(r)
+            slos.extend(s)
+    alerts = None
+    if rules or slos:
+        alerts = AlertManager(rules, slos, log_path=args.alert_log)
+    tracer = (
+        Tracer(sample=args.trace_sample) if args.trace_out is not None
+        else None
+    )
+    return alerts, tracer
+
+
+def _alert_summary(alerts) -> None:
+    if alerts is None:
+        return
+    fired = alerts.fired()
+    firing = alerts.firing()
+    print(f"  alerts: {len(alerts.events)} events, "
+          f"fired: {', '.join(fired) if fired else 'none'}, "
+          f"firing now: {', '.join(firing) if firing else 'none'}")
+    for name, s in alerts.slo_status().items():
+        if s is None:
+            print(f"  slo {name}: no samples")
+        else:
+            print(f"  slo {name}: {s['bad']}/{s['total']} bad "
+                  f"(budget {s['budget']:.4g}), burn fast "
+                  f"{s['fast_burn']:.2f}x / slow {s['slow_burn']:.2f}x "
+                  f"({s['state']})")
+
+
+def _export_trace(service, path) -> None:
+    """Write the service's spans (plus fleet worker op spans) as JSONL."""
+    import json
+
+    n = service.export_trace(path)
+    n_ops = 0
+    if hasattr(service, "worker_op_spans"):
+        ops = service.worker_op_spans()
+        with open(path, "a") as fh:
+            for span in ops:
+                fh.write(json.dumps(span) + "\n")
+        n_ops = len(ops)
+    extra = f" + {n_ops} worker op spans" if n_ops else ""
+    print(f"  trace: {n} request spans{extra} -> {path}")
+
+
 def _hard_exit() -> None:
     """Injected-crash hook: die like a killed process (WAL survives)."""
     import os
@@ -442,6 +520,7 @@ def _cmd_serve(args) -> int:
         print(f"trace {trace.name}: 0 jobs, nothing to serve")
         return 0
     fleet = args.workers > 1
+    alerts, tracer = _build_observability(args)
     if args.recover:
         if not (args.checkpoint and args.wal):
             print("serve: --recover needs --checkpoint and --wal",
@@ -452,6 +531,12 @@ def _cmd_serve(args) -> int:
         start = service.stats.n_submitted
         print(f"recovered from {args.checkpoint} + {args.wal}: "
               f"{start} submissions replayed to WAL seq {service.wal_seq}")
+        # A schema-3 checkpoint carries its own manager/tracer; only
+        # backfill what the snapshot did not restore.
+        if service.alerts is None:
+            service.alerts = alerts
+        if service.tracer is None:
+            service.tracer = tracer
     else:
         capacity = args.quota * trace.peak_ssd_usage()
         policy = AdaptiveCategoryPolicy(
@@ -464,11 +549,13 @@ def _cmd_serve(args) -> int:
                 max_pending=args.max_pending, wal=args.wal,
                 n_workers=args.workers, transport=args.transport,
                 worker_dir=args.worker_dir,
+                alerts=alerts, tracer=tracer,
             )
         else:
             service = PlacementService(
                 policy, capacity, args.shards, mode=args.mode,
                 max_pending=args.max_pending, wal=args.wal,
+                alerts=alerts, tracer=tracer,
             )
         service.open(trace)
         if args.checkpoint:
@@ -509,6 +596,8 @@ def _cmd_serve(args) -> int:
                 )
             lat.append(time.perf_counter() - t0)
             batches += 1
+            if service.alerts is not None:
+                service.evaluate_alerts()
             if (args.checkpoint and args.checkpoint_every
                     and batches % args.checkpoint_every == 0):
                 service.checkpoint(args.checkpoint)
@@ -529,6 +618,9 @@ def _cmd_serve(args) -> int:
         print(f"  throughput:       {res.n_jobs / elapsed:,.0f} decisions/s")
     _service_summary(res, service.stats, interrupted)
     _metrics_line(service)
+    _alert_summary(service.alerts)
+    if args.trace_out:
+        _export_trace(service, args.trace_out)
     st = service.stats
     if st.n_shocks or st.degraded_jobs or st.n_evicted:
         print(f"  faults: {st.n_shocks} shocks, {st.n_evicted} evicted "
@@ -546,7 +638,12 @@ def _cmd_serve(args) -> int:
 
 def _cmd_loadgen(args) -> int:
     from .core import AdaptiveCategoryPolicy, hash_categories
-    from .serve import FleetRouter, LoadGenerator, PlacementService
+    from .serve import (
+        FleetRouter,
+        LoadGenerator,
+        PlacementService,
+        metrics_latency_summary,
+    )
     from .workloads.streaming import materialize_trace
 
     trace = materialize_trace(args.trace)
@@ -558,13 +655,18 @@ def _cmd_loadgen(args) -> int:
         hash_categories(trace, args.categories), args.categories,
         name="Adaptive Hash",
     )
+    alerts, tracer = _build_observability(args)
     if args.workers > 1:
         service = FleetRouter(
             policy, capacity, args.shards, mode="batch",
             n_workers=args.workers, transport=args.transport,
+            alerts=alerts, tracer=tracer,
         )
     else:
-        service = PlacementService(policy, capacity, args.shards, mode="batch")
+        service = PlacementService(
+            policy, capacity, args.shards, mode="batch",
+            alerts=alerts, tracer=tracer,
+        )
     service.open(trace)
     gen = LoadGenerator(
         trace, rate=args.rate, shape=args.burst,
@@ -573,7 +675,15 @@ def _cmd_loadgen(args) -> int:
         warmup=args.warmup,
     )
     refresh, close_metrics = _metrics_endpoint(args.metrics_port)
-    on_batch = (lambda _report: refresh(service)) if refresh else None
+
+    def on_batch(_report) -> None:
+        if alerts is not None:
+            service.evaluate_alerts()
+        if refresh:
+            refresh(service)
+
+    if alerts is None and refresh is None:
+        on_batch = None
     if refresh:
         refresh(service)
     report = gen.run(service, limit=args.limit, on_batch=on_batch)
@@ -596,8 +706,17 @@ def _cmd_loadgen(args) -> int:
               f"{report.n_forced_drains} forced drains, "
               f"peak in-flight {report.in_flight_peak}")
     res = service.result()
+    lat = metrics_latency_summary(service)
+    if lat is not None:
+        print(f"  metrics latency: p50 {lat['p50'] * 1e6:,.0f} us, "
+              f"p95 {lat['p95'] * 1e6:,.0f} us, "
+              f"p99 {lat['p99'] * 1e6:,.0f} us over {lat['count']} "
+              f"observations ({lat['metric']})")
     _service_summary(res, service.stats, report.interrupted)
     _metrics_line(service)
+    _alert_summary(service.alerts)
+    if args.trace_out:
+        _export_trace(service, args.trace_out)
     if refresh:
         refresh(service)
     close_metrics()
@@ -633,18 +752,62 @@ def _cmd_chaos(args) -> int:
         return 2
     capacity = args.quota * trace.peak_ssd_usage()
     refresh, close_metrics = _metrics_endpoint(args.metrics_port)
+
+    # Alerting is on by default (the scenario table's alerts column is
+    # the point of the suite); --alert-rules/--slo swap in a custom
+    # config, --no-alerts silences it.
+    alerts = not args.no_alerts
+    if alerts and (args.alert_rules or args.slo):
+        from .serve import AlertManager, load_alert_config
+
+        rules, slos = [], []
+        for path in (args.alert_rules, args.slo):
+            if path:
+                r, s = load_alert_config(path)
+                rules.extend(r)
+                slos.extend(s)
+
+        def alerts():
+            return AlertManager(
+                list(rules), list(slos), log_path=args.alert_log
+            )
+
+    tracers = []
+    tracer = None
+    if args.trace_out:
+        from .serve import Tracer
+
+        def tracer():
+            tr = Tracer(sample=args.trace_sample)
+            tracers.append(tr)
+            return tr
+
     try:
         rows = run_suite(
             trace, capacity=capacity, n_shards=args.shards,
             batch_jobs=max(args.batch, 1), scenarios=scenarios,
             seed=args.seed, n_workers=args.workers, transport=args.transport,
-            metrics_hook=refresh,
+            metrics_hook=refresh, alerts=alerts, tracer=tracer,
         )
     finally:
         close_metrics()
     print(f"chaos suite on {trace.name}: {len(trace)} jobs, "
           f"{fmt_bytes(capacity)} over {args.shards} caching servers")
     print(format_rows(rows))
+    if args.trace_out:
+        import json
+
+        n_spans = 0
+        with open(args.trace_out, "w") as fh:
+            for row, tr in zip(rows, tracers):
+                for span in tr.spans():
+                    tagged = {
+                        "scenario": row.scenario, "policy": row.policy,
+                        **span,
+                    }
+                    fh.write(json.dumps(tagged, default=float) + "\n")
+                    n_spans += 1
+        print(f"  trace: {n_spans} request spans -> {args.trace_out}")
     return 0
 
 

@@ -40,12 +40,23 @@ space:
   duplicated completions, transient errors, crash points); named
   scenarios and the adaptive-vs-baseline runner live in
   :mod:`repro.serve.scenarios`.
+- :class:`AlertRule` / :class:`SloSpec` / :class:`AlertManager` —
+  deterministic alerting and SLO burn-rate accounting over the pinned
+  metrics surface, evaluated on the logical clock so the alert event
+  stream is bit-identical across engines, worker counts, transports,
+  and WAL recovery (see :mod:`repro.serve.alerts`).
+- :class:`Tracer` — deterministic per-request spans (submit →
+  categorize → admit → place/spill → complete) with job-id-hash
+  sampling and a bounded ring, exported as JSONL; fleet workers keep a
+  tiny op-span ring gathered through a non-mutating transport op (see
+  :mod:`repro.serve.tracing`).
 
 Replaying a trace through the service is bit-identical to the offline
 ``simulate``/``simulate_sharded`` run with the matching engine — the
 service drives the same kernels; see :mod:`repro.serve.service`.
 """
 
+from .alerts import AlertManager, AlertRule, SloSpec, load_alert_config
 from .faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -54,7 +65,7 @@ from .faults import (
     InjectedCrash,
     TransientSubmitError,
 )
-from .loadgen import LoadGenerator, LoadReport
+from .loadgen import LoadGenerator, LoadReport, metrics_latency_summary
 from .log import ColumnView, GrowArray, JobLog
 from .metrics import (
     Counter,
@@ -67,7 +78,14 @@ from .metrics import (
 from .policy import OnlineAdaptivePolicy
 from .predict import OnlineCategorizer
 from .router import FleetRouter, worker_lanes
-from .scenarios import SCENARIOS, ChaosScenario, ScenarioRow
+from .scenarios import (
+    EXPECTED_ALERTS,
+    SCENARIOS,
+    ChaosScenario,
+    ScenarioRow,
+    default_alert_rules,
+    expected_alerts,
+)
 from .service import (
     PlacementDecision,
     PlacementService,
@@ -81,6 +99,7 @@ from .transport import (
     WorkerDied,
     WorkerTransport,
 )
+from .tracing import SAMPLE_MODULUS, Tracer, sample_hash, sample_mask
 from .types import SnapshotMismatch
 from .wal import WalCorruption, WriteAheadLog
 from .worker import PlacementWorker
@@ -103,6 +122,7 @@ __all__ = [
     "OnlineCategorizer",
     "LoadGenerator",
     "LoadReport",
+    "metrics_latency_summary",
     "Counter",
     "Gauge",
     "Histogram",
@@ -123,4 +143,15 @@ __all__ = [
     "ChaosScenario",
     "ScenarioRow",
     "SCENARIOS",
+    "EXPECTED_ALERTS",
+    "expected_alerts",
+    "default_alert_rules",
+    "AlertRule",
+    "SloSpec",
+    "AlertManager",
+    "load_alert_config",
+    "Tracer",
+    "sample_hash",
+    "sample_mask",
+    "SAMPLE_MODULUS",
 ]

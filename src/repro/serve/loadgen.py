@@ -56,7 +56,32 @@ import numpy as np
 from ..workloads.streaming import open_trace_source, rechunk_blocks
 from .faults import TransientSubmitError
 
-__all__ = ["LoadReport", "LoadGenerator"]
+__all__ = ["LoadReport", "LoadGenerator", "metrics_latency_summary"]
+
+
+def metrics_latency_summary(service) -> dict | None:
+    """Batch-latency percentiles straight off the metrics surface.
+
+    Reads the service's ``serve_batch_seconds`` histogram (falling back
+    to ``serve_request_seconds`` for scalar-mode services) and
+    interpolates p50/p95/p99 with
+    :meth:`~repro.serve.metrics.Histogram.quantile` — the same fixed
+    integer buckets any scraper sees, so the summary the ``loadgen``
+    CLI prints is exactly what an operator's dashboard would show.
+    Returns ``None`` when nothing has been observed yet.
+    """
+    reg = service.registry
+    for name in ("serve_batch_seconds", "serve_request_seconds"):
+        h = reg.get(name)
+        if h is not None and h.count:
+            return {
+                "metric": name,
+                "count": int(h.count),
+                "p50": h.quantile(0.50),
+                "p95": h.quantile(0.95),
+                "p99": h.quantile(0.99),
+            }
+    return None
 
 
 @dataclass

@@ -136,6 +136,10 @@ class JobLog(TraceBase):
         self._pipelines: list[str] = []
         self._users: list[str] = []
         self._job_ids: list = []
+        #: True while every id is the auto-assigned submission index —
+        #: lets the tracer sample whole chunks with one arange instead
+        #: of converting the id list (see PlacementService._trace_scan).
+        self._ids_auto = True
         self._lane_cache: dict[str, int] = {}
 
     # -- column views ---------------------------------------------------
@@ -277,7 +281,12 @@ class JobLog(TraceBase):
         self._lanes.append(self._lane_of(pipeline))
         self._pipelines.append(pipeline)
         self._users.append(user)
-        self._job_ids.append(n if job_id is None else job_id)
+        if job_id is None:
+            self._job_ids.append(n)
+        else:
+            self._job_ids.append(job_id)
+            if not (isinstance(job_id, int) and job_id == n):
+                self._ids_auto = False
         return n
 
     def append_block(
@@ -353,4 +362,5 @@ class JobLog(TraceBase):
             raise ValueError(f"batch job_ids has {len(job_ids)} entries, expected {k}")
         else:
             self._job_ids.extend(job_ids)
+            self._ids_auto = False
         return first, first + k

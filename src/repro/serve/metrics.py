@@ -211,6 +211,39 @@ class Histogram:
                 return self.edges[i] if i < len(self.edges) else self.max
         return self.max
 
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated ``q``-quantile from the integer buckets.
+
+        ``q`` in [0, 1].  Unlike :meth:`percentile` (which reports the
+        containing bucket's upper bound), this interpolates linearly
+        *within* the containing bucket — the same estimate Prometheus'
+        ``histogram_quantile`` computes — so close quantiles separate
+        even when they land in the same bucket.  The first bucket
+        interpolates from 0; the overflow bucket reports the largest
+        observation seen.  Returns 0.0 when nothing was observed.
+
+        Deterministic: depends only on the integer bucket counts (and
+        ``max`` for the overflow bucket), so it is merge-safe across
+        the fleet and fair game for alert rules and SLO targets.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        if rank < 1.0:
+            rank = 1.0
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c and cum + c >= rank:
+                if i >= len(self.edges):  # overflow bucket
+                    return self.max
+                lo = self.edges[i - 1] if i > 0 else 0.0
+                hi = self.edges[i]
+                return lo + (hi - lo) * (rank - cum) / c
+            cum += c
+        return self.max
+
     def snapshot(self) -> dict:
         cum, buckets = 0, []
         for i, edge in enumerate(self.edges):
@@ -402,7 +435,8 @@ def merge_states(states) -> list:
 class MetricsServer:
     """Background HTTP scrape endpoint over a text callback.
 
-    Serves ``source()`` (a str) on every GET, from a daemon thread.
+    Serves ``source()`` (a str) on ``GET /metrics`` (and ``/``) from a
+    daemon thread; any other path is a 404.
     The callback runs on the scrape thread: hand it something
     thread-safe — the CLI passes a closure over a cached rendering it
     refreshes from the serving loop, never the live fleet transports.
@@ -420,6 +454,16 @@ class MetricsServer:
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 (stdlib casing)
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header(
+                        "Content-Type", "text/plain; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
                 try:
                     body = server_ref._source().encode()
                 except Exception as exc:  # surface, don't kill the thread

@@ -163,6 +163,7 @@ class _WorkerPool:
                 for w in range(self.n_workers)
             ]
         self.counters = [self._zero_counters() for _ in range(self.n_workers)]
+        self.n_recoveries = 0  # workers rebuilt from checkpoint + WAL
         self._pending_payloads = None
         self.transports = [self._spawn(w) for w in range(self.n_workers)]
 
@@ -333,6 +334,7 @@ class _WorkerPool:
             last = tr.request(_op_from_record(rec))
         if last is not None:
             self._update(w, last)
+        self.n_recoveries += 1
         return last
 
     def close(self) -> None:
@@ -969,8 +971,33 @@ class FleetRouter(PlacementService):
             "serve_workers_alive",
             help="Workers that answered the last metrics gather",
         ).set(alive)
+        reg.counter(
+            "serve_worker_recoveries",
+            help="Workers rebuilt from checkpoint + WAL-suffix replay",
+        ).set(pool.n_recoveries)
         if states:
             reg.load_state(merge_states(states))
+
+    def worker_op_spans(self) -> list[dict]:
+        """Every live worker's op-span ring, gathered fleet-wide.
+
+        One non-mutating ``{"op": "spans"}`` round-trip per worker —
+        never WAL-logged (``"spans"`` is not in ``_MUTATING_OPS``), so
+        gathering spans cannot change what a recovery replays.  A dead,
+        unrecoverable worker drops out of the gather; a recoverable one
+        is rebuilt transparently and reports a fresh ring (worker op
+        spans are auxiliary telemetry, not checkpointed — see
+        :meth:`~repro.serve.worker.PlacementWorker._op_spans`).
+        """
+        pool = self.pool
+        spans: list[dict] = []
+        for w in range(pool.n_workers):
+            try:
+                reply = pool.request(w, {"op": "spans"})
+            except WorkerDied:
+                continue
+            spans.extend(reply["spans"])
+        return spans
 
     # -- roll-up --------------------------------------------------------
 

@@ -22,12 +22,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..workloads.metadata import stable_hash
+from .alerts import AlertManager, AlertRule
 from .faults import FaultEvent, FaultInjector, FaultPlan, TransientSubmitError
 
 __all__ = [
     "ChaosScenario",
     "ScenarioRow",
     "SCENARIOS",
+    "EXPECTED_ALERTS",
+    "expected_alerts",
+    "default_alert_rules",
     "default_policies",
     "run_scenario",
     "run_suite",
@@ -130,6 +134,71 @@ SCENARIOS = (
 )
 
 
+def default_alert_rules() -> list[AlertRule]:
+    """The standard chaos alert set, fresh rule objects per call.
+
+    Every input is a pinned, mode-invariant metric, so the alert event
+    stream these rules produce is part of the determinism contract:
+
+    - ``capacity-shock`` — the fleet quota moved down between two
+      evaluations (rate-of-change of ``serve_capacity_bytes``); fires
+      for lane loss, lane shrink, and quota cuts, resolves when
+      capacity is restored.
+    - ``degraded-mode`` — admission is running on the heuristic
+      fallback (``serve_degraded`` gauge); fires for categorizer
+      outages.
+    - ``fleet-liveness`` — a worker was rebuilt from checkpoint + WAL
+      (``serve_worker_recoveries``); fires for worker kills.  The
+      metric only exists on a :class:`~repro.serve.FleetRouter`, so the
+      rule is inert on a single-process service.
+    """
+    return [
+        AlertRule(
+            "capacity-shock", "serve_capacity_bytes", kind="rate",
+            op="<", threshold=0.0,
+            description="fleet SSD capacity dropped between evaluations",
+        ),
+        AlertRule(
+            "degraded-mode", "serve_degraded", op=">", threshold=0.0,
+            description="categorizer down; admission on heuristic fallback",
+        ),
+        AlertRule(
+            "fleet-liveness", "serve_worker_recoveries", op=">",
+            threshold=0.0,
+            description="a fleet worker was rebuilt from checkpoint + WAL",
+        ),
+    ]
+
+
+#: The alert names each scenario must fire under
+#: :func:`default_alert_rules` — and, for ``nofault``, the assertion
+#: that the clean run emits *zero* alert events (no false positives).
+#: ``complete_chaos`` perturbs only the completion stream, which no
+#: default rule watches, so it is a zero-alert scenario too.
+EXPECTED_ALERTS = {
+    "nofault": frozenset(),
+    "lane_loss": frozenset({"capacity-shock"}),
+    "lane_shrink": frozenset({"capacity-shock"}),
+    "quota_cut": frozenset({"capacity-shock"}),
+    "cat_outage": frozenset({"degraded-mode"}),
+    "complete_chaos": frozenset(),
+    "worker_kill": frozenset({"fleet-liveness"}),
+}
+
+
+def expected_alerts(scenario: str, *, categorizer: bool = True) -> frozenset:
+    """The alert set one contender must fire under a scenario.
+
+    A contender with no categorizer (the first-fit baseline) cannot
+    enter degraded mode, so ``cat_outage`` fires nothing for it — pass
+    ``categorizer=False`` to drop that expectation.
+    """
+    exp = EXPECTED_ALERTS[scenario]
+    if not categorizer:
+        exp = exp - frozenset({"degraded-mode"})
+    return exp
+
+
 def get_scenario(name: str) -> ChaosScenario:
     for sc in SCENARIOS:
         if sc.name == name:
@@ -148,6 +217,11 @@ class ScenarioRow:
     surface (``serve_degraded_intervals_total``) rather than the stats
     object — the bench asserts the two agree, so the scrape endpoint
     can never drift from the roll-up.
+
+    ``alerts_fired`` holds the names that reached ``firing`` during the
+    run (sorted) when the runner attached an alert manager, and
+    ``alert_events`` the total transition-event count — zero on a clean
+    run is the no-false-positives assertion.
     """
 
     scenario: str
@@ -161,6 +235,8 @@ class ScenarioRow:
     duplicate_completes: int
     n_retries: int
     degraded_intervals: int = 0
+    alerts_fired: tuple = ()
+    alert_events: int = 0
 
 
 def default_policies(n_categories: int = 15):
@@ -226,12 +302,18 @@ def _drive_contender(
         for k, d in enumerate(decisions[: hi - lo]):
             if lottery[k] < complete_fraction:
                 inj.complete(d.job_id)
+        # One alert tick per submitted batch — the same deterministic
+        # cadence for every contender, before any scrape-endpoint
+        # refresh the hook may add.
+        if svc.alerts is not None:
+            svc.evaluate_alerts()
         if metrics_hook is not None:
             metrics_hook(svc)
     inj.drain()
     metrics = svc.metrics()
     res = svc.result()
     st = svc.stats
+    am = svc.alerts
     return ScenarioRow(
         scenario=scenario_name,
         policy=pname,
@@ -244,6 +326,8 @@ def _drive_contender(
         duplicate_completes=int(st.duplicate_completes),
         n_retries=n_retries,
         degraded_intervals=int(metrics["serve_degraded_intervals_total"]),
+        alerts_fired=() if am is None else tuple(am.fired()),
+        alert_events=0 if am is None else len(am.events),
     )
 
 
@@ -262,12 +346,27 @@ def run_scenario(
     transport: str = "inprocess",
     worker_dir: "str | None" = None,
     metrics_hook=None,
+    alerts=False,
+    tracer=None,
 ) -> list[ScenarioRow]:
     """Run one scenario through every contender; returns one row each.
 
     ``metrics_hook`` (optional) is called with the live service after
     every submitted batch — the ``chaos`` CLI hangs its scrape-endpoint
     refresh on it.
+
+    ``alerts`` attaches an alert manager to each contender and ticks it
+    once per submitted batch: ``True`` uses :func:`default_alert_rules`,
+    a callable is invoked per contender and must return a fresh
+    :class:`~repro.serve.alerts.AlertManager` (managers hold per-run
+    state and cannot be shared).  The row then reports
+    ``alerts_fired`` / ``alert_events`` — compare against
+    :data:`EXPECTED_ALERTS`.
+
+    ``tracer`` (optional) is a zero-argument callable returning a fresh
+    :class:`~repro.serve.tracing.Tracer` per contender — the caller
+    keeps its own references to read the spans back (the ``chaos`` CLI
+    does exactly that for ``--trace-out``).
 
     Every contender sees the identical stream: the same micro-batch
     slicing, the same fault plan, and the same deterministic completion
@@ -285,6 +384,17 @@ def run_scenario(
     """
     policies = default_policies() if policies is None else policies
     eff_workers = max(int(n_workers), scenario.min_workers)
+
+    def make_alerts():
+        if not alerts:
+            return None
+        if callable(alerts):
+            return alerts()
+        return AlertManager(rules=default_alert_rules())
+
+    def make_tracer():
+        return None if tracer is None else tracer()
+
     rows = []
     for pname, build in policies.items():
         policy, categorizer = build()
@@ -301,6 +411,7 @@ def run_scenario(
                     policy, capacity, n_shards, mode="batch",
                     categorizer=categorizer, n_workers=eff_workers,
                     transport=transport, worker_dir=wdir,
+                    alerts=make_alerts(), tracer=make_tracer(),
                 )
                 if categorizer is None:
                     svc.open(trace)
@@ -319,7 +430,8 @@ def run_scenario(
 
             svc = PlacementService(
                 policy, capacity, n_shards, mode="batch",
-                categorizer=categorizer,
+                categorizer=categorizer, alerts=make_alerts(),
+                tracer=make_tracer(),
             )
             if categorizer is None:
                 svc.open(trace)
@@ -338,7 +450,8 @@ def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
               scenarios=SCENARIOS, policies=None, seed: int = 0,
               n_workers: int = 1, transport: str = "inprocess",
               worker_dir: "str | None" = None,
-              metrics_hook=None) -> list[ScenarioRow]:
+              metrics_hook=None, alerts=False,
+              tracer=None) -> list[ScenarioRow]:
     """Run every scenario; returns all rows in suite order."""
     rows = []
     for sc in scenarios:
@@ -346,7 +459,7 @@ def run_suite(trace, *, capacity, n_shards: int = 4, batch_jobs: int = 64,
             sc, trace, capacity=capacity, n_shards=n_shards,
             batch_jobs=batch_jobs, policies=policies, seed=seed,
             n_workers=n_workers, transport=transport, worker_dir=worker_dir,
-            metrics_hook=metrics_hook,
+            metrics_hook=metrics_hook, alerts=alerts, tracer=tracer,
         ))
     return rows
 
@@ -356,15 +469,16 @@ def format_rows(rows) -> str:
     head = (
         f"{'scenario':<16} {'policy':<10} {'tco_sav%':>9} {'spilled':>8} "
         f"{'evicted':>8} {'shocks':>7} {'degraded':>9} {'d_ivals':>8} "
-        f"{'dropped':>8} {'dup':>5} {'retries':>8}"
+        f"{'dropped':>8} {'dup':>5} {'retries':>8} alerts"
     )
     lines = [head, "-" * len(head)]
     for r in rows:
+        alerts = ",".join(r.alerts_fired) if r.alerts_fired else "-"
         lines.append(
             f"{r.scenario:<16} {r.policy:<10} {r.tco_savings_pct:>9.2f} "
             f"{r.n_spilled:>8} {r.n_evicted:>8} {r.n_shocks:>7} "
             f"{r.degraded_jobs:>9} {r.degraded_intervals:>8} "
             f"{r.dropped_completes:>8} {r.duplicate_completes:>5} "
-            f"{r.n_retries:>8}"
+            f"{r.n_retries:>8} {alerts}"
         )
     return "\n".join(lines)

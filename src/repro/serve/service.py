@@ -89,9 +89,72 @@ from ..storage.engine import (
 from ..storage.policy import PlacementPolicy
 from ..workloads.job import ShuffleJob, TraceBase
 from ..workloads.metadata import stable_hash
+from .alerts import AlertManager
 from .log import GrowArray, JobLog
 from .metrics import SIZE_BUCKETS_JOBS, MetricsRegistry
+from .tracing import Tracer, _PRIME
+
+#: Tracer sampling constants, hoisted so the per-stride hash pass pays
+#: no per-call numpy scalar conversions.
+_F_INF = float("inf")
+
+_PRIME_U64 = np.uint64(_PRIME)
+_MASK32 = np.uint64(0xFFFFFFFF)
+#: Auto-id sampling hashes this many ids per vector pass, running ahead
+#: of the log (the hash needs only the integer id).
+_TRACE_SCAN_BLOCK = 1 << 16
+
+#: Per-metric value sources for the selective alert sync (the subset of
+#: ``_sync_metrics`` an evaluation tick can pin one metric at a time).
+#: Values live at module level so an alert-sync plan pickles as plain
+#: metric-object/name pairs inside WAL checkpoints.
+_ALERT_SYNC_GETTERS = {
+    "serve_submitted_total": lambda s, kc: s.stats.n_submitted,
+    "serve_decided_total": lambda s, kc: s.stats.n_decided,
+    "serve_chunks_total": lambda s, kc: s.stats.n_chunks,
+    "serve_forced_chunks_total": lambda s, kc: s.stats.forced_chunks,
+    "serve_completions_total": lambda s, kc: s.stats.n_completions,
+    "serve_duplicate_completes_total":
+        lambda s, kc: s.stats.duplicate_completes,
+    "serve_stale_completes_total": lambda s, kc: s.stats.stale_completes,
+    "serve_shocks_total": lambda s, kc: s.stats.n_shocks,
+    "serve_evictions_total": lambda s, kc: s.stats.n_evicted,
+    "serve_evicted_bytes_total": lambda s, kc: s.stats.evicted_bytes,
+    "serve_degraded_jobs_total": lambda s, kc: s.stats.degraded_jobs,
+    "serve_degraded_intervals_total":
+        lambda s, kc: len(s.stats.degraded_intervals),
+    "serve_categorizer_failures_total":
+        lambda s, kc: s.stats.categorizer_failures,
+    "serve_ssd_requested_total": lambda s, kc: s.kernel.n_ssd_requested,
+    "serve_spilled_total": lambda s, kc: s.kernel.n_spilled,
+    "serve_kernel_evictions_total": lambda s, kc: s.kernel.n_evicted,
+    "serve_scalar_fallback_total": lambda s, kc: kc["scalar_fallback_jobs"],
+    "serve_wal_records_total": lambda s, kc: s._wal_seq,
+    "serve_pending_jobs": lambda s, kc: s.pending,
+    "serve_max_pending_seen": lambda s, kc: s.stats.max_pending_seen,
+    "serve_capacity_bytes": lambda s, kc: float(s.capacity),
+    "serve_peak_ssd_used_bytes": lambda s, kc: s.kernel.peak_used,
+    "serve_degraded": lambda s, kc: 1 if s._degraded_since is not None else 0,
+}
+
+#: Getter-table entries whose value comes from ``kernel.counters()``.
+# Getters that read the kernel ``counters()`` dict (the rest of the
+# kernel-derived metrics read attributes both kernel shapes expose).
+_KERNEL_SYNCED = frozenset({
+    "serve_scalar_fallback_total",
+})
+
+#: Every metric ``_sync_metrics`` pins.  Referenced metrics outside
+#: this set are live-updated (histograms, per-category counters) and
+#: need no sync before an evaluation tick.
+_SYNCED_METRICS = frozenset(_ALERT_SYNC_GETTERS) | frozenset({
+    "serve_lane_capacity_bytes", "serve_lane_free_bytes",
+    "serve_lane_occupancy_ratio", "serve_act_position",
+    "serve_act_lane_position", "serve_uptime_seconds",
+    "serve_decisions_per_second",
+})
 from .types import (
+    COMPAT_SNAPSHOT_SCHEMAS,
     SNAPSHOT_SCHEMA,
     PlacementDecision,
     ServiceSnapshot,
@@ -166,6 +229,19 @@ class PlacementService:
         Optional ``jobs -> categories`` used while the primary
         categorizer is failing.  Default: stable pipeline hash into
         ``[1, n_categories)`` — the Adaptive Hash heuristic.
+    alerts:
+        Optional :class:`~repro.serve.alerts.AlertManager`.  Evaluated
+        on the metrics-sync cadence (every :meth:`metrics` /
+        :meth:`metrics_text` / :meth:`evaluate_alerts` call) against
+        the pinned registry, driven by the logical clock — see
+        :mod:`repro.serve.alerts` for the determinism contract.  The
+        manager's state rides service snapshots, so recovered alert
+        streams continue instead of resetting.
+    tracer:
+        Optional :class:`~repro.serve.tracing.Tracer`: deterministic
+        per-request spans (submit -> categorize -> admit ->
+        place/spill -> complete) for job-id-hash-sampled requests,
+        kept in a bounded ring that also rides snapshots.
     """
 
     def __init__(
@@ -184,6 +260,8 @@ class PlacementService:
         name: str = "service",
         wal: WriteAheadLog | str | None = None,
         fallback_categorizer=None,
+        alerts: AlertManager | None = None,
+        tracer: Tracer | None = None,
     ):
         if mode not in ("scalar", "batch"):
             raise ValueError(f"unknown service mode {mode!r}")
@@ -242,6 +320,21 @@ class PlacementService:
         self._replay_cats = None  # (cats, degraded) from the record
         self._degraded_since: float | None = None  # open outage start
         self._shards_ref = None  # routing vector for topology re-fires
+        self.alerts = alerts
+        self.tracer = tracer
+        #: Sampled-span bookkeeping (see _trace_chunk): sorted log
+        #: indices that sample, how much of the log has been hashed,
+        #: and the first entry not yet recorded as a span.
+        self._trace_sel: list = []
+        self._trace_scanned = 0
+        self._trace_cursor = 0
+        self._trace_confirmed = 0
+        #: Logical event clock: the largest arrival time ever submitted.
+        #: Unlike ``_now`` (the last *decided* arrival, which lags in
+        #: batch mode while chunks buffer) this advances identically
+        #: across engine modes, so alert hysteresis measured against it
+        #: is mode-invariant.
+        self._clock = -np.inf
 
     def _make_kernel(self, lane_caps: np.ndarray, total: float):
         """Build the admission kernel this service drives.
@@ -267,6 +360,8 @@ class PlacementService:
         must exist from the first submission.
         """
         reg = self.registry
+        self._pinned = None  # metric-object cache, built on first sync
+        self._alert_sync = None  # selective-sync plan, built on first tick
         self._m_request = reg.histogram(
             "serve_request_seconds",
             help="Wall-clock latency of one submit() call",
@@ -313,104 +408,157 @@ class PlacementService:
         counters *by assignment*, so a metrics snapshot can never
         disagree with the end-of-run roll-up — the bit-identity
         contract extends to the metrics surface.  Called by
-        :meth:`metrics` / :meth:`metrics_text`, never on the hot path.
+        :meth:`metrics` / :meth:`metrics_text` /
+        :meth:`evaluate_alerts`, never on the decision hot path.  The
+        metric objects are resolved once (:meth:`_build_metric_pins`)
+        and cached, so a per-batch alert-evaluation cadence costs
+        attribute sets, not registry lookups.
         """
-        reg = self.registry
         st = self.stats
         kc = self.kernel.counters()
-        for name, value, help_ in (
-            ("serve_submitted_total", st.n_submitted,
-             "Jobs submitted to the service"),
-            ("serve_decided_total", st.n_decided,
-             "Placement decisions made"),
-            ("serve_chunks_total", st.n_chunks,
-             "Policy chunks decided (batch mode)"),
-            ("serve_forced_chunks_total", st.forced_chunks,
-             "Chunks force-closed by backpressure"),
-            ("serve_completions_total", st.n_completions,
-             "Early completions that freed space"),
-            ("serve_duplicate_completes_total", st.duplicate_completes,
-             "complete() calls for unknown or already-completed jobs"),
-            ("serve_stale_completes_total", st.stale_completes,
-             "complete() timestamps clamped forward to the service clock"),
-            ("serve_shocks_total", st.n_shocks,
-             "Capacity shocks applied"),
-            ("serve_evictions_total", st.n_evicted,
-             "Residents evicted by capacity shocks"),
-            ("serve_evicted_bytes_total", st.evicted_bytes,
-             "Bytes evicted by capacity shocks"),
-            ("serve_degraded_jobs_total", st.degraded_jobs,
-             "Jobs categorized by the fallback heuristic"),
-            ("serve_degraded_intervals_total", len(st.degraded_intervals),
-             "Closed categorizer outage intervals"),
-            ("serve_categorizer_failures_total", st.categorizer_failures,
-             "Categorizer calls that raised"),
-            ("serve_ssd_requested_total", kc["n_ssd_requested"],
-             "Jobs the policy sent to SSD"),
-            ("serve_spilled_total", kc["n_spilled"],
-             "SSD admissions that spilled to HDD"),
-            ("serve_kernel_evictions_total", kc["n_evicted"],
-             "Kernel-level shock evictions"),
-            ("serve_scalar_fallback_total", kc["scalar_fallback_jobs"],
-             "Chunk jobs that took the scalar arithmetic path"),
-            ("serve_wal_records_total", self._wal_seq,
-             "Write-ahead log records written or replayed"),
-        ):
-            reg.counter(name, help=help_).set(value)
-        reg.gauge(
-            "serve_pending_jobs", help="Submitted jobs awaiting a decision"
-        ).set(self.pending)
-        reg.gauge(
-            "serve_max_pending_seen", help="Peak admission-queue depth"
-        ).set(st.max_pending_seen)
-        reg.gauge(
-            "serve_capacity_bytes", help="Total SSD capacity"
-        ).set(float(self.capacity))
-        reg.gauge(
-            "serve_peak_ssd_used_bytes", help="Peak SSD bytes in use"
-        ).set(kc["peak_used"])
-        reg.gauge(
-            "serve_degraded",
-            help="1 while the categorizer outage is open, else 0",
-        ).set(1 if self._degraded_since is not None else 0)
+        pin = self._pinned
+        if pin is None:
+            pin = self._pinned = self._build_metric_pins()
+        counters, gauges, lanes, act, act_lanes, g_uptime, g_dps = pin
+        for m, v in zip(counters, (
+            st.n_submitted, st.n_decided, st.n_chunks, st.forced_chunks,
+            st.n_completions, st.duplicate_completes, st.stale_completes,
+            st.n_shocks, st.n_evicted, st.evicted_bytes,
+            st.degraded_jobs, len(st.degraded_intervals),
+            st.categorizer_failures, kc["n_ssd_requested"],
+            kc["n_spilled"], kc["n_evicted"], kc["scalar_fallback_jobs"],
+            self._wal_seq,
+        )):
+            m.set(v)
+        g_pending, g_maxpend, g_cap, g_peak, g_degraded = gauges
+        g_pending.set(self.pending)
+        g_maxpend.set(st.max_pending_seen)
+        g_cap.set(float(self.capacity))
+        g_peak.set(kc["peak_used"])
+        g_degraded.set(1 if self._degraded_since is not None else 0)
         free = np.asarray(self.kernel.free, dtype=float)
         caps = np.asarray(self.lane_capacities, dtype=float)
-        for L in range(self.n_shards):
-            lbl = {"lane": str(L)}
+        for L, (g_lcap, g_lfree, g_locc) in enumerate(lanes):
             cap = float(caps[L])
-            reg.gauge(
-                "serve_lane_capacity_bytes", labels=lbl,
-                help="Per-lane SSD capacity",
-            ).set(cap)
-            reg.gauge(
-                "serve_lane_free_bytes", labels=lbl,
-                help="Per-lane free SSD bytes",
-            ).set(float(free[L]))
-            reg.gauge(
-                "serve_lane_occupancy_ratio", labels=lbl,
-                help="Per-lane occupied fraction",
-            ).set(1.0 - float(free[L]) / cap if cap > 0 else 0.0)
-        act = getattr(self.policy, "act", None)
+            g_lcap.set(cap)
+            g_lfree.set(float(free[L]))
+            g_locc.set(1.0 - float(free[L]) / cap if cap > 0 else 0.0)
         if act is not None:
+            act_v = getattr(self.policy, "act", None)
+            if act_v is not None:
+                act.set(int(act_v))
+        if act_lanes is not None:
+            lanes_v = getattr(self.policy, "act_lanes", None)
+            if lanes_v is not None:
+                for g, a in zip(act_lanes, np.asarray(lanes_v)):
+                    g.set(int(a))
+        dt = perf_counter() - self._metrics_t0
+        g_uptime.set(dt)
+        g_dps.set(st.n_decided / dt if dt > 0 else 0.0)
+
+    def _build_metric_pins(self):
+        """Create and cache the pinned metric objects.
+
+        Creation order matters: it is the registry's render order, part
+        of the scrape surface, and must match what the old per-call
+        get-or-create path produced.  A policy without an adaptive
+        threshold (``act``) never gets the act gauges, exactly as
+        before.
+        """
+        reg = self.registry
+        counters = tuple(
+            reg.counter(name, help=h) for name, h in (
+                ("serve_submitted_total", "Jobs submitted to the service"),
+                ("serve_decided_total", "Placement decisions made"),
+                ("serve_chunks_total", "Policy chunks decided (batch mode)"),
+                ("serve_forced_chunks_total",
+                 "Chunks force-closed by backpressure"),
+                ("serve_completions_total",
+                 "Early completions that freed space"),
+                ("serve_duplicate_completes_total",
+                 "complete() calls for unknown or already-completed jobs"),
+                ("serve_stale_completes_total",
+                 "complete() timestamps clamped forward to the service clock"),
+                ("serve_shocks_total", "Capacity shocks applied"),
+                ("serve_evictions_total",
+                 "Residents evicted by capacity shocks"),
+                ("serve_evicted_bytes_total",
+                 "Bytes evicted by capacity shocks"),
+                ("serve_degraded_jobs_total",
+                 "Jobs categorized by the fallback heuristic"),
+                ("serve_degraded_intervals_total",
+                 "Closed categorizer outage intervals"),
+                ("serve_categorizer_failures_total",
+                 "Categorizer calls that raised"),
+                ("serve_ssd_requested_total",
+                 "Jobs the policy sent to SSD"),
+                ("serve_spilled_total",
+                 "SSD admissions that spilled to HDD"),
+                ("serve_kernel_evictions_total",
+                 "Kernel-level shock evictions"),
+                ("serve_scalar_fallback_total",
+                 "Chunk jobs that took the scalar arithmetic path"),
+                ("serve_wal_records_total",
+                 "Write-ahead log records written or replayed"),
+            )
+        )
+        gauges = (
             reg.gauge(
+                "serve_pending_jobs",
+                help="Submitted jobs awaiting a decision",
+            ),
+            reg.gauge(
+                "serve_max_pending_seen", help="Peak admission-queue depth"
+            ),
+            reg.gauge("serve_capacity_bytes", help="Total SSD capacity"),
+            reg.gauge(
+                "serve_peak_ssd_used_bytes", help="Peak SSD bytes in use"
+            ),
+            reg.gauge(
+                "serve_degraded",
+                help="1 while the categorizer outage is open, else 0",
+            ),
+        )
+        lanes = tuple(
+            (
+                reg.gauge(
+                    "serve_lane_capacity_bytes", labels={"lane": str(L)},
+                    help="Per-lane SSD capacity",
+                ),
+                reg.gauge(
+                    "serve_lane_free_bytes", labels={"lane": str(L)},
+                    help="Per-lane free SSD bytes",
+                ),
+                reg.gauge(
+                    "serve_lane_occupancy_ratio", labels={"lane": str(L)},
+                    help="Per-lane occupied fraction",
+                ),
+            )
+            for L in range(self.n_shards)
+        )
+        act = act_lanes = None
+        if getattr(self.policy, "act", None) is not None:
+            act = reg.gauge(
                 "serve_act_position",
                 help="Global adaptive category threshold",
-            ).set(int(act))
-        act_lanes = getattr(self.policy, "act_lanes", None)
-        if act_lanes is not None:
-            for L, a in enumerate(np.asarray(act_lanes)):
+            )
+        al = getattr(self.policy, "act_lanes", None)
+        if al is not None:
+            act_lanes = tuple(
                 reg.gauge(
                     "serve_act_lane_position", labels={"lane": str(L)},
                     help="Per-shard adaptive category threshold",
-                ).set(int(a))
-        dt = perf_counter() - self._metrics_t0
-        reg.gauge(
+                )
+                for L in range(len(np.asarray(al)))
+            )
+        g_uptime = reg.gauge(
             "serve_uptime_seconds", help="Seconds since service construction"
-        ).set(dt)
-        reg.gauge(
+        )
+        g_dps = reg.gauge(
             "serve_decisions_per_second",
             help="Lifetime mean decision throughput",
-        ).set(st.n_decided / dt if dt > 0 else 0.0)
+        )
+        return counters, gauges, lanes, act, act_lanes, g_uptime, g_dps
 
     def metrics(self) -> dict:
         """A point-in-time snapshot of every metric.
@@ -420,12 +568,86 @@ class PlacementService:
         (sample name → value; histograms as bucket/percentile dicts).
         """
         self._sync_metrics()
+        if self.alerts is not None:
+            self._evaluate_synced()
         return self.registry.snapshot()
 
     def metrics_text(self) -> str:
         """The Prometheus text exposition (0.0.4) of :meth:`metrics`."""
         self._sync_metrics()
+        if self.alerts is not None:
+            self._evaluate_synced()
         return self.registry.render()
+
+    def evaluate_alerts(self) -> list:
+        """Run one alert/SLO evaluation tick; returns the new events.
+
+        Pins the metrics first (the same sync :meth:`metrics` does —
+        the fleet router's override folds the per-worker registries),
+        then hands the registry and the logical clock to the
+        :class:`~repro.serve.alerts.AlertManager`.  A service without a
+        manager returns ``[]``.  Never called on the decision hot path
+        — drive it from your serving loop, the way the CLI evaluates
+        once per submitted batch.
+        """
+        if self.alerts is None:
+            return []
+        plan = self._alert_sync
+        if plan is None or plan[0] is not self.alerts:
+            plan = self._alert_sync = self._build_alert_sync_plan()
+        _, needs_kc, entries = plan
+        if entries is None:
+            self._sync_metrics()
+        else:
+            kc = self.kernel.counters() if needs_kc else None
+            for m, base in entries:
+                m.set(_ALERT_SYNC_GETTERS[base](self, kc))
+        return self._evaluate_synced()
+
+    def _build_alert_sync_plan(self):
+        """Resolve which metrics an evaluation tick must pin.
+
+        A per-batch alert cadence cannot afford the full
+        :meth:`_sync_metrics` pass (~45 metric objects) when the rules
+        read five of them, so the plan maps each *referenced* synced
+        metric to its value source and :meth:`evaluate_alerts` pins
+        just those — identical values, so the alert event stream is
+        unchanged.  Referenced metrics outside the synced set are
+        live-updated and need nothing.  Anything the fast table cannot
+        express (per-lane or labeled synced metrics, a subclass that
+        folds extra state into its sync — the fleet router) falls back
+        to the full sync; the plan is ``(alerts, needs_kernel,
+        entries-or-None)`` and rebuilds if the manager is swapped.
+        """
+        fallback = (self.alerts, False, None)
+        if type(self)._sync_metrics is not PlacementService._sync_metrics:
+            return fallback
+        # One full sync up front creates every pinned metric, so the
+        # registry's render order stays canonical no matter which sync
+        # path later scrapes run through.
+        self._sync_metrics()
+        entries = []
+        needs_kc = False
+        for base, labels in self.alerts.referenced():
+            if base not in _SYNCED_METRICS:
+                continue  # live-updated (histogram / category counter)
+            g = _ALERT_SYNC_GETTERS.get(base)
+            if g is None or labels:
+                return fallback
+            m = self.registry.get(base)
+            if m is None:
+                return fallback
+            if base in _KERNEL_SYNCED:
+                needs_kc = True
+            entries.append((m, base))
+        return (self.alerts, needs_kc, entries)
+
+    def _evaluate_synced(self) -> list:
+        c = self._clock  # plain float compare; np.isfinite costs ~1us
+        clock = float(c) if -_F_INF < c < _F_INF else 0.0
+        return self.alerts.evaluate(
+            self.registry, clock=clock, decided=self.stats.n_decided
+        )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -515,6 +737,8 @@ class PlacementService:
             pipeline, user, job_id,
         )
         self.stats.n_submitted += 1
+        if arrival > self._clock:
+            self._clock = float(arrival)
         if self.wal is not None and not self._replaying:
             if job is not None:
                 jr = job_to_record(job)
@@ -569,6 +793,8 @@ class PlacementService:
             pipelines, users, job_ids,
         )
         self.stats.n_submitted += stop - first
+        if arrivals.size and arrivals[-1] > self._clock:
+            self._clock = float(arrivals[-1])
         if self.wal is not None and not self._replaying:
             self._wal_rec = {
                 "op": "batch",
@@ -620,6 +846,8 @@ class PlacementService:
             job_ids=[j.job_id for j in jobs],
         )
         self.stats.n_submitted += stop - first
+        if jobs[-1].arrival > self._clock:
+            self._clock = float(jobs[-1].arrival)
         if self.wal is not None and not self._replaying:
             self._wal_rec = {"op": "jobs", "jobs": [job_to_record(j) for j in jobs]}
         if self.categorizer is not None:
@@ -799,9 +1027,152 @@ class PlacementService:
             cats = getattr(self.policy, "categories", None)
             if cats is not None and len(cats) > i:
                 self._cat_counter(int(cats[i])).inc()
+        tr = self.tracer
+        if tr is not None and tr.sampled(job_id):
+            self._trace_decision(
+                tr, i, job_id, t, s, bool(want_ssd), float(space_frac),
+                spill_time, float(release),
+                getattr(self.policy, "categories", None),
+            )
         return PlacementDecision(
             i, job_id, t, s, want_ssd, space_frac, spill_time, float(release),
         )
+
+    # -- tracing ---------------------------------------------------------
+
+    def _trace_decision(
+        self, tr, i, job_id, t, lane, want_ssd, frac, spill, release, cats,
+    ) -> None:
+        """Record one sampled job's span (all timestamps logical).
+
+        ``cats`` is the policy's category column (or ``None``), hoisted
+        to the caller so the chunk recorder resolves it once per chunk
+        instead of once per span.  The span is built whole and handed
+        to :meth:`Tracer.add` — identical structure to the event-by-
+        event path, minus its per-event call overhead.
+        """
+        t = float(t)
+        events = [["submit", t, {"index": i}]]
+        if cats is not None and len(cats) > i:
+            events.append(["categorize", t, {"category": int(cats[i])}])
+        events.append(["admit", t, {"want_ssd": want_ssd, "lane": lane}])
+        if frac > 0.0:
+            events.append(
+                ["place", t, {"ssd_fraction": frac, "release": release}]
+            )
+        if spill is not None and spill == spill:  # skip None and NaN
+            events.append(["spill", float(spill), {}])
+        tr.add({"job_id": job_id, "events": events})
+
+    def _trace_scan(self) -> None:
+        """Advance the sampled-index scan to the current log length.
+
+        With auto-assigned ids (id == submission index, the common
+        replay shape) the sampling hash depends only on the integer id,
+        so it runs *ahead* of the log in ``_TRACE_SCAN_BLOCK`` strides
+        — a handful of vector passes per million decisions instead of
+        one per submission.  Custom ids fall back to a scalar scan of
+        the appended suffix; ``_trace_confirmed`` tracks how much of
+        the log is known to carry auto ids, so if a custom-id append
+        ever lands after the hash ran ahead, the speculative tail is
+        dropped and rescanned from the real ids.
+
+        Runs once per pump (the log cannot grow mid-pump); the sampled
+        indices are then consumed chunk by chunk through a monotone
+        cursor (chunks decide the log strictly in order), and the pump
+        skips the recorder call entirely for chunks with nothing
+        sampled — at production chunk rates the per-chunk fixed cost,
+        not the hash, was the dominant tracing cost.
+        """
+        tr = self.tracer
+        log = self.log
+        n = len(log)
+        sel = self._trace_sel
+        if log._ids_auto:
+            if self._trace_scanned < n:
+                lo = self._trace_scanned
+                hi = max(n, lo + _TRACE_SCAN_BLOCK)
+                ids_u = np.arange(lo, hi, dtype=np.uint64)
+                hit = np.flatnonzero(
+                    ((ids_u * _PRIME_U64) & _MASK32) < np.uint64(tr.threshold)
+                )
+                sel.extend((lo + hit).tolist())
+                self._trace_scanned = hi
+            self._trace_confirmed = n
+        else:
+            conf = self._trace_confirmed
+            if self._trace_scanned > conf:
+                # Ids stopped being auto-assigned after the hash ran
+                # ahead: entries above the last confirmed length were
+                # hashed from the submission index, which no longer
+                # equals the id.  Nothing at or above ``conf`` has been
+                # consumed yet (the cursor trails the decided log), so
+                # the speculative tail can be dropped wholesale.
+                while sel and sel[-1] >= conf:
+                    sel.pop()
+                self._trace_scanned = conf
+            if self._trace_scanned < n:
+                ids_all = log.job_ids
+                sel.extend(
+                    k for k in range(self._trace_scanned, n)
+                    if tr.sampled(ids_all[k])
+                )
+                self._trace_scanned = n
+            self._trace_confirmed = n
+
+    def _trace_pump(self, batches) -> None:
+        """Record the spans sampled across one pump's decided chunks.
+
+        Pure consumption: :meth:`_trace_scan` already extended
+        ``_trace_sel`` past the decided horizon, and the pump only
+        calls this when the cursor points below it.  One pass over the
+        pump's decision batches replaces a recorder call per chunk —
+        at production chunk rates that per-chunk fixed cost, not the
+        sampling hash, was the dominant tracing cost.
+        """
+        tr = self.tracer
+        sel = self._trace_sel
+        cur = self._trace_cursor
+        n_sel = len(sel)
+        ids = self.log.job_ids
+        cats = getattr(self.policy, "categories", None)
+        for db in batches:
+            outcomes = db._outcomes
+            first = outcomes.first
+            stop = first + len(outcomes.times)
+            # Entries below ``first`` were decided before this
+            # instance's cursor existed (a restore from a pre-tracing
+            # snapshot rescans the whole log); skip them silently.
+            while cur < n_sel and sel[cur] < first:
+                cur += 1
+            if cur >= n_sel:
+                break
+            if sel[cur] >= stop:
+                continue
+            times = outcomes.times
+            req = outcomes.requested_ssd
+            fracs = outcomes.ssd_space_fraction
+            spills = outcomes.spill_time
+            lanes = outcomes.shards
+            rel_buf = db._rel
+            while cur < n_sel and sel[cur] < stop:
+                i = sel[cur]
+                cur += 1
+                k = i - first
+                self._trace_decision(
+                    tr, i, ids[i], float(times[k]),
+                    0 if lanes is None else int(lanes[k]),
+                    bool(req[k]), float(fracs[k]), float(spills[k]),
+                    0.0 if rel_buf is None else float(rel_buf[k]),
+                    cats,
+                )
+        self._trace_cursor = cur
+
+    def export_trace(self, path) -> int:
+        """Write the tracer's retained spans as JSONL; returns the count."""
+        if self.tracer is None:
+            raise RuntimeError("service has no tracer")
+        return self.tracer.export_jsonl(path)
 
     # -- batch mode -----------------------------------------------------
 
@@ -826,6 +1197,11 @@ class PlacementService:
         self.stats.max_pending_seen = max(
             self.stats.max_pending_seen, n - self._decided
         )
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.threshold
+        if tracing:
+            self._trace_scan()
+            t_sel = self._trace_sel
         forcing = force
         while self._decided < n:
             first = self._decided
@@ -875,6 +1251,10 @@ class PlacementService:
             self._m_chunk_jobs.observe(count)
             self._plan = None
             n = len(log)
+        if tracing and out:
+            cur = self._trace_cursor
+            if cur < len(t_sel) and t_sel[cur] < self._decided:
+                self._trace_pump(out)
         if not out:
             return []
         if len(out) == 1:
@@ -948,20 +1328,30 @@ class PlacementService:
         entry = self._live.pop(job_id, None)
         if entry is None:
             self.stats.duplicate_completes += 1
-            return False
-        index, lane, alloc, release = entry
-        if release <= self._now or release <= self._horizon:
-            # Scheduled release already fired — either the clock passed
-            # it, or an opened (still pending) chunk advanced the
-            # kernel's release cursor past it.  Cancelling now would
-            # free the space a second time.
-            return False
-        if self.mode == "scalar":
-            self.kernel.cancel(index, lane, alloc)
+            freed = False
         else:
-            self.kernel.cancel(lane, alloc, release)
-        self.stats.n_completions += 1
-        return True
+            index, lane, alloc, release = entry
+            if release <= self._now or release <= self._horizon:
+                # Scheduled release already fired — either the clock
+                # passed it, or an opened (still pending) chunk advanced
+                # the kernel's release cursor past it.  Cancelling now
+                # would free the space a second time.
+                freed = False
+            else:
+                if self.mode == "scalar":
+                    self.kernel.cancel(index, lane, alloc)
+                else:
+                    self.kernel.cancel(lane, alloc, release)
+                self.stats.n_completions += 1
+                freed = True
+        if self.tracer is not None:
+            # The caller's timestamp (a deterministic input) when given;
+            # the service clock otherwise.
+            t_ev = float(time) if time is not None else (
+                float(self._now) if np.isfinite(self._now) else 0.0
+            )
+            self.tracer.event(job_id, "complete", t_ev, freed=freed)
+        return freed
 
     # -- capacity shocks ------------------------------------------------
 
@@ -1150,12 +1540,19 @@ class PlacementService:
         """Rebuild a service from a snapshot (the snapshot stays intact).
 
         Raises :class:`~repro.serve.types.SnapshotMismatch` when the
-        snapshot's schema tag does not match this library's — e.g. a
-        checkpoint written by an incompatible version — instead of
+        snapshot's schema tag is one this library cannot restore — e.g.
+        a checkpoint written by an incompatible version — instead of
         silently rebuilding a service with missing or misshapen state.
+        Older-but-compatible schemas
+        (:data:`~repro.serve.types.COMPAT_SNAPSHOT_SCHEMAS`) restore by
+        backfilling the missing state with fresh defaults: a
+        pre-metrics payload gets a fresh registry (counters restart
+        rather than KeyError), a pre-alerting payload gets no
+        manager/tracer.
         """
         payload = snapshot.payload
-        cls._check_schema(payload, SNAPSHOT_SCHEMA, "service snapshot")
+        if payload.get("__schema__") not in COMPAT_SNAPSHOT_SCHEMAS:
+            cls._check_schema(payload, SNAPSHOT_SCHEMA, "service snapshot")
         trace = getattr(payload["policy"], "_trace", None)
         memo: dict = {}
         if trace is not None and trace is not payload["log"]:
@@ -1165,6 +1562,21 @@ class PlacementService:
         state.pop("__schema__", None)
         state.pop("__version__", None)
         svc.__dict__ = state
+        if "registry" not in state:
+            # Pre-metrics checkpoint (schema 1): fresh surface, fresh
+            # hot-path instruments.
+            svc.registry = MetricsRegistry()
+            svc._m_cat = {}
+            svc._init_metrics()
+        state.setdefault("alerts", None)
+        state.setdefault("tracer", None)
+        state.setdefault("_clock", state.get("_now", -np.inf))
+        state.setdefault("_trace_sel", [])
+        state.setdefault("_trace_scanned", 0)
+        state.setdefault("_trace_confirmed", 0)
+        state.setdefault("_trace_cursor", 0)
+        state.setdefault("_pinned", None)
+        state.setdefault("_alert_sync", None)
         # Wall-clock gauges restart with the restored instance; the
         # checkpointed perf_counter origin belongs to a dead process.
         svc._metrics_t0 = perf_counter()

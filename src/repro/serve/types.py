@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "COMPAT_SNAPSHOT_SCHEMAS",
     "WORKER_SNAPSHOT_SCHEMA",
     "SnapshotMismatch",
     "PlacementDecision",
@@ -41,7 +42,15 @@ __all__ = [
 #: a way an older/newer library cannot restore.
 #: 2: the payload carries the service's metrics registry (so recovered
 #: counters continue instead of resetting).
-SNAPSHOT_SCHEMA = 2
+#: 3: the payload carries the alert manager, tracer ring, and logical
+#: clock (so recovered alert streams and spans continue).
+SNAPSHOT_SCHEMA = 3
+
+#: Older service-snapshot schemas :meth:`PlacementService.restore` can
+#: still rebuild by backfilling the missing state with fresh defaults
+#: (a pre-metrics payload gets a fresh registry; a pre-alerting payload
+#: gets no manager/tracer).  Anything else fails loudly.
+COMPAT_SNAPSHOT_SCHEMAS = frozenset({1, 2, SNAPSHOT_SCHEMA})
 
 #: Schema tag of a :class:`~repro.serve.worker.PlacementWorker`
 #: checkpoint payload.

@@ -77,6 +77,16 @@ class PlacementWorker:
         self.kernel = self._build_kernel(spec)
         self._init_metrics()
 
+    #: Ops recorded in the worker's span ring — the data-plane ops that
+    #: advance kernel state.  Control ops (metrics/spans/ping/state...)
+    #: are excluded so observing a worker never grows its trace.
+    _SPAN_OPS = frozenset(
+        {"open", "chunk", "fit", "sync", "admit", "cancel", "resize"}
+    )
+
+    #: Bounded op-span ring length (see ``_op_spans``).
+    SPAN_CAPACITY = 1024
+
     def _init_metrics(self) -> None:
         """Worker-local op metrics, gathered by the fleet router.
 
@@ -84,6 +94,8 @@ class PlacementWorker:
         contract): it lives outside the checkpoint payload, so a
         recovered worker's op counts restart at zero while the
         authoritative kernel counters replay to their exact values.
+        The op-span ring follows the same rule: it is not checkpointed
+        and restarts on recovery.
         """
         self.registry = MetricsRegistry()
         self._m_ops: dict = {}
@@ -91,6 +103,9 @@ class PlacementWorker:
             "worker_batch_jobs", buckets=SIZE_BUCKETS_JOBS,
             help="Jobs per admission op handled by a worker",
         )
+        self._op_seq = 0  # data-plane ops handled since (re)start
+        self._spans: list = []  # bounded ring of op spans
+        self._span_head = 0
 
     def _count_op(self, kind: str) -> None:
         c = self._m_ops.get(kind)
@@ -139,7 +154,38 @@ class PlacementWorker:
         if handler is None:
             raise ValueError(f"unknown worker op {kind!r}")
         self._count_op(str(kind))
+        if kind in self._SPAN_OPS:
+            self._record_op_span(str(kind), op)
         return handler(op)
+
+    def _record_op_span(self, kind: str, op: dict) -> None:
+        """Append one op span to the bounded ring.
+
+        Spans carry the op kind, a per-worker sequence number, the
+        logical anchor the op supplied (``t0``/``t``/``catch``) and the
+        job count — enough to reconstruct what the worker's kernel did,
+        at a few dozen bytes per data-plane op.
+        """
+        t = op.get("t0", op.get("t", op.get("catch")))
+        n = 1 if kind == "admit" else None
+        for key in ("t", "size", "dur"):
+            v = op.get(key)
+            if hasattr(v, "size"):
+                n = int(v.size)
+                break
+        span = {
+            "worker": self.worker_id,
+            "op": kind,
+            "seq": self._op_seq,
+            "t": None if t is None else float(t),
+            "n": n,
+        }
+        self._op_seq += 1
+        if len(self._spans) < self.SPAN_CAPACITY:
+            self._spans.append(span)
+        else:
+            self._spans[self._span_head] = span
+            self._span_head = (self._span_head + 1) % self.SPAN_CAPACITY
 
     def _counters(self) -> dict:
         c = self.kernel.counters()
@@ -396,6 +442,20 @@ class PlacementWorker:
     def _op_metrics(self, op: dict) -> dict:
         """The worker's partial metrics, for the router's fleet gather."""
         return {"state": self.registry.state(), **self._counters()}
+
+    def _op_spans(self, op: dict) -> dict:
+        """The worker's op-span ring, oldest first.
+
+        Deliberately non-mutating (never WAL-logged, never replayed):
+        gathering spans — like gathering metrics — cannot change what a
+        recovery rebuilds.
+        """
+        h = self._span_head
+        return {
+            "spans": self._spans[h:] + self._spans[:h],
+            "seq": self._op_seq,
+            **self._counters(),
+        }
 
     def _op_ping(self, op: dict) -> dict:
         return {"ok": 1, "worker_id": self.worker_id}

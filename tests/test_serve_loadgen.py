@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import FirstFitPolicy
-from repro.serve import LoadGenerator, PlacementService
+from repro.serve import LoadGenerator, PlacementService, metrics_latency_summary
 from repro.units import GIB
 from repro.workloads import InMemoryTraceSource, Trace
 from repro.workloads.streaming import TraceBlock, rechunk_blocks
@@ -292,6 +292,79 @@ class TestClosedLoop:
         )
         assert seen == [1, 2, 3]
         assert report.n_batches == 3
+
+
+class TickingClock:
+    """Time source that advances a fixed tick on every read.
+
+    Shared between the load generator (``clock=``/``sleep=``) and the
+    service's ``perf_counter`` (monkeypatched), it makes both latency
+    windows deterministic: the service's inner window spans exactly one
+    tick per batch (the two ``perf_counter`` reads bracketing
+    ``submit_batch``) while the generator's outer window spans three
+    (its ``t0`` read, the inner pair, its ``dt`` read) — so the
+    histogram-derived summary must sit at or below the client-observed
+    percentiles.
+    """
+
+    def __init__(self, tick=1e-3):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+    def sleep(self, dt):
+        self.t += dt
+
+
+class TestMetricsLatencySummary:
+    def test_none_before_any_observation(self):
+        trace = small_trace(10)
+        svc = make_service(trace)
+        assert metrics_latency_summary(svc) is None
+
+    def test_summary_consistent_with_report(self, monkeypatch):
+        """The metrics-surface percentiles never exceed the client's.
+
+        The service's batch histogram times only the ``submit_batch``
+        body; the generator's ``batch_seconds`` wrap that same call
+        from outside.  With one shared ticking clock the nesting is
+        exact (1 inner tick vs 3 outer ticks per batch), so the
+        quantile read off the fixed-bucket histogram must bound the
+        report's ``np.percentile`` from below — the dashboard can
+        round a latency down to a bucket edge, never inflate it.
+        """
+        trace = small_trace(60)
+        ticker = TickingClock(tick=1e-3)
+        monkeypatch.setattr("repro.serve.service.perf_counter", ticker)
+        svc = make_service(trace)
+        gen = LoadGenerator(
+            trace, rate=None, batch_jobs=16,
+            clock=ticker, sleep=ticker.sleep,
+        )
+        report = gen.run(svc)
+        summary = metrics_latency_summary(svc)
+        assert summary is not None
+        assert summary["metric"] == "serve_batch_seconds"
+        assert summary["count"] == report.n_batches
+        for q in (50, 95, 99):
+            observed = report.latency_percentile(q)
+            estimated = summary[f"p{q}"]
+            assert 0.0 < estimated <= observed
+
+    def test_scalar_submit_falls_back_to_request_histogram(self):
+        trace = small_trace(5)
+        svc = PlacementService(FirstFitPolicy(), 100 * GIB, mode="scalar")
+        svc.open(trace)
+        for job in trace.jobs:
+            svc.submit(job)
+        summary = metrics_latency_summary(svc)
+        assert summary is not None
+        assert summary["metric"] == "serve_request_seconds"
+        assert summary["count"] == len(trace)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
 
 
 class TestGracefulStop:

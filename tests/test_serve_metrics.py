@@ -166,6 +166,78 @@ class TestHistogramMath:
                     assert other.percentile(q) == left.percentile(q)
 
 
+class TestHistogramQuantile:
+    """`quantile(q)` interpolates within integer buckets — the alerting
+    layer's histogram reader, so it must be exact about which bucket a
+    rank lands in and deterministic on merged fleet counts."""
+
+    def test_interpolates_within_the_bucket(self):
+        h = _hist((1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.5, 1.5, 4.0):  # counts [1, 3, 1, 0]
+            h.observe(v)
+        # rank 2.5 of 5 lands mid-bucket (1, 2]: cum 1, 1.5 of 3 in.
+        assert h.quantile(0.5) == pytest.approx(1.0 + (2.5 - 1) / 3)
+        # rank 1 lands in the first bucket, interpolated from 0.
+        assert h.quantile(0.0) == pytest.approx(1.0 * 1 / 1)
+        assert h.quantile(1.0) == pytest.approx(5.0)
+
+    def test_overflow_bucket_reports_max(self):
+        h = _hist((1.0,))
+        h.observe(123.0)
+        h.observe(456.0)
+        assert h.quantile(0.99) == 456.0
+
+    def test_empty_and_bounds(self):
+        h = _hist()
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            h.quantile(1.5)
+
+    def test_randomized_brackets_true_order_statistic(self):
+        """The interpolated quantile always lives in the same bucket as
+        the true order statistic it estimates, and is monotone in q."""
+        rng = np.random.default_rng(7)
+        edges = LATENCY_BUCKETS_SECONDS
+        for _ in range(20):
+            values = 10.0 ** rng.uniform(-7, 1.5, int(rng.integers(1, 200)))
+            h = Histogram("h")
+            for v in values:
+                h.observe(float(v))
+            ordered = np.sort(values)
+            qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0]
+            estimates = [h.quantile(q) for q in qs]
+            assert estimates == sorted(estimates)
+            for q, est in zip(qs, estimates):
+                rank = max(q * len(ordered), 1.0)
+                true = float(ordered[int(np.ceil(rank)) - 1])
+                if true > edges[-1]:  # overflow bucket: exact max
+                    assert est == h.max
+                    continue
+                # Same le-bucket: one edge at or above both, none between.
+                k = np.searchsorted(edges, true)
+                lo = 0.0 if k == 0 else edges[k - 1]
+                assert lo <= est <= edges[k], (q, true, est)
+
+    def test_merge_preserves_quantiles(self):
+        rng = np.random.default_rng(11)
+        parts = []
+        for _ in range(3):
+            h = Histogram("h", buckets=(0.01, 0.1, 1.0))
+            for v in rng.uniform(0.0, 2.0, 50):
+                h.observe(float(v))
+            parts.append(h)
+        merged = Histogram("h", buckets=(0.01, 0.1, 1.0))
+        whole = Histogram("h", buckets=(0.01, 0.1, 1.0))
+        for p in parts:
+            merged.merge(p)
+        rng2 = np.random.default_rng(11)
+        for _ in range(3):
+            for v in rng2.uniform(0.0, 2.0, 50):
+                whole.observe(float(v))
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+
 class TestRegistry:
     def test_counter_is_monotonic(self):
         reg = MetricsRegistry()
@@ -487,6 +559,45 @@ class TestScrapeEndpoint:
         assert ctype == "text/plain; version=0.0.4; charset=utf-8"
         assert body == cache[0]
         assert "serve_decided_total 60" in body
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(lambda: "ok 1\n", port=0) as server:
+            base = f"http://{server.host}:{server.port}"
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(f"{base}/healthz", timeout=10)
+            assert exc_info.value.code == 404
+            # Bare root and /metrics?query still scrape.
+            for path in ("/", "/metrics?x=1"):
+                with urllib.request.urlopen(base + path, timeout=10) as r:
+                    assert r.status == 200
+                    assert r.read() == b"ok 1\n"
+
+    def test_concurrent_scrapes(self):
+        """The threading server answers overlapping scrapes; every
+        response is complete and identical."""
+        import threading
+
+        text = "serve_decided_total 42\n" * 200
+        with MetricsServer(lambda: text, port=0) as server:
+            bodies = [None] * 8
+            errors = []
+
+            def scrape(k):
+                try:
+                    with urllib.request.urlopen(server.url, timeout=10) as r:
+                        bodies[k] = r.read().decode()
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=scrape, args=(k,)) for k in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+        assert all(b == text for b in bodies)
 
     def test_scrape_failure_is_500_not_fatal(self):
         def boom():
